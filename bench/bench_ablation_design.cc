@@ -1,0 +1,87 @@
+// Design-choice ablations beyond the paper's tables (DESIGN.md §4):
+//
+//   * SGE aggregator: the paper's raw-adjacency *sum* (chosen because its
+//     synergy graphs have smooth degree distributions) vs the row-normalised
+//     *mean* — relevant when synergy degrees are heavy-tailed and summed
+//     messages saturate the tanh;
+//   * fusion: the paper's addition (eq. 11) vs attention fusion, the
+//     paper's own future-work direction (Sec. VII).
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Design ablations — SGE aggregator and fusion variants",
+              "paper Sec. IV-B (sum aggregator rationale) and Sec. VII "
+              "(attention as future work); not a paper table");
+
+  const data::TrainTestSplit split = MakeExperimentSplit();
+
+  struct Variant {
+    const char* label;
+    core::SgeAggregator aggregator;
+    core::FusionKind fusion;
+  };
+  const std::vector<Variant> variants = {
+      {"SMGCN (sum + add, paper)", core::SgeAggregator::kSum, core::FusionKind::kAdd},
+      {"SMGCN (mean + add)", core::SgeAggregator::kMean, core::FusionKind::kAdd},
+      {"SMGCN-Att (sum + attention)", core::SgeAggregator::kSum,
+       core::FusionKind::kAttention},
+      {"SMGCN-Att (mean + attention)", core::SgeAggregator::kMean,
+       core::FusionKind::kAttention},
+  };
+
+  TablePrinter table({"Variant", "p@5", "r@5", "ndcg@5", "r@20"});
+  CsvWriter csv({"variant", "p@5", "r@5", "ndcg@5", "r@20"});
+  std::map<std::string, eval::EvaluationReport> reports;
+  for (const Variant& v : variants) {
+    core::ModelSpec spec = BenchSpecFor("SMGCN");
+    ApplySweepBudget(&spec, 60);
+    spec.model.sge_aggregator = v.aggregator;
+    spec.model.fusion = v.fusion;
+    const RunResult result = RunModel(spec, split);
+    const auto& m = result.report.At(5);
+    table.AddNumericRow(v.label,
+                        {m.precision, m.recall, m.ndcg, result.report.At(20).recall});
+    SMGCN_CHECK_OK(csv.AddRow({v.label, StrFormat("%.4f", m.precision),
+                               StrFormat("%.4f", m.recall), StrFormat("%.4f", m.ndcg),
+                               StrFormat("%.4f", result.report.At(20).recall)}));
+    reports.emplace(v.label, result.report);
+    std::printf("  trained %-28s in %5.1fs\n", v.label, result.train_seconds);
+  }
+  std::printf("\n");
+  table.Print();
+  WriteResultsCsv("ablation_design", csv);
+
+  std::printf("\nObservations:\n");
+  const double paper_cfg = reports.at("SMGCN (sum + add, paper)").At(5).precision;
+  const double mean_cfg = reports.at("SMGCN (mean + add)").At(5).precision;
+  const double att_cfg = reports.at("SMGCN-Att (sum + attention)").At(5).precision;
+  std::printf("  sum vs mean SGE aggregation: %.4f vs %.4f (%s)\n", paper_cfg,
+              mean_cfg,
+              paper_cfg >= mean_cfg ? "paper's sum choice holds here"
+                                    : "mean wins on this corpus — consistent "
+                                      "with its heavier synergy-degree tail");
+  std::printf("  add vs attention fusion:     %.4f vs %.4f (%s)\n", paper_cfg,
+              att_cfg,
+              att_cfg > paper_cfg
+                  ? "attention fusion improves — supports the paper's "
+                    "future-work direction"
+                  : "plain addition is competitive; attention does not pay "
+                    "for its parameters at this scale");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smgcn
+
+int main() {
+  smgcn::bench::Run();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark) of the kernels behind training:
+// dense matmul variants, sparse propagation, Adam, losses, metric ranking
+// and graph construction.
+#include <benchmark/benchmark.h>
+
+#include "src/autograd/ops.h"
+#include "src/core/trainer.h"
+#include "src/data/tcm_generator.h"
+#include "src/eval/metrics.h"
+#include "src/graph/graph_builder.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace {
+
+using tensor::Matrix;
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::RandomNormal(n, n, 0.0, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 0.0, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = Matrix::RandomNormal(512, n, 0.0, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(220, n, 0.0, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulTransposed(b));  // the scoring kernel
+  }
+}
+BENCHMARK(BM_MatMulTransposed)->Arg(64)->Arg(128)->Arg(256);
+
+graph::CsrMatrix RandomSparse(std::size_t rows, std::size_t cols, double density,
+                              Rng* rng) {
+  std::vector<graph::Triplet> triplets;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng->Bernoulli(density)) triplets.push_back({r, c, rng->Uniform()});
+    }
+  }
+  return graph::CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const graph::CsrMatrix adj = RandomSparse(120, 220, 0.2, &rng);
+  const Matrix x = Matrix::RandomNormal(220, dim, 0.0, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.Multiply(x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(adj.nnz() * dim));
+}
+BENCHMARK(BM_SpMM)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpMMTranspose(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const graph::CsrMatrix adj = RandomSparse(120, 220, 0.2, &rng);
+  const Matrix grad = Matrix::RandomNormal(120, dim, 0.0, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adj.TransposeMultiply(grad));
+  }
+}
+BENCHMARK(BM_SpMMTranspose)->Arg(64)->Arg(128);
+
+void BM_AdamStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  nn::ParameterStore store;
+  Rng rng(5);
+  auto w = store.Create("w", Matrix::RandomNormal(n, n, 0.0, 1.0, &rng));
+  w->AccumulateGrad(Matrix::RandomNormal(n, n, 0.0, 1.0, &rng));
+  nn::Adam adam(&store, 1e-3);
+  for (auto _ : state) {
+    adam.Step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_AdamStep)->Arg(128)->Arg(256);
+
+void BM_WeightedMseForwardBackward(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t batch = 512, herbs = 220;
+  Matrix targets(batch, herbs, 0.0);
+  for (std::size_t r = 0; r < batch; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      targets(r, static_cast<std::size_t>(rng.UniformInt(0, herbs - 1))) = 1.0;
+    }
+  }
+  std::vector<double> weights(herbs, 1.0);
+  for (auto _ : state) {
+    auto scores = autograd::MakeVariable(
+        Matrix::RandomNormal(batch, herbs, 0.0, 1.0, &rng), true);
+    auto loss = nn::WeightedMseLoss(scores, targets, weights);
+    autograd::Backward(loss);
+    benchmark::DoNotOptimize(scores->grad());
+  }
+}
+BENCHMARK(BM_WeightedMseForwardBackward);
+
+void BM_TopK(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> scores(753);  // the real corpus herb count
+  for (double& s : scores) s = rng.Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::TopK(scores, 20));
+  }
+}
+BENCHMARK(BM_TopK);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  data::TcmGeneratorConfig cfg;
+  cfg.num_symptoms = 120;
+  cfg.num_herbs = 220;
+  cfg.num_syndromes = 18;
+  cfg.num_prescriptions = 2000;
+  data::TcmGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::BuildTcmGraphs(*corpus, {20, 40}));
+  }
+}
+BENCHMARK(BM_GraphConstruction);
+
+void BM_PoolingCsrBuild(benchmark::State& state) {
+  data::TcmGeneratorConfig cfg;
+  cfg.num_prescriptions = 1000;
+  data::TcmGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  std::vector<std::size_t> batch(512);
+  for (std::size_t i = 0; i < batch.size(); ++i) batch[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildSymptomPoolingCsr(*corpus, batch));
+  }
+}
+BENCHMARK(BM_PoolingCsrBuild);
+
+}  // namespace
+}  // namespace smgcn
+
+BENCHMARK_MAIN();

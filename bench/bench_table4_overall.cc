@@ -1,0 +1,103 @@
+// Table IV reproduction: overall performance comparison of all six models
+// (HC-KGETM, GC-MC, PinSage, NGCF, HeteGCN, SMGCN) at p/r/ndcg @ {5,10,20},
+// with the paper's reference numbers printed alongside and the paper's
+// ordering claims verified as shape checks.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table IV — overall performance comparison",
+              "paper Table IV: SMGCN best on all nine metrics; HeteGCN "
+              "second; PinSage strongest aligned baseline; HC-KGETM worst");
+
+  const data::TrainTestSplit split = MakeExperimentSplit();
+
+  std::printf("\nPaper reference values:\n");
+  TablePrinter paper_table({"Model", "p@5", "p@10", "p@20", "r@5", "r@10",
+                            "r@20", "ndcg@5", "ndcg@10", "ndcg@20"});
+  for (const PaperRow& row : PaperTable4()) {
+    paper_table.AddNumericRow(row.model,
+                              std::vector<double>(row.values, row.values + 9));
+  }
+  paper_table.Print();
+
+  std::printf("\nMeasured on the synthetic corpus:\n");
+  TablePrinter table({"Model", "p@5", "p@10", "p@20", "r@5", "r@10", "r@20",
+                      "ndcg@5", "ndcg@10", "ndcg@20"});
+  CsvWriter csv({"model", "p@5", "p@10", "p@20", "r@5", "r@10", "r@20",
+                 "ndcg@5", "ndcg@10", "ndcg@20", "train_seconds"});
+  std::map<std::string, eval::EvaluationReport> reports;
+  for (const PaperRow& row : PaperTable4()) {
+    const RunResult result = RunModel(BenchSpecFor(row.model), split);
+    AddReportRow(&table, result.name, result.report);
+    auto fields = result.report.PaperRow();
+    std::vector<std::string> cells{result.name};
+    for (double v : fields) cells.push_back(StrFormat("%.4f", v));
+    cells.push_back(StrFormat("%.1f", result.train_seconds));
+    SMGCN_CHECK_OK(csv.AddRow(cells));
+    reports.emplace(result.name, result.report);
+    std::printf("  trained %-10s in %5.1fs\n", result.name.c_str(),
+                result.train_seconds);
+  }
+  table.Print();
+  WriteResultsCsv("table4_overall", csv);
+
+  // %Improv rows as in the paper.
+  const auto& smgcn = reports.at("SMGCN");
+  auto improv = [&](const std::string& base) {
+    const auto& other = reports.at(base);
+    std::printf("%%Improv. of SMGCN over %-9s p@5 %+6.2f%%  r@5 %+6.2f%%  "
+                "ndcg@5 %+6.2f%%\n",
+                base.c_str(),
+                100.0 * (smgcn.At(5).precision / other.At(5).precision - 1.0),
+                100.0 * (smgcn.At(5).recall / other.At(5).recall - 1.0),
+                100.0 * (smgcn.At(5).ndcg / other.At(5).ndcg - 1.0));
+  };
+  std::printf("\n");
+  improv("HC-KGETM");
+  improv("PinSage");
+  improv("HeteGCN");
+
+  // Shape checks: the paper's ordering claims.
+  std::printf("\nShape checks (paper Sec. V-E.1):\n");
+  int failures = 0;
+  auto check = [&](const std::string& desc, double lhs, double rhs) {
+    if (!ShapeCheck(desc, lhs, rhs)) ++failures;
+  };
+  check("SMGCN > HeteGCN           (p@5)", smgcn.At(5).precision,
+        reports.at("HeteGCN").At(5).precision);
+  check("SMGCN > PinSage           (p@5)", smgcn.At(5).precision,
+        reports.at("PinSage").At(5).precision);
+  check("SMGCN > every baseline    (r@20)", smgcn.At(20).recall,
+        std::max({reports.at("HC-KGETM").At(20).recall,
+                  reports.at("GC-MC").At(20).recall,
+                  reports.at("PinSage").At(20).recall,
+                  reports.at("NGCF").At(20).recall,
+                  reports.at("HeteGCN").At(20).recall}));
+  check("HeteGCN > PinSage         (p@5, synergy graphs help)",
+        reports.at("HeteGCN").At(5).precision,
+        reports.at("PinSage").At(5).precision);
+  check("PinSage > HC-KGETM        (p@5, GNN beats topic model)",
+        reports.at("PinSage").At(5).precision,
+        reports.at("HC-KGETM").At(5).precision);
+  check("SMGCN > HC-KGETM          (ndcg@5)", smgcn.At(5).ndcg,
+        reports.at("HC-KGETM").At(5).ndcg);
+  std::printf("\n%d shape check(s) failed\n", failures);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smgcn
+
+int main() {
+  smgcn::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table VI reproduction: effect of the number of Bipar-GCN propagation
+// layers on the Bipar-GCN w/ SI submodel (paper: depth 2 marginally best,
+// depth 3 drops from overfitting).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/csv.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table VI — effect of layer numbers on Bipar-GCN w/ SI",
+              "paper Table VI: depth 2 > depth 1 > depth 3 (p@5 0.2898 / "
+              "0.2914 / 0.2882)");
+
+  const data::TrainTestSplit split = MakeExperimentSplit();
+
+  TablePrinter table({"depth", "p@5", "p@20", "r@5", "r@20", "ndcg@5", "ndcg@20"});
+  CsvWriter csv({"depth", "p@5", "p@20", "r@5", "r@20", "ndcg@5", "ndcg@20"});
+  std::vector<double> p5_by_depth;
+  for (const std::size_t depth : {1u, 2u, 3u}) {
+    core::ModelSpec spec = BenchSpecFor("Bipar-GCN w/ SI");
+    ApplySweepBudget(&spec);
+    // Keep the final width fixed (the paper fixes the last dimension at 256
+    // while sweeping depth); intermediate layers use the first-layer width.
+    spec.model.layer_dims.assign(depth, 64);
+    spec.model.layer_dims.back() = 128;
+    const RunResult result = RunModel(spec, split);
+    const auto& r = result.report;
+    table.AddNumericRow(std::to_string(depth),
+                        {r.At(5).precision, r.At(20).precision, r.At(5).recall,
+                         r.At(20).recall, r.At(5).ndcg, r.At(20).ndcg});
+    SMGCN_CHECK_OK(csv.AddNumericRow({static_cast<double>(depth), r.At(5).precision,
+                                      r.At(20).precision, r.At(5).recall,
+                                      r.At(20).recall, r.At(5).ndcg,
+                                      r.At(20).ndcg}));
+    p5_by_depth.push_back(r.At(5).precision);
+    std::printf("  depth %zu trained in %5.1fs\n", depth, result.train_seconds);
+  }
+  std::printf("\n");
+  table.Print();
+  WriteResultsCsv("table6_depth", csv);
+
+  std::printf("\nShape checks (paper Sec. V-E.3):\n");
+  // The paper's depth-2-over-depth-1 edge is 0.5% relative — below our
+  // seed noise — so the asserted claims are the two robust ones: shallow
+  // depths are interchangeable, and three hops overfit.
+  const double shallow_gap =
+      std::fabs(p5_by_depth[0] - p5_by_depth[1]) /
+      std::max(p5_by_depth[0], p5_by_depth[1]);
+  ShapeCheck("depths 1 and 2 within 3% relative (not depth-sensitive)", 0.03,
+             shallow_gap);
+  ShapeCheck("depth 2 > depth 3 (three hops overfit, p@5)", p5_by_depth[1],
+             p5_by_depth[2]);
+  ShapeCheck("depth 3 is the worst depth (overfitting grows with hops)",
+             std::min(p5_by_depth[0], p5_by_depth[1]), p5_by_depth[2]);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smgcn
+
+int main() {
+  smgcn::bench::Run();
+  return 0;
+}

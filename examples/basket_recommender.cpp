@@ -1,0 +1,99 @@
+// Generality demo (paper Sec. IV-C): the Multi-Graph Embedding Layer is
+// not TCM-specific. Here the same SmgcnModel drives a *social basket
+// recommendation* scenario:
+//
+//   symptoms  -> users          (the "set" is a shopping group)
+//   herbs     -> products       (the basket purchased together)
+//   SS graph  -> user-user social co-occurrence
+//   HH graph  -> product-product co-purchase graph
+//   SI        -> group-taste induction (MLP over member embeddings)
+//
+// A synthetic marketplace is generated with the TcmGenerator (its latent
+// "syndromes" become shared-taste communities), and SMGCN recommends
+// products for unseen groups of users.
+//
+// Run: ./build/examples/basket_recommender
+#include <cstdio>
+
+#include "src/core/smgcn_model.h"
+#include "src/data/split.h"
+#include "src/data/tcm_generator.h"
+#include "src/eval/evaluator.h"
+#include "src/util/logging.h"
+
+int main() {
+  using namespace smgcn;
+
+  // Latent taste communities drive both who shops together and what they
+  // buy — structurally identical to syndromes driving symptoms and herbs.
+  data::TcmGeneratorConfig market;
+  market.num_symptoms = 100;   // users
+  market.num_herbs = 150;      // products
+  market.num_syndromes = 14;   // taste communities
+  market.num_prescriptions = 2500;  // group shopping baskets
+  market.min_symptoms = 2;     // group sizes
+  market.max_symptoms = 5;
+  market.min_herbs = 4;        // basket sizes
+  market.max_herbs = 10;
+  market.companion_prob = 0.3;  // bundled products (e.g. printer + ink)
+  data::TcmGenerator generator(market);
+  auto corpus = generator.Generate();
+  SMGCN_CHECK_OK(corpus.status());
+
+  Rng rng(1);
+  auto split = data::SplitCorpus(*corpus, 0.9, &rng);
+  SMGCN_CHECK_OK(split.status());
+  std::printf(
+      "marketplace: %zu baskets, %zu users, %zu products (train %zu / test "
+      "%zu)\n",
+      corpus->size(), corpus->num_symptoms(), corpus->num_herbs(),
+      split->train.size(), split->test.size());
+
+  core::ModelConfig model_config;
+  model_config.embedding_dim = 32;
+  model_config.layer_dims = {64, 64};
+  model_config.thresholds = {5, 10};  // social / co-purchase cutoffs
+  core::TrainConfig train_config;
+  train_config.learning_rate = 2e-3;
+  train_config.l2_lambda = 1e-4;
+  train_config.batch_size = 256;
+  train_config.epochs = 30;
+
+  core::SmgcnModel model(model_config, train_config);
+  SMGCN_CHECK_OK(model.Fit(split->train));
+
+  auto report = eval::Evaluate(model.AsScorer(), split->test);
+  SMGCN_CHECK_OK(report.status());
+  std::printf("group-basket recommendation metrics: %s\n",
+              report->ToString().c_str());
+
+  // Popularity baseline for context.
+  std::vector<double> popularity;
+  for (std::size_t f : split->train.HerbFrequencies()) {
+    popularity.push_back(static_cast<double>(f));
+  }
+  auto pop_report = eval::Evaluate(
+      [&popularity](const std::vector<int>&) { return popularity; },
+      split->test);
+  SMGCN_CHECK_OK(pop_report.status());
+  std::printf("best-seller baseline:                %s\n",
+              pop_report->ToString().c_str());
+
+  const data::Prescription& group = split->test.at(0);
+  auto top = model.Recommend(group.symptoms, 8);
+  SMGCN_CHECK_OK(top.status());
+  std::printf("\nshopping group:");
+  for (int u : group.symptoms) {
+    std::printf(" %s", corpus->symptom_vocab().Name(u).c_str());
+  }
+  std::printf("\nsuggested basket:");
+  for (std::size_t p : *top) {
+    std::printf(" %s", corpus->herb_vocab().Name(static_cast<int>(p)).c_str());
+  }
+  std::printf("\nactual basket:   ");
+  for (int p : group.herbs) {
+    std::printf(" %s", corpus->herb_vocab().Name(p).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Production-flavoured example: train SMGCN once, export an inference
+// checkpoint to disk, reload it in a "serving" recommender, and apply herb
+// compatibility rules (contraindications) to the recommendations.
+//
+// Run: ./build/examples/checkpoint_serving
+#include <cstdio>
+
+#include "src/core/checkpoint.h"
+#include "src/core/compatibility.h"
+#include "src/core/smgcn_model.h"
+#include "src/data/split.h"
+#include "src/data/tcm_generator.h"
+#include "src/util/logging.h"
+
+int main() {
+  using namespace smgcn;
+
+  // --- Offline: train and export -------------------------------------------
+  data::TcmGeneratorConfig gen_config;
+  gen_config.num_symptoms = 60;
+  gen_config.num_herbs = 100;
+  gen_config.num_syndromes = 10;
+  gen_config.num_prescriptions = 1500;
+  gen_config.num_incompatible_pairs = 20;  // contraindicated pairs
+  data::TcmGenerator generator(gen_config);
+  auto corpus = generator.Generate();
+  SMGCN_CHECK_OK(corpus.status());
+
+  Rng rng(1);
+  auto split = data::SplitCorpus(*corpus, 0.9, &rng);
+  SMGCN_CHECK_OK(split.status());
+
+  core::ModelConfig model_config;
+  model_config.embedding_dim = 32;
+  model_config.layer_dims = {64, 64};
+  model_config.thresholds = {8, 15};
+  core::TrainConfig train_config;
+  train_config.learning_rate = 2e-3;
+  train_config.epochs = 25;
+  train_config.batch_size = 256;
+  // Early stopping on a held-out slice of the training data.
+  train_config.validation_fraction = 0.1;
+  train_config.patience = 5;
+
+  core::SmgcnModel model(model_config, train_config);
+  SMGCN_CHECK_OK(model.Fit(split->train));
+  std::printf("trained: %zu epochs run, best epoch %zu%s\n",
+              model.train_summary().epoch_losses.size(),
+              model.train_summary().best_epoch,
+              model.train_summary().stopped_early ? " (early stop)" : "");
+
+  const std::string checkpoint_path = "/tmp/smgcn_serving.ckpt";
+  auto checkpoint = model.ExportCheckpoint();
+  SMGCN_CHECK_OK(checkpoint.status());
+  SMGCN_CHECK_OK(core::SaveInferenceCheckpoint(*checkpoint, checkpoint_path));
+  std::printf("exported inference checkpoint to %s\n", checkpoint_path.c_str());
+
+  // --- Online: reload and serve --------------------------------------------
+  auto reloaded = core::LoadInferenceCheckpoint(checkpoint_path);
+  SMGCN_CHECK_OK(reloaded.status());
+  auto server = core::CheckpointRecommender::FromCheckpoint(*std::move(reloaded));
+  SMGCN_CHECK_OK(server.status());
+
+  // Compatibility rules from the generator's contraindication ground truth
+  // (in production these come from a curated rule file; see
+  // CompatibilityRules::Parse).
+  core::CompatibilityRules rules;
+  for (const auto& [a, b] : generator.ground_truth().incompatible_herb_pairs) {
+    SMGCN_CHECK_OK(rules.AddIncompatiblePair(a, b));
+  }
+  std::printf("loaded %zu contraindication rules\n", rules.num_rules());
+
+  const data::Prescription& query = split->test.at(0);
+  auto unconstrained = server->Recommend(query.symptoms, 10);
+  SMGCN_CHECK_OK(unconstrained.status());
+  auto constrained = core::RecommendCompatible(*server, query.symptoms, 10, rules);
+  SMGCN_CHECK_OK(constrained.status());
+
+  auto print_set = [&](const char* label, const std::vector<std::size_t>& herbs) {
+    std::printf("%s:", label);
+    for (std::size_t h : herbs) {
+      std::printf(" %s", corpus->herb_vocab().Name(static_cast<int>(h)).c_str());
+    }
+    std::printf("\n");
+  };
+  std::printf("\nsymptoms:");
+  for (int s : query.symptoms) {
+    std::printf(" %s", corpus->symptom_vocab().Name(s).c_str());
+  }
+  std::printf("\n");
+  print_set("raw top-10        ", *unconstrained);
+  print_set("compatibility-safe", *constrained);
+
+  std::vector<int> as_ints;
+  for (std::size_t h : *constrained) as_ints.push_back(static_cast<int>(h));
+  std::printf("constrained set violates rules: %s\n",
+              rules.HasViolation(as_ints) ? "YES (bug!)" : "no");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Corpus utility: generate synthetic corpora, inspect corpus files, and
+// produce train/test splits on disk — the data plumbing around the library.
+//
+// Usage:
+//   corpus_tool generate <out.tsv> [num_prescriptions]
+//   corpus_tool stats <corpus.tsv>
+//   corpus_tool split <corpus.tsv> <train_out.tsv> <test_out.tsv> [fraction]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/data/corpus_io.h"
+#include "src/data/split.h"
+#include "src/data/tcm_generator.h"
+#include "src/graph/graph_builder.h"
+#include "src/graph/graph_stats.h"
+#include "src/util/logging.h"
+
+namespace {
+
+using namespace smgcn;
+
+int Generate(const std::string& path, std::size_t n) {
+  data::TcmGeneratorConfig cfg;
+  cfg.num_prescriptions = n;
+  data::TcmGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = data::SaveCorpus(*corpus, path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu prescriptions (%zu symptoms, %zu herbs) to %s\n",
+              corpus->size(), corpus->num_symptoms(), corpus->num_herbs(),
+              path.c_str());
+  return 0;
+}
+
+int Stats(const std::string& path) {
+  auto corpus = data::LoadCorpus(path);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("prescriptions: %zu\n", corpus->size());
+  std::printf("symptoms:      %zu (%zu used)\n", corpus->num_symptoms(),
+              corpus->NumDistinctSymptomsUsed());
+  std::printf("herbs:         %zu (%zu used)\n", corpus->num_herbs(),
+              corpus->NumDistinctHerbsUsed());
+  std::printf("mean |sc|:     %.2f\n", corpus->MeanSymptomSetSize());
+  std::printf("mean |hc|:     %.2f\n", corpus->MeanHerbSetSize());
+
+  auto graphs = graph::BuildTcmGraphs(*corpus, {5, 40});
+  if (graphs.ok()) {
+    std::printf("SH graph:      %s\n",
+                graph::DegreeStatsToString(
+                    graph::ComputeDegreeStats(graphs->symptom_herb)).c_str());
+    std::printf("SS graph:      %s\n",
+                graph::DegreeStatsToString(
+                    graph::ComputeDegreeStats(graphs->symptom_symptom)).c_str());
+    std::printf("HH graph:      %s\n",
+                graph::DegreeStatsToString(
+                    graph::ComputeDegreeStats(graphs->herb_herb)).c_str());
+  }
+  return 0;
+}
+
+int SplitCmd(const std::string& in, const std::string& train_out,
+             const std::string& test_out, double fraction) {
+  auto corpus = data::LoadCorpus(in);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(1);
+  auto split = data::SplitCorpus(*corpus, fraction, &rng);
+  if (!split.ok()) {
+    std::fprintf(stderr, "split failed: %s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  SMGCN_CHECK_OK(data::SaveCorpus(split->train, train_out));
+  SMGCN_CHECK_OK(data::SaveCorpus(split->test, test_out));
+  std::printf("train: %zu -> %s\ntest:  %zu -> %s\n", split->train.size(),
+              train_out.c_str(), split->test.size(), test_out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  corpus_tool generate <out.tsv> [num_prescriptions]\n"
+                 "  corpus_tool stats <corpus.tsv>\n"
+                 "  corpus_tool split <corpus.tsv> <train.tsv> <test.tsv> "
+                 "[fraction]\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "generate" && argc >= 3) {
+    const std::size_t n =
+        argc >= 4 ? static_cast<std::size_t>(std::atol(argv[3])) : 4000;
+    return Generate(argv[2], n);
+  }
+  if (command == "stats" && argc >= 3) {
+    return Stats(argv[2]);
+  }
+  if (command == "split" && argc >= 5) {
+    const double fraction = argc >= 6 ? std::atof(argv[5]) : 0.87;
+    return SplitCmd(argv[2], argv[3], argv[4], fraction);
+  }
+  std::fprintf(stderr, "unknown or incomplete command '%s'\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,143 @@
+// Syndrome explorer: inspects what SMGCN's multi-graph embedding layer
+// learned. Trains on a synthetic corpus whose latent syndromes are known,
+// then
+//   * lists nearest-neighbour symptoms/herbs in embedding space, and
+//   * measures how well embedding similarity recovers the latent syndrome
+//     pools (same-pool pairs should be closer than cross-pool pairs) —
+//     an embedding-quality probe in the spirit of the paper's claim that
+//     the synergy graphs produce more expressive representations.
+//
+// Run: ./build/examples/syndrome_explorer
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/smgcn_model.h"
+#include "src/data/split.h"
+#include "src/data/tcm_generator.h"
+#include "src/util/logging.h"
+
+namespace {
+
+using smgcn::tensor::Matrix;
+
+double CosineSimilarity(const Matrix& m, std::size_t a, std::size_t b) {
+  const double* ra = m.row_data(a);
+  const double* rb = m.row_data(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    dot += ra[c] * rb[c];
+    na += ra[c] * ra[c];
+    nb += rb[c] * rb[c];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12 ? dot / denom : 0.0;
+}
+
+std::vector<std::size_t> NearestNeighbours(const Matrix& m, std::size_t query,
+                                           std::size_t k) {
+  std::vector<std::pair<double, std::size_t>> sims;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (i != query) sims.emplace_back(CosineSimilarity(m, query, i), i);
+  }
+  std::sort(sims.begin(), sims.end(), std::greater<>());
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < k && i < sims.size(); ++i) {
+    out.push_back(sims[i].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace smgcn;
+
+  data::TcmGeneratorConfig gen_config;
+  gen_config.num_symptoms = 80;
+  gen_config.num_herbs = 140;
+  gen_config.num_syndromes = 12;
+  gen_config.num_prescriptions = 2500;
+  data::TcmGenerator generator(gen_config);
+  auto corpus = generator.Generate();
+  SMGCN_CHECK_OK(corpus.status());
+  const auto& gt = generator.ground_truth();
+
+  Rng rng(1);
+  auto split = data::SplitCorpus(*corpus, 0.9, &rng);
+  SMGCN_CHECK_OK(split.status());
+
+  core::ModelConfig model_config;
+  model_config.embedding_dim = 32;
+  model_config.layer_dims = {64, 64};
+  model_config.thresholds = {10, 25};
+  core::TrainConfig train_config;
+  train_config.learning_rate = 2e-3;
+  train_config.l2_lambda = 1e-4;
+  train_config.batch_size = 256;
+  train_config.epochs = 25;
+
+  core::SmgcnModel model(model_config, train_config);
+  std::printf("training SMGCN on %zu prescriptions...\n", split->train.size());
+  SMGCN_CHECK_OK(model.Fit(split->train));
+
+  const Matrix& herb_emb = model.herb_embeddings();
+  const Matrix& symptom_emb = model.symptom_embeddings();
+
+  // --- Nearest neighbours for a few entities ------------------------------
+  std::printf("\nNearest herbs in embedding space (cosine):\n");
+  for (const std::size_t query : {10u, 40u, 90u}) {
+    std::printf("  %-10s ->", corpus->herb_vocab().Name(static_cast<int>(query)).c_str());
+    for (std::size_t n : NearestNeighbours(herb_emb, query, 5)) {
+      std::printf(" %s(%.2f)", corpus->herb_vocab().Name(static_cast<int>(n)).c_str(),
+                  CosineSimilarity(herb_emb, query, n));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nNearest symptoms in embedding space (cosine):\n");
+  for (const std::size_t query : {5u, 30u, 60u}) {
+    std::printf("  %-12s ->",
+                corpus->symptom_vocab().Name(static_cast<int>(query)).c_str());
+    for (std::size_t n : NearestNeighbours(symptom_emb, query, 5)) {
+      std::printf(" %s(%.2f)",
+                  corpus->symptom_vocab().Name(static_cast<int>(n)).c_str(),
+                  CosineSimilarity(symptom_emb, query, n));
+    }
+    std::printf("\n");
+  }
+
+  // --- Latent-syndrome recovery probe --------------------------------------
+  // Mean cosine similarity of same-pool herb pairs vs random cross pairs.
+  Rng probe_rng(7);
+  double same_total = 0.0;
+  std::size_t same_count = 0;
+  for (const auto& pool : gt.syndrome_herbs) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      for (std::size_t j = i + 1; j < pool.size(); ++j) {
+        same_total += CosineSimilarity(herb_emb, static_cast<std::size_t>(pool[i]),
+                                       static_cast<std::size_t>(pool[j]));
+        ++same_count;
+      }
+    }
+  }
+  double cross_total = 0.0;
+  const std::size_t cross_count = 2000;
+  for (std::size_t t = 0; t < cross_count; ++t) {
+    const auto a = static_cast<std::size_t>(
+        probe_rng.UniformInt(0, static_cast<std::int64_t>(herb_emb.rows()) - 1));
+    const auto b = static_cast<std::size_t>(
+        probe_rng.UniformInt(0, static_cast<std::int64_t>(herb_emb.rows()) - 1));
+    if (a == b) continue;
+    cross_total += CosineSimilarity(herb_emb, a, b);
+  }
+  const double same_mean = same_total / static_cast<double>(same_count);
+  const double cross_mean = cross_total / static_cast<double>(cross_count);
+  std::printf(
+      "\nLatent-syndrome recovery: mean cosine of same-syndrome herb pairs "
+      "%.3f vs random pairs %.3f (%s)\n",
+      same_mean, cross_mean,
+      same_mean > cross_mean ? "embeddings recover the latent structure"
+                             : "no separation — embeddings look unstructured");
+  return 0;
+}

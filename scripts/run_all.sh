@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds everything, runs the test suite, then regenerates every paper
+# table/figure, mirroring the project's CI recipe.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done

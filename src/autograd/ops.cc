@@ -1,0 +1,281 @@
+#include "src/autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace autograd {
+namespace {
+
+using tensor::Matrix;
+
+/// Allocates the output node and wires parents + backward closure.
+Variable MakeOp(Matrix value, std::vector<Variable> parents,
+                std::function<void(Node*)> backward) {
+  bool requires_grad = false;
+  for (const Variable& p : parents) {
+    SMGCN_CHECK(p != nullptr);
+    requires_grad = requires_grad || p->requires_grad();
+  }
+  Variable out = MakeVariable(std::move(value), requires_grad);
+  out->set_parents(std::move(parents));
+  if (requires_grad) out->set_backward(std::move(backward));
+  return out;
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  Matrix value = a->value().Add(b->value());
+  return MakeOp(std::move(value), {a, b}, [a = a.get(), b = b.get()](Node* out) {
+    if (a->requires_grad()) a->AccumulateGrad(out->grad());
+    if (b->requires_grad()) b->AccumulateGrad(out->grad());
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Matrix value = a->value().Sub(b->value());
+  return MakeOp(std::move(value), {a, b}, [a = a.get(), b = b.get()](Node* out) {
+    if (a->requires_grad()) a->AccumulateGrad(out->grad());
+    if (b->requires_grad()) b->grad().AddScaled(out->grad(), -1.0);
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Matrix value = a->value().Mul(b->value());
+  return MakeOp(std::move(value), {a, b}, [a = a.get(), b = b.get()](Node* out) {
+    if (a->requires_grad()) a->AccumulateGrad(out->grad().Mul(b->value()));
+    if (b->requires_grad()) b->AccumulateGrad(out->grad().Mul(a->value()));
+  });
+}
+
+Variable Scale(const Variable& a, double alpha) {
+  Matrix value = a->value().Scale(alpha);
+  return MakeOp(std::move(value), {a}, [a = a.get(), alpha](Node* out) {
+    if (a->requires_grad()) a->grad().AddScaled(out->grad(), alpha);
+  });
+}
+
+Variable AddRowBroadcast(const Variable& a, const Variable& bias) {
+  SMGCN_CHECK_EQ(bias->value().rows(), 1u) << "bias must be a row vector";
+  SMGCN_CHECK_EQ(bias->value().cols(), a->value().cols());
+  Matrix value = a->value();
+  for (std::size_t r = 0; r < value.rows(); ++r) {
+    double* row = value.row_data(r);
+    const double* b = bias->value().row_data(0);
+    for (std::size_t c = 0; c < value.cols(); ++c) row[c] += b[c];
+  }
+  return MakeOp(std::move(value), {a, bias},
+                [a = a.get(), bias = bias.get()](Node* out) {
+                  if (a->requires_grad()) a->AccumulateGrad(out->grad());
+                  if (bias->requires_grad()) {
+                    bias->AccumulateGrad(out->grad().SumRows());
+                  }
+                });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Matrix value = a->value().MatMul(b->value());
+  return MakeOp(std::move(value), {a, b}, [a = a.get(), b = b.get()](Node* out) {
+    // dA = dC * B^T ; dB = A^T * dC.
+    if (a->requires_grad()) a->AccumulateGrad(out->grad().MatMulTransposed(b->value()));
+    if (b->requires_grad()) b->AccumulateGrad(a->value().TransposedMatMul(out->grad()));
+  });
+}
+
+Variable MatMulTransposed(const Variable& a, const Variable& b) {
+  Matrix value = a->value().MatMulTransposed(b->value());
+  return MakeOp(std::move(value), {a, b}, [a = a.get(), b = b.get()](Node* out) {
+    // C = A * B^T: dA = dC * B ; dB = dC^T * A.
+    if (a->requires_grad()) a->AccumulateGrad(out->grad().MatMul(b->value()));
+    if (b->requires_grad()) b->AccumulateGrad(out->grad().TransposedMatMul(a->value()));
+  });
+}
+
+Variable SpMM(const graph::CsrMatrix& adj, const Variable& x) {
+  Matrix value = adj.Multiply(x->value());
+  return MakeOp(std::move(value), {x}, [&adj, x = x.get()](Node* out) {
+    // y = S x  =>  dx = S^T dy.
+    if (x->requires_grad()) x->AccumulateGrad(adj.TransposeMultiply(out->grad()));
+  });
+}
+
+Variable ConcatCols(const Variable& a, const Variable& b) {
+  Matrix value = a->value().ConcatCols(b->value());
+  const std::size_t a_cols = a->value().cols();
+  return MakeOp(std::move(value), {a, b},
+                [a = a.get(), b = b.get(), a_cols](Node* out) {
+                  const Matrix& g = out->grad();
+                  if (a->requires_grad()) {
+                    a->AccumulateGrad(g.SliceCols(0, a_cols));
+                  }
+                  if (b->requires_grad()) {
+                    b->AccumulateGrad(g.SliceCols(a_cols, g.cols()));
+                  }
+                });
+}
+
+Variable GatherRows(const Variable& a, std::vector<std::size_t> indices) {
+  Matrix value = a->value().GatherRows(indices);
+  return MakeOp(std::move(value), {a},
+                [a = a.get(), indices = std::move(indices)](Node* out) {
+                  if (!a->requires_grad()) return;
+                  Matrix& grad = a->grad();
+                  const Matrix& g = out->grad();
+                  for (std::size_t i = 0; i < indices.size(); ++i) {
+                    double* dst = grad.row_data(indices[i]);
+                    const double* src = g.row_data(i);
+                    for (std::size_t c = 0; c < g.cols(); ++c) dst[c] += src[c];
+                  }
+                });
+}
+
+Variable MeanRows(const Variable& a) {
+  SMGCN_CHECK_GT(a->value().rows(), 0u);
+  Matrix value = a->value().MeanRows();
+  const auto n = static_cast<double>(a->value().rows());
+  return MakeOp(std::move(value), {a}, [a = a.get(), n](Node* out) {
+    if (!a->requires_grad()) return;
+    Matrix& grad = a->grad();
+    const double* g = out->grad().row_data(0);
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+      double* dst = grad.row_data(r);
+      for (std::size_t c = 0; c < grad.cols(); ++c) dst[c] += g[c] / n;
+    }
+  });
+}
+
+Variable MulColBroadcast(const Variable& a, const Variable& col) {
+  SMGCN_CHECK_EQ(col->value().cols(), 1u) << "col must be n x 1";
+  SMGCN_CHECK_EQ(col->value().rows(), a->value().rows());
+  Matrix value = a->value();
+  for (std::size_t r = 0; r < value.rows(); ++r) {
+    const double w = col->value()(r, 0);
+    double* row = value.row_data(r);
+    for (std::size_t c = 0; c < value.cols(); ++c) row[c] *= w;
+  }
+  return MakeOp(std::move(value), {a, col},
+                [a = a.get(), col = col.get()](Node* out) {
+                  const Matrix& g = out->grad();
+                  if (a->requires_grad()) {
+                    Matrix ga = g;
+                    for (std::size_t r = 0; r < ga.rows(); ++r) {
+                      const double w = col->value()(r, 0);
+                      double* row = ga.row_data(r);
+                      for (std::size_t c = 0; c < ga.cols(); ++c) row[c] *= w;
+                    }
+                    a->AccumulateGrad(ga);
+                  }
+                  if (col->requires_grad()) {
+                    Matrix gc(g.rows(), 1, 0.0);
+                    const Matrix& av = a->value();
+                    for (std::size_t r = 0; r < g.rows(); ++r) {
+                      const double* gr = g.row_data(r);
+                      const double* ar = av.row_data(r);
+                      double acc = 0.0;
+                      for (std::size_t c = 0; c < g.cols(); ++c) acc += gr[c] * ar[c];
+                      gc(r, 0) = acc;
+                    }
+                    col->AccumulateGrad(gc);
+                  }
+                });
+}
+
+Variable Tanh(const Variable& a) {
+  Matrix value = a->value().Map([](double v) { return std::tanh(v); });
+  return MakeOp(std::move(value), {a}, [a = a.get()](Node* out) {
+    if (!a->requires_grad()) return;
+    // d tanh(x) = 1 - tanh(x)^2, using the stored output.
+    Matrix local = out->value().Map([](double y) { return 1.0 - y * y; });
+    a->AccumulateGrad(out->grad().Mul(local));
+  });
+}
+
+Variable Relu(const Variable& a) {
+  Matrix value = a->value().Map([](double v) { return v > 0.0 ? v : 0.0; });
+  return MakeOp(std::move(value), {a}, [a = a.get()](Node* out) {
+    if (!a->requires_grad()) return;
+    Matrix gated = out->grad();
+    const Matrix& x = a->value();
+    for (std::size_t r = 0; r < gated.rows(); ++r) {
+      double* g = gated.row_data(r);
+      const double* xv = x.row_data(r);
+      for (std::size_t c = 0; c < gated.cols(); ++c) {
+        if (xv[c] <= 0.0) g[c] = 0.0;
+      }
+    }
+    a->AccumulateGrad(gated);
+  });
+}
+
+Variable LeakyRelu(const Variable& a, double slope) {
+  Matrix value = a->value().Map([slope](double v) { return v > 0.0 ? v : slope * v; });
+  return MakeOp(std::move(value), {a}, [a = a.get(), slope](Node* out) {
+    if (!a->requires_grad()) return;
+    Matrix gated = out->grad();
+    const Matrix& x = a->value();
+    for (std::size_t r = 0; r < gated.rows(); ++r) {
+      double* g = gated.row_data(r);
+      const double* xv = x.row_data(r);
+      for (std::size_t c = 0; c < gated.cols(); ++c) {
+        if (xv[c] <= 0.0) g[c] *= slope;
+      }
+    }
+    a->AccumulateGrad(gated);
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Matrix value = a->value().Map([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  return MakeOp(std::move(value), {a}, [a = a.get()](Node* out) {
+    if (!a->requires_grad()) return;
+    Matrix local = out->value().Map([](double y) { return y * (1.0 - y); });
+    a->AccumulateGrad(out->grad().Mul(local));
+  });
+}
+
+Variable Dropout(const Variable& a, double p, Rng* rng, bool training) {
+  SMGCN_CHECK_GE(p, 0.0);
+  SMGCN_CHECK_LT(p, 1.0) << "dropout probability must be < 1";
+  if (!training || p == 0.0) return a;
+  SMGCN_CHECK(rng != nullptr);
+  const double keep_scale = 1.0 / (1.0 - p);
+  Matrix mask(a->value().rows(), a->value().cols());
+  for (std::size_t r = 0; r < mask.rows(); ++r) {
+    double* m = mask.row_data(r);
+    for (std::size_t c = 0; c < mask.cols(); ++c) {
+      m[c] = rng->Bernoulli(p) ? 0.0 : keep_scale;
+    }
+  }
+  Matrix value = a->value().Mul(mask);
+  return MakeOp(std::move(value), {a}, [a = a.get(), mask = std::move(mask)](Node* out) {
+    if (a->requires_grad()) a->AccumulateGrad(out->grad().Mul(mask));
+  });
+}
+
+Variable Sum(const Variable& a) {
+  Matrix value(1, 1, a->value().Sum());
+  return MakeOp(std::move(value), {a}, [a = a.get()](Node* out) {
+    if (!a->requires_grad()) return;
+    const double g = out->grad()(0, 0);
+    Matrix& grad = a->grad();
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+      double* dst = grad.row_data(r);
+      for (std::size_t c = 0; c < grad.cols(); ++c) dst[c] += g;
+    }
+  });
+}
+
+Variable SquaredNorm(const Variable& a) {
+  Matrix value(1, 1, a->value().SquaredNorm());
+  return MakeOp(std::move(value), {a}, [a = a.get()](Node* out) {
+    if (!a->requires_grad()) return;
+    const double g = out->grad()(0, 0);
+    a->grad().AddScaled(a->value(), 2.0 * g);
+  });
+}
+
+}  // namespace autograd
+}  // namespace smgcn

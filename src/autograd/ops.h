@@ -1,0 +1,72 @@
+// Differentiable operations over autograd::Variable. Each op computes the
+// forward value eagerly and registers a closure that routes gradients to
+// the parents that require them.
+#ifndef SMGCN_AUTOGRAD_OPS_H_
+#define SMGCN_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "src/autograd/variable.h"
+#include "src/graph/csr_matrix.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace autograd {
+
+/// Element-wise a + b (same shape).
+Variable Add(const Variable& a, const Variable& b);
+/// Element-wise a - b (same shape).
+Variable Sub(const Variable& a, const Variable& b);
+/// Hadamard product a * b (same shape).
+Variable Mul(const Variable& a, const Variable& b);
+/// alpha * a.
+Variable Scale(const Variable& a, double alpha);
+/// Adds a 1 x d bias row to every row of an n x d matrix.
+Variable AddRowBroadcast(const Variable& a, const Variable& bias);
+
+/// Matrix product a (m x k) * b (k x n).
+Variable MatMul(const Variable& a, const Variable& b);
+/// a (m x k) * b^T (n x k) -> m x n. The prediction op
+/// `e_syndrome * E_H^T` of the paper's eq. (13).
+Variable MatMulTransposed(const Variable& a, const Variable& b);
+/// Sparse adjacency times dense features: adj (m x n) * x (n x d).
+/// The adjacency is a non-differentiable constant captured by reference:
+/// it must outlive the returned node and every Backward() call through it
+/// (graphs are fixed for the lifetime of a model, so model members
+/// qualify; temporaries do not — see GnnRecommenderBase::Forward for the
+/// capture-by-value pattern used with batch-local matrices).
+Variable SpMM(const graph::CsrMatrix& adj, const Variable& x);
+
+/// Horizontal concatenation [a | b]; the GraphSAGE "concat" aggregator input.
+Variable ConcatCols(const Variable& a, const Variable& b);
+/// Gathers rows of `a` by index (duplicates allowed; gradients scatter-add).
+Variable GatherRows(const Variable& a, std::vector<std::size_t> indices);
+/// Column-wise mean over all rows: n x d -> 1 x d. The SI average pooling.
+Variable MeanRows(const Variable& a);
+
+/// Scales every row r of `a` (n x d) by col(r, 0) of an n x 1 column.
+/// Used for per-node attention weights (HeteGCN baseline, eq. 19).
+Variable MulColBroadcast(const Variable& a, const Variable& col);
+
+/// Activations.
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+/// LeakyReLU with the given negative slope (NGCF baseline).
+Variable LeakyRelu(const Variable& a, double slope = 0.2);
+Variable Sigmoid(const Variable& a);
+
+/// Inverted dropout: zeroes entries with probability `p` and rescales the
+/// survivors by 1/(1-p). Identity when `training` is false or p == 0.
+/// This is the paper's *message* dropout: callers apply it to aggregated
+/// neighbourhood embeddings.
+Variable Dropout(const Variable& a, double p, Rng* rng, bool training);
+
+/// Sum of all entries -> 1 x 1.
+Variable Sum(const Variable& a);
+/// Sum of squared entries -> 1 x 1 (L2 regularisation building block).
+Variable SquaredNorm(const Variable& a);
+
+}  // namespace autograd
+}  // namespace smgcn
+
+#endif  // SMGCN_AUTOGRAD_OPS_H_

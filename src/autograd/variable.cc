@@ -1,0 +1,85 @@
+#include "src/autograd/variable.h"
+
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace autograd {
+
+Node::Node(tensor::Matrix value, bool requires_grad)
+    : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+tensor::Matrix& Node::grad() {
+  if (grad_.rows() != value_.rows() || grad_.cols() != value_.cols()) {
+    grad_ = tensor::Matrix::Zeros(value_.rows(), value_.cols());
+  }
+  return grad_;
+}
+
+void Node::AccumulateGrad(const tensor::Matrix& g) {
+  SMGCN_CHECK_EQ(g.rows(), value_.rows()) << "gradient shape mismatch";
+  SMGCN_CHECK_EQ(g.cols(), value_.cols()) << "gradient shape mismatch";
+  grad().AddInPlace(g);
+}
+
+void Node::ZeroGrad() {
+  if (!value_.empty()) grad().SetZero();
+}
+
+Variable MakeVariable(tensor::Matrix value, bool requires_grad) {
+  return std::make_shared<Node>(std::move(value), requires_grad);
+}
+
+Variable MakeConstant(tensor::Matrix value) {
+  return MakeVariable(std::move(value), /*requires_grad=*/false);
+}
+
+namespace {
+
+/// Iterative post-order DFS producing a topological order (parents first in
+/// the returned vector; we iterate it in reverse for backprop).
+void TopologicalSort(Node* root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  // Stack frame: node plus index of the next parent to visit.
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents().size()) {
+      Node* parent = node->parents()[next].get();
+      ++next;
+      if (parent != nullptr && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Variable& root) {
+  SMGCN_CHECK(root != nullptr);
+  SMGCN_CHECK_EQ(root->value().rows(), 1u) << "Backward root must be a scalar";
+  SMGCN_CHECK_EQ(root->value().cols(), 1u) << "Backward root must be a scalar";
+
+  std::vector<Node*> order;
+  TopologicalSort(root.get(), &order);
+
+  root->grad()(0, 0) += 1.0;
+  // Post-order puts ancestors before descendants; walk in reverse so each
+  // node's gradient is complete before it is propagated.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn() && node->requires_grad()) {
+      node->backward_fn()(node);
+    }
+  }
+}
+
+}  // namespace autograd
+}  // namespace smgcn

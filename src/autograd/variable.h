@@ -1,0 +1,83 @@
+// Tape-free reverse-mode automatic differentiation over dense matrices.
+//
+// Each forward op allocates a Node holding its output value, links to its
+// parent nodes, and stores a closure that routes the node's gradient to the
+// parents. Backward() topologically sorts the DAG from a scalar root and
+// runs the closures in reverse order.
+//
+// The computation graph is rebuilt every training step (define-by-run), so
+// intermediate gradients never go stale; only long-lived parameter nodes
+// need explicit ZeroGrad between steps (see nn::ParameterStore).
+#ifndef SMGCN_AUTOGRAD_VARIABLE_H_
+#define SMGCN_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace smgcn {
+namespace autograd {
+
+class Node;
+
+/// Shared handle to a node in the autodiff DAG.
+using Variable = std::shared_ptr<Node>;
+
+/// One value in the computation graph.
+class Node {
+ public:
+  Node(tensor::Matrix value, bool requires_grad);
+
+  const tensor::Matrix& value() const { return value_; }
+  tensor::Matrix& mutable_value() { return value_; }
+
+  /// Gradient wrt this node; lazily allocated as zeros of the value's shape.
+  tensor::Matrix& grad();
+  bool has_grad() const { return grad_.rows() == value_.rows() && grad_.cols() == value_.cols() && !value_.empty(); }
+
+  /// True when this node, or anything upstream of it, is trainable.
+  bool requires_grad() const { return requires_grad_; }
+
+  /// Accumulates `g` into this node's gradient (shapes must match).
+  void AccumulateGrad(const tensor::Matrix& g);
+
+  /// Resets the gradient to zeros (keeps the allocation).
+  void ZeroGrad();
+
+  /// Wiring used by ops (internal API).
+  void set_parents(std::vector<Variable> parents) { parents_ = std::move(parents); }
+  void set_backward(std::function<void(Node*)> fn) { backward_fn_ = std::move(fn); }
+  const std::vector<Variable>& parents() const { return parents_; }
+  const std::function<void(Node*)>& backward_fn() const { return backward_fn_; }
+
+  /// Optional label for debugging gradient flows.
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+ private:
+  tensor::Matrix value_;
+  tensor::Matrix grad_;  // empty until first use
+  bool requires_grad_ = false;
+  std::vector<Variable> parents_;
+  std::function<void(Node*)> backward_fn_;
+  std::string name_;
+};
+
+/// Creates a leaf variable. `requires_grad` marks trainable parameters.
+Variable MakeVariable(tensor::Matrix value, bool requires_grad = false);
+
+/// Creates a non-trainable leaf (inputs, targets).
+Variable MakeConstant(tensor::Matrix value);
+
+/// Runs reverse-mode differentiation from `root`, which must hold a 1x1
+/// value (a scalar loss). Gradients accumulate into every reachable node
+/// with requires_grad().
+void Backward(const Variable& root);
+
+}  // namespace autograd
+}  // namespace smgcn
+
+#endif  // SMGCN_AUTOGRAD_VARIABLE_H_

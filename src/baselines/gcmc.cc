@@ -1,0 +1,40 @@
+#include "src/baselines/gcmc.h"
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+
+namespace smgcn {
+namespace baselines {
+
+using autograd::Variable;
+
+Status GcMc::BuildParameters(Rng* rng) {
+  const std::size_t d0 = model_config().embedding_dim;
+  symptom_emb_ =
+      store().Create("symptom_emb", nn::XavierUniform(num_symptoms(), d0, rng));
+  herb_emb_ = store().Create("herb_emb", nn::XavierUniform(num_herbs(), d0, rng));
+  w_msg_ = store().Create("gcmc.W_msg", nn::XavierUniform(d0, d0, rng));
+  w_dense_ = store().Create("gcmc.W_dense", nn::XavierUniform(d0, d0, rng));
+  return Status::OK();
+}
+
+std::pair<Variable, Variable> GcMc::ComputeEmbeddings(bool training) {
+  // One shared-parameter convolution: mean-aggregated transformed
+  // neighbour messages...
+  Variable msg_s = autograd::Tanh(
+      autograd::SpMM(sh_norm(), autograd::MatMul(herb_emb_, w_msg_)));
+  Variable msg_h = autograd::Tanh(
+      autograd::SpMM(hs_norm(), autograd::MatMul(symptom_emb_, w_msg_)));
+  msg_s = MessageDropout(msg_s, training);
+  msg_h = MessageDropout(msg_h, training);
+  // ...sum-combined with the self representation (the paper highlights
+  // GC-MC "sums these two representations"), then a shared dense layer.
+  Variable bs = autograd::Tanh(autograd::MatMul(
+      autograd::Add(autograd::MatMul(symptom_emb_, w_msg_), msg_s), w_dense_));
+  Variable bh = autograd::Tanh(autograd::MatMul(
+      autograd::Add(autograd::MatMul(herb_emb_, w_msg_), msg_h), w_dense_));
+  return {bs, bh};
+}
+
+}  // namespace baselines
+}  // namespace smgcn

@@ -1,0 +1,42 @@
+// GC-MC baseline (Berg et al., 2017): one graph-convolution layer on the
+// symptom-herb bipartite graph with parameters *shared* across node types,
+// sum-combining the self and neighbourhood representations, followed by a
+// dense layer. Aligned with SMGCN per the paper's Table IV protocol: SI and
+// the multi-label loss are added on top (both provided by the base class).
+#ifndef SMGCN_BASELINES_GCMC_H_
+#define SMGCN_BASELINES_GCMC_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/gnn_base.h"
+
+namespace smgcn {
+namespace baselines {
+
+class GcMc : public core::GnnRecommenderBase {
+ public:
+  GcMc(core::ModelConfig model_config, core::TrainConfig train_config)
+      : GnnRecommenderBase(std::move(model_config), train_config) {}
+
+  std::string name() const override { return "GC-MC"; }
+
+ protected:
+  Status BuildParameters(Rng* rng) override;
+  std::pair<autograd::Variable, autograd::Variable> ComputeEmbeddings(
+      bool training) override;
+  /// GC-MC keeps the hidden dimension equal to the embedding size
+  /// (paper Sec. V-C).
+  std::size_t OutputDim() const override { return model_config().embedding_dim; }
+
+ private:
+  autograd::Variable symptom_emb_;
+  autograd::Variable herb_emb_;
+  autograd::Variable w_msg_;    // shared message transform
+  autograd::Variable w_dense_;  // shared dense output layer
+};
+
+}  // namespace baselines
+}  // namespace smgcn
+
+#endif  // SMGCN_BASELINES_GCMC_H_

@@ -1,0 +1,74 @@
+#include "src/baselines/hetegcn.h"
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace baselines {
+
+using autograd::Variable;
+
+std::size_t HeteGcn::OutputDim() const {
+  const core::ModelConfig& cfg = model_config();
+  return cfg.layer_dims.empty() ? cfg.embedding_dim : cfg.layer_dims.front();
+}
+
+Status HeteGcn::BuildParameters(Rng* rng) {
+  const core::ModelConfig& cfg = model_config();
+  if (cfg.layer_dims.size() > 1) {
+    return Status::InvalidArgument(
+        "HeteGCN is a single-layer model (the paper sets depth 1)");
+  }
+  const std::size_t d0 = cfg.embedding_dim;
+  const std::size_t hidden = OutputDim();
+  symptom_emb_ =
+      store().Create("symptom_emb", nn::XavierUniform(num_symptoms(), d0, rng));
+  herb_emb_ = store().Create("herb_emb", nn::XavierUniform(num_herbs(), d0, rng));
+  t_ = store().Create("hete.T", nn::XavierUniform(d0, d0, rng));
+  w_att_ = store().Create("hete.W_att", nn::XavierUniform(2 * d0, d0, rng));
+  z_ = store().Create("hete.z", nn::XavierUniform(d0, 1, rng));
+  w_ = store().Create("hete.W", nn::XavierUniform(2 * d0, hidden, rng));
+  return Status::OK();
+}
+
+Variable HeteGcn::PropagateOneSide(const Variable& self,
+                                   const Variable& same_type_msg,
+                                   const Variable& cross_type_msg, bool training) {
+  // Type-level attention (eq. 20): score_t = z^T ReLU(W_att (e || m_t)).
+  auto type_score = [&](const Variable& msg) {
+    return autograd::MatMul(
+        autograd::Relu(autograd::MatMul(autograd::ConcatCols(self, msg), w_att_)),
+        z_);
+  };
+  Variable score_same = type_score(same_type_msg);
+  Variable score_cross = type_score(cross_type_msg);
+  // Two-type softmax: alpha_a = exp(a)/(exp(a)+exp(b)) = sigmoid(a - b).
+  Variable alpha_same = autograd::Sigmoid(autograd::Sub(score_same, score_cross));
+  Variable alpha_cross = autograd::Sigmoid(autograd::Sub(score_cross, score_same));
+  // Eq. (19): attention-weighted sum of the per-type mean messages.
+  Variable combined =
+      autograd::Tanh(autograd::Add(autograd::MulColBroadcast(same_type_msg, alpha_same),
+                                   autograd::MulColBroadcast(cross_type_msg, alpha_cross)));
+  combined = MessageDropout(combined, training);
+  // Eq. (4)-style concat aggregation with the shared W.
+  return autograd::Tanh(autograd::MatMul(autograd::ConcatCols(self, combined), w_));
+}
+
+std::pair<Variable, Variable> HeteGcn::ComputeEmbeddings(bool training) {
+  // Per-type mean messages, all through the *shared* transform T (eq. 1).
+  Variable es_t = autograd::MatMul(symptom_emb_, t_);
+  Variable eh_t = autograd::MatMul(herb_emb_, t_);
+
+  Variable msg_s_from_h = autograd::SpMM(sh_norm(), eh_t);
+  Variable msg_s_from_s = autograd::SpMM(ss_norm(), es_t);
+  Variable msg_h_from_s = autograd::SpMM(hs_norm(), es_t);
+  Variable msg_h_from_h = autograd::SpMM(hh_norm(), eh_t);
+
+  Variable bs = PropagateOneSide(symptom_emb_, msg_s_from_s, msg_s_from_h, training);
+  Variable bh = PropagateOneSide(herb_emb_, msg_h_from_h, msg_h_from_s, training);
+  return {bs, bh};
+}
+
+}  // namespace baselines
+}  // namespace smgcn

@@ -1,0 +1,54 @@
+// HeteGCN baseline (the paper's own strong baseline, Sec. V-C): the
+// symptom-herb, symptom-symptom and herb-herb graphs are merged into one
+// heterogeneous graph. Each node aggregates messages from its two neighbour
+// *types* with a type-level attention (eqs. 19-20); network parameters are
+// shared between symptom and herb nodes. One propagation layer, average-
+// pooling syndrome induction (no MLP), multi-label loss.
+#ifndef SMGCN_BASELINES_HETEGCN_H_
+#define SMGCN_BASELINES_HETEGCN_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/gnn_base.h"
+
+namespace smgcn {
+namespace baselines {
+
+class HeteGcn : public core::GnnRecommenderBase {
+ public:
+  HeteGcn(core::ModelConfig model_config, core::TrainConfig train_config)
+      : GnnRecommenderBase(std::move(model_config), train_config) {}
+
+  std::string name() const override { return "HeteGCN"; }
+
+ protected:
+  Status BuildParameters(Rng* rng) override;
+  std::pair<autograd::Variable, autograd::Variable> ComputeEmbeddings(
+      bool training) override;
+  /// Single layer of width layer_dims[0] (the paper uses 128).
+  std::size_t OutputDim() const override;
+  /// HeteGCN uses plain average pooling for syndrome induction (Table IV:
+  /// "HeteGCN utilizes multi-label loss but without SI").
+  bool UsesSiMlp() const override { return false; }
+
+ private:
+  /// Attention-weighted combination of the two type messages for one node
+  /// family (eqs. 19-20), followed by concat aggregation (eq. 4).
+  autograd::Variable PropagateOneSide(const autograd::Variable& self,
+                                      const autograd::Variable& same_type_msg,
+                                      const autograd::Variable& cross_type_msg,
+                                      bool training);
+
+  autograd::Variable symptom_emb_;
+  autograd::Variable herb_emb_;
+  autograd::Variable t_;      // shared message transform (eq. 1)
+  autograd::Variable w_att_;  // attention input transform W^att
+  autograd::Variable z_;      // attention projection z
+  autograd::Variable w_;      // shared concat aggregator (eq. 4)
+};
+
+}  // namespace baselines
+}  // namespace smgcn
+
+#endif  // SMGCN_BASELINES_HETEGCN_H_

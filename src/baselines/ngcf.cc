@@ -1,0 +1,69 @@
+#include "src/baselines/ngcf.h"
+
+#include <numeric>
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace baselines {
+
+using autograd::Variable;
+
+std::size_t Ngcf::OutputDim() const {
+  const core::ModelConfig& cfg = model_config();
+  return std::accumulate(cfg.layer_dims.begin(), cfg.layer_dims.end(),
+                         cfg.embedding_dim);
+}
+
+Status Ngcf::BuildParameters(Rng* rng) {
+  const core::ModelConfig& cfg = model_config();
+  const std::size_t d0 = cfg.embedding_dim;
+  symptom_emb_ =
+      store().Create("symptom_emb", nn::XavierUniform(num_symptoms(), d0, rng));
+  herb_emb_ = store().Create("herb_emb", nn::XavierUniform(num_herbs(), d0, rng));
+
+  std::size_t prev = d0;
+  for (std::size_t k = 0; k < cfg.layer_dims.size(); ++k) {
+    const std::size_t next = cfg.layer_dims[k];
+    w1_.push_back(store().Create(StrFormat("ngcf.W1.%zu", k),
+                                 nn::XavierUniform(prev, next, rng)));
+    w2_.push_back(store().Create(StrFormat("ngcf.W2.%zu", k),
+                                 nn::XavierUniform(prev, next, rng)));
+    prev = next;
+  }
+  return Status::OK();
+}
+
+std::pair<Variable, Variable> Ngcf::ComputeEmbeddings(bool training) {
+  Variable bs = symptom_emb_;
+  Variable bh = herb_emb_;
+  Variable out_s = symptom_emb_;
+  Variable out_h = herb_emb_;
+
+  for (std::size_t k = 0; k < w1_.size(); ++k) {
+    // Mean-aggregated neighbourhood embeddings.
+    Variable agg_s = autograd::SpMM(sh_norm(), bh);
+    Variable agg_h = autograd::SpMM(hs_norm(), bs);
+    agg_s = MessageDropout(agg_s, training);
+    agg_h = MessageDropout(agg_h, training);
+    // (self + agg) W1 + (agg (*) self) W2, LeakyReLU — NGCF eq. (7) with
+    // the element-wise affinity term folded through the mean aggregation.
+    Variable next_s = autograd::LeakyRelu(autograd::Add(
+        autograd::MatMul(autograd::Add(bs, agg_s), w1_[k]),
+        autograd::MatMul(autograd::Mul(agg_s, bs), w2_[k])));
+    Variable next_h = autograd::LeakyRelu(autograd::Add(
+        autograd::MatMul(autograd::Add(bh, agg_h), w1_[k]),
+        autograd::MatMul(autograd::Mul(agg_h, bh), w2_[k])));
+    bs = next_s;
+    bh = next_h;
+    // Layer concatenation for the final representation.
+    out_s = autograd::ConcatCols(out_s, bs);
+    out_h = autograd::ConcatCols(out_h, bh);
+  }
+  return {out_s, out_h};
+}
+
+}  // namespace baselines
+}  // namespace smgcn

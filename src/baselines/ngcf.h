@@ -1,0 +1,47 @@
+// NGCF baseline (Wang et al., SIGIR 2019): neural graph collaborative
+// filtering on the bipartite graph. Each layer propagates
+//
+//   e^{k+1} = LeakyReLU( (e^k + agg) W1 + (agg (*) e^k) W2 )
+//
+// where agg is the mean-aggregated neighbourhood embedding and (*) the
+// element-wise product that encodes the affinity term. The final node
+// representation concatenates the embeddings of every layer (including
+// layer 0), as in the original paper. Parameters are shared across node
+// types. SI + multi-label loss are added per the paper's alignment.
+#ifndef SMGCN_BASELINES_NGCF_H_
+#define SMGCN_BASELINES_NGCF_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/gnn_base.h"
+
+namespace smgcn {
+namespace baselines {
+
+class Ngcf : public core::GnnRecommenderBase {
+ public:
+  Ngcf(core::ModelConfig model_config, core::TrainConfig train_config)
+      : GnnRecommenderBase(std::move(model_config), train_config) {}
+
+  std::string name() const override { return "NGCF"; }
+
+ protected:
+  Status BuildParameters(Rng* rng) override;
+  std::pair<autograd::Variable, autograd::Variable> ComputeEmbeddings(
+      bool training) override;
+  /// Layer-concatenated output width: embedding_dim + sum(layer_dims).
+  std::size_t OutputDim() const override;
+
+ private:
+  autograd::Variable symptom_emb_;
+  autograd::Variable herb_emb_;
+  std::vector<autograd::Variable> w1_;  // shared per-layer sum transform
+  std::vector<autograd::Variable> w2_;  // shared per-layer affinity transform
+};
+
+}  // namespace baselines
+}  // namespace smgcn
+
+#endif  // SMGCN_BASELINES_NGCF_H_

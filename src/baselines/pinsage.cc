@@ -1,0 +1,54 @@
+#include "src/baselines/pinsage.h"
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace baselines {
+
+using autograd::Variable;
+
+Status PinSage::BuildParameters(Rng* rng) {
+  const core::ModelConfig& cfg = model_config();
+  const std::size_t d0 = cfg.embedding_dim;
+  symptom_emb_ =
+      store().Create("symptom_emb", nn::XavierUniform(num_symptoms(), d0, rng));
+  herb_emb_ = store().Create("herb_emb", nn::XavierUniform(num_herbs(), d0, rng));
+
+  std::size_t prev = d0;
+  for (std::size_t k = 0; k < cfg.layer_dims.size(); ++k) {
+    const std::size_t next = cfg.layer_dims[k];
+    t_.push_back(
+        store().Create(StrFormat("pinsage.T.%zu", k), nn::XavierUniform(prev, prev, rng)));
+    w_.push_back(store().Create(StrFormat("pinsage.W.%zu", k),
+                                nn::XavierUniform(2 * prev, next, rng)));
+    prev = next;
+  }
+  return Status::OK();
+}
+
+std::pair<Variable, Variable> PinSage::ComputeEmbeddings(bool training) {
+  Variable bs = symptom_emb_;
+  Variable bh = herb_emb_;
+  for (std::size_t k = 0; k < t_.size(); ++k) {
+    // Same GraphSAGE concat aggregation as Bipar-GCN, but T and W are
+    // shared between the symptom and herb sides.
+    Variable msg_s =
+        autograd::Tanh(autograd::SpMM(sh_norm(), autograd::MatMul(bh, t_[k])));
+    Variable msg_h =
+        autograd::Tanh(autograd::SpMM(hs_norm(), autograd::MatMul(bs, t_[k])));
+    msg_s = MessageDropout(msg_s, training);
+    msg_h = MessageDropout(msg_h, training);
+    Variable next_s =
+        autograd::Tanh(autograd::MatMul(autograd::ConcatCols(bs, msg_s), w_[k]));
+    Variable next_h =
+        autograd::Tanh(autograd::MatMul(autograd::ConcatCols(bh, msg_h), w_[k]));
+    bs = next_s;
+    bh = next_h;
+  }
+  return {bs, bh};
+}
+
+}  // namespace baselines
+}  // namespace smgcn

@@ -1,0 +1,40 @@
+// PinSage baseline (Ying et al., 2018): GraphSAGE-style convolution on the
+// symptom-herb interaction graph — concat aggregation like Bipar-GCN, but
+// with transformation/aggregation parameters *shared* across node types
+// (what Bipar-GCN deliberately un-shares). Two layers, hidden dimension
+// equal to the embedding size, per the paper's Sec. V-C setup.
+#ifndef SMGCN_BASELINES_PINSAGE_H_
+#define SMGCN_BASELINES_PINSAGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/gnn_base.h"
+
+namespace smgcn {
+namespace baselines {
+
+class PinSage : public core::GnnRecommenderBase {
+ public:
+  PinSage(core::ModelConfig model_config, core::TrainConfig train_config)
+      : GnnRecommenderBase(std::move(model_config), train_config) {}
+
+  std::string name() const override { return "PinSage"; }
+
+ protected:
+  Status BuildParameters(Rng* rng) override;
+  std::pair<autograd::Variable, autograd::Variable> ComputeEmbeddings(
+      bool training) override;
+
+ private:
+  autograd::Variable symptom_emb_;
+  autograd::Variable herb_emb_;
+  std::vector<autograd::Variable> t_;  // shared per-layer message transforms
+  std::vector<autograd::Variable> w_;  // shared per-layer concat aggregators
+};
+
+}  // namespace baselines
+}  // namespace smgcn
+
+#endif  // SMGCN_BASELINES_PINSAGE_H_

@@ -1,0 +1,247 @@
+#include "src/core/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/tensor/matrix_io.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace core {
+
+namespace {
+constexpr char kStoreMagic[] = "smgcn-parameter-store v1";
+constexpr char kCheckpointMagic[] = "smgcn-inference-checkpoint v1";
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << content;
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+/// Reads one "name <newline> serialized matrix" block from `in`.
+Result<std::pair<std::string, tensor::Matrix>> ReadNamedMatrix(std::istream& in) {
+  std::string name;
+  if (!std::getline(in, name) || name.empty()) {
+    return Status::InvalidArgument("missing parameter name line");
+  }
+  // A serialized matrix is: magic line, shape line, then `rows` data lines.
+  std::string block;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing matrix header for '" + name + "'");
+  }
+  block += line + "\n";
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing matrix shape for '" + name + "'");
+  }
+  block += line + "\n";
+  const auto dims = SplitWhitespace(line);
+  if (dims.size() != 2) {
+    return Status::InvalidArgument("malformed shape for '" + name + "'");
+  }
+  ASSIGN_OR_RETURN(const int rows, ParseInt(dims[0]));
+  for (int r = 0; r < rows; ++r) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(
+          StrFormat("missing row %d of parameter '%s'", r, name.c_str()));
+    }
+    block += line + "\n";
+  }
+  ASSIGN_OR_RETURN(tensor::Matrix matrix, tensor::DeserializeMatrix(block));
+  return std::make_pair(name, std::move(matrix));
+}
+
+}  // namespace
+
+Status SaveParameterStore(const nn::ParameterStore& store, const std::string& path) {
+  std::string out(kStoreMagic);
+  out += StrFormat("\n%zu\n", store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    out += store.names()[i];
+    out += '\n';
+    out += tensor::SerializeMatrix(store.parameters()[i]->value());
+  }
+  return WriteStringToFile(out, path);
+}
+
+Status LoadParameterStoreValues(const std::string& path, nn::ParameterStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("store is null");
+  ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != kStoreMagic) {
+    return Status::InvalidArgument("missing parameter-store header");
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing parameter count");
+  }
+  ASSIGN_OR_RETURN(const int count, ParseInt(line));
+  if (count < 0 || static_cast<std::size_t>(count) != store->size()) {
+    return Status::FailedPrecondition(
+        StrFormat("file has %d parameters, store has %zu", count, store->size()));
+  }
+
+  // Stage all values first so a malformed tail never partially applies.
+  std::vector<std::pair<std::string, tensor::Matrix>> staged;
+  for (int i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(auto named, ReadNamedMatrix(in));
+    staged.push_back(std::move(named));
+  }
+  for (auto& [name, matrix] : staged) {
+    ASSIGN_OR_RETURN(autograd::Variable param, store->Get(name));
+    if (param->value().rows() != matrix.rows() ||
+        param->value().cols() != matrix.cols()) {
+      return Status::FailedPrecondition(StrFormat(
+          "shape mismatch for '%s': file %zux%zu vs store %zux%zu", name.c_str(),
+          matrix.rows(), matrix.cols(), param->value().rows(),
+          param->value().cols()));
+    }
+  }
+  for (auto& [name, matrix] : staged) {
+    ASSIGN_OR_RETURN(autograd::Variable param, store->Get(name));
+    param->mutable_value() = std::move(matrix);
+  }
+  return Status::OK();
+}
+
+Status InferenceCheckpoint::Validate() const {
+  if (symptom_embeddings.empty() || herb_embeddings.empty()) {
+    return Status::InvalidArgument("checkpoint has empty embeddings");
+  }
+  if (symptom_embeddings.cols() != herb_embeddings.cols()) {
+    return Status::InvalidArgument("symptom/herb embedding widths differ");
+  }
+  if (has_si_mlp) {
+    const std::size_t d = symptom_embeddings.cols();
+    if (si_weight.rows() != d || si_weight.cols() != d) {
+      return Status::InvalidArgument("SI weight must be d x d");
+    }
+    if (si_bias.rows() != 1 || si_bias.cols() != d) {
+      return Status::InvalidArgument("SI bias must be 1 x d");
+    }
+  }
+  if (!symptom_embeddings.AllFinite() || !herb_embeddings.AllFinite()) {
+    return Status::InvalidArgument("checkpoint contains non-finite values");
+  }
+  return Status::OK();
+}
+
+Status SaveInferenceCheckpoint(const InferenceCheckpoint& checkpoint,
+                               const std::string& path) {
+  RETURN_IF_ERROR(checkpoint.Validate());
+  std::string out(kCheckpointMagic);
+  out += '\n';
+  out += checkpoint.model_name.empty() ? "unnamed" : checkpoint.model_name;
+  out += '\n';
+  out += checkpoint.has_si_mlp ? "si 1\n" : "si 0\n";
+  out += tensor::SerializeMatrix(checkpoint.symptom_embeddings);
+  out += tensor::SerializeMatrix(checkpoint.herb_embeddings);
+  if (checkpoint.has_si_mlp) {
+    out += tensor::SerializeMatrix(checkpoint.si_weight);
+    out += tensor::SerializeMatrix(checkpoint.si_bias);
+  }
+  return WriteStringToFile(out, path);
+}
+
+Result<InferenceCheckpoint> LoadInferenceCheckpoint(const std::string& path) {
+  ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
+  std::istringstream in(content);
+  std::string line;
+  if (!std::getline(in, line) || line != kCheckpointMagic) {
+    return Status::InvalidArgument("missing inference-checkpoint header");
+  }
+  InferenceCheckpoint checkpoint;
+  if (!std::getline(in, checkpoint.model_name)) {
+    return Status::InvalidArgument("missing model name");
+  }
+  if (!std::getline(in, line) || (line != "si 0" && line != "si 1")) {
+    return Status::InvalidArgument("missing/invalid SI flag line");
+  }
+  checkpoint.has_si_mlp = line == "si 1";
+
+  auto read_matrix = [&in](const char* what) -> Result<tensor::Matrix> {
+    std::string block, row;
+    if (!std::getline(in, row)) {
+      return Status::InvalidArgument(std::string("missing matrix: ") + what);
+    }
+    block += row + "\n";
+    if (!std::getline(in, row)) {
+      return Status::InvalidArgument(std::string("missing shape: ") + what);
+    }
+    block += row + "\n";
+    const auto dims = SplitWhitespace(row);
+    if (dims.size() != 2) {
+      return Status::InvalidArgument(std::string("bad shape: ") + what);
+    }
+    ASSIGN_OR_RETURN(const int rows, ParseInt(dims[0]));
+    for (int r = 0; r < rows; ++r) {
+      if (!std::getline(in, row)) {
+        return Status::InvalidArgument(std::string("truncated matrix: ") + what);
+      }
+      block += row + "\n";
+    }
+    return tensor::DeserializeMatrix(block);
+  };
+
+  ASSIGN_OR_RETURN(checkpoint.symptom_embeddings, read_matrix("symptom embeddings"));
+  ASSIGN_OR_RETURN(checkpoint.herb_embeddings, read_matrix("herb embeddings"));
+  if (checkpoint.has_si_mlp) {
+    ASSIGN_OR_RETURN(checkpoint.si_weight, read_matrix("SI weight"));
+    ASSIGN_OR_RETURN(checkpoint.si_bias, read_matrix("SI bias"));
+  }
+  RETURN_IF_ERROR(checkpoint.Validate());
+  return checkpoint;
+}
+
+Result<CheckpointRecommender> CheckpointRecommender::FromCheckpoint(
+    InferenceCheckpoint checkpoint) {
+  RETURN_IF_ERROR(checkpoint.Validate());
+  return CheckpointRecommender(std::move(checkpoint));
+}
+
+Status CheckpointRecommender::Fit(const data::Corpus&) {
+  return Status::FailedPrecondition(
+      "CheckpointRecommender serves a trained checkpoint; it cannot be fitted");
+}
+
+Result<std::vector<double>> CheckpointRecommender::Score(
+    const std::vector<int>& symptom_set) const {
+  if (symptom_set.empty()) {
+    return Status::InvalidArgument("symptom set must be non-empty");
+  }
+  const tensor::Matrix& es = checkpoint_.symptom_embeddings;
+  const std::size_t d = es.cols();
+  tensor::Matrix pooled(1, d, 0.0);
+  for (int s : symptom_set) {
+    if (s < 0 || static_cast<std::size_t>(s) >= es.rows()) {
+      return Status::OutOfRange(StrFormat("symptom id %d outside checkpoint", s));
+    }
+    const double* row = es.row_data(static_cast<std::size_t>(s));
+    for (std::size_t c = 0; c < d; ++c) pooled(0, c) += row[c];
+  }
+  pooled.ScaleInPlace(1.0 / static_cast<double>(symptom_set.size()));
+
+  if (checkpoint_.has_si_mlp) {
+    // ReLU(pooled W + b), eq. 12.
+    tensor::Matrix hidden = pooled.MatMul(checkpoint_.si_weight);
+    hidden.AddInPlace(checkpoint_.si_bias);
+    hidden.Apply([](double v) { return v > 0.0 ? v : 0.0; });
+    pooled = std::move(hidden);
+  }
+  const tensor::Matrix scores = pooled.MatMulTransposed(checkpoint_.herb_embeddings);
+  return std::vector<double>(scores.data(), scores.data() + scores.cols());
+}
+
+}  // namespace core
+}  // namespace smgcn

@@ -1,0 +1,78 @@
+// Persistence for trained models.
+//
+// Two layers:
+//   * raw parameter-store snapshots (every named weight matrix), for
+//     resuming or inspecting training state;
+//   * inference checkpoints — the final fused embeddings plus the SI MLP —
+//     which are everything the syndrome-aware prediction layer needs to
+//     serve recommendations without the training graph. A
+//     CheckpointRecommender wraps one and implements HerbRecommender.
+#ifndef SMGCN_CORE_CHECKPOINT_H_
+#define SMGCN_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/recommender.h"
+#include "src/nn/parameter.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace core {
+
+/// Writes every parameter (name + matrix) of `store` to `path`.
+Status SaveParameterStore(const nn::ParameterStore& store, const std::string& path);
+
+/// Loads values saved by SaveParameterStore into `store`: every file entry
+/// must match an existing parameter's name and shape (construct the model
+/// first, then restore). Unmatched names or shapes fail without partially
+/// applying anything.
+Status LoadParameterStoreValues(const std::string& path, nn::ParameterStore* store);
+
+/// Everything the syndrome-aware prediction layer needs at serving time.
+struct InferenceCheckpoint {
+  std::string model_name;
+  /// Final fused embeddings e*_s (num_symptoms x d) and e*_h
+  /// (num_herbs x d).
+  tensor::Matrix symptom_embeddings;
+  tensor::Matrix herb_embeddings;
+  /// SI MLP (eq. 12); absent for average-pooling models.
+  bool has_si_mlp = false;
+  tensor::Matrix si_weight;  // d x d
+  tensor::Matrix si_bias;    // 1 x d
+
+  /// Shape consistency check.
+  Status Validate() const;
+};
+
+Status SaveInferenceCheckpoint(const InferenceCheckpoint& checkpoint,
+                               const std::string& path);
+Result<InferenceCheckpoint> LoadInferenceCheckpoint(const std::string& path);
+
+/// Serves recommendations from an InferenceCheckpoint. Fit() is a
+/// FailedPrecondition (the checkpoint is already trained); Score()
+/// reproduces the originating model's scores exactly.
+class CheckpointRecommender : public HerbRecommender {
+ public:
+  /// Fails when the checkpoint is inconsistent.
+  static Result<CheckpointRecommender> FromCheckpoint(InferenceCheckpoint checkpoint);
+
+  std::string name() const override { return checkpoint_.model_name; }
+  Status Fit(const data::Corpus& train) override;
+  Result<std::vector<double>> Score(
+      const std::vector<int>& symptom_set) const override;
+
+  const InferenceCheckpoint& checkpoint() const { return checkpoint_; }
+
+ private:
+  explicit CheckpointRecommender(InferenceCheckpoint checkpoint)
+      : checkpoint_(std::move(checkpoint)) {}
+
+  InferenceCheckpoint checkpoint_;
+};
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_CHECKPOINT_H_

@@ -1,0 +1,109 @@
+#include "src/core/compatibility.h"
+
+#include <sstream>
+
+#include "src/eval/metrics.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace core {
+
+Status CompatibilityRules::AddIncompatiblePair(int a, int b) {
+  if (a < 0 || b < 0) {
+    return Status::InvalidArgument("herb ids must be non-negative");
+  }
+  if (a == b) {
+    return Status::InvalidArgument(
+        StrFormat("a herb cannot be incompatible with itself (id %d)", a));
+  }
+  pairs_.emplace(std::min(a, b), std::max(a, b));
+  return Status::OK();
+}
+
+bool CompatibilityRules::AreIncompatible(int a, int b) const {
+  return pairs_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+bool CompatibilityRules::HasViolation(const std::vector<int>& herbs) const {
+  for (std::size_t i = 0; i < herbs.size(); ++i) {
+    for (std::size_t j = i + 1; j < herbs.size(); ++j) {
+      if (AreIncompatible(herbs[i], herbs[j])) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<int, int>> CompatibilityRules::Violations(
+    const std::vector<int>& herbs) const {
+  std::vector<std::pair<int, int>> out;
+  for (std::size_t i = 0; i < herbs.size(); ++i) {
+    for (std::size_t j = i + 1; j < herbs.size(); ++j) {
+      if (AreIncompatible(herbs[i], herbs[j])) {
+        out.emplace_back(std::min(herbs[i], herbs[j]), std::max(herbs[i], herbs[j]));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> CompatibilityRules::FilterRanking(
+    const std::vector<std::size_t>& ranked, std::size_t k) const {
+  std::vector<std::size_t> kept;
+  for (const std::size_t herb : ranked) {
+    if (kept.size() >= k) break;
+    bool compatible = true;
+    for (const std::size_t other : kept) {
+      if (AreIncompatible(static_cast<int>(herb), static_cast<int>(other))) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) kept.push_back(herb);
+  }
+  return kept;
+}
+
+Result<CompatibilityRules> CompatibilityRules::Parse(
+    const std::string& text, const data::Vocabulary& herb_vocab) {
+  CompatibilityRules rules;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const auto fields = SplitWhitespace(stripped);
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: expected two herb names, got %zu", line_no,
+                    fields.size()));
+    }
+    ASSIGN_OR_RETURN(const int a, herb_vocab.Lookup(fields[0]));
+    ASSIGN_OR_RETURN(const int b, herb_vocab.Lookup(fields[1]));
+    RETURN_IF_ERROR(rules.AddIncompatiblePair(a, b));
+  }
+  return rules;
+}
+
+std::string CompatibilityRules::Serialize(const data::Vocabulary& herb_vocab) const {
+  std::string out = "# smgcn herb incompatibility rules: one pair per line\n";
+  for (const auto& [a, b] : pairs_) {
+    out += herb_vocab.Name(a);
+    out += ' ';
+    out += herb_vocab.Name(b);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<std::size_t>> RecommendCompatible(
+    const HerbRecommender& model, const std::vector<int>& symptom_set,
+    std::size_t k, const CompatibilityRules& rules) {
+  ASSIGN_OR_RETURN(const std::vector<double> scores, model.Score(symptom_set));
+  const std::vector<std::size_t> ranked = eval::TopK(scores, scores.size());
+  return rules.FilterRanking(ranked, k);
+}
+
+}  // namespace core
+}  // namespace smgcn

@@ -1,0 +1,71 @@
+// Herb compatibility rules — the paper's future-work direction of adding
+// TCM domain knowledge such as contraindications ("eighteen
+// incompatibilities") to the recommendation process.
+//
+// Rules are unordered herb pairs that must never be co-prescribed. They
+// constrain the *recommendation* step: the ranked herb list is filtered
+// greedily so the returned set contains no incompatible pair, mirroring how
+// a pharmacist would veto a raw model ranking.
+#ifndef SMGCN_CORE_COMPATIBILITY_H_
+#define SMGCN_CORE_COMPATIBILITY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/recommender.h"
+#include "src/data/vocabulary.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace core {
+
+/// An immutable-after-building set of incompatible herb pairs.
+class CompatibilityRules {
+ public:
+  CompatibilityRules() = default;
+
+  /// Registers the unordered pair (a, b), ids must be distinct and
+  /// non-negative. Idempotent.
+  Status AddIncompatiblePair(int a, int b);
+
+  bool AreIncompatible(int a, int b) const;
+
+  /// True when `herbs` contains at least one incompatible pair.
+  bool HasViolation(const std::vector<int>& herbs) const;
+
+  /// Every violating pair within `herbs`.
+  std::vector<std::pair<int, int>> Violations(const std::vector<int>& herbs) const;
+
+  /// Greedy constrained selection: walks `ranked` in order and keeps a herb
+  /// only when compatible with everything kept so far; stops after `k`
+  /// herbs (or the end of the ranking).
+  std::vector<std::size_t> FilterRanking(const std::vector<std::size_t>& ranked,
+                                         std::size_t k) const;
+
+  std::size_t num_rules() const { return pairs_.size(); }
+
+  /// Parses lines of "<herb name> <herb name>" ('#' comments allowed)
+  /// against the given vocabulary.
+  static Result<CompatibilityRules> Parse(const std::string& text,
+                                          const data::Vocabulary& herb_vocab);
+
+  /// Serialises to the Parse format.
+  std::string Serialize(const data::Vocabulary& herb_vocab) const;
+
+ private:
+  std::set<std::pair<int, int>> pairs_;  // normalised: first < second
+};
+
+/// Top-k recommendation that respects compatibility rules: ranks all herbs
+/// with `model` and greedily filters. Returns fewer than k herbs only when
+/// the whole catalogue is exhausted.
+Result<std::vector<std::size_t>> RecommendCompatible(
+    const HerbRecommender& model, const std::vector<int>& symptom_set,
+    std::size_t k, const CompatibilityRules& rules);
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_COMPATIBILITY_H_

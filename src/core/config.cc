@@ -1,0 +1,91 @@
+#include "src/core/config.h"
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace core {
+
+const char* LossKindToString(LossKind kind) {
+  switch (kind) {
+    case LossKind::kMultiLabel:
+      return "multi-label";
+    case LossKind::kBpr:
+      return "bpr";
+  }
+  return "unknown";
+}
+
+const char* FusionKindToString(FusionKind kind) {
+  switch (kind) {
+    case FusionKind::kAdd:
+      return "add";
+    case FusionKind::kAttention:
+      return "attention";
+  }
+  return "unknown";
+}
+
+const char* SgeAggregatorToString(SgeAggregator aggregator) {
+  switch (aggregator) {
+    case SgeAggregator::kSum:
+      return "sum";
+    case SgeAggregator::kMean:
+      return "mean";
+  }
+  return "unknown";
+}
+
+Status TrainConfig::Validate() const {
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("learning_rate must be positive, got %g", learning_rate));
+  }
+  if (l2_lambda < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("l2_lambda must be non-negative, got %g", l2_lambda));
+  }
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (epochs == 0) {
+    return Status::InvalidArgument("epochs must be positive");
+  }
+  if (loss == LossKind::kBpr && bpr_negatives == 0) {
+    return Status::InvalidArgument("bpr_negatives must be positive for BPR loss");
+  }
+  if (validation_fraction < 0.0 || validation_fraction >= 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "validation_fraction must lie in [0, 1), got %g", validation_fraction));
+  }
+  if (validation_fraction > 0.0 && patience == 0) {
+    return Status::InvalidArgument("patience must be positive with validation");
+  }
+  return Status::OK();
+}
+
+Status ModelConfig::Validate() const {
+  if (embedding_dim == 0) {
+    return Status::InvalidArgument("embedding_dim must be positive");
+  }
+  if (layer_dims.size() > 8) {
+    return Status::InvalidArgument("more than 8 GCN layers is unsupported");
+  }
+  for (std::size_t d : layer_dims) {
+    if (d == 0) return Status::InvalidArgument("layer dims must be positive");
+  }
+  if (dropout < 0.0 || dropout >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("dropout must lie in [0, 1), got %g", dropout));
+  }
+  if (thresholds.xs < 0 || thresholds.xh < 0) {
+    return Status::InvalidArgument("synergy thresholds must be non-negative");
+  }
+  return Status::OK();
+}
+
+std::size_t ModelConfig::FinalDim() const {
+  return layer_dims.empty() ? embedding_dim : layer_dims.back();
+}
+
+}  // namespace core
+}  // namespace smgcn

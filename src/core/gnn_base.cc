@@ -1,0 +1,160 @@
+#include "src/core/gnn_base.h"
+
+#include "src/autograd/ops.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace core {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+GnnRecommenderBase::GnnRecommenderBase(ModelConfig model_config,
+                                       TrainConfig train_config)
+    : model_config_(std::move(model_config)), train_config_(train_config) {}
+
+autograd::Variable GnnRecommenderBase::MessageDropout(const Variable& x,
+                                                      bool training) {
+  return autograd::Dropout(x, model_config_.dropout, &dropout_rng_, training);
+}
+
+Status GnnRecommenderBase::Fit(const data::Corpus& train) {
+  RETURN_IF_ERROR(model_config_.Validate());
+  RETURN_IF_ERROR(train_config_.Validate());
+  if (train.empty()) {
+    return Status::FailedPrecondition("cannot fit on an empty corpus");
+  }
+  if (trained_ || store_.size() != 0) {
+    return Status::FailedPrecondition(
+        "model is already trained (or a previous Fit failed); construct a "
+        "fresh instance to retrain");
+  }
+
+  num_symptoms_ = train.num_symptoms();
+  num_herbs_ = train.num_herbs();
+
+  ASSIGN_OR_RETURN(graph::TcmGraphs graphs,
+                   graph::BuildTcmGraphs(train, model_config_.thresholds));
+  sh_norm_ = graphs.symptom_herb.RowNormalized();
+  hs_norm_ = graphs.herb_symptom.RowNormalized();
+  ss_norm_ = graphs.symptom_symptom.RowNormalized();
+  hh_norm_ = graphs.herb_herb.RowNormalized();
+  sh_adj_ = std::move(graphs.symptom_herb);
+  hs_adj_ = std::move(graphs.herb_symptom);
+  ss_adj_ = std::move(graphs.symptom_symptom);
+  hh_adj_ = std::move(graphs.herb_herb);
+
+  Rng rng(train_config_.seed);
+  dropout_rng_ = rng.Fork();
+  sampling_rng_ = rng.Fork();
+  RETURN_IF_ERROR(BuildParameters(&rng));
+  if (store_.size() == 0) {
+    return Status::Internal("BuildParameters registered no parameters");
+  }
+  if (UsesSiMlp()) {
+    const std::size_t dim = OutputDim();
+    si_mlp_.emplace("si", std::vector<std::size_t>{dim, dim},
+                    nn::Activation::kRelu, &store_, &rng);
+  }
+
+  ASSIGN_OR_RETURN(
+      summary_,
+      TrainModel(train, train_config_, &store_,
+                 [this, &train](const std::vector<std::size_t>& batch, bool training) {
+                   return Forward(train, batch, training);
+                 }));
+
+  PrepareForPass(/*training=*/false);  // inference uses the full graph
+  auto [es_final, eh_final] = ComputeEmbeddings(/*training=*/false);
+  final_symptom_emb_ = es_final->value();
+  final_herb_emb_ = eh_final->value();
+  trained_ = true;
+  return Status::OK();
+}
+
+void GnnRecommenderBase::PrepareForPass(bool training) {
+  const std::size_t max_n = model_config_.max_sampled_neighbors;
+  use_sampled_ = training && max_n > 0;
+  if (!use_sampled_) return;
+  sampled_sh_norm_ =
+      graph::SampleNeighbors(sh_adj_, max_n, &sampling_rng_).RowNormalized();
+  sampled_hs_norm_ =
+      graph::SampleNeighbors(hs_adj_, max_n, &sampling_rng_).RowNormalized();
+}
+
+Variable GnnRecommenderBase::Forward(const data::Corpus& corpus,
+                                     const std::vector<std::size_t>& batch,
+                                     bool training) {
+  PrepareForPass(training);
+  auto [es_final, eh_final] = ComputeEmbeddings(training);
+  SMGCN_CHECK_EQ(es_final->value().cols(), OutputDim());
+  SMGCN_CHECK_EQ(eh_final->value().cols(), OutputDim());
+
+  // SI average pooling over each batch symptom set, done for the whole
+  // batch at once via a pooling CSR (paper Fig. 4). The pooling matrix is
+  // batch-local, so the node captures it by value.
+  const graph::CsrMatrix pool = BuildSymptomPoolingCsr(corpus, batch);
+  Matrix pooled_value = pool.Multiply(es_final->value());
+  Variable pooled =
+      autograd::MakeVariable(std::move(pooled_value), es_final->requires_grad());
+  pooled->set_parents({es_final});
+  if (es_final->requires_grad()) {
+    pooled->set_backward([es = es_final.get(), pool](autograd::Node* out) {
+      es->AccumulateGrad(pool.TransposeMultiply(out->grad()));
+    });
+  }
+
+  Variable syndrome = si_mlp_.has_value() ? si_mlp_->Forward(pooled) : pooled;
+  // Prediction: syndrome embedding against every herb embedding (eq. 13).
+  return autograd::MatMulTransposed(syndrome, eh_final);
+}
+
+Result<InferenceCheckpoint> GnnRecommenderBase::ExportCheckpoint() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("cannot export an untrained model");
+  }
+  InferenceCheckpoint checkpoint;
+  checkpoint.model_name = name();
+  checkpoint.symptom_embeddings = final_symptom_emb_;
+  checkpoint.herb_embeddings = final_herb_emb_;
+  if (si_mlp_.has_value()) {
+    checkpoint.has_si_mlp = true;
+    ASSIGN_OR_RETURN(autograd::Variable weight, store_.Get("si.layer0.weight"));
+    ASSIGN_OR_RETURN(autograd::Variable bias, store_.Get("si.layer0.bias"));
+    checkpoint.si_weight = weight->value();
+    checkpoint.si_bias = bias->value();
+  }
+  RETURN_IF_ERROR(checkpoint.Validate());
+  return checkpoint;
+}
+
+Result<std::vector<double>> GnnRecommenderBase::Score(
+    const std::vector<int>& symptom_set) const {
+  if (!trained_) return Status::FailedPrecondition("model is not trained");
+  if (symptom_set.empty()) {
+    return Status::InvalidArgument("symptom set must be non-empty");
+  }
+  const std::size_t dim = final_symptom_emb_.cols();
+  Matrix pooled(1, dim, 0.0);
+  for (int s : symptom_set) {
+    if (s < 0 || static_cast<std::size_t>(s) >= num_symptoms_) {
+      return Status::OutOfRange(StrFormat("symptom id %d outside vocabulary", s));
+    }
+    const double* row = final_symptom_emb_.row_data(static_cast<std::size_t>(s));
+    for (std::size_t c = 0; c < dim; ++c) pooled(0, c) += row[c];
+  }
+  pooled.ScaleInPlace(1.0 / static_cast<double>(symptom_set.size()));
+
+  Matrix syndrome = std::move(pooled);
+  if (si_mlp_.has_value()) {
+    Variable out = si_mlp_->Forward(autograd::MakeConstant(std::move(syndrome)));
+    syndrome = out->value();
+  }
+
+  const Matrix scores = syndrome.MatMulTransposed(final_herb_emb_);
+  return std::vector<double>(scores.data(), scores.data() + scores.cols());
+}
+
+}  // namespace core
+}  // namespace smgcn

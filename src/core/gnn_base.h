@@ -1,0 +1,121 @@
+// Shared scaffolding for every GNN-based recommender (SMGCN and the GC-MC /
+// PinSage / NGCF / HeteGCN baselines): graph construction, the syndrome-
+// aware prediction layer (SI pooling -> optional MLP -> herb dot products),
+// the training loop, and cached-embedding inference.
+//
+// Subclasses only implement the embedding-propagation rule.
+#ifndef SMGCN_CORE_GNN_BASE_H_
+#define SMGCN_CORE_GNN_BASE_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/core/checkpoint.h"
+#include "src/core/config.h"
+#include "src/core/recommender.h"
+#include "src/core/trainer.h"
+#include "src/nn/mlp.h"
+#include "src/nn/parameter.h"
+
+namespace smgcn {
+namespace core {
+
+class GnnRecommenderBase : public HerbRecommender {
+ public:
+  GnnRecommenderBase(ModelConfig model_config, TrainConfig train_config);
+
+  Status Fit(const data::Corpus& train) final;
+  Result<std::vector<double>> Score(
+      const std::vector<int>& symptom_set) const final;
+
+  /// Training diagnostics (valid after Fit succeeds).
+  const TrainSummary& train_summary() const { return summary_; }
+  /// Final symptom / herb embeddings (valid after Fit succeeds).
+  const tensor::Matrix& symptom_embeddings() const { return final_symptom_emb_; }
+  const tensor::Matrix& herb_embeddings() const { return final_herb_emb_; }
+  const ModelConfig& model_config() const { return model_config_; }
+  const nn::ParameterStore& parameters() const { return store_; }
+  bool trained() const { return trained_; }
+
+  /// Packages the cached inference state (final embeddings + SI MLP) for
+  /// serving via CheckpointRecommender. FailedPrecondition before Fit.
+  Result<InferenceCheckpoint> ExportCheckpoint() const;
+
+ protected:
+  /// Registers trainable parameters into store(). Graphs are already built.
+  virtual Status BuildParameters(Rng* rng) = 0;
+
+  /// Propagation rule: returns the final (symptom, herb) embedding pair.
+  /// `training` toggles message dropout.
+  virtual std::pair<autograd::Variable, autograd::Variable> ComputeEmbeddings(
+      bool training) = 0;
+
+  /// Width of the embeddings returned by ComputeEmbeddings (sizes the SI
+  /// MLP). Defaults to model_config().FinalDim().
+  virtual std::size_t OutputDim() const { return model_config_.FinalDim(); }
+
+  /// Whether the syndrome-aware prediction layer applies the SI MLP after
+  /// average pooling. Defaults to model_config().use_si_mlp.
+  virtual bool UsesSiMlp() const { return model_config_.use_si_mlp; }
+
+  // --- State available to subclasses -------------------------------------
+  nn::ParameterStore& store() { return store_; }
+  Rng* dropout_rng() { return &dropout_rng_; }
+  std::size_t num_symptoms() const { return num_symptoms_; }
+  std::size_t num_herbs() const { return num_herbs_; }
+
+  /// Row-normalised bipartite operators (mean aggregation). During a
+  /// training pass with max_sampled_neighbors configured, these return the
+  /// pass's sampled sub-operators; otherwise the full-graph operators.
+  const graph::CsrMatrix& sh_norm() const {
+    return use_sampled_ ? sampled_sh_norm_ : sh_norm_;
+  }
+  const graph::CsrMatrix& hs_norm() const {
+    return use_sampled_ ? sampled_hs_norm_ : hs_norm_;
+  }
+  /// Raw synergy adjacencies (sum aggregation) and their row-normalised
+  /// variants (mean aggregation; used by HeteGCN).
+  const graph::CsrMatrix& ss_adj() const { return ss_adj_; }
+  const graph::CsrMatrix& hh_adj() const { return hh_adj_; }
+  const graph::CsrMatrix& ss_norm() const { return ss_norm_; }
+  const graph::CsrMatrix& hh_norm() const { return hh_norm_; }
+
+  /// Applies message dropout per the model config.
+  autograd::Variable MessageDropout(const autograd::Variable& x, bool training);
+
+ private:
+  /// Differentiable batch scores: embeddings -> SI pooling -> optional MLP
+  /// -> herb dot products.
+  autograd::Variable Forward(const data::Corpus& corpus,
+                             const std::vector<std::size_t>& batch, bool training);
+
+  /// Draws fresh sampled bipartite operators (or disables sampling) for
+  /// the coming pass. Called by Forward; the sampled matrices stay alive
+  /// until the next pass so SpMM backward closures remain valid.
+  void PrepareForPass(bool training);
+
+  ModelConfig model_config_;
+  TrainConfig train_config_;
+
+  graph::CsrMatrix sh_norm_, hs_norm_, ss_adj_, hh_adj_, ss_norm_, hh_norm_;
+  graph::CsrMatrix sh_adj_, hs_adj_;  // raw bipartite (sampling source)
+  graph::CsrMatrix sampled_sh_norm_, sampled_hs_norm_;
+  bool use_sampled_ = false;
+  Rng sampling_rng_{0};
+
+  nn::ParameterStore store_;
+  std::optional<nn::Mlp> si_mlp_;
+  Rng dropout_rng_{0};
+
+  bool trained_ = false;
+  TrainSummary summary_;
+  tensor::Matrix final_symptom_emb_;
+  tensor::Matrix final_herb_emb_;
+  std::size_t num_symptoms_ = 0;
+  std::size_t num_herbs_ = 0;
+};
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_GNN_BASE_H_

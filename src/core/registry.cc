@@ -1,0 +1,102 @@
+#include "src/core/registry.h"
+
+#include "src/baselines/gcmc.h"
+#include "src/baselines/hetegcn.h"
+#include "src/baselines/ngcf.h"
+#include "src/baselines/pinsage.h"
+#include "src/core/smgcn_model.h"
+#include "src/topic/hc_kgetm.h"
+
+namespace smgcn {
+namespace core {
+
+std::vector<std::string> RegisteredModelNames() {
+  return {"HC-KGETM",  "GC-MC",            "PinSage",
+          "NGCF",      "HeteGCN",          "SMGCN",
+          "Bipar-GCN", "Bipar-GCN w/ SGE", "Bipar-GCN w/ SI",
+          "SMGCN-Att"};
+}
+
+Result<std::unique_ptr<HerbRecommender>> MakeModel(const ModelSpec& spec) {
+  ModelConfig model = spec.model;
+  if (spec.name == "SMGCN" || spec.name == "SMGCN-Att" ||
+      spec.name == "Bipar-GCN" || spec.name == "Bipar-GCN w/ SGE" ||
+      spec.name == "Bipar-GCN w/ SI") {
+    model.use_sge = spec.name != "Bipar-GCN" && spec.name != "Bipar-GCN w/ SI";
+    model.use_si_mlp = spec.name != "Bipar-GCN" && spec.name != "Bipar-GCN w/ SGE";
+    if (spec.name == "SMGCN-Att") model.fusion = FusionKind::kAttention;
+    return std::unique_ptr<HerbRecommender>(
+        std::make_unique<SmgcnModel>(model, spec.train));
+  }
+  if (spec.name == "GC-MC") {
+    return std::unique_ptr<HerbRecommender>(
+        std::make_unique<baselines::GcMc>(model, spec.train));
+  }
+  if (spec.name == "PinSage") {
+    return std::unique_ptr<HerbRecommender>(
+        std::make_unique<baselines::PinSage>(model, spec.train));
+  }
+  if (spec.name == "NGCF") {
+    return std::unique_ptr<HerbRecommender>(
+        std::make_unique<baselines::Ngcf>(model, spec.train));
+  }
+  if (spec.name == "HeteGCN") {
+    return std::unique_ptr<HerbRecommender>(
+        std::make_unique<baselines::HeteGcn>(model, spec.train));
+  }
+  if (spec.name == "HC-KGETM") {
+    topic::HcKgetmConfig config;
+    config.topic.num_topics = spec.num_topics;
+    config.topic.seed = spec.train.seed;
+    config.transe.seed = spec.train.seed + 1;
+    config.thresholds = model.thresholds;
+    return std::unique_ptr<HerbRecommender>(
+        std::make_unique<topic::HcKgetm>(config));
+  }
+  return Status::NotFound("unknown model name: '" + spec.name + "'");
+}
+
+ModelSpec DefaultSpecFor(const std::string& name) {
+  // Tuned settings for the synthetic corpus, playing the role of the
+  // paper's Table III. All GNN models share the embedding size (64); the
+  // paper sets SMGCN's first layer to 128 and searches the last layer
+  // (optimum 256), PinSage/GC-MC keep the hidden width at the embedding
+  // size, HeteGCN uses one layer of width 128.
+  ModelSpec spec;
+  spec.name = name;
+  spec.model.embedding_dim = 64;
+  spec.model.thresholds = {5, 40};
+  spec.train.batch_size = 512;
+  spec.train.epochs = 30;
+  spec.train.loss = LossKind::kMultiLabel;
+  spec.train.seed = 7;
+
+  if (name == "SMGCN" || name == "SMGCN-Att" || name == "Bipar-GCN" ||
+      name == "Bipar-GCN w/ SGE" || name == "Bipar-GCN w/ SI") {
+    spec.model.layer_dims = {128, 256};
+    spec.train.learning_rate = 1e-3;
+    spec.train.l2_lambda = 1e-4;
+  } else if (name == "GC-MC") {
+    spec.model.layer_dims = {};  // single shared conv at the embedding width
+    spec.train.learning_rate = 2e-3;
+    spec.train.l2_lambda = 1e-5;
+  } else if (name == "PinSage") {
+    spec.model.layer_dims = {64, 64};
+    spec.train.learning_rate = 2e-3;
+    spec.train.l2_lambda = 1e-4;
+  } else if (name == "NGCF") {
+    spec.model.layer_dims = {64, 64};
+    spec.train.learning_rate = 2e-3;
+    spec.train.l2_lambda = 1e-5;
+  } else if (name == "HeteGCN") {
+    spec.model.layer_dims = {128};
+    spec.train.learning_rate = 2e-3;
+    spec.train.l2_lambda = 1e-4;
+  } else if (name == "HC-KGETM") {
+    spec.num_topics = 32;
+  }
+  return spec;
+}
+
+}  // namespace core
+}  // namespace smgcn

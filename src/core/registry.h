@@ -1,0 +1,42 @@
+// Factory for every recommender in the library, keyed by the names used in
+// the paper's tables. Lets the experiment harness and examples instantiate
+// models uniformly.
+#ifndef SMGCN_CORE_REGISTRY_H_
+#define SMGCN_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/recommender.h"
+
+namespace smgcn {
+namespace core {
+
+/// Everything needed to instantiate any model.
+struct ModelSpec {
+  /// One of RegisteredModelNames(): "SMGCN", "Bipar-GCN", "Bipar-GCN w/ SGE",
+  /// "Bipar-GCN w/ SI", "GC-MC", "PinSage", "NGCF", "HeteGCN", "HC-KGETM".
+  std::string name = "SMGCN";
+  ModelConfig model;
+  TrainConfig train;
+  /// Topic count for HC-KGETM (ignored by the GNN models).
+  std::size_t num_topics = 32;
+};
+
+/// Names accepted by MakeModel, in the paper's Table IV order.
+std::vector<std::string> RegisteredModelNames();
+
+/// Instantiates the model; NotFound for unknown names.
+Result<std::unique_ptr<HerbRecommender>> MakeModel(const ModelSpec& spec);
+
+/// Per-model tuned training defaults for the synthetic corpus, mirroring
+/// the role of the paper's Table III (optimal parameter settings). The
+/// returned spec has `name`, `model` and `train` filled in.
+ModelSpec DefaultSpecFor(const std::string& name);
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_REGISTRY_H_

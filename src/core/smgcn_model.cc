@@ -1,0 +1,122 @@
+#include "src/core/smgcn_model.h"
+
+#include "src/autograd/ops.h"
+#include "src/nn/init.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace core {
+
+using autograd::Variable;
+
+std::string SmgcnModel::name() const {
+  const ModelConfig& cfg = model_config();
+  const bool attention = cfg.use_sge && cfg.fusion == FusionKind::kAttention;
+  if (cfg.use_sge && cfg.use_si_mlp) return attention ? "SMGCN-Att" : "SMGCN";
+  if (cfg.use_sge) {
+    return attention ? "Bipar-GCN w/ SGE (att)" : "Bipar-GCN w/ SGE";
+  }
+  if (cfg.use_si_mlp) return "Bipar-GCN w/ SI";
+  return "Bipar-GCN";
+}
+
+Status SmgcnModel::BuildParameters(Rng* rng) {
+  const ModelConfig& cfg = model_config();
+  const std::size_t d0 = cfg.embedding_dim;
+
+  symptom_emb_ =
+      store().Create("symptom_emb", nn::XavierUniform(num_symptoms(), d0, rng));
+  herb_emb_ = store().Create("herb_emb", nn::XavierUniform(num_herbs(), d0, rng));
+
+  std::size_t prev = d0;
+  for (std::size_t k = 0; k < cfg.layer_dims.size(); ++k) {
+    const std::size_t next = cfg.layer_dims[k];
+    t_s_.push_back(store().Create(StrFormat("bipar.T_s.%zu", k),
+                                  nn::XavierUniform(prev, prev, rng)));
+    t_h_.push_back(store().Create(StrFormat("bipar.T_h.%zu", k),
+                                  nn::XavierUniform(prev, prev, rng)));
+    w_s_.push_back(store().Create(StrFormat("bipar.W_s.%zu", k),
+                                  nn::XavierUniform(2 * prev, next, rng)));
+    w_h_.push_back(store().Create(StrFormat("bipar.W_h.%zu", k),
+                                  nn::XavierUniform(2 * prev, next, rng)));
+    prev = next;
+  }
+
+  if (cfg.use_sge) {
+    const std::size_t final_dim = cfg.FinalDim();
+    v_s_ = store().Create("sge.V_s", nn::XavierUniform(d0, final_dim, rng));
+    v_h_ = store().Create("sge.V_h", nn::XavierUniform(d0, final_dim, rng));
+    if (cfg.fusion == FusionKind::kAttention) {
+      att_w_s_ = store().Create("fusion.W_att_s",
+                                nn::XavierUniform(final_dim, final_dim, rng));
+      att_z_s_ = store().Create("fusion.z_s", nn::XavierUniform(final_dim, 1, rng));
+      att_w_h_ = store().Create("fusion.W_att_h",
+                                nn::XavierUniform(final_dim, final_dim, rng));
+      att_z_h_ = store().Create("fusion.z_h", nn::XavierUniform(final_dim, 1, rng));
+    }
+  }
+  return Status::OK();
+}
+
+autograd::Variable SmgcnModel::Fuse(const Variable& b, const Variable& r,
+                                    const Variable& w_att, const Variable& z) {
+  if (model_config().fusion == FusionKind::kAdd) return autograd::Add(b, r);
+  // Attention fusion (future-work extension): per-node two-way softmax over
+  // the Bipar-GCN and SGE channels, scored with a small attention net.
+  auto score = [&](const Variable& x) {
+    return autograd::MatMul(autograd::Relu(autograd::MatMul(x, w_att)), z);
+  };
+  Variable score_b = score(b);
+  Variable score_r = score(r);
+  Variable alpha_b = autograd::Sigmoid(autograd::Sub(score_b, score_r));
+  Variable alpha_r = autograd::Sigmoid(autograd::Sub(score_r, score_b));
+  // Scale by 2 so the expected magnitude matches the paper's plain addition
+  // when attention is uninformative (alpha = 0.5 each).
+  return autograd::Scale(autograd::Add(autograd::MulColBroadcast(b, alpha_b),
+                                       autograd::MulColBroadcast(r, alpha_r)),
+                         2.0);
+}
+
+std::pair<Variable, Variable> SmgcnModel::ComputeEmbeddings(bool training) {
+  const ModelConfig& cfg = model_config();
+  Variable bs = symptom_emb_;
+  Variable bh = herb_emb_;
+
+  for (std::size_t k = 0; k < cfg.layer_dims.size(); ++k) {
+    // Messages: transform the sender side with the *target-type* matrix,
+    // mean-merge over neighbours, tanh (eqs. 2-3 / 7 / 9).
+    Variable msg_s =
+        autograd::Tanh(autograd::SpMM(sh_norm(), autograd::MatMul(bh, t_s_[k])));
+    Variable msg_h =
+        autograd::Tanh(autograd::SpMM(hs_norm(), autograd::MatMul(bs, t_h_[k])));
+    // Message dropout on the aggregated neighbourhood embeddings
+    // (paper Sec. V-E.3).
+    msg_s = MessageDropout(msg_s, training);
+    msg_h = MessageDropout(msg_h, training);
+    // GraphSAGE aggregation: concat self and neighbourhood, transform with
+    // the type-specific W, tanh (eqs. 4-6 / 8).
+    Variable next_s =
+        autograd::Tanh(autograd::MatMul(autograd::ConcatCols(bs, msg_s), w_s_[k]));
+    Variable next_h =
+        autograd::Tanh(autograd::MatMul(autograd::ConcatCols(bh, msg_h), w_h_[k]));
+    bs = next_s;
+    bh = next_h;
+  }
+
+  if (!cfg.use_sge) return {bs, bh};
+
+  // SGE: one-layer convolution over SS / HH on the initial embeddings
+  // (eq. 10). The paper uses the raw-adjacency sum aggregator; the mean
+  // variant (row-normalised adjacency) is an ablation for synergy graphs
+  // with heavy-tailed degrees, where summed messages saturate the tanh.
+  const bool sum_agg = cfg.sge_aggregator == SgeAggregator::kSum;
+  const graph::CsrMatrix& ss = sum_agg ? ss_adj() : ss_norm();
+  const graph::CsrMatrix& hh = sum_agg ? hh_adj() : hh_norm();
+  Variable rs = autograd::Tanh(autograd::SpMM(ss, autograd::MatMul(symptom_emb_, v_s_)));
+  Variable rh = autograd::Tanh(autograd::SpMM(hh, autograd::MatMul(herb_emb_, v_h_)));
+  // Fusion (eq. 11: addition; attention is the future-work extension).
+  return {Fuse(bs, rs, att_w_s_, att_z_s_), Fuse(bh, rh, att_w_h_, att_z_h_)};
+}
+
+}  // namespace core
+}  // namespace smgcn

@@ -1,0 +1,64 @@
+// SMGCN: Syndrome-aware Multi-Graph Convolution Network (paper Sec. IV).
+//
+// Architecture (Fig. 2):
+//   1. Bipar-GCN over the symptom-herb bipartite graph with type-specific
+//      message transforms T_s/T_h and GraphSAGE concat aggregators W_s/W_h
+//      per layer (eqs. 1-9), mean neighbourhood merge, tanh activations.
+//   2. SGE: one-layer sum-aggregated GCNs over the SS and HH synergy graphs
+//      (eq. 10), fused with the Bipar-GCN output by addition (eq. 11).
+//   3. SI: average pooling over the symptom set followed by a one-layer
+//      ReLU MLP producing the implicit syndrome embedding (eq. 12); scores
+//      are its dot products with all herb embeddings (eq. 13). (SI and the
+//      prediction layer live in GnnRecommenderBase and are shared with the
+//      aligned baselines.)
+//
+// ModelConfig flags switch components off to reproduce the paper's
+// ablation submodels (Table V): Bipar-GCN, Bipar-GCN w/ SGE,
+// Bipar-GCN w/ SI, and full SMGCN.
+#ifndef SMGCN_CORE_SMGCN_MODEL_H_
+#define SMGCN_CORE_SMGCN_MODEL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/gnn_base.h"
+
+namespace smgcn {
+namespace core {
+
+class SmgcnModel : public GnnRecommenderBase {
+ public:
+  SmgcnModel(ModelConfig model_config, TrainConfig train_config)
+      : GnnRecommenderBase(std::move(model_config), train_config) {}
+
+  /// "SMGCN", "Bipar-GCN", "Bipar-GCN w/ SGE" or "Bipar-GCN w/ SI"
+  /// depending on the configured components ("SMGCN-Att" with attention
+  /// fusion).
+  std::string name() const override;
+
+ protected:
+  Status BuildParameters(Rng* rng) override;
+  std::pair<autograd::Variable, autograd::Variable> ComputeEmbeddings(
+      bool training) override;
+
+ private:
+  /// Merges b (Bipar-GCN) and r (SGE) per the configured FusionKind, using
+  /// the given per-side attention parameters.
+  autograd::Variable Fuse(const autograd::Variable& b, const autograd::Variable& r,
+                          const autograd::Variable& w_att,
+                          const autograd::Variable& z);
+
+  autograd::Variable symptom_emb_;  // e_s, layer-0
+  autograd::Variable herb_emb_;     // e_h, layer-0
+  std::vector<autograd::Variable> t_s_, t_h_;  // per-layer message transforms
+  std::vector<autograd::Variable> w_s_, w_h_;  // per-layer aggregators
+  autograd::Variable v_s_, v_h_;               // SGE transforms
+  autograd::Variable att_w_s_, att_z_s_;       // attention fusion (symptom)
+  autograd::Variable att_w_h_, att_z_h_;       // attention fusion (herb)
+};
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_SMGCN_MODEL_H_

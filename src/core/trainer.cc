@@ -1,0 +1,263 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/nn/optimizer.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace core {
+
+tensor::Matrix BuildTargetMatrix(const data::Corpus& corpus,
+                                 const std::vector<std::size_t>& indices) {
+  tensor::Matrix targets(indices.size(), corpus.num_herbs(), 0.0);
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    for (int h : corpus.at(indices[b]).herbs) {
+      targets(b, static_cast<std::size_t>(h)) = 1.0;
+    }
+  }
+  return targets;
+}
+
+graph::CsrMatrix BuildSymptomPoolingCsr(const data::Corpus& corpus,
+                                        const std::vector<std::size_t>& indices) {
+  std::vector<graph::Triplet> triplets;
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const auto& symptoms = corpus.at(indices[b]).symptoms;
+    const double w = 1.0 / static_cast<double>(symptoms.size());
+    for (int s : symptoms) {
+      triplets.push_back({b, static_cast<std::size_t>(s), w});
+    }
+  }
+  return graph::CsrMatrix::FromTriplets(indices.size(), corpus.num_symptoms(),
+                                        std::move(triplets));
+}
+
+std::vector<nn::BprTriple> SampleBprTriples(const data::Corpus& corpus,
+                                            const std::vector<std::size_t>& indices,
+                                            std::size_t negatives, Rng* rng) {
+  std::vector<nn::BprTriple> triples;
+  const auto num_herbs = static_cast<std::int64_t>(corpus.num_herbs());
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const data::Prescription& p = corpus.at(indices[b]);
+    if (static_cast<std::int64_t>(p.herbs.size()) >= num_herbs) continue;
+    for (int pos : p.herbs) {
+      for (std::size_t k = 0; k < negatives; ++k) {
+        // Rejection sampling; herb sets are tiny relative to the vocabulary.
+        std::size_t neg;
+        do {
+          neg = static_cast<std::size_t>(rng->UniformInt(0, num_herbs - 1));
+        } while (std::binary_search(p.herbs.begin(), p.herbs.end(),
+                                    static_cast<int>(neg)));
+        triples.push_back({b, static_cast<std::size_t>(pos), neg});
+      }
+    }
+  }
+  return triples;
+}
+
+namespace {
+
+/// Builds the configured data loss for one batch.
+Result<autograd::Variable> MakeDataLoss(const data::Corpus& train,
+                                        const TrainConfig& config,
+                                        const std::vector<std::size_t>& batch,
+                                        const std::vector<double>& herb_weights,
+                                        const autograd::Variable& scores, Rng* rng) {
+  if (config.loss == LossKind::kMultiLabel) {
+    return nn::WeightedMseLoss(scores, BuildTargetMatrix(train, batch),
+                               herb_weights);
+  }
+  const auto triples = SampleBprTriples(train, batch, config.bpr_negatives, rng);
+  if (triples.empty()) {
+    return Status::Internal("no BPR triples could be sampled");
+  }
+  return nn::BprLoss(scores, triples);
+}
+
+/// Mean held-out data loss with dropout off; no gradients are consumed.
+Result<double> ValidationLoss(const data::Corpus& train, const TrainConfig& config,
+                              const std::vector<std::size_t>& val_indices,
+                              const std::vector<double>& herb_weights,
+                              const ForwardFn& forward, Rng* rng) {
+  double total = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t start = 0; start < val_indices.size();
+       start += config.batch_size) {
+    const std::size_t end =
+        std::min(val_indices.size(), start + config.batch_size);
+    const std::vector<std::size_t> batch(
+        val_indices.begin() + static_cast<std::ptrdiff_t>(start),
+        val_indices.begin() + static_cast<std::ptrdiff_t>(end));
+    autograd::Variable scores = forward(batch, /*training=*/false);
+    if (scores == nullptr) return Status::Internal("forward returned null");
+    ASSIGN_OR_RETURN(autograd::Variable loss,
+                     MakeDataLoss(train, config, batch, herb_weights, scores, rng));
+    total += loss->value()(0, 0);
+    ++batches;
+  }
+  if (batches == 0) return Status::Internal("empty validation set");
+  return total / static_cast<double>(batches);
+}
+
+std::vector<tensor::Matrix> SnapshotParameters(const nn::ParameterStore& store) {
+  std::vector<tensor::Matrix> snapshot;
+  snapshot.reserve(store.size());
+  for (const auto& p : store.parameters()) snapshot.push_back(p->value());
+  return snapshot;
+}
+
+void RestoreParameters(const std::vector<tensor::Matrix>& snapshot,
+                       nn::ParameterStore* store) {
+  // Only parameters that existed at snapshot time are restored; any created
+  // afterwards keep their current values.
+  for (std::size_t i = 0; i < snapshot.size() && i < store->size(); ++i) {
+    store->parameters()[i]->mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace
+
+Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& config,
+                                nn::ParameterStore* store, const ForwardFn& forward) {
+  RETURN_IF_ERROR(config.Validate());
+  if (train.empty()) {
+    return Status::FailedPrecondition("cannot train on an empty corpus");
+  }
+  if (store == nullptr || store->size() == 0) {
+    return Status::FailedPrecondition("parameter store is empty");
+  }
+
+  const std::vector<double> herb_weights =
+      nn::InverseFrequencyWeights(train.HerbFrequencies());
+
+  Rng rng(config.seed);
+  nn::Adam optimizer(store, config.learning_rate);
+  Stopwatch watch;
+
+  // Optional validation holdout for early stopping.
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> val_indices;
+  if (config.validation_fraction > 0.0) {
+    rng.Shuffle(&order);
+    auto n_val = static_cast<std::size_t>(config.validation_fraction *
+                                          static_cast<double>(order.size()));
+    n_val = std::max<std::size_t>(1, std::min(n_val, order.size() - 1));
+    val_indices.assign(order.end() - static_cast<std::ptrdiff_t>(n_val), order.end());
+    order.resize(order.size() - n_val);
+  }
+
+  TrainSummary summary;
+  summary.epoch_losses.reserve(config.epochs);
+  double best_val_loss = std::numeric_limits<double>::infinity();
+  std::size_t epochs_since_best = 0;
+  std::vector<tensor::Matrix> best_snapshot;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < order.size(); start += config.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config.batch_size);
+      const std::vector<std::size_t> batch(
+          order.begin() + static_cast<std::ptrdiff_t>(start),
+          order.begin() + static_cast<std::ptrdiff_t>(end));
+
+      store->ZeroGrad();
+      autograd::Variable scores = forward(batch, /*training=*/true);
+      if (scores == nullptr) {
+        return Status::Internal("forward function returned null scores");
+      }
+      if (scores->value().rows() != batch.size() ||
+          scores->value().cols() != train.num_herbs()) {
+        return Status::Internal(StrFormat(
+            "forward returned %zu x %zu scores, expected %zu x %zu",
+            scores->value().rows(), scores->value().cols(), batch.size(),
+            train.num_herbs()));
+      }
+
+      ASSIGN_OR_RETURN(
+          autograd::Variable data_loss,
+          MakeDataLoss(train, config, batch, herb_weights, scores, &rng));
+
+      autograd::Variable loss =
+          config.l2_lambda > 0.0
+              ? autograd::Add(data_loss,
+                              nn::L2Penalty(store->parameters(), config.l2_lambda))
+              : data_loss;
+
+      const double loss_value = loss->value()(0, 0);
+      if (!std::isfinite(loss_value)) {
+        return Status::Internal(StrFormat(
+            "non-finite loss %g at epoch %zu step %zu (diverged; lower the "
+            "learning rate)",
+            loss_value, epoch, summary.steps));
+      }
+
+      autograd::Backward(loss);
+      optimizer.Step();
+      ++summary.steps;
+      epoch_loss += loss_value;
+      ++batches;
+    }
+
+    if (!store->AllFinite()) {
+      return Status::Internal(
+          StrFormat("parameters diverged to non-finite values at epoch %zu", epoch));
+    }
+    epoch_loss /= static_cast<double>(batches);
+    summary.epoch_losses.push_back(epoch_loss);
+    summary.best_epoch = epoch + 1;
+
+    if (!val_indices.empty()) {
+      ASSIGN_OR_RETURN(
+          const double val_loss,
+          ValidationLoss(train, config, val_indices, herb_weights, forward, &rng));
+      summary.validation_losses.push_back(val_loss);
+      if (val_loss < best_val_loss) {
+        best_val_loss = val_loss;
+        epochs_since_best = 0;
+        best_snapshot = SnapshotParameters(*store);
+        summary.best_epoch = epoch + 1;
+      } else {
+        ++epochs_since_best;
+        if (epochs_since_best >= config.patience) {
+          summary.stopped_early = true;
+          if (config.log_every > 0) {
+            LOG_INFO << StrFormat(
+                "early stop at epoch %zu (best validation loss %.6f at epoch "
+                "%zu)",
+                epoch + 1, best_val_loss, summary.best_epoch);
+          }
+          break;
+        }
+      }
+    }
+
+    if (config.log_every > 0 && (epoch + 1) % config.log_every == 0) {
+      LOG_INFO << StrFormat("epoch %zu/%zu loss=%.6f%s", epoch + 1, config.epochs,
+                            epoch_loss,
+                            summary.validation_losses.empty()
+                                ? ""
+                                : StrFormat(" val=%.6f",
+                                            summary.validation_losses.back())
+                                      .c_str());
+    }
+  }
+
+  if (!best_snapshot.empty()) {
+    RestoreParameters(best_snapshot, store);
+  }
+  summary.seconds = watch.ElapsedSeconds();
+  return summary;
+}
+
+}  // namespace core
+}  // namespace smgcn

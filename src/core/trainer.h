@@ -1,0 +1,73 @@
+// Mini-batch training loop shared by every gradient-trained model in this
+// repo. A model supplies a forward closure producing the score matrix for a
+// batch of training prescriptions; the trainer handles shuffling, batching,
+// the multi-label / BPR objectives, L2 regularisation and Adam.
+#ifndef SMGCN_CORE_TRAINER_H_
+#define SMGCN_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/autograd/variable.h"
+#include "src/core/config.h"
+#include "src/data/prescription.h"
+#include "src/graph/csr_matrix.h"
+#include "src/nn/loss.h"
+#include "src/nn/parameter.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace core {
+
+/// Multi-hot herb target matrix (batch x num_herbs) for the given
+/// prescription indices of `corpus`.
+tensor::Matrix BuildTargetMatrix(const data::Corpus& corpus,
+                                 const std::vector<std::size_t>& indices);
+
+/// Symptom-set pooling operator: a (batch x num_symptoms) CSR where row b
+/// has value 1/|sc_b| at each member symptom. Multiplying it with the
+/// symptom embedding matrix performs the SI average pooling (paper Fig. 4)
+/// for the whole batch at once.
+graph::CsrMatrix BuildSymptomPoolingCsr(const data::Corpus& corpus,
+                                        const std::vector<std::size_t>& indices);
+
+/// Samples `negatives` BPR triples per positive herb of each batch
+/// prescription; negatives are drawn uniformly from herbs outside the
+/// ground-truth set.
+std::vector<nn::BprTriple> SampleBprTriples(
+    const data::Corpus& corpus, const std::vector<std::size_t>& indices,
+    std::size_t negatives, Rng* rng);
+
+/// Per-training-run summary.
+struct TrainSummary {
+  std::vector<double> epoch_losses;  // mean batch loss per epoch
+  /// Held-out data losses per epoch (empty without validation).
+  std::vector<double> validation_losses;
+  std::size_t steps = 0;
+  double seconds = 0.0;
+  /// True when early stopping fired before the epoch budget was used.
+  bool stopped_early = false;
+  /// Epoch whose parameters were kept (== epochs run, unless early
+  /// stopping restored an earlier optimum).
+  std::size_t best_epoch = 0;
+
+  double final_loss() const {
+    return epoch_losses.empty() ? 0.0 : epoch_losses.back();
+  }
+};
+
+/// Produces the differentiable score matrix (batch x num_herbs) for the
+/// given training-prescription indices. `training` toggles dropout.
+using ForwardFn = std::function<autograd::Variable(
+    const std::vector<std::size_t>& batch_indices, bool training)>;
+
+/// Runs the full optimisation. `store` owns the model parameters; `forward`
+/// closes over the model. Fails on invalid config, empty corpus, or
+/// numerical divergence (non-finite loss/parameters).
+Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& config,
+                                nn::ParameterStore* store, const ForwardFn& forward);
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_TRAINER_H_

@@ -1,0 +1,107 @@
+#include "src/data/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace data {
+
+Result<Corpus> ParseCorpus(const std::string& text, const Corpus* fixed_vocabs) {
+  Vocabulary symptom_vocab =
+      fixed_vocabs != nullptr ? fixed_vocabs->symptom_vocab() : Vocabulary();
+  Vocabulary herb_vocab =
+      fixed_vocabs != nullptr ? fixed_vocabs->herb_vocab() : Vocabulary();
+  std::vector<Prescription> prescriptions;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+
+    const auto fields = Split(stripped, '\t');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(StrFormat(
+          "line %d: expected 2 tab-separated fields, got %zu", line_no,
+          fields.size()));
+    }
+
+    Prescription p;
+    for (const std::string& name : SplitWhitespace(fields[0])) {
+      if (fixed_vocabs != nullptr) {
+        auto id = symptom_vocab.Lookup(name);
+        if (!id.ok()) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: unknown symptom '%s'", line_no, name.c_str()));
+        }
+        p.symptoms.push_back(*id);
+      } else {
+        p.symptoms.push_back(symptom_vocab.GetOrAdd(name));
+      }
+    }
+    for (const std::string& name : SplitWhitespace(fields[1])) {
+      if (fixed_vocabs != nullptr) {
+        auto id = herb_vocab.Lookup(name);
+        if (!id.ok()) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: unknown herb '%s'", line_no, name.c_str()));
+        }
+        p.herbs.push_back(*id);
+      } else {
+        p.herbs.push_back(herb_vocab.GetOrAdd(name));
+      }
+    }
+    if (p.symptoms.empty() || p.herbs.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: empty symptom or herb set", line_no));
+    }
+    prescriptions.push_back(std::move(p));
+  }
+
+  Corpus corpus(std::move(symptom_vocab), std::move(herb_vocab), {});
+  for (Prescription& p : prescriptions) {
+    RETURN_IF_ERROR(corpus.Add(std::move(p)));
+  }
+  return corpus;
+}
+
+Result<Corpus> LoadCorpus(const std::string& path, const Corpus* fixed_vocabs) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open corpus file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCorpus(buffer.str(), fixed_vocabs);
+}
+
+std::string SerializeCorpus(const Corpus& corpus) {
+  std::string out =
+      "# smgcn corpus: one prescription per line, '<symptoms>\\t<herbs>'\n";
+  for (const Prescription& p : corpus.prescriptions()) {
+    std::vector<std::string> symptoms;
+    symptoms.reserve(p.symptoms.size());
+    for (int s : p.symptoms) symptoms.push_back(corpus.symptom_vocab().Name(s));
+    std::vector<std::string> herbs;
+    herbs.reserve(p.herbs.size());
+    for (int h : p.herbs) herbs.push_back(corpus.herb_vocab().Name(h));
+    out += Join(symptoms, " ");
+    out += '\t';
+    out += Join(herbs, " ");
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << SerializeCorpus(corpus);
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace smgcn

@@ -1,0 +1,42 @@
+// Text IO for prescription corpora.
+//
+// File format (mirrors the benchmark TCM corpus layout, cf. paper Fig. 6 —
+// one prescription per line, symptom names then herb names):
+//
+//   # optional comment / header lines starting with '#'
+//   s_night_sweat s_pale_tongue<TAB>h_ginseng h_tuckahoe
+//
+// i.e. two tab-separated fields, each a whitespace-separated list of entity
+// names. Vocabularies are accumulated in file order unless fixed
+// vocabularies are supplied.
+#ifndef SMGCN_DATA_CORPUS_IO_H_
+#define SMGCN_DATA_CORPUS_IO_H_
+
+#include <string>
+
+#include "src/data/prescription.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace data {
+
+/// Parses a corpus from text. When `fixed_vocabs` is non-null, unknown names
+/// are an error (used to keep test-set ids aligned with the training set);
+/// otherwise vocabularies grow as names are seen.
+Result<Corpus> ParseCorpus(const std::string& text,
+                           const Corpus* fixed_vocabs = nullptr);
+
+/// Loads a corpus file (see format above).
+Result<Corpus> LoadCorpus(const std::string& path,
+                          const Corpus* fixed_vocabs = nullptr);
+
+/// Serialises `corpus` in the same format (with a header comment).
+std::string SerializeCorpus(const Corpus& corpus);
+
+/// Writes `corpus` to `path`, overwriting.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+}  // namespace data
+}  // namespace smgcn
+
+#endif  // SMGCN_DATA_CORPUS_IO_H_

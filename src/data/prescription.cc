@@ -1,0 +1,103 @@
+#include "src/data/prescription.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace data {
+
+void NormalizePrescription(Prescription* p) {
+  auto normalize = [](std::vector<int>* ids) {
+    std::sort(ids->begin(), ids->end());
+    ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+  };
+  normalize(&p->symptoms);
+  normalize(&p->herbs);
+}
+
+Corpus::Corpus(Vocabulary symptom_vocab, Vocabulary herb_vocab,
+               std::vector<Prescription> prescriptions)
+    : symptom_vocab_(std::move(symptom_vocab)), herb_vocab_(std::move(herb_vocab)) {
+  prescriptions_.reserve(prescriptions.size());
+  for (Prescription& p : prescriptions) {
+    SMGCN_CHECK_OK(Add(std::move(p)));
+  }
+}
+
+const Prescription& Corpus::at(std::size_t i) const {
+  SMGCN_CHECK_LT(i, prescriptions_.size());
+  return prescriptions_[i];
+}
+
+Status Corpus::Add(Prescription p) {
+  NormalizePrescription(&p);
+  if (p.symptoms.empty()) {
+    return Status::InvalidArgument("prescription has an empty symptom set");
+  }
+  if (p.herbs.empty()) {
+    return Status::InvalidArgument("prescription has an empty herb set");
+  }
+  for (int s : p.symptoms) {
+    if (!symptom_vocab_.ContainsId(s)) {
+      return Status::OutOfRange(StrFormat("symptom id %d outside vocabulary of %zu",
+                                          s, symptom_vocab_.size()));
+    }
+  }
+  for (int h : p.herbs) {
+    if (!herb_vocab_.ContainsId(h)) {
+      return Status::OutOfRange(
+          StrFormat("herb id %d outside vocabulary of %zu", h, herb_vocab_.size()));
+    }
+  }
+  prescriptions_.push_back(std::move(p));
+  return Status::OK();
+}
+
+std::vector<std::size_t> Corpus::HerbFrequencies() const {
+  std::vector<std::size_t> freq(num_herbs(), 0);
+  for (const Prescription& p : prescriptions_) {
+    for (int h : p.herbs) ++freq[static_cast<std::size_t>(h)];
+  }
+  return freq;
+}
+
+std::vector<std::size_t> Corpus::SymptomFrequencies() const {
+  std::vector<std::size_t> freq(num_symptoms(), 0);
+  for (const Prescription& p : prescriptions_) {
+    for (int s : p.symptoms) ++freq[static_cast<std::size_t>(s)];
+  }
+  return freq;
+}
+
+double Corpus::MeanSymptomSetSize() const {
+  if (prescriptions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const Prescription& p : prescriptions_) total += p.symptoms.size();
+  return static_cast<double>(total) / static_cast<double>(prescriptions_.size());
+}
+
+double Corpus::MeanHerbSetSize() const {
+  if (prescriptions_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const Prescription& p : prescriptions_) total += p.herbs.size();
+  return static_cast<double>(total) / static_cast<double>(prescriptions_.size());
+}
+
+std::size_t Corpus::NumDistinctSymptomsUsed() const {
+  const auto freq = SymptomFrequencies();
+  std::size_t used = 0;
+  for (std::size_t f : freq) used += f > 0 ? 1 : 0;
+  return used;
+}
+
+std::size_t Corpus::NumDistinctHerbsUsed() const {
+  const auto freq = HerbFrequencies();
+  std::size_t used = 0;
+  for (std::size_t f : freq) used += f > 0 ? 1 : 0;
+  return used;
+}
+
+}  // namespace data
+}  // namespace smgcn

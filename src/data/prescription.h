@@ -1,0 +1,74 @@
+// Core data records: a prescription is a (symptom set, herb set) pair; a
+// corpus is a collection of prescriptions plus the entity vocabularies.
+#ifndef SMGCN_DATA_PRESCRIPTION_H_
+#define SMGCN_DATA_PRESCRIPTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/data/vocabulary.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace data {
+
+/// One TCM prescription: the symptoms a patient presented with and the herb
+/// set prescribed to treat them. Ids index into the corpus vocabularies.
+/// Both id lists are kept sorted and deduplicated (sets, per the paper).
+struct Prescription {
+  std::vector<int> symptoms;
+  std::vector<int> herbs;
+
+  bool operator==(const Prescription& other) const = default;
+};
+
+/// Normalises a prescription in place: sorts and deduplicates both sets.
+void NormalizePrescription(Prescription* p);
+
+/// A prescription corpus with symptom/herb vocabularies.
+class Corpus {
+ public:
+  Corpus() = default;
+  Corpus(Vocabulary symptom_vocab, Vocabulary herb_vocab,
+         std::vector<Prescription> prescriptions);
+
+  const Vocabulary& symptom_vocab() const { return symptom_vocab_; }
+  const Vocabulary& herb_vocab() const { return herb_vocab_; }
+  const std::vector<Prescription>& prescriptions() const { return prescriptions_; }
+
+  std::size_t num_symptoms() const { return symptom_vocab_.size(); }
+  std::size_t num_herbs() const { return herb_vocab_.size(); }
+  std::size_t size() const { return prescriptions_.size(); }
+  bool empty() const { return prescriptions_.empty(); }
+
+  const Prescription& at(std::size_t i) const;
+
+  /// Appends a prescription after normalising it. Fails when any id is
+  /// outside the vocabulary or either set is empty.
+  Status Add(Prescription p);
+
+  /// Per-herb occurrence counts over prescriptions (the freq(i) of eq. 15).
+  std::vector<std::size_t> HerbFrequencies() const;
+
+  /// Per-symptom occurrence counts over prescriptions.
+  std::vector<std::size_t> SymptomFrequencies() const;
+
+  /// Mean sizes of the symptom and herb sets (0 for an empty corpus).
+  double MeanSymptomSetSize() const;
+  double MeanHerbSetSize() const;
+
+  /// Number of distinct symptoms / herbs that occur at least once.
+  std::size_t NumDistinctSymptomsUsed() const;
+  std::size_t NumDistinctHerbsUsed() const;
+
+ private:
+  Vocabulary symptom_vocab_;
+  Vocabulary herb_vocab_;
+  std::vector<Prescription> prescriptions_;
+};
+
+}  // namespace data
+}  // namespace smgcn
+
+#endif  // SMGCN_DATA_PRESCRIPTION_H_

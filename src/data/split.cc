@@ -1,0 +1,40 @@
+#include "src/data/split.h"
+
+#include <numeric>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace data {
+
+Result<TrainTestSplit> SplitCorpus(const Corpus& corpus, double train_fraction,
+                                   Rng* rng) {
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("train_fraction must be in (0, 1), got %g", train_fraction));
+  }
+  if (corpus.size() < 2) {
+    return Status::FailedPrecondition("need at least 2 prescriptions to split");
+  }
+
+  std::vector<std::size_t> order(corpus.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng->Shuffle(&order);
+
+  auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(corpus.size()));
+  n_train = std::max<std::size_t>(1, std::min(n_train, corpus.size() - 1));
+
+  TrainTestSplit split{
+      Corpus(corpus.symptom_vocab(), corpus.herb_vocab(), {}),
+      Corpus(corpus.symptom_vocab(), corpus.herb_vocab(), {}),
+  };
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Corpus& side = i < n_train ? split.train : split.test;
+    RETURN_IF_ERROR(side.Add(corpus.at(order[i])));
+  }
+  return split;
+}
+
+}  // namespace data
+}  // namespace smgcn

@@ -1,0 +1,28 @@
+// Train/test splitting of a corpus (the paper uses a fixed 22,917 / 3,443
+// split of 26,360 prescriptions, i.e. roughly 87/13).
+#ifndef SMGCN_DATA_SPLIT_H_
+#define SMGCN_DATA_SPLIT_H_
+
+#include "src/data/prescription.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace data {
+
+/// A train/test partition sharing the parent corpus vocabularies.
+struct TrainTestSplit {
+  Corpus train;
+  Corpus test;
+};
+
+/// Randomly partitions `corpus` with the given train fraction in (0, 1).
+/// Both sides keep the full vocabularies so entity ids stay aligned.
+/// Deterministic given `rng`.
+Result<TrainTestSplit> SplitCorpus(const Corpus& corpus, double train_fraction,
+                                   Rng* rng);
+
+}  // namespace data
+}  // namespace smgcn
+
+#endif  // SMGCN_DATA_SPLIT_H_

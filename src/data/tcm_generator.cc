@@ -1,0 +1,274 @@
+#include "src/data/tcm_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace data {
+namespace {
+
+/// Samples `k` distinct values from {0..n-1} with probability proportional
+/// to `weights` (rejection over a categorical draw; pools are small relative
+/// to the vocabulary so this terminates quickly).
+std::vector<int> WeightedDistinctSample(std::size_t n, std::size_t k,
+                                        const std::vector<double>& weights,
+                                        Rng* rng) {
+  SMGCN_CHECK_LE(k, n);
+  std::set<int> chosen;
+  while (chosen.size() < k) {
+    chosen.insert(static_cast<int>(rng->Categorical(weights)));
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+/// Draws up to `want` entries from `pool` without replacement, preferring
+/// the front of the pool ("core" members) via geometric-ish weights.
+void DrawFromPool(const std::vector<int>& pool, std::size_t want, Rng* rng,
+                  std::set<int>* out) {
+  if (pool.empty() || want == 0) return;
+  std::vector<double> weights(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    weights[i] = 1.0 / (1.0 + 0.35 * static_cast<double>(i));
+  }
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * want + 20;
+  while (added < want && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t idx = rng->Categorical(weights);
+    if (out->insert(pool[idx]).second) ++added;
+  }
+}
+
+}  // namespace
+
+Status TcmGeneratorConfig::Validate() const {
+  if (num_symptoms == 0 || num_herbs == 0) {
+    return Status::InvalidArgument("vocabulary sizes must be positive");
+  }
+  if (num_syndromes == 0) {
+    return Status::InvalidArgument("need at least one syndrome");
+  }
+  if (num_prescriptions == 0) {
+    return Status::InvalidArgument("need at least one prescription");
+  }
+  if (symptom_pool_size == 0 || symptom_pool_size > num_symptoms) {
+    return Status::InvalidArgument(
+        StrFormat("symptom_pool_size %zu out of range (1..%zu)", symptom_pool_size,
+                  num_symptoms));
+  }
+  if (herb_pool_size == 0 || herb_pool_size > num_herbs) {
+    return Status::InvalidArgument(StrFormat(
+        "herb_pool_size %zu out of range (1..%zu)", herb_pool_size, num_herbs));
+  }
+  if (min_symptoms < 1 || max_symptoms < min_symptoms) {
+    return Status::InvalidArgument("invalid symptom set size range");
+  }
+  if (min_herbs < 1 || max_herbs < min_herbs) {
+    return Status::InvalidArgument("invalid herb set size range");
+  }
+  for (double p : {second_syndrome_prob, noise_symptom_prob, noise_herb_prob,
+                   base_herb_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probabilities must lie in [0, 1]");
+    }
+  }
+  if (num_base_herbs > num_herbs) {
+    return Status::InvalidArgument("more base herbs than herbs");
+  }
+  if (symptom_zipf < 0.0 || herb_zipf < 0.0) {
+    return Status::InvalidArgument("zipf exponents must be non-negative");
+  }
+  if (num_incompatible_pairs > num_herbs * (num_herbs - 1) / 2) {
+    return Status::InvalidArgument("more incompatible pairs than herb pairs");
+  }
+  if (companion_prob < 0.0 || companion_prob > 1.0) {
+    return Status::InvalidArgument("companion_prob must lie in [0, 1]");
+  }
+  return Status::OK();
+}
+
+TcmGenerator::TcmGenerator(TcmGeneratorConfig config) : config_(std::move(config)) {}
+
+Result<Corpus> TcmGenerator::Generate() {
+  RETURN_IF_ERROR(config_.Validate());
+  const TcmGeneratorConfig& cfg = config_;
+  Rng rng(cfg.seed);
+
+  // --- Latent structure -------------------------------------------------
+  ground_truth_ = SyndromeGroundTruth{};
+
+  // Global popularity: low ids are globally popular, mirroring the heavy
+  // head of the real corpus (paper Fig. 5).
+  std::vector<double> symptom_pop(cfg.num_symptoms);
+  for (std::size_t i = 0; i < cfg.num_symptoms; ++i) {
+    symptom_pop[i] = 1.0 / std::pow(static_cast<double>(i + 1), cfg.symptom_zipf);
+  }
+  std::vector<double> herb_pop(cfg.num_herbs);
+  for (std::size_t i = 0; i < cfg.num_herbs; ++i) {
+    herb_pop[i] = 1.0 / std::pow(static_cast<double>(i + 1), cfg.herb_zipf);
+  }
+
+  ground_truth_.syndrome_symptoms.resize(cfg.num_syndromes);
+  ground_truth_.syndrome_herbs.resize(cfg.num_syndromes);
+  for (std::size_t k = 0; k < cfg.num_syndromes; ++k) {
+    ground_truth_.syndrome_symptoms[k] =
+        WeightedDistinctSample(cfg.num_symptoms, cfg.symptom_pool_size, symptom_pop, &rng);
+    ground_truth_.syndrome_herbs[k] =
+        WeightedDistinctSample(cfg.num_herbs, cfg.herb_pool_size, herb_pop, &rng);
+    // Shuffle so "core" pool members (front) are not always the globally
+    // popular ones.
+    rng.Shuffle(&ground_truth_.syndrome_symptoms[k]);
+    rng.Shuffle(&ground_truth_.syndrome_herbs[k]);
+  }
+
+  for (std::size_t i = 0; i < cfg.num_base_herbs; ++i) {
+    ground_truth_.base_herbs.push_back(static_cast<int>(i));
+  }
+
+  if (cfg.pair_herbs > 0) {
+    for (std::size_t a = 0; a < cfg.num_syndromes; ++a) {
+      for (std::size_t b = a + 1; b < cfg.num_syndromes; ++b) {
+        ground_truth_.pair_adjustment_herbs[{static_cast<int>(a), static_cast<int>(b)}] =
+            WeightedDistinctSample(cfg.num_herbs, cfg.pair_herbs, herb_pop, &rng);
+      }
+    }
+  }
+
+  // Companion pairing: a random perfect matching over the non-base herbs
+  // (base herbs are universal already and need no reinforcement partner).
+  if (cfg.companion_prob > 0.0) {
+    ground_truth_.companion_of.assign(cfg.num_herbs, -1);
+    std::vector<int> pool;
+    for (std::size_t h = cfg.num_base_herbs; h < cfg.num_herbs; ++h) {
+      pool.push_back(static_cast<int>(h));
+    }
+    rng.Shuffle(&pool);
+    for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+      ground_truth_.companion_of[static_cast<std::size_t>(pool[i])] = pool[i + 1];
+      ground_truth_.companion_of[static_cast<std::size_t>(pool[i + 1])] = pool[i];
+    }
+  }
+
+  // Contraindicated pairs; base herbs are exempt so they stay universal.
+  std::set<std::pair<int, int>> incompatible;
+  std::size_t incompat_attempts = 0;
+  while (incompatible.size() < cfg.num_incompatible_pairs &&
+         incompat_attempts < 100 * cfg.num_incompatible_pairs + 100) {
+    ++incompat_attempts;
+    const int a = static_cast<int>(
+        rng.UniformInt(0, static_cast<std::int64_t>(cfg.num_herbs) - 1));
+    const int b = static_cast<int>(
+        rng.UniformInt(0, static_cast<std::int64_t>(cfg.num_herbs) - 1));
+    if (a == b) continue;
+    if (static_cast<std::size_t>(a) < cfg.num_base_herbs ||
+        static_cast<std::size_t>(b) < cfg.num_base_herbs) {
+      continue;
+    }
+    incompatible.emplace(std::min(a, b), std::max(a, b));
+  }
+  ground_truth_.incompatible_herb_pairs.assign(incompatible.begin(),
+                                               incompatible.end());
+
+  // --- Prescriptions ----------------------------------------------------
+  Corpus corpus(Vocabulary::Synthetic(cfg.num_symptoms, "symptom_"),
+                Vocabulary::Synthetic(cfg.num_herbs, "herb_"), {});
+
+  std::size_t generated = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * cfg.num_prescriptions;
+  while (generated < cfg.num_prescriptions && attempts < max_attempts) {
+    ++attempts;
+    const auto syndrome_a = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(cfg.num_syndromes) - 1));
+    std::size_t syndrome_b = syndrome_a;
+    const bool comorbid =
+        cfg.num_syndromes > 1 && rng.Bernoulli(cfg.second_syndrome_prob);
+    if (comorbid) {
+      while (syndrome_b == syndrome_a) {
+        syndrome_b = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(cfg.num_syndromes) - 1));
+      }
+    }
+
+    const auto n_symptoms = static_cast<std::size_t>(
+        rng.UniformInt(cfg.min_symptoms, cfg.max_symptoms));
+    const auto n_herbs =
+        static_cast<std::size_t>(rng.UniformInt(cfg.min_herbs, cfg.max_herbs));
+
+    std::set<int> symptoms;
+    std::set<int> herbs;
+    if (comorbid) {
+      const std::size_t half_s = (n_symptoms + 1) / 2;
+      DrawFromPool(ground_truth_.syndrome_symptoms[syndrome_a], half_s, &rng, &symptoms);
+      DrawFromPool(ground_truth_.syndrome_symptoms[syndrome_b],
+                   n_symptoms - std::min(n_symptoms, symptoms.size()), &rng, &symptoms);
+      const std::size_t half_h = (n_herbs + 1) / 2;
+      DrawFromPool(ground_truth_.syndrome_herbs[syndrome_a], half_h, &rng, &herbs);
+      DrawFromPool(ground_truth_.syndrome_herbs[syndrome_b],
+                   n_herbs - std::min(n_herbs, herbs.size()), &rng, &herbs);
+      const auto key = std::make_pair(
+          static_cast<int>(std::min(syndrome_a, syndrome_b)),
+          static_cast<int>(std::max(syndrome_a, syndrome_b)));
+      const auto it = ground_truth_.pair_adjustment_herbs.find(key);
+      if (it != ground_truth_.pair_adjustment_herbs.end()) {
+        herbs.insert(it->second.begin(), it->second.end());
+      }
+    } else {
+      DrawFromPool(ground_truth_.syndrome_symptoms[syndrome_a], n_symptoms, &rng,
+                   &symptoms);
+      DrawFromPool(ground_truth_.syndrome_herbs[syndrome_a], n_herbs, &rng, &herbs);
+    }
+
+    for (int h : ground_truth_.base_herbs) {
+      if (rng.Bernoulli(cfg.base_herb_prob)) herbs.insert(h);
+    }
+    if (rng.Bernoulli(cfg.noise_symptom_prob)) {
+      symptoms.insert(static_cast<int>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cfg.num_symptoms) - 1)));
+    }
+    if (rng.Bernoulli(cfg.noise_herb_prob)) {
+      herbs.insert(static_cast<int>(
+          rng.UniformInt(0, static_cast<std::int64_t>(cfg.num_herbs) - 1)));
+    }
+
+    // Companion reinforcement: each drawn herb pulls in its partner with
+    // probability companion_prob, independent of the syndrome.
+    if (cfg.companion_prob > 0.0) {
+      const std::vector<int> drawn(herbs.begin(), herbs.end());
+      for (int h : drawn) {
+        const int companion = ground_truth_.companion_of[static_cast<std::size_t>(h)];
+        if (companion >= 0 && rng.Bernoulli(cfg.companion_prob)) {
+          herbs.insert(companion);
+        }
+      }
+    }
+
+    // Enforce contraindications: drop the later member of any violating
+    // pair (the earlier one is kept as the "primary" herb).
+    for (const auto& [a, b] : ground_truth_.incompatible_herb_pairs) {
+      if (herbs.count(a) > 0 && herbs.count(b) > 0) herbs.erase(b);
+    }
+
+    if (symptoms.empty() || herbs.empty()) continue;
+    Prescription p;
+    p.symptoms.assign(symptoms.begin(), symptoms.end());
+    p.herbs.assign(herbs.begin(), herbs.end());
+    RETURN_IF_ERROR(corpus.Add(std::move(p)));
+    ++generated;
+  }
+
+  if (generated < cfg.num_prescriptions) {
+    return Status::Internal(
+        StrFormat("generator stalled after %zu attempts (%zu/%zu prescriptions)",
+                  attempts, generated, cfg.num_prescriptions));
+  }
+  return corpus;
+}
+
+}  // namespace data
+}  // namespace smgcn

@@ -1,0 +1,135 @@
+// Synthetic TCM prescription generator.
+//
+// The benchmark corpus of Yao et al. used in the paper (26,360 processed
+// prescriptions, 360 symptoms, 753 herbs) is not redistributable, so this
+// simulator reproduces the *structural* properties that SMGCN's components
+// exploit:
+//
+//   * a latent syndrome layer: every prescription is caused by one or two
+//     latent syndromes, each owning a symptom pool and a compatible herb
+//     pool — mirroring the doctor's symptom -> syndrome -> herbs process the
+//     paper mimics (Fig. 1);
+//   * set-level nonlinearity: when two syndromes co-occur, an extra
+//     pair-specific "adjustment" herb set is prescribed, so the correct herb
+//     set depends on the symptom *combination*, giving the MLP-based
+//     Syndrome Induction component genuine signal over mean pooling;
+//   * synergy structure: symptoms (herbs) from the same syndrome pool
+//     co-occur far more than chance, which is what the SS/HH synergy graphs
+//     (paper Sec. IV-B) encode;
+//   * skewed popularity: herb usage follows a Zipf law plus a handful of
+//     near-universal base herbs, reproducing the imbalance of paper Fig. 5
+//     that motivates the weighted multi-label loss (eq. 15).
+//
+// The latent structure is exposed as ground truth so the HC-KGETM baseline
+// can build its knowledge graph from it and tests can assert properties.
+#ifndef SMGCN_DATA_TCM_GENERATOR_H_
+#define SMGCN_DATA_TCM_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/data/prescription.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace data {
+
+/// Knobs of the generative process. Defaults produce a corpus that trains
+/// every model in this repo in seconds on a laptop CPU while preserving the
+/// paper-relevant structure above.
+struct TcmGeneratorConfig {
+  std::size_t num_symptoms = 140;
+  std::size_t num_herbs = 260;
+  std::size_t num_syndromes = 24;
+  std::size_t num_prescriptions = 5000;
+
+  /// Size of each syndrome's symptom / herb pool.
+  std::size_t symptom_pool_size = 14;
+  std::size_t herb_pool_size = 20;
+
+  /// Per-prescription set size ranges (inclusive).
+  int min_symptoms = 3;
+  int max_symptoms = 8;
+  int min_herbs = 5;
+  int max_herbs = 12;
+
+  /// Probability that a prescription has a second (co-morbid) syndrome.
+  double second_syndrome_prob = 0.35;
+  /// Herbs added only when a specific syndrome pair co-occurs.
+  std::size_t pair_herbs = 3;
+
+  /// Chance of one uniformly random noise symptom / herb per prescription.
+  double noise_symptom_prob = 0.08;
+  double noise_herb_prob = 0.08;
+
+  /// Near-universal base herbs (e.g. licorice) and their inclusion chance.
+  std::size_t num_base_herbs = 6;
+  double base_herb_prob = 0.5;
+
+  /// Zipf exponents of global symptom / herb popularity.
+  double symptom_zipf = 0.8;
+  double herb_zipf = 0.9;
+
+  /// Incompatible herb pairs (TCM contraindications, e.g. the "eighteen
+  /// incompatibilities"). Generated prescriptions never contain both
+  /// members of a pair; the pairs are exposed in the ground truth for
+  /// compatibility-constrained recommendation (core::CompatibilityRules).
+  std::size_t num_incompatible_pairs = 0;
+
+  /// Companion-herb convention (TCM mutual reinforcement, 相须): herbs are
+  /// paired up, and whenever a herb is prescribed its companion joins with
+  /// this probability — *independently of the syndrome*. This is herb-herb
+  /// compatibility knowledge that only co-prescription statistics carry,
+  /// i.e. precisely the signal the paper's HH synergy graph encodes beyond
+  /// the bipartite graph. 0 disables the mechanism.
+  double companion_prob = 0.0;
+
+  std::uint64_t seed = 20200220;  // arXiv date of the paper.
+
+  /// Checks ranges and consistency (pool sizes vs vocabulary sizes etc.).
+  Status Validate() const;
+};
+
+/// The latent structure behind a generated corpus.
+struct SyndromeGroundTruth {
+  /// syndrome_symptoms[k] / syndrome_herbs[k]: sorted entity pools of
+  /// syndrome k.
+  std::vector<std::vector<int>> syndrome_symptoms;
+  std::vector<std::vector<int>> syndrome_herbs;
+  /// Near-universal herbs.
+  std::vector<int> base_herbs;
+  /// Extra herbs prescribed when syndromes {a, b} (a < b) co-occur.
+  std::map<std::pair<int, int>, std::vector<int>> pair_adjustment_herbs;
+  /// Contraindicated herb pairs (a < b); never co-occur in prescriptions.
+  std::vector<std::pair<int, int>> incompatible_herb_pairs;
+  /// companion_of[h] is h's reinforcement partner (-1 when unpaired; the
+  /// relation is symmetric). Empty when companion_prob == 0.
+  std::vector<int> companion_of;
+};
+
+/// Deterministic generator: the same config (including seed) always yields
+/// the same corpus and ground truth.
+class TcmGenerator {
+ public:
+  explicit TcmGenerator(TcmGeneratorConfig config);
+
+  /// Generates the corpus; fails when the config is invalid.
+  Result<Corpus> Generate();
+
+  /// Latent structure of the last Generate() call.
+  const SyndromeGroundTruth& ground_truth() const { return ground_truth_; }
+
+  const TcmGeneratorConfig& config() const { return config_; }
+
+ private:
+  TcmGeneratorConfig config_;
+  SyndromeGroundTruth ground_truth_;
+};
+
+}  // namespace data
+}  // namespace smgcn
+
+#endif  // SMGCN_DATA_TCM_GENERATOR_H_

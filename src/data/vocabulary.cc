@@ -1,0 +1,51 @@
+#include "src/data/vocabulary.h"
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace data {
+
+Vocabulary Vocabulary::Synthetic(std::size_t n, const std::string& prefix) {
+  Vocabulary vocab;
+  for (std::size_t i = 0; i < n; ++i) {
+    vocab.GetOrAdd(prefix + std::to_string(i));
+  }
+  return vocab;
+}
+
+int Vocabulary::GetOrAdd(const std::string& name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+Result<int> Vocabulary::Add(const std::string& name) {
+  if (ids_.count(name) > 0) {
+    return Status::AlreadyExists("duplicate vocabulary entry: '" + name + "'");
+  }
+  return GetOrAdd(name);
+}
+
+Result<int> Vocabulary::Lookup(const std::string& name) const {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown vocabulary entry: '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Vocabulary::Contains(const std::string& name) const {
+  return ids_.count(name) > 0;
+}
+
+const std::string& Vocabulary::Name(int id) const {
+  SMGCN_CHECK(ContainsId(id)) << "invalid vocabulary id " << id;
+  return names_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace data
+}  // namespace smgcn

@@ -1,0 +1,50 @@
+// Bidirectional mapping between entity names (symptoms/herbs) and dense ids.
+#ifndef SMGCN_DATA_VOCABULARY_H_
+#define SMGCN_DATA_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace data {
+
+/// Dense id <-> name mapping. Ids are assigned in insertion order.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Builds a vocabulary of `n` synthetic names "<prefix>0".."<prefix>n-1".
+  static Vocabulary Synthetic(std::size_t n, const std::string& prefix);
+
+  /// Returns the id of `name`, inserting it when absent.
+  int GetOrAdd(const std::string& name);
+
+  /// Inserts `name`; fails with AlreadyExists when present.
+  Result<int> Add(const std::string& name);
+
+  /// Id lookup; NotFound when absent.
+  Result<int> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+  bool ContainsId(int id) const { return id >= 0 && static_cast<std::size_t>(id) < names_.size(); }
+
+  /// Name of `id`; must be a valid id.
+  const std::string& Name(int id) const;
+
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace data
+}  // namespace smgcn
+
+#endif  // SMGCN_DATA_VOCABULARY_H_

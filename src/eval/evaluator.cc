@@ -1,0 +1,80 @@
+#include "src/eval/evaluator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace eval {
+
+const MetricsAtK& EvaluationReport::At(std::size_t k) const {
+  for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == k) return metrics[i];
+  }
+  LOG_FATAL << "cutoff " << k << " not present in report";
+  return metrics.front();
+}
+
+std::string EvaluationReport::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += StrFormat("p@%zu=%.4f r@%zu=%.4f ndcg@%zu=%.4f", cutoffs[i],
+                     metrics[i].precision, cutoffs[i], metrics[i].recall,
+                     cutoffs[i], metrics[i].ndcg);
+  }
+  return out;
+}
+
+std::vector<double> EvaluationReport::PaperRow() const {
+  std::vector<double> row;
+  row.reserve(3 * cutoffs.size());
+  for (const MetricsAtK& m : metrics) row.push_back(m.precision);
+  for (const MetricsAtK& m : metrics) row.push_back(m.recall);
+  for (const MetricsAtK& m : metrics) row.push_back(m.ndcg);
+  return row;
+}
+
+Result<EvaluationReport> Evaluate(const HerbScorer& scorer, const data::Corpus& test,
+                                  std::vector<std::size_t> cutoffs) {
+  if (test.empty()) {
+    return Status::FailedPrecondition("cannot evaluate on an empty test corpus");
+  }
+  if (cutoffs.empty()) {
+    return Status::InvalidArgument("need at least one cutoff");
+  }
+  const std::size_t max_k = *std::max_element(cutoffs.begin(), cutoffs.end());
+
+  EvaluationReport report;
+  report.cutoffs = cutoffs;
+  report.metrics.assign(cutoffs.size(), MetricsAtK{});
+  report.num_prescriptions = test.size();
+
+  for (const data::Prescription& p : test.prescriptions()) {
+    const std::vector<double> scores = scorer(p.symptoms);
+    if (scores.size() != test.num_herbs()) {
+      return Status::Internal(
+          StrFormat("scorer returned %zu scores, expected %zu herbs", scores.size(),
+                    test.num_herbs()));
+    }
+    const std::vector<std::size_t> ranked = TopK(scores, max_k);
+    for (std::size_t i = 0; i < cutoffs.size(); ++i) {
+      const MetricsAtK m = ComputeMetricsAtK(ranked, p.herbs, cutoffs[i]);
+      report.metrics[i].precision += m.precision;
+      report.metrics[i].recall += m.recall;
+      report.metrics[i].ndcg += m.ndcg;
+    }
+  }
+
+  const auto n = static_cast<double>(test.size());
+  for (MetricsAtK& m : report.metrics) {
+    m.precision /= n;
+    m.recall /= n;
+    m.ndcg /= n;
+  }
+  return report;
+}
+
+}  // namespace eval
+}  // namespace smgcn

@@ -1,0 +1,50 @@
+// Batched evaluation of a herb scorer over a test corpus, producing the
+// metric rows of the paper's tables (p@K, r@K, ndcg@K for K in {5,10,20}).
+#ifndef SMGCN_EVAL_EVALUATOR_H_
+#define SMGCN_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/data/prescription.h"
+#include "src/eval/metrics.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace eval {
+
+/// Scores every herb for a symptom set; the returned vector has one entry
+/// per herb id. Must be safe to call repeatedly on a trained model.
+using HerbScorer =
+    std::function<std::vector<double>(const std::vector<int>& symptom_set)>;
+
+/// Mean metrics over a test set at several cutoffs.
+struct EvaluationReport {
+  std::vector<std::size_t> cutoffs;
+  std::vector<MetricsAtK> metrics;  // parallel to cutoffs
+  std::size_t num_prescriptions = 0;
+
+  /// Metrics at a cutoff; the cutoff must be present.
+  const MetricsAtK& At(std::size_t k) const;
+
+  /// One row "p@5=... r@5=... ndcg@5=... | p@10=..." for logs.
+  std::string ToString() const;
+
+  /// Values flattened in the paper's column order:
+  /// p@5 p@10 p@20 r@5 r@10 r@20 ndcg@5 ndcg@10 ndcg@20 (for the default
+  /// cutoffs; generally p@* then r@* then ndcg@*).
+  std::vector<double> PaperRow() const;
+};
+
+/// Evaluates `scorer` on every prescription of `test`, averaging metrics.
+/// Fails when the test corpus is empty or a scorer returns a wrong-sized
+/// vector.
+Result<EvaluationReport> Evaluate(const HerbScorer& scorer,
+                                  const data::Corpus& test,
+                                  std::vector<std::size_t> cutoffs = {5, 10, 20});
+
+}  // namespace eval
+}  // namespace smgcn
+
+#endif  // SMGCN_EVAL_EVALUATOR_H_

@@ -1,0 +1,122 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace smgcn {
+namespace eval {
+
+std::vector<std::size_t> TopK(const std::vector<double>& scores, std::size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&scores](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+namespace {
+
+std::unordered_set<std::size_t> ToSet(const std::vector<int>& relevant) {
+  std::unordered_set<std::size_t> set;
+  set.reserve(relevant.size());
+  for (int id : relevant) {
+    if (id >= 0) set.insert(static_cast<std::size_t>(id));
+  }
+  return set;
+}
+
+}  // namespace
+
+double PrecisionAtK(const std::vector<std::size_t>& ranked,
+                    const std::vector<int>& relevant, std::size_t k) {
+  k = std::min(k, ranked.size());
+  if (k == 0) return 0.0;
+  const auto rel = ToSet(relevant);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) hits += rel.count(ranked[i]);
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<std::size_t>& ranked,
+                 const std::vector<int>& relevant, std::size_t k) {
+  if (relevant.empty()) return 0.0;
+  k = std::min(k, ranked.size());
+  const auto rel = ToSet(relevant);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) hits += rel.count(ranked[i]);
+  return static_cast<double>(hits) / static_cast<double>(rel.size());
+}
+
+double NdcgAtK(const std::vector<std::size_t>& ranked,
+               const std::vector<int>& relevant, std::size_t k) {
+  if (relevant.empty()) return 0.0;
+  k = std::min(k, ranked.size());
+  const auto rel = ToSet(relevant);
+  double dcg = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (rel.count(ranked[i]) > 0) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  const std::size_t ideal_hits = std::min(k, rel.size());
+  for (std::size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double AveragePrecisionAtK(const std::vector<std::size_t>& ranked,
+                           const std::vector<int>& relevant, std::size_t k) {
+  if (relevant.empty()) return 0.0;
+  k = std::min(k, ranked.size());
+  const auto rel = ToSet(relevant);
+  double sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (rel.count(ranked[i]) > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  const std::size_t denom = std::min(k, rel.size());
+  return denom > 0 ? sum / static_cast<double>(denom) : 0.0;
+}
+
+double HitRateAtK(const std::vector<std::size_t>& ranked,
+                  const std::vector<int>& relevant, std::size_t k) {
+  k = std::min(k, ranked.size());
+  const auto rel = ToSet(relevant);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (rel.count(ranked[i]) > 0) return 1.0;
+  }
+  return 0.0;
+}
+
+MetricsAtK ComputeMetricsAtK(const std::vector<std::size_t>& ranked,
+                             const std::vector<int>& relevant, std::size_t k) {
+  return MetricsAtK{PrecisionAtK(ranked, relevant, k),
+                    RecallAtK(ranked, relevant, k), NdcgAtK(ranked, relevant, k)};
+}
+
+double CatalogCoverage(const std::vector<std::vector<std::size_t>>& top_k_lists,
+                       std::size_t num_items) {
+  if (num_items == 0) return 0.0;
+  std::unordered_set<std::size_t> seen;
+  for (const auto& list : top_k_lists) {
+    for (const std::size_t item : list) {
+      if (item < num_items) seen.insert(item);
+    }
+  }
+  return static_cast<double>(seen.size()) / static_cast<double>(num_items);
+}
+
+}  // namespace eval
+}  // namespace smgcn

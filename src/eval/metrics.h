@@ -1,0 +1,62 @@
+// Ranking metrics of the paper's evaluation (eqs. 16-18): Precision@K,
+// Recall@K and NDCG@K over recommended herb lists.
+#ifndef SMGCN_EVAL_METRICS_H_
+#define SMGCN_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace smgcn {
+namespace eval {
+
+/// Indices of the `k` largest scores, ordered by descending score (ties
+/// broken by lower index, making evaluation deterministic).
+std::vector<std::size_t> TopK(const std::vector<double>& scores, std::size_t k);
+
+/// Fraction of the top-K ranked items that are relevant. `ranked` must be
+/// ordered by descending score; `relevant` is the ground-truth id set
+/// (sorted or not). K = min(k, ranked.size()).
+double PrecisionAtK(const std::vector<std::size_t>& ranked,
+                    const std::vector<int>& relevant, std::size_t k);
+
+/// Fraction of the relevant items contained in the top-K.
+double RecallAtK(const std::vector<std::size_t>& ranked,
+                 const std::vector<int>& relevant, std::size_t k);
+
+/// DCG@K / IDCG@K with binary gains: hit at rank r (1-based) contributes
+/// 1/log2(r+1); IDCG places all |relevant| hits first.
+double NdcgAtK(const std::vector<std::size_t>& ranked,
+               const std::vector<int>& relevant, std::size_t k);
+
+/// Average precision at K: mean over relevant hits of precision at their
+/// ranks, normalised by min(k, |relevant|). (MAP when averaged over a
+/// test set.)
+double AveragePrecisionAtK(const std::vector<std::size_t>& ranked,
+                           const std::vector<int>& relevant, std::size_t k);
+
+/// 1 when at least one relevant item appears in the top-K, else 0.
+double HitRateAtK(const std::vector<std::size_t>& ranked,
+                  const std::vector<int>& relevant, std::size_t k);
+
+/// Metric triple at one cutoff.
+struct MetricsAtK {
+  double precision = 0.0;
+  double recall = 0.0;
+  double ndcg = 0.0;
+};
+
+/// Computes all three metrics at the given cutoff.
+MetricsAtK ComputeMetricsAtK(const std::vector<std::size_t>& ranked,
+                             const std::vector<int>& relevant, std::size_t k);
+
+/// Catalogue coverage: fraction of the `num_items` catalogue that appears
+/// in at least one of the given top-K lists. Measures recommendation
+/// diversity across a test set (not in the paper; standard recsys
+/// diagnostics for production use).
+double CatalogCoverage(const std::vector<std::vector<std::size_t>>& top_k_lists,
+                       std::size_t num_items);
+
+}  // namespace eval
+}  // namespace smgcn
+
+#endif  // SMGCN_EVAL_METRICS_H_

@@ -1,0 +1,139 @@
+#include "src/graph/csr_matrix.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace graph {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+CsrMatrix CsrMatrix::FromTriplets(std::size_t rows, std::size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    SMGCN_CHECK_LT(t.row, rows) << "triplet row out of range";
+    SMGCN_CHECK_LT(t.col, cols) << "triplet col out of range";
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m(rows, cols);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    const std::size_t r = triplets[i].row;
+    const std::size_t c = triplets[i].col;
+    double v = 0.0;
+    while (i < triplets.size() && triplets[i].row == r && triplets[i].col == c) {
+      v += triplets[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    ++m.row_ptr_[r + 1];
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const tensor::Matrix& dense) {
+  std::vector<Triplet> triplets;
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense(r, c);
+      if (v != 0.0) triplets.push_back({r, c, v});
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+std::size_t CsrMatrix::RowNnz(std::size_t r) const {
+  SMGCN_CHECK_LT(r, rows_);
+  return row_ptr_[r + 1] - row_ptr_[r];
+}
+
+double CsrMatrix::At(std::size_t r, std::size_t c) const {
+  SMGCN_CHECK_LT(r, rows_);
+  SMGCN_CHECK_LT(c, cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+tensor::Matrix CsrMatrix::Multiply(const tensor::Matrix& dense) const {
+  SMGCN_CHECK_EQ(cols_, dense.rows()) << "spmm inner dimension mismatch";
+  tensor::Matrix out(rows_, dense.cols(), 0.0);
+  const std::size_t d = dense.cols();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* o_row = out.row_data(r);
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double v = values_[i];
+      const double* src = dense.row_data(col_idx_[i]);
+      for (std::size_t j = 0; j < d; ++j) o_row[j] += v * src[j];
+    }
+  }
+  return out;
+}
+
+tensor::Matrix CsrMatrix::TransposeMultiply(const tensor::Matrix& dense) const {
+  SMGCN_CHECK_EQ(rows_, dense.rows()) << "spmm^T inner dimension mismatch";
+  tensor::Matrix out(cols_, dense.cols(), 0.0);
+  const std::size_t d = dense.cols();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = dense.row_data(r);
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double v = values_[i];
+      double* o_row = out.row_data(col_idx_[i]);
+      for (std::size_t j = 0; j < d; ++j) o_row[j] += v * src[j];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  CsrMatrix out = *this;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) sum += values_[i];
+    if (sum == 0.0) continue;
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) out.values_[i] /= sum;
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      triplets.push_back({col_idx_[i], r, values_[i]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+tensor::Matrix CsrMatrix::ToDense() const {
+  tensor::Matrix out(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      out(r, col_idx_[i]) += values_[i];
+    }
+  }
+  return out;
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) sums[r] += values_[i];
+  }
+  return sums;
+}
+
+}  // namespace graph
+}  // namespace smgcn

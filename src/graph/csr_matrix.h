@@ -1,0 +1,92 @@
+// Compressed-sparse-row matrix used for graph adjacency / propagation
+// operators (symptom-herb bipartite graph, synergy graphs).
+#ifndef SMGCN_GRAPH_CSR_MATRIX_H_
+#define SMGCN_GRAPH_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace smgcn {
+namespace graph {
+
+/// One (row, col, value) entry used while assembling a sparse matrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix of doubles. Built from triplets (duplicates are
+/// summed) and used as the left operand of sparse x dense products.
+class CsrMatrix {
+ public:
+  /// Empty matrix of the given shape.
+  CsrMatrix(std::size_t rows = 0, std::size_t cols = 0);
+
+  /// Builds from triplets; entries outside the shape are programmer errors.
+  /// Duplicate coordinates are summed; exact zero results are kept (callers
+  /// that want pruning should filter first).
+  static CsrMatrix FromTriplets(std::size_t rows, std::size_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// Builds from a dense matrix, dropping exact zeros.
+  static CsrMatrix FromDense(const tensor::Matrix& dense);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Number of stored entries in row r.
+  std::size_t RowNnz(std::size_t r) const;
+
+  /// Value at (r, c); zero when not stored. O(log nnz(row)).
+  double At(std::size_t r, std::size_t c) const;
+
+  /// Sparse x dense product: (rows x cols) * (cols x d) -> rows x d.
+  tensor::Matrix Multiply(const tensor::Matrix& dense) const;
+
+  /// Transposed product: this^T * dense, i.e. (cols x rows) * (rows x d).
+  /// Used by autograd's spmm backward without materialising the transpose.
+  tensor::Matrix TransposeMultiply(const tensor::Matrix& dense) const;
+
+  /// Returns a copy whose every row is scaled to sum to 1 (rows with zero
+  /// sum are left untouched). This is the mean-aggregation operator
+  /// 1/|N(v)| sum_{u in N(v)} of the paper's eq. (2)/(3).
+  CsrMatrix RowNormalized() const;
+
+  /// Explicit transpose (used by graph construction, not hot paths).
+  CsrMatrix Transpose() const;
+
+  /// Densifies (tests / debugging only).
+  tensor::Matrix ToDense() const;
+
+  /// Per-row sum of values (out-degree for 0/1 adjacency).
+  std::vector<double> RowSums() const;
+
+  /// Raw CSR access for kernels and iteration.
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Iterates entries of one row: fn(col, value).
+  template <typename Fn>
+  void ForEachInRow(std::size_t r, Fn&& fn) const {
+    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      fn(col_idx_[i], values_[i]);
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  // size rows_ + 1
+  std::vector<std::size_t> col_idx_;  // size nnz, sorted within each row
+  std::vector<double> values_;        // size nnz
+};
+
+}  // namespace graph
+}  // namespace smgcn
+
+#endif  // SMGCN_GRAPH_CSR_MATRIX_H_

@@ -1,0 +1,98 @@
+#include "src/graph/graph_builder.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace graph {
+
+CsrMatrix BuildSymptomHerbGraph(const data::Corpus& corpus) {
+  std::set<std::pair<int, int>> edges;
+  for (const data::Prescription& p : corpus.prescriptions()) {
+    for (int s : p.symptoms) {
+      for (int h : p.herbs) edges.emplace(s, h);
+    }
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size());
+  for (const auto& [s, h] : edges) {
+    triplets.push_back({static_cast<std::size_t>(s), static_cast<std::size_t>(h), 1.0});
+  }
+  return CsrMatrix::FromTriplets(corpus.num_symptoms(), corpus.num_herbs(),
+                                 std::move(triplets));
+}
+
+CsrMatrix BuildSynergyGraph(const data::Corpus& corpus, bool use_herbs,
+                            int threshold) {
+  const std::size_t n = use_herbs ? corpus.num_herbs() : corpus.num_symptoms();
+  std::map<std::pair<int, int>, int> counts;
+  for (const data::Prescription& p : corpus.prescriptions()) {
+    const std::vector<int>& items = use_herbs ? p.herbs : p.symptoms;
+    // Prescription sets are sorted and deduplicated, so i < j gives each
+    // unordered pair exactly once.
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        ++counts[{items[i], items[j]}];
+      }
+    }
+  }
+  std::vector<Triplet> triplets;
+  for (const auto& [pair, count] : counts) {
+    if (count > threshold) {
+      const auto a = static_cast<std::size_t>(pair.first);
+      const auto b = static_cast<std::size_t>(pair.second);
+      triplets.push_back({a, b, 1.0});
+      triplets.push_back({b, a, 1.0});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+CsrMatrix SampleNeighbors(const CsrMatrix& adj, std::size_t max_neighbors,
+                          Rng* rng) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(adj.nnz());
+  for (std::size_t r = 0; r < adj.rows(); ++r) {
+    const std::size_t degree = adj.RowNnz(r);
+    if (degree <= max_neighbors) {
+      adj.ForEachInRow(r, [&](std::size_t c, double v) {
+        triplets.push_back({r, c, v});
+      });
+      continue;
+    }
+    // Collect the row once, then take a uniform subset.
+    std::vector<std::pair<std::size_t, double>> entries;
+    entries.reserve(degree);
+    adj.ForEachInRow(r, [&entries](std::size_t c, double v) {
+      entries.emplace_back(c, v);
+    });
+    for (const std::size_t pick : rng->SampleWithoutReplacement(degree, max_neighbors)) {
+      triplets.push_back({r, entries[pick].first, entries[pick].second});
+    }
+  }
+  return CsrMatrix::FromTriplets(adj.rows(), adj.cols(), std::move(triplets));
+}
+
+Result<TcmGraphs> BuildTcmGraphs(const data::Corpus& corpus,
+                                 const SynergyThresholds& thresholds) {
+  if (corpus.empty()) {
+    return Status::FailedPrecondition("cannot build graphs from an empty corpus");
+  }
+  if (thresholds.xs < 0 || thresholds.xh < 0) {
+    return Status::InvalidArgument(
+        StrFormat("synergy thresholds must be non-negative (xs=%d, xh=%d)",
+                  thresholds.xs, thresholds.xh));
+  }
+  TcmGraphs graphs;
+  graphs.symptom_herb = BuildSymptomHerbGraph(corpus);
+  graphs.herb_symptom = graphs.symptom_herb.Transpose();
+  graphs.symptom_symptom = BuildSynergyGraph(corpus, /*use_herbs=*/false, thresholds.xs);
+  graphs.herb_herb = BuildSynergyGraph(corpus, /*use_herbs=*/true, thresholds.xh);
+  return graphs;
+}
+
+}  // namespace graph
+}  // namespace smgcn

@@ -1,0 +1,61 @@
+// Construction of the three graphs of the paper from a prescription corpus:
+//
+//   * SH — the symptom-herb bipartite graph (Sec. IV-A.1): SH[s][h] = 1 iff
+//     s and h co-occur in at least one prescription;
+//   * SS — the symptom-symptom synergy graph (Sec. IV-B.1): edge iff the
+//     pair co-occurs in strictly more than `xs` prescriptions;
+//   * HH — the herb-herb synergy graph, threshold `xh`.
+#ifndef SMGCN_GRAPH_GRAPH_BUILDER_H_
+#define SMGCN_GRAPH_GRAPH_BUILDER_H_
+
+#include "src/data/prescription.h"
+#include "src/graph/csr_matrix.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace graph {
+
+/// The multi-graph input of SMGCN.
+struct TcmGraphs {
+  /// Bipartite adjacency, shape num_symptoms x num_herbs, entries in {0,1}.
+  CsrMatrix symptom_herb;
+  /// Transposed view, shape num_herbs x num_symptoms (herb-oriented GCN).
+  CsrMatrix herb_symptom;
+  /// Synergy adjacencies (square, symmetric, zero diagonal, entries {0,1}).
+  CsrMatrix symptom_symptom;
+  CsrMatrix herb_herb;
+};
+
+/// Thresholds controlling synergy graph construction: an edge requires a
+/// co-occurrence count strictly greater than the threshold (paper notation
+/// "frequency > x").
+struct SynergyThresholds {
+  int xs = 5;
+  int xh = 40;
+};
+
+/// Builds the bipartite symptom-herb adjacency from `corpus`.
+CsrMatrix BuildSymptomHerbGraph(const data::Corpus& corpus);
+
+/// Counts unordered co-occurrences of symptoms (or herbs when
+/// `use_herbs`) and returns the thresholded 0/1 synergy adjacency.
+CsrMatrix BuildSynergyGraph(const data::Corpus& corpus, bool use_herbs,
+                            int threshold);
+
+/// Builds all graphs. Fails when the corpus is empty or thresholds are
+/// negative.
+Result<TcmGraphs> BuildTcmGraphs(const data::Corpus& corpus,
+                                 const SynergyThresholds& thresholds);
+
+/// Uniformly samples at most `max_neighbors` stored entries per row —
+/// GraphSAGE/PinSage-style neighbourhood sampling for scalable training on
+/// high-degree graphs. Values are preserved; callers wanting a mean
+/// aggregation should RowNormalized() the result. Deterministic given rng.
+CsrMatrix SampleNeighbors(const CsrMatrix& adj, std::size_t max_neighbors,
+                          Rng* rng);
+
+}  // namespace graph
+}  // namespace smgcn
+
+#endif  // SMGCN_GRAPH_GRAPH_BUILDER_H_

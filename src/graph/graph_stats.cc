@@ -1,0 +1,46 @@
+#include "src/graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace graph {
+
+DegreeStats ComputeDegreeStats(const CsrMatrix& adj) {
+  DegreeStats stats;
+  stats.num_nodes = adj.rows();
+  stats.num_edges = adj.nnz();
+  if (adj.rows() == 0) return stats;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t isolated = 0;
+  stats.min_degree = adj.RowNnz(0);
+  for (std::size_t r = 0; r < adj.rows(); ++r) {
+    const std::size_t deg = adj.RowNnz(r);
+    sum += static_cast<double>(deg);
+    sum_sq += static_cast<double>(deg) * static_cast<double>(deg);
+    stats.max_degree = std::max(stats.max_degree, deg);
+    stats.min_degree = std::min(stats.min_degree, deg);
+    if (deg == 0) ++isolated;
+  }
+  const auto n = static_cast<double>(adj.rows());
+  stats.mean_degree = sum / n;
+  const double variance = std::max(0.0, sum_sq / n - stats.mean_degree * stats.mean_degree);
+  stats.stddev_degree = std::sqrt(variance);
+  stats.isolated_fraction = static_cast<double>(isolated) / n;
+  return stats;
+}
+
+std::string DegreeStatsToString(const DegreeStats& stats) {
+  return StrFormat(
+      "nodes=%zu edges=%zu degree mean=%.2f stddev=%.2f min=%zu max=%zu "
+      "isolated=%.1f%%",
+      stats.num_nodes, stats.num_edges, stats.mean_degree, stats.stddev_degree,
+      stats.min_degree, stats.max_degree, 100.0 * stats.isolated_fraction);
+}
+
+}  // namespace graph
+}  // namespace smgcn

@@ -1,0 +1,35 @@
+// Degree statistics over graphs, used by the paper's discussion of why the
+// SGE component uses a sum aggregator (degree distributions of the synergy
+// graphs are smoother than the bipartite graph's) and by the dataset bench.
+#ifndef SMGCN_GRAPH_GRAPH_STATS_H_
+#define SMGCN_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+
+#include "src/graph/csr_matrix.h"
+
+namespace smgcn {
+namespace graph {
+
+/// Summary of a graph's degree distribution.
+struct DegreeStats {
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;  // stored entries (directed count)
+  double mean_degree = 0.0;
+  double stddev_degree = 0.0;
+  std::size_t max_degree = 0;
+  std::size_t min_degree = 0;
+  /// Fraction of nodes with no incident stored edge.
+  double isolated_fraction = 0.0;
+};
+
+/// Row-degree statistics of `adj`.
+DegreeStats ComputeDegreeStats(const CsrMatrix& adj);
+
+/// One-line rendering for reports.
+std::string DegreeStatsToString(const DegreeStats& stats);
+
+}  // namespace graph
+}  // namespace smgcn
+
+#endif  // SMGCN_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,147 @@
+#include "src/kg/transe.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace kg {
+
+Status TranseConfig::Validate() const {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (margin <= 0.0) return Status::InvalidArgument("margin must be positive");
+  if (epochs == 0) return Status::InvalidArgument("epochs must be positive");
+  return Status::OK();
+}
+
+TransE::TransE(TranseConfig config) : config_(config) {}
+
+namespace {
+
+/// L2 distance between (e_h + e_r) and e_t.
+double TripleDistance(const tensor::Matrix& entities, const tensor::Matrix& relations,
+                      const Triple& t) {
+  const double* h = entities.row_data(static_cast<std::size_t>(t.head));
+  const double* r = relations.row_data(static_cast<std::size_t>(t.relation));
+  const double* tl = entities.row_data(static_cast<std::size_t>(t.tail));
+  double acc = 0.0;
+  for (std::size_t c = 0; c < entities.cols(); ++c) {
+    const double d = h[c] + r[c] - tl[c];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+/// One margin-SGD update on a (positive, negative) pair. Returns the hinge
+/// loss before the update.
+double UpdatePair(tensor::Matrix* entities, tensor::Matrix* relations,
+                  const Triple& pos, const Triple& neg, double margin, double lr) {
+  const double d_pos = TripleDistance(*entities, *relations, pos);
+  const double d_neg = TripleDistance(*entities, *relations, neg);
+  const double loss = margin + d_pos - d_neg;
+  if (loss <= 0.0) return 0.0;
+
+  const std::size_t dim = entities->cols();
+  auto apply = [&](const Triple& t, double sign, double dist) {
+    if (dist < 1e-12) return;
+    double* h = entities->row_data(static_cast<std::size_t>(t.head));
+    double* r = relations->row_data(static_cast<std::size_t>(t.relation));
+    double* tl = entities->row_data(static_cast<std::size_t>(t.tail));
+    for (std::size_t c = 0; c < dim; ++c) {
+      // d||h + r - t|| / dh = (h + r - t) / ||.||, etc.
+      const double g = sign * lr * (h[c] + r[c] - tl[c]) / dist;
+      h[c] -= g;
+      r[c] -= g;
+      tl[c] += g;
+    }
+  };
+  apply(pos, +1.0, d_pos);  // decrease positive distance
+  apply(neg, -1.0, d_neg);  // increase negative distance
+  return loss;
+}
+
+void NormalizeRows(tensor::Matrix* m) {
+  for (std::size_t r = 0; r < m->rows(); ++r) {
+    double* row = m->row_data(r);
+    double norm = 0.0;
+    for (std::size_t c = 0; c < m->cols(); ++c) norm += row[c] * row[c];
+    norm = std::sqrt(norm);
+    if (norm > 1.0) {
+      for (std::size_t c = 0; c < m->cols(); ++c) row[c] /= norm;
+    }
+  }
+}
+
+}  // namespace
+
+Status TransE::Fit(std::size_t num_entities, std::size_t num_relations,
+                   const std::vector<Triple>& triples) {
+  RETURN_IF_ERROR(config_.Validate());
+  if (num_entities == 0 || num_relations == 0) {
+    return Status::InvalidArgument("entity/relation counts must be positive");
+  }
+  if (triples.empty()) {
+    return Status::FailedPrecondition("cannot fit TransE on zero triples");
+  }
+  for (const Triple& t : triples) {
+    if (t.head < 0 || static_cast<std::size_t>(t.head) >= num_entities ||
+        t.tail < 0 || static_cast<std::size_t>(t.tail) >= num_entities) {
+      return Status::OutOfRange(
+          StrFormat("entity id out of range in triple (%d, %d, %d)", t.head,
+                    t.relation, t.tail));
+    }
+    if (t.relation < 0 || static_cast<std::size_t>(t.relation) >= num_relations) {
+      return Status::OutOfRange(
+          StrFormat("relation id %d out of range", t.relation));
+    }
+  }
+
+  Rng rng(config_.seed);
+  const double bound = 6.0 / std::sqrt(static_cast<double>(config_.dim));
+  entities_ = tensor::Matrix::RandomUniform(num_entities, config_.dim, -bound,
+                                            bound, &rng);
+  relations_ = tensor::Matrix::RandomUniform(num_relations, config_.dim, -bound,
+                                             bound, &rng);
+  NormalizeRows(&relations_);
+
+  std::vector<std::size_t> order(triples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    NormalizeRows(&entities_);
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (const std::size_t i : order) {
+      const Triple& pos = triples[i];
+      // Corrupt head or tail uniformly.
+      Triple neg = pos;
+      if (rng.Bernoulli(0.5)) {
+        neg.head = static_cast<int>(
+            rng.UniformInt(0, static_cast<std::int64_t>(num_entities) - 1));
+      } else {
+        neg.tail = static_cast<int>(
+            rng.UniformInt(0, static_cast<std::int64_t>(num_entities) - 1));
+      }
+      if (neg == pos) continue;
+      epoch_loss += UpdatePair(&entities_, &relations_, pos, neg, config_.margin,
+                               config_.learning_rate);
+    }
+    final_loss_ = epoch_loss / static_cast<double>(triples.size());
+  }
+
+  trained_ = true;
+  return Status::OK();
+}
+
+double TransE::Score(int head, int relation, int tail) const {
+  SMGCN_CHECK(trained_);
+  return -TripleDistance(entities_, relations_,
+                         Triple{head, relation, tail});
+}
+
+}  // namespace kg
+}  // namespace smgcn

@@ -1,0 +1,70 @@
+// TransE knowledge-graph embeddings (Bordes et al., NIPS 2013): entities
+// and relations live in the same space and a true triple (h, r, t)
+// satisfies e_h + e_r ≈ e_t. Trained with margin ranking loss, uniform
+// negative sampling and SGD, entity vectors re-normalised to the unit ball
+// every epoch as in the original paper. This is the KG component of the
+// HC-KGETM baseline.
+#ifndef SMGCN_KG_TRANSE_H_
+#define SMGCN_KG_TRANSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace kg {
+
+/// A (head entity, relation, tail entity) fact.
+struct Triple {
+  int head = 0;
+  int relation = 0;
+  int tail = 0;
+
+  bool operator==(const Triple&) const = default;
+};
+
+struct TranseConfig {
+  std::size_t dim = 32;
+  double learning_rate = 0.01;
+  double margin = 1.0;
+  std::size_t epochs = 100;
+  std::uint64_t seed = 17;
+
+  Status Validate() const;
+};
+
+class TransE {
+ public:
+  explicit TransE(TranseConfig config);
+
+  /// Trains on the given triples. Ids must lie in [0, num_entities) /
+  /// [0, num_relations).
+  Status Fit(std::size_t num_entities, std::size_t num_relations,
+             const std::vector<Triple>& triples);
+
+  /// Plausibility of a triple: -||e_h + e_r - e_t||_2 (higher = more
+  /// plausible). Must be trained.
+  double Score(int head, int relation, int tail) const;
+
+  const tensor::Matrix& entity_embeddings() const { return entities_; }
+  const tensor::Matrix& relation_embeddings() const { return relations_; }
+  bool trained() const { return trained_; }
+
+  /// Mean margin-ranking loss of the final epoch (diagnostic).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  TranseConfig config_;
+  tensor::Matrix entities_;   // num_entities x dim
+  tensor::Matrix relations_;  // num_relations x dim
+  bool trained_ = false;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace kg
+}  // namespace smgcn
+
+#endif  // SMGCN_KG_TRANSE_H_

@@ -1,0 +1,25 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+namespace smgcn {
+namespace nn {
+
+tensor::Matrix XavierUniform(std::size_t fan_in, std::size_t fan_out, Rng* rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return tensor::Matrix::RandomUniform(fan_in, fan_out, -bound, bound, rng);
+}
+
+tensor::Matrix HeNormal(std::size_t fan_in, std::size_t fan_out, Rng* rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  return tensor::Matrix::RandomNormal(fan_in, fan_out, 0.0, stddev, rng);
+}
+
+tensor::Matrix NormalInit(std::size_t rows, std::size_t cols, double stddev,
+                          Rng* rng) {
+  return tensor::Matrix::RandomNormal(rows, cols, 0.0, stddev, rng);
+}
+
+}  // namespace nn
+}  // namespace smgcn

@@ -1,0 +1,25 @@
+// Weight initialisation schemes. The paper trains all models with the
+// Xavier (Glorot) initialiser.
+#ifndef SMGCN_NN_INIT_H_
+#define SMGCN_NN_INIT_H_
+
+#include "src/tensor/matrix.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+tensor::Matrix XavierUniform(std::size_t fan_in, std::size_t fan_out, Rng* rng);
+
+/// He (Kaiming) normal: N(0, sqrt(2 / fan_in)); suited to ReLU layers.
+tensor::Matrix HeNormal(std::size_t fan_in, std::size_t fan_out, Rng* rng);
+
+/// Small-scale normal used for embedding tables.
+tensor::Matrix NormalInit(std::size_t rows, std::size_t cols, double stddev,
+                          Rng* rng);
+
+}  // namespace nn
+}  // namespace smgcn
+
+#endif  // SMGCN_NN_INIT_H_

@@ -1,0 +1,29 @@
+#include "src/nn/linear.h"
+
+#include "src/nn/init.h"
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace nn {
+
+Linear::Linear(const std::string& name, std::size_t in_dim, std::size_t out_dim,
+               bool use_bias, ParameterStore* store, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  SMGCN_CHECK(store != nullptr);
+  SMGCN_CHECK_GT(in_dim, 0u);
+  SMGCN_CHECK_GT(out_dim, 0u);
+  weight_ = store->Create(name + ".weight", XavierUniform(in_dim, out_dim, rng));
+  if (use_bias) {
+    bias_ = store->Create(name + ".bias", tensor::Matrix::Zeros(1, out_dim));
+  }
+}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  SMGCN_CHECK_EQ(x->value().cols(), in_dim_) << "Linear input width mismatch";
+  autograd::Variable out = autograd::MatMul(x, weight_);
+  if (bias_ != nullptr) out = autograd::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+}  // namespace nn
+}  // namespace smgcn

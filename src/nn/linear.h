@@ -1,0 +1,41 @@
+// Affine layer y = x W + b.
+#ifndef SMGCN_NN_LINEAR_H_
+#define SMGCN_NN_LINEAR_H_
+
+#include <string>
+
+#include "src/autograd/ops.h"
+#include "src/nn/parameter.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace nn {
+
+/// Fully-connected layer. Weights are Xavier-initialised; bias starts at
+/// zero. Parameters register into the caller's ParameterStore under
+/// "<name>.weight" / "<name>.bias".
+class Linear {
+ public:
+  Linear(const std::string& name, std::size_t in_dim, std::size_t out_dim,
+         bool use_bias, ParameterStore* store, Rng* rng);
+
+  /// x: n x in_dim -> n x out_dim.
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+  const autograd::Variable& weight() const { return weight_; }
+  /// Null when constructed without bias.
+  const autograd::Variable& bias() const { return bias_; }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  autograd::Variable weight_;
+  autograd::Variable bias_;  // may be null
+};
+
+}  // namespace nn
+}  // namespace smgcn
+
+#endif  // SMGCN_NN_LINEAR_H_

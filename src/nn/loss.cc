@@ -1,0 +1,157 @@
+#include "src/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace nn {
+
+using autograd::Node;
+using autograd::Variable;
+using tensor::Matrix;
+
+std::vector<double> InverseFrequencyWeights(const std::vector<std::size_t>& freq) {
+  std::vector<double> weights(freq.size(), 1.0);
+  std::size_t max_freq = 0;
+  for (std::size_t f : freq) max_freq = std::max(max_freq, f);
+  if (max_freq == 0) return weights;
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    const double denom = freq[i] > 0 ? static_cast<double>(freq[i]) : 1.0;
+    weights[i] = static_cast<double>(max_freq) / denom;
+  }
+  return weights;
+}
+
+Variable WeightedMseLoss(const Variable& scores, const Matrix& targets,
+                         const std::vector<double>& weights) {
+  const Matrix& s = scores->value();
+  SMGCN_CHECK_EQ(s.rows(), targets.rows());
+  SMGCN_CHECK_EQ(s.cols(), targets.cols());
+  SMGCN_CHECK_EQ(weights.size(), s.cols());
+  SMGCN_CHECK_GT(s.rows(), 0u);
+
+  const auto batch = static_cast<double>(s.rows());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    const double* sr = s.row_data(r);
+    const double* tr = targets.row_data(r);
+    for (std::size_t c = 0; c < s.cols(); ++c) {
+      const double diff = tr[c] - sr[c];
+      loss += weights[c] * diff * diff;
+    }
+  }
+  loss /= batch;
+
+  Variable out = autograd::MakeVariable(Matrix(1, 1, loss), scores->requires_grad());
+  out->set_parents({scores});
+  if (scores->requires_grad()) {
+    out->set_backward([scores = scores.get(), targets, weights, batch](Node* node) {
+      const double g = node->grad()(0, 0);
+      Matrix& grad = scores->grad();
+      const Matrix& s = scores->value();
+      for (std::size_t r = 0; r < s.rows(); ++r) {
+        double* gr = grad.row_data(r);
+        const double* sr = s.row_data(r);
+        const double* tr = targets.row_data(r);
+        for (std::size_t c = 0; c < s.cols(); ++c) {
+          gr[c] += g * (-2.0) * weights[c] * (tr[c] - sr[c]) / batch;
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Variable BprLoss(const Variable& scores, const std::vector<BprTriple>& triples) {
+  SMGCN_CHECK(!triples.empty());
+  const Matrix& s = scores->value();
+  for (const BprTriple& t : triples) {
+    SMGCN_CHECK_LT(t.row, s.rows());
+    SMGCN_CHECK_LT(t.positive, s.cols());
+    SMGCN_CHECK_LT(t.negative, s.cols());
+  }
+
+  const auto n = static_cast<double>(triples.size());
+  double loss = 0.0;
+  for (const BprTriple& t : triples) {
+    const double x = s(t.row, t.positive) - s(t.row, t.negative);
+    // -ln sigma(x) = softplus(-x), computed stably.
+    loss += x > 0.0 ? std::log1p(std::exp(-x)) : -x + std::log1p(std::exp(x));
+  }
+  loss /= n;
+
+  Variable out = autograd::MakeVariable(Matrix(1, 1, loss), scores->requires_grad());
+  out->set_parents({scores});
+  if (scores->requires_grad()) {
+    out->set_backward([scores = scores.get(), triples, n](Node* node) {
+      const double g = node->grad()(0, 0);
+      Matrix& grad = scores->grad();
+      const Matrix& s = scores->value();
+      for (const BprTriple& t : triples) {
+        const double x = s(t.row, t.positive) - s(t.row, t.negative);
+        const double sig = 1.0 / (1.0 + std::exp(-x));
+        const double coeff = g * (sig - 1.0) / n;  // d softplus(-x)/dx = sigma(x)-1
+        grad(t.row, t.positive) += coeff;
+        grad(t.row, t.negative) -= coeff;
+      }
+    });
+  }
+  return out;
+}
+
+Variable SigmoidCrossEntropyLoss(const Variable& scores, const Matrix& targets,
+                                 const std::vector<double>& weights) {
+  const Matrix& s = scores->value();
+  SMGCN_CHECK_EQ(s.rows(), targets.rows());
+  SMGCN_CHECK_EQ(s.cols(), targets.cols());
+  SMGCN_CHECK_EQ(weights.size(), s.cols());
+  SMGCN_CHECK_GT(s.rows(), 0u);
+
+  const auto batch = static_cast<double>(s.rows());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < s.rows(); ++r) {
+    const double* sr = s.row_data(r);
+    const double* tr = targets.row_data(r);
+    for (std::size_t c = 0; c < s.cols(); ++c) {
+      // Numerically stable: max(x,0) - x*t + log(1+exp(-|x|)).
+      const double x = sr[c];
+      loss += weights[c] *
+              (std::max(x, 0.0) - x * tr[c] + std::log1p(std::exp(-std::fabs(x))));
+    }
+  }
+  loss /= batch;
+
+  Variable out = autograd::MakeVariable(Matrix(1, 1, loss), scores->requires_grad());
+  out->set_parents({scores});
+  if (scores->requires_grad()) {
+    out->set_backward([scores = scores.get(), targets, weights, batch](Node* node) {
+      const double g = node->grad()(0, 0);
+      Matrix& grad = scores->grad();
+      const Matrix& s = scores->value();
+      for (std::size_t r = 0; r < s.rows(); ++r) {
+        double* gr = grad.row_data(r);
+        const double* sr = s.row_data(r);
+        const double* tr = targets.row_data(r);
+        for (std::size_t c = 0; c < s.cols(); ++c) {
+          const double sig = 1.0 / (1.0 + std::exp(-sr[c]));
+          gr[c] += g * weights[c] * (sig - tr[c]) / batch;
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Variable L2Penalty(const std::vector<Variable>& params, double lambda) {
+  SMGCN_CHECK(!params.empty());
+  Variable total = autograd::SquaredNorm(params[0]);
+  for (std::size_t i = 1; i < params.size(); ++i) {
+    total = autograd::Add(total, autograd::SquaredNorm(params[i]));
+  }
+  return autograd::Scale(total, lambda);
+}
+
+}  // namespace nn
+}  // namespace smgcn

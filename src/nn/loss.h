@@ -1,0 +1,50 @@
+// Loss functions for set-valued herb recommendation.
+#ifndef SMGCN_NN_LOSS_H_
+#define SMGCN_NN_LOSS_H_
+
+#include <vector>
+
+#include "src/autograd/ops.h"
+
+namespace smgcn {
+namespace nn {
+
+/// Inverse-frequency label weights of paper eq. (15):
+/// w_i = max_k freq(k) / freq(i). Herbs never seen in training get the
+/// maximum observed weight (they behave like the rarest seen herb).
+std::vector<double> InverseFrequencyWeights(const std::vector<std::size_t>& freq);
+
+/// Weighted multi-label MSE (paper eq. 13-14): mean over the batch of
+/// sum_i w_i (t_i - s_i)^2, where t is the multi-hot ground-truth herb set.
+/// `scores` is B x H, `targets` B x H, `weights` has H entries.
+autograd::Variable WeightedMseLoss(const autograd::Variable& scores,
+                                   const tensor::Matrix& targets,
+                                   const std::vector<double>& weights);
+
+/// One (prescription row, positive herb, sampled negative herb) triple for
+/// BPR (Rendle et al., 2009), used in the paper's Table VIII comparison.
+struct BprTriple {
+  std::size_t row = 0;
+  std::size_t positive = 0;
+  std::size_t negative = 0;
+};
+
+/// Pairwise BPR loss: mean over triples of -ln sigma(s[row][pos] -
+/// s[row][neg]).
+autograd::Variable BprLoss(const autograd::Variable& scores,
+                           const std::vector<BprTriple>& triples);
+
+/// Weighted sigmoid cross-entropy over a multi-hot target (an alternative
+/// multi-label objective; pass all-ones weights for the unweighted form).
+autograd::Variable SigmoidCrossEntropyLoss(const autograd::Variable& scores,
+                                           const tensor::Matrix& targets,
+                                           const std::vector<double>& weights);
+
+/// L2 penalty lambda * sum_p ||p||^2 over the given parameters.
+autograd::Variable L2Penalty(const std::vector<autograd::Variable>& params,
+                             double lambda);
+
+}  // namespace nn
+}  // namespace smgcn
+
+#endif  // SMGCN_NN_LOSS_H_

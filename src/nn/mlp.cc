@@ -1,0 +1,44 @@
+#include "src/nn/mlp.h"
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace nn {
+
+autograd::Variable Activate(const autograd::Variable& x, Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kTanh:
+      return autograd::Tanh(x);
+    case Activation::kRelu:
+      return autograd::Relu(x);
+    case Activation::kSigmoid:
+      return autograd::Sigmoid(x);
+  }
+  LOG_FATAL << "unknown activation";
+  return x;
+}
+
+Mlp::Mlp(const std::string& name, const std::vector<std::size_t>& dims,
+         Activation activation, ParameterStore* store, Rng* rng)
+    : activation_(activation) {
+  SMGCN_CHECK_GE(dims.size(), 2u) << "Mlp needs at least [in, out] dims";
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(StrFormat("%s.layer%zu", name.c_str(), i), dims[i],
+                         dims[i + 1], /*use_bias=*/true, store, rng);
+  }
+}
+
+autograd::Variable Mlp::Forward(const autograd::Variable& x) const {
+  autograd::Variable h = x;
+  for (const Linear& layer : layers_) {
+    h = Activate(layer.Forward(h), activation_);
+  }
+  return h;
+}
+
+}  // namespace nn
+}  // namespace smgcn

@@ -1,0 +1,41 @@
+// Multi-layer perceptron with a configurable activation, used by the
+// Syndrome Induction component (paper eq. 12: a single ReLU layer).
+#ifndef SMGCN_NN_MLP_H_
+#define SMGCN_NN_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/linear.h"
+
+namespace smgcn {
+namespace nn {
+
+enum class Activation { kIdentity, kTanh, kRelu, kSigmoid };
+
+/// Applies the activation as an autograd op.
+autograd::Variable Activate(const autograd::Variable& x, Activation act);
+
+/// Stack of Linear layers with the activation applied after every layer
+/// (including the last, matching eq. 12's ReLU output).
+class Mlp {
+ public:
+  /// `dims` lists layer widths [in, hidden..., out]; requires >= 2 entries.
+  Mlp(const std::string& name, const std::vector<std::size_t>& dims,
+      Activation activation, ParameterStore* store, Rng* rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  std::size_t in_dim() const { return layers_.front().in_dim(); }
+  std::size_t out_dim() const { return layers_.back().out_dim(); }
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation activation_;
+};
+
+}  // namespace nn
+}  // namespace smgcn
+
+#endif  // SMGCN_NN_MLP_H_

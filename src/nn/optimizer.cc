@@ -1,0 +1,74 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace nn {
+
+Sgd::Sgd(ParameterStore* store, double lr) : store_(store), lr_(lr) {
+  SMGCN_CHECK(store != nullptr);
+  SMGCN_CHECK_GT(lr, 0.0);
+}
+
+void Sgd::Step() {
+  for (const auto& p : store_->parameters()) {
+    p->mutable_value().AddScaled(p->grad(), -lr_);
+  }
+  ++step_count_;
+}
+
+Adam::Adam(ParameterStore* store, double lr, double beta1, double beta2,
+           double epsilon)
+    : store_(store), lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  SMGCN_CHECK(store != nullptr);
+  SMGCN_CHECK_GT(lr, 0.0);
+  SMGCN_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  SMGCN_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  SMGCN_CHECK_GT(epsilon, 0.0);
+  m_.reserve(store->size());
+  v_.reserve(store->size());
+  for (const auto& p : store->parameters()) {
+    m_.emplace_back(p->value().rows(), p->value().cols(), 0.0);
+    v_.emplace_back(p->value().rows(), p->value().cols(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  // New parameters may have been registered since construction (lazily
+  // built model parts); extend moment buffers to match.
+  for (std::size_t i = m_.size(); i < store_->size(); ++i) {
+    const auto& p = store_->parameters()[i];
+    m_.emplace_back(p->value().rows(), p->value().cols(), 0.0);
+    v_.emplace_back(p->value().rows(), p->value().cols(), 0.0);
+  }
+
+  ++step_count_;
+  const auto t = static_cast<double>(step_count_);
+  const double bias1 = 1.0 - std::pow(beta1_, t);
+  const double bias2 = 1.0 - std::pow(beta2_, t);
+
+  for (std::size_t i = 0; i < store_->size(); ++i) {
+    const auto& p = store_->parameters()[i];
+    const tensor::Matrix& g = p->grad();
+    tensor::Matrix& m = m_[i];
+    tensor::Matrix& v = v_[i];
+    tensor::Matrix& w = p->mutable_value();
+    double* m_data = m.data();
+    double* v_data = v.data();
+    double* w_data = w.data();
+    const double* g_data = g.data();
+    const std::size_t n = w.size();
+    for (std::size_t j = 0; j < n; ++j) {
+      m_data[j] = beta1_ * m_data[j] + (1.0 - beta1_) * g_data[j];
+      v_data[j] = beta2_ * v_data[j] + (1.0 - beta2_) * g_data[j] * g_data[j];
+      const double m_hat = m_data[j] / bias1;
+      const double v_hat = v_data[j] / bias2;
+      w_data[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace smgcn

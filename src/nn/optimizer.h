@@ -1,0 +1,59 @@
+// First-order optimizers over a ParameterStore. The paper trains every
+// model with Adam (Kingma & Ba, 2015).
+#ifndef SMGCN_NN_OPTIMIZER_H_
+#define SMGCN_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/parameter.h"
+
+namespace smgcn {
+namespace nn {
+
+/// Interface: Step() applies one update using the gradients currently
+/// accumulated in the store's parameters.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void Step() = 0;
+  /// Steps taken so far.
+  std::size_t step_count() const { return step_count_; }
+
+ protected:
+  std::size_t step_count_ = 0;
+};
+
+/// Plain stochastic gradient descent: w -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  Sgd(ParameterStore* store, double lr);
+  void Step() override;
+
+ private:
+  ParameterStore* store_;
+  double lr_;
+};
+
+/// Adam with bias correction (defaults match the paper's framework:
+/// beta1=0.9, beta2=0.999, eps=1e-8).
+class Adam : public Optimizer {
+ public:
+  Adam(ParameterStore* store, double lr, double beta1 = 0.9, double beta2 = 0.999,
+       double epsilon = 1e-8);
+  void Step() override;
+
+ private:
+  ParameterStore* store_;
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::vector<tensor::Matrix> m_;  // first moments, one per parameter
+  std::vector<tensor::Matrix> v_;  // second moments
+};
+
+}  // namespace nn
+}  // namespace smgcn
+
+#endif  // SMGCN_NN_OPTIMIZER_H_

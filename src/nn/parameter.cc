@@ -1,0 +1,53 @@
+#include "src/nn/parameter.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace nn {
+
+autograd::Variable ParameterStore::Create(const std::string& name,
+                                          tensor::Matrix value) {
+  SMGCN_CHECK(std::find(names_.begin(), names_.end(), name) == names_.end())
+      << "duplicate parameter name: " << name;
+  autograd::Variable var = autograd::MakeVariable(std::move(value),
+                                                  /*requires_grad=*/true);
+  var->set_name(name);
+  params_.push_back(var);
+  names_.push_back(name);
+  return var;
+}
+
+Result<autograd::Variable> ParameterStore::Get(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return params_[i];
+  }
+  return Status::NotFound("no parameter named '" + name + "'");
+}
+
+std::size_t ParameterStore::NumWeights() const {
+  std::size_t total = 0;
+  for (const auto& p : params_) total += p->value().size();
+  return total;
+}
+
+void ParameterStore::ZeroGrad() {
+  for (const auto& p : params_) p->ZeroGrad();
+}
+
+double ParameterStore::SquaredNorm() const {
+  double total = 0.0;
+  for (const auto& p : params_) total += p->value().SquaredNorm();
+  return total;
+}
+
+bool ParameterStore::AllFinite() const {
+  for (const auto& p : params_) {
+    if (!p->value().AllFinite()) return false;
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace smgcn

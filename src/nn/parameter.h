@@ -1,0 +1,54 @@
+// Trainable parameters and their registry.
+#ifndef SMGCN_NN_PARAMETER_H_
+#define SMGCN_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/autograd/variable.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace nn {
+
+/// Owns every trainable Variable of a model. Optimizers iterate the store;
+/// ZeroGrad() is called once per training step (graphs are rebuilt per step,
+/// so only these long-lived nodes accumulate).
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  /// Registers a new trainable parameter with a unique name.
+  autograd::Variable Create(const std::string& name, tensor::Matrix value);
+
+  /// Looks a parameter up by name.
+  Result<autograd::Variable> Get(const std::string& name) const;
+
+  const std::vector<autograd::Variable>& parameters() const { return params_; }
+  const std::vector<std::string>& names() const { return names_; }
+  std::size_t size() const { return params_.size(); }
+
+  /// Total number of scalar weights.
+  std::size_t NumWeights() const;
+
+  void ZeroGrad();
+
+  /// Sum of squared entries over all parameters (L2 penalty bookkeeping
+  /// for reporting; the differentiable penalty is built via ops).
+  double SquaredNorm() const;
+
+  /// True when every parameter holds only finite values.
+  bool AllFinite() const;
+
+ private:
+  std::vector<autograd::Variable> params_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace nn
+}  // namespace smgcn
+
+#endif  // SMGCN_NN_PARAMETER_H_

@@ -1,0 +1,82 @@
+#include "src/tensor/matrix_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace tensor {
+
+namespace {
+constexpr char kMagic[] = "smgcn-matrix v1";
+}  // namespace
+
+std::string SerializeMatrix(const Matrix& m) {
+  std::string out(kMagic);
+  out += '\n';
+  out += StrFormat("%zu %zu\n", m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out += StrFormat("%s%.17g", c > 0 ? " " : "", m(r, c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Matrix> DeserializeMatrix(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("missing smgcn-matrix header");
+  }
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing matrix shape line");
+  }
+  const auto dims = SplitWhitespace(line);
+  if (dims.size() != 2) {
+    return Status::InvalidArgument("malformed shape line: '" + line + "'");
+  }
+  ASSIGN_OR_RETURN(const int rows, ParseInt(dims[0]));
+  ASSIGN_OR_RETURN(const int cols, ParseInt(dims[1]));
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(StrFormat("missing row %d of %d", r, rows));
+    }
+    const auto fields = SplitWhitespace(line);
+    if (static_cast<int>(fields.size()) != cols) {
+      return Status::InvalidArgument(
+          StrFormat("row %d has %zu fields, expected %d", r, fields.size(), cols));
+    }
+    for (int c = 0; c < cols; ++c) {
+      ASSIGN_OR_RETURN(const double v, ParseDouble(fields[static_cast<std::size_t>(c)]));
+      m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = v;
+    }
+  }
+  return m;
+}
+
+Status SaveMatrix(const Matrix& m, const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << SerializeMatrix(m);
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Matrix> LoadMatrix(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeMatrix(buffer.str());
+}
+
+}  // namespace tensor
+}  // namespace smgcn

@@ -1,0 +1,32 @@
+// Matrix (de)serialization: a small text format for checkpointing learned
+// embeddings and for loading fixtures in tests.
+#ifndef SMGCN_TENSOR_MATRIX_IO_H_
+#define SMGCN_TENSOR_MATRIX_IO_H_
+
+#include <string>
+
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace tensor {
+
+/// Writes `m` to `path` as:
+///   smgcn-matrix v1
+///   <rows> <cols>
+///   <row 0 values space-separated, %.17g>
+///   ...
+Status SaveMatrix(const Matrix& m, const std::string& path);
+
+/// Reads a matrix produced by SaveMatrix. Fails with IoError /
+/// InvalidArgument on malformed input.
+Result<Matrix> LoadMatrix(const std::string& path);
+
+/// In-memory round-trip helpers (used by the file versions and tests).
+std::string SerializeMatrix(const Matrix& m);
+Result<Matrix> DeserializeMatrix(const std::string& text);
+
+}  // namespace tensor
+}  // namespace smgcn
+
+#endif  // SMGCN_TENSOR_MATRIX_IO_H_

@@ -1,0 +1,138 @@
+#include "src/topic/hc_kgetm.h"
+
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace topic {
+namespace {
+
+// Relation ids of the corpus-derived knowledge graph.
+constexpr int kRelTreats = 0;    // symptom -> herb
+constexpr int kRelSymptomCo = 1; // symptom <-> symptom
+constexpr int kRelHerbCo = 2;    // herb <-> herb
+constexpr std::size_t kNumRelations = 3;
+
+/// Standardises each row to zero mean / unit variance so topic and KG
+/// scores are commensurable before blending.
+void StandardizeRows(tensor::Matrix* m) {
+  for (std::size_t r = 0; r < m->rows(); ++r) {
+    double* row = m->row_data(r);
+    const std::size_t n = m->cols();
+    double mean = 0.0;
+    for (std::size_t c = 0; c < n; ++c) mean += row[c];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      row[c] -= mean;
+      var += row[c] * row[c];
+    }
+    var /= static_cast<double>(n);
+    const double stddev = std::sqrt(var);
+    if (stddev > 1e-12) {
+      for (std::size_t c = 0; c < n; ++c) row[c] /= stddev;
+    }
+  }
+}
+
+}  // namespace
+
+Status HcKgetmConfig::Validate() const {
+  RETURN_IF_ERROR(topic.Validate());
+  RETURN_IF_ERROR(transe.Validate());
+  if (kg_weight < 0.0) {
+    return Status::InvalidArgument("kg_weight must be non-negative");
+  }
+  if (thresholds.xs < 0 || thresholds.xh < 0) {
+    return Status::InvalidArgument("synergy thresholds must be non-negative");
+  }
+  return Status::OK();
+}
+
+HcKgetm::HcKgetm(HcKgetmConfig config)
+    : config_(config), topic_model_(config.topic), transe_(config.transe) {}
+
+Status HcKgetm::Fit(const data::Corpus& train) {
+  RETURN_IF_ERROR(config_.Validate());
+  if (train.empty()) {
+    return Status::FailedPrecondition("cannot fit on an empty corpus");
+  }
+  num_symptoms_ = train.num_symptoms();
+  num_herbs_ = train.num_herbs();
+
+  // --- Topic model --------------------------------------------------------
+  RETURN_IF_ERROR(topic_model_.Fit(train));
+
+  // --- Knowledge graph + TransE -------------------------------------------
+  // Entities: symptoms are [0, M), herbs are [M, M + N).
+  ASSIGN_OR_RETURN(graph::TcmGraphs graphs,
+                   graph::BuildTcmGraphs(train, config_.thresholds));
+  const auto herb_entity = [this](std::size_t h) {
+    return static_cast<int>(num_symptoms_ + h);
+  };
+
+  std::vector<kg::Triple> triples;
+  for (std::size_t s = 0; s < num_symptoms_; ++s) {
+    graphs.symptom_herb.ForEachInRow(s, [&](std::size_t h, double) {
+      triples.push_back({static_cast<int>(s), kRelTreats, herb_entity(h)});
+    });
+    graphs.symptom_symptom.ForEachInRow(s, [&](std::size_t s2, double) {
+      if (s < s2) {
+        triples.push_back({static_cast<int>(s), kRelSymptomCo, static_cast<int>(s2)});
+      }
+    });
+  }
+  for (std::size_t h = 0; h < num_herbs_; ++h) {
+    graphs.herb_herb.ForEachInRow(h, [&](std::size_t h2, double) {
+      if (h < h2) triples.push_back({herb_entity(h), kRelHerbCo, herb_entity(h2)});
+    });
+  }
+  RETURN_IF_ERROR(
+      transe_.Fit(num_symptoms_ + num_herbs_, kNumRelations, triples));
+
+  // --- Cache blended per-symptom herb scores ------------------------------
+  // Topic part: score_topic[s][h] = sum_z p(z|s) p(h|z).
+  const tensor::Matrix posterior = topic_model_.SymptomTopicPosterior();  // M x K
+  tensor::Matrix topic_scores = posterior.MatMul(topic_model_.topic_herb());  // M x N
+
+  // KG part: score_kg[s][h] = -||e_s + e_treats - e_h||.
+  tensor::Matrix kg_scores(num_symptoms_, num_herbs_, 0.0);
+  for (std::size_t s = 0; s < num_symptoms_; ++s) {
+    for (std::size_t h = 0; h < num_herbs_; ++h) {
+      kg_scores(s, h) = transe_.Score(static_cast<int>(s), kRelTreats,
+                                      herb_entity(h));
+    }
+  }
+
+  StandardizeRows(&topic_scores);
+  StandardizeRows(&kg_scores);
+  kg_scores.ScaleInPlace(config_.kg_weight);
+  topic_scores.AddInPlace(kg_scores);
+  symptom_herb_scores_ = std::move(topic_scores);
+
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> HcKgetm::Score(
+    const std::vector<int>& symptom_set) const {
+  if (!trained_) return Status::FailedPrecondition("model is not trained");
+  if (symptom_set.empty()) {
+    return Status::InvalidArgument("symptom set must be non-empty");
+  }
+  // Per-symptom scores summed over the set: no set-level fusion, which is
+  // exactly the behaviour the paper contrasts against.
+  std::vector<double> scores(num_herbs_, 0.0);
+  for (int s : symptom_set) {
+    if (s < 0 || static_cast<std::size_t>(s) >= num_symptoms_) {
+      return Status::OutOfRange(StrFormat("symptom id %d outside vocabulary", s));
+    }
+    const double* row = symptom_herb_scores_.row_data(static_cast<std::size_t>(s));
+    for (std::size_t h = 0; h < num_herbs_; ++h) scores[h] += row[h];
+  }
+  return scores;
+}
+
+}  // namespace topic
+}  // namespace smgcn

@@ -1,0 +1,70 @@
+// HC-KGETM baseline (Wang et al., DASFAA 2019): a knowledge-graph-enhanced
+// topic model. Herbs are ranked per *single* symptom by blending
+//
+//   * a topic score   sum_z p(z | s) p(h | z)   from the prescription topic
+//     model (topics ~ latent syndromes), and
+//   * a KG score      -||e_s + e_treats - e_h||  from TransE embeddings of a
+//     TCM knowledge graph,
+//
+// then the per-symptom scores of a symptom set are summed. This mirrors the
+// weakness the paper contrasts against: interactions are modelled per
+// symptom, with no set-level (syndrome) fusion.
+//
+// The paper's knowledge graph is external domain knowledge; here it is
+// derived from the corpus itself (symptom-treated-by-herb edges and the
+// SS / HH co-occurrence synergy pairs), which preserves the method's shape.
+#ifndef SMGCN_TOPIC_HC_KGETM_H_
+#define SMGCN_TOPIC_HC_KGETM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/recommender.h"
+#include "src/graph/graph_builder.h"
+#include "src/kg/transe.h"
+#include "src/topic/topic_model.h"
+
+namespace smgcn {
+namespace topic {
+
+struct HcKgetmConfig {
+  TopicModelConfig topic;
+  kg::TranseConfig transe;
+  /// Blend weight of the (standardised) KG score against the topic score.
+  double kg_weight = 0.3;
+  /// Synergy thresholds used to extract co-occurrence triples for the KG.
+  graph::SynergyThresholds thresholds;
+
+  Status Validate() const;
+};
+
+class HcKgetm : public core::HerbRecommender {
+ public:
+  explicit HcKgetm(HcKgetmConfig config);
+
+  std::string name() const override { return "HC-KGETM"; }
+
+  Status Fit(const data::Corpus& train) override;
+
+  Result<std::vector<double>> Score(
+      const std::vector<int>& symptom_set) const override;
+
+  const PrescriptionTopicModel& topic_model() const { return topic_model_; }
+  const kg::TransE& transe() const { return transe_; }
+
+ private:
+  HcKgetmConfig config_;
+  PrescriptionTopicModel topic_model_;
+  kg::TransE transe_;
+  /// Cached per-symptom herb scores: num_symptoms x num_herbs, standardised
+  /// blend of topic and KG scores.
+  tensor::Matrix symptom_herb_scores_;
+  bool trained_ = false;
+  std::size_t num_symptoms_ = 0;
+  std::size_t num_herbs_ = 0;
+};
+
+}  // namespace topic
+}  // namespace smgcn
+
+#endif  // SMGCN_TOPIC_HC_KGETM_H_

@@ -1,0 +1,148 @@
+#include "src/topic/topic_model.h"
+
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace topic {
+
+Status TopicModelConfig::Validate() const {
+  if (num_topics == 0) return Status::InvalidArgument("num_topics must be positive");
+  if (alpha <= 0.0 || beta <= 0.0) {
+    return Status::InvalidArgument("Dirichlet priors must be positive");
+  }
+  if (iterations == 0) {
+    return Status::InvalidArgument("iterations must be positive");
+  }
+  return Status::OK();
+}
+
+PrescriptionTopicModel::PrescriptionTopicModel(TopicModelConfig config)
+    : config_(config) {}
+
+Status PrescriptionTopicModel::Fit(const data::Corpus& corpus) {
+  RETURN_IF_ERROR(config_.Validate());
+  if (corpus.empty()) {
+    return Status::FailedPrecondition("cannot fit topic model on empty corpus");
+  }
+
+  const std::size_t K = config_.num_topics;
+  const std::size_t M = corpus.num_symptoms();
+  const std::size_t N = corpus.num_herbs();
+  const std::size_t D = corpus.size();
+
+  // Token stream: (doc, word, is_herb). One token per set member.
+  struct Token {
+    std::size_t doc;
+    std::size_t word;
+    bool is_herb;
+  };
+  std::vector<Token> tokens;
+  for (std::size_t d = 0; d < D; ++d) {
+    for (int s : corpus.at(d).symptoms) {
+      tokens.push_back({d, static_cast<std::size_t>(s), false});
+    }
+    for (int h : corpus.at(d).herbs) {
+      tokens.push_back({d, static_cast<std::size_t>(h), true});
+    }
+  }
+
+  // Count tables of the collapsed sampler.
+  std::vector<std::vector<int>> doc_topic(D, std::vector<int>(K, 0));
+  tensor::Matrix topic_symptom_counts(K, M, 0.0);
+  tensor::Matrix topic_herb_counts(K, N, 0.0);
+  std::vector<double> topic_symptom_totals(K, 0.0);
+  std::vector<double> topic_herb_totals(K, 0.0);
+  std::vector<int> assignments(tokens.size(), 0);
+
+  Rng rng(config_.seed);
+
+  auto add_token = [&](std::size_t i, int z, int delta) {
+    const Token& t = tokens[i];
+    doc_topic[t.doc][static_cast<std::size_t>(z)] += delta;
+    if (t.is_herb) {
+      topic_herb_counts(static_cast<std::size_t>(z), t.word) += delta;
+      topic_herb_totals[static_cast<std::size_t>(z)] += delta;
+    } else {
+      topic_symptom_counts(static_cast<std::size_t>(z), t.word) += delta;
+      topic_symptom_totals[static_cast<std::size_t>(z)] += delta;
+    }
+  };
+
+  // Random initial assignment.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const int z = static_cast<int>(rng.UniformInt(0, static_cast<std::int64_t>(K) - 1));
+    assignments[i] = z;
+    add_token(i, z, +1);
+  }
+
+  // Collapsed Gibbs sweeps.
+  std::vector<double> probs(K, 0.0);
+  const double beta = config_.beta;
+  const double alpha = config_.alpha;
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      add_token(i, assignments[i], -1);
+      const std::size_t vocab = t.is_herb ? N : M;
+      for (std::size_t z = 0; z < K; ++z) {
+        const double word_count = t.is_herb ? topic_herb_counts(z, t.word)
+                                            : topic_symptom_counts(z, t.word);
+        const double total =
+            t.is_herb ? topic_herb_totals[z] : topic_symptom_totals[z];
+        probs[z] = (static_cast<double>(doc_topic[t.doc][z]) + alpha) *
+                   (word_count + beta) /
+                   (total + beta * static_cast<double>(vocab));
+      }
+      const int z_new = static_cast<int>(rng.Categorical(probs));
+      assignments[i] = z_new;
+      add_token(i, z_new, +1);
+    }
+  }
+
+  // Point estimates from the final state.
+  phi_symptom_ = tensor::Matrix(K, M, 0.0);
+  phi_herb_ = tensor::Matrix(K, N, 0.0);
+  topic_prior_.assign(K, 0.0);
+  double prior_total = 0.0;
+  for (std::size_t z = 0; z < K; ++z) {
+    const double s_denom = topic_symptom_totals[z] + beta * static_cast<double>(M);
+    for (std::size_t s = 0; s < M; ++s) {
+      phi_symptom_(z, s) = (topic_symptom_counts(z, s) + beta) / s_denom;
+    }
+    const double h_denom = topic_herb_totals[z] + beta * static_cast<double>(N);
+    for (std::size_t h = 0; h < N; ++h) {
+      phi_herb_(z, h) = (topic_herb_counts(z, h) + beta) / h_denom;
+    }
+    topic_prior_[z] = topic_symptom_totals[z] + topic_herb_totals[z] + alpha;
+    prior_total += topic_prior_[z];
+  }
+  for (double& p : topic_prior_) p /= prior_total;
+
+  trained_ = true;
+  return Status::OK();
+}
+
+tensor::Matrix PrescriptionTopicModel::SymptomTopicPosterior() const {
+  SMGCN_CHECK(trained_);
+  const std::size_t K = phi_symptom_.rows();
+  const std::size_t M = phi_symptom_.cols();
+  tensor::Matrix posterior(M, K, 0.0);
+  for (std::size_t s = 0; s < M; ++s) {
+    double total = 0.0;
+    for (std::size_t z = 0; z < K; ++z) {
+      const double joint = phi_symptom_(z, s) * topic_prior_[z];
+      posterior(s, z) = joint;
+      total += joint;
+    }
+    if (total > 0.0) {
+      for (std::size_t z = 0; z < K; ++z) posterior(s, z) /= total;
+    }
+  }
+  return posterior;
+}
+
+}  // namespace topic
+}  // namespace smgcn

@@ -1,0 +1,64 @@
+// Collapsed-Gibbs topic model over prescriptions: the substrate of the
+// HC-KGETM baseline. Each prescription is a document whose tokens come from
+// two modalities (symptom words and herb words); a topic plays the role of
+// a latent syndrome, with separate topic-symptom and topic-herb
+// distributions (cf. Yao et al., TKDE 2018).
+#ifndef SMGCN_TOPIC_TOPIC_MODEL_H_
+#define SMGCN_TOPIC_TOPIC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/prescription.h"
+#include "src/tensor/matrix.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace topic {
+
+struct TopicModelConfig {
+  std::size_t num_topics = 32;
+  /// Symmetric Dirichlet priors: document-topic and topic-word.
+  double alpha = 1.0;
+  double beta = 0.01;
+  std::size_t iterations = 150;
+  std::uint64_t seed = 13;
+
+  Status Validate() const;
+};
+
+/// Two-modality LDA trained with collapsed Gibbs sampling. Distributions
+/// are estimated from the final sampler state.
+class PrescriptionTopicModel {
+ public:
+  explicit PrescriptionTopicModel(TopicModelConfig config);
+
+  Status Fit(const data::Corpus& corpus);
+
+  /// p(s | z): num_topics x num_symptoms (rows sum to 1).
+  const tensor::Matrix& topic_symptom() const { return phi_symptom_; }
+  /// p(h | z): num_topics x num_herbs (rows sum to 1).
+  const tensor::Matrix& topic_herb() const { return phi_herb_; }
+  /// Global topic prior p(z) estimated from token-topic counts.
+  const std::vector<double>& topic_prior() const { return topic_prior_; }
+
+  /// p(z | s) by Bayes rule over the fitted distributions:
+  /// num_symptoms x num_topics (rows sum to 1).
+  tensor::Matrix SymptomTopicPosterior() const;
+
+  bool trained() const { return trained_; }
+  const TopicModelConfig& config() const { return config_; }
+
+ private:
+  TopicModelConfig config_;
+  tensor::Matrix phi_symptom_;
+  tensor::Matrix phi_herb_;
+  std::vector<double> topic_prior_;
+  bool trained_ = false;
+};
+
+}  // namespace topic
+}  // namespace smgcn
+
+#endif  // SMGCN_TOPIC_TOPIC_MODEL_H_

@@ -1,0 +1,88 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  SMGCN_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  SMGCN_CHECK(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  SMGCN_CHECK_GT(total, 0.0) << "Categorical requires a positive total weight";
+  double u = Uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+int Rng::Poisson(double mean) {
+  SMGCN_CHECK_GT(mean, 0.0);
+  std::poisson_distribution<int> dist(mean);
+  return dist(engine_);
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n, std::size_t k) {
+  SMGCN_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector; O(n) setup, O(k) draws.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        UniformInt(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n - 1)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) {
+  SMGCN_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->Uniform(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t i) const {
+  SMGCN_CHECK_LT(i, cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace smgcn

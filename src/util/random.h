@@ -1,0 +1,79 @@
+// Deterministic random number generation. Every stochastic component in the
+// library takes an explicit Rng (or seed) so experiments are reproducible.
+#ifndef SMGCN_UTIL_RANDOM_H_
+#define SMGCN_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace smgcn {
+
+/// Seedable pseudo-random generator wrapping a 64-bit Mersenne twister with
+/// convenience draws used across the library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal draw scaled by `stddev` around `mean`.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Index draw proportional to non-negative `weights`. Requires at least one
+  /// strictly positive weight.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Poisson draw with the given mean (> 0).
+  int Poisson(double mean);
+
+  /// Samples `k` distinct indices uniformly from [0, n) (k <= n),
+  /// order unspecified.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (std::size_t i = items->size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Forks an independent generator; distinct calls yield distinct streams.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-like distribution over {0, ..., n-1}: P(i) ∝ 1/(i+1)^exponent.
+/// Used to model the skewed herb popularity of the TCM corpus (paper Fig. 5).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  std::size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank i.
+  double Pmf(std::size_t i) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative masses, back() == 1.
+};
+
+}  // namespace smgcn
+
+#endif  // SMGCN_UTIL_RANDOM_H_

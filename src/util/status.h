@@ -1,0 +1,149 @@
+// Status / Result error-handling primitives, modelled after the
+// Arrow / RocksDB convention: library entry points that can fail for
+// data-dependent reasons return a Status (or Result<T>) instead of throwing.
+#ifndef SMGCN_UTIL_STATUS_H_
+#define SMGCN_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace smgcn {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical lowercase name for a status code ("ok",
+/// "invalid_argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (no allocation); error states carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// non-empty message is normalised to a plain OK status.
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Never holds an OK status
+/// without a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_t;`.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::InvalidArgument(...);`.
+  /// Must not be OK.
+  Result(Status status) : state_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& { return std::get<T>(state_); }
+  T& value() & { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagates errors to the caller: `RETURN_IF_ERROR(DoThing());`
+#define RETURN_IF_ERROR(expr)                        \
+  do {                                               \
+    ::smgcn::Status _smgcn_status = (expr);          \
+    if (!_smgcn_status.ok()) return _smgcn_status;   \
+  } while (false)
+
+#define SMGCN_CONCAT_IMPL(a, b) a##b
+#define SMGCN_CONCAT(a, b) SMGCN_CONCAT_IMPL(a, b)
+
+/// Unwraps a Result<T> into `lhs`, propagating errors:
+/// `ASSIGN_OR_RETURN(auto corpus, LoadCorpus(path));`
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  ASSIGN_OR_RETURN_IMPL(SMGCN_CONCAT(_smgcn_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                          \
+  if (!result.ok()) return result.status();       \
+  lhs = std::move(result).value()
+
+}  // namespace smgcn
+
+#endif  // SMGCN_UTIL_STATUS_H_

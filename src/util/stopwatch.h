@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for coarse experiment timing.
+#ifndef SMGCN_UTIL_STOPWATCH_H_
+#define SMGCN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace smgcn {
+
+/// Starts running on construction; Elapsed* report time since the last
+/// (re)start.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smgcn
+
+#endif  // SMGCN_UTIL_STOPWATCH_H_

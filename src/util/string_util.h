@@ -1,0 +1,37 @@
+// Small string helpers shared across IO and reporting code.
+#ifndef SMGCN_UTIL_STRING_UTIL_H_
+#define SMGCN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace smgcn {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any whitespace run; no empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strict integer / double parsing: the whole field must be consumed.
+Result<int> ParseInt(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace smgcn
+
+#endif  // SMGCN_UTIL_STRING_UTIL_H_

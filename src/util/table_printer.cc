@@ -1,0 +1,64 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::string& label,
+                                 const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(StrFormat("%.*f", precision, v));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += ' ';
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string rule = "|";
+  for (std::size_t w : widths) {
+    rule.append(w + 2, '-');
+    rule += '|';
+  }
+  rule += '\n';
+
+  std::string out = render_row(header_);
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace smgcn

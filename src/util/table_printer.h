@@ -1,0 +1,40 @@
+// Aligned ASCII table rendering used by the experiment binaries to print
+// paper-style tables (Table IV, Table V, ...).
+#ifndef SMGCN_UTIL_TABLE_PRINTER_H_
+#define SMGCN_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace smgcn {
+
+/// Collects rows and renders a monospace table with a header rule. Column
+/// widths are computed from content; numeric cells should be pre-formatted
+/// by the caller (see AddNumericRow for a convenience).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// First cell is a label; remaining cells are doubles formatted with
+  /// `precision` decimal places.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 4);
+
+  /// Renders the table, one trailing newline included.
+  std::string ToString() const;
+
+  /// Writes ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smgcn
+
+#endif  // SMGCN_UTIL_TABLE_PRINTER_H_

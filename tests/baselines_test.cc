@@ -1,0 +1,163 @@
+// Tests for the GNN baselines (GC-MC, PinSage, NGCF, HeteGCN) and the
+// model registry: each baseline must train, score sanely, and beat the
+// popularity heuristic on the synthetic corpus.
+#include <gtest/gtest.h>
+
+#include "src/baselines/gcmc.h"
+#include "src/baselines/hetegcn.h"
+#include "src/baselines/ngcf.h"
+#include "src/baselines/pinsage.h"
+#include "src/core/registry.h"
+#include "tests/test_util.h"
+
+namespace smgcn {
+namespace baselines {
+namespace {
+
+core::TrainConfig FastTrain() {
+  core::TrainConfig train;
+  train.learning_rate = 3e-3;
+  train.l2_lambda = 1e-5;
+  train.batch_size = 128;
+  train.epochs = 25;
+  train.seed = 3;
+  return train;
+}
+
+core::ModelConfig BaseModel(std::vector<std::size_t> dims) {
+  core::ModelConfig model;
+  model.embedding_dim = 16;
+  model.layer_dims = std::move(dims);
+  model.thresholds = {2, 5};
+  return model;
+}
+
+template <typename ModelT>
+void ExpectTrainsAndBeatsPopularity(ModelT* model, const char* label) {
+  const auto split = testutil::SmallSplit();
+  ASSERT_TRUE(model->Fit(split.train).ok()) << label;
+  auto report = eval::Evaluate(model->AsScorer(), split.test);
+  auto pop = eval::Evaluate(testutil::PopularityScorer(split.train), split.test);
+  ASSERT_TRUE(report.ok()) << label;
+  ASSERT_TRUE(pop.ok());
+  EXPECT_GT(report->At(20).recall, pop->At(20).recall) << label;
+  const auto& losses = model->train_summary().epoch_losses;
+  EXPECT_LT(losses.back(), losses.front()) << label;
+}
+
+TEST(GcMcTest, TrainsAndLearns) {
+  GcMc model(BaseModel({}), FastTrain());
+  EXPECT_EQ(model.name(), "GC-MC");
+  ExpectTrainsAndBeatsPopularity(&model, "GC-MC");
+}
+
+TEST(GcMcTest, OutputDimIsEmbeddingDim) {
+  const auto split = testutil::SmallSplit();
+  GcMc model(BaseModel({}), FastTrain());
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_EQ(model.symptom_embeddings().cols(), 16u);
+}
+
+TEST(PinSageTest, TrainsAndLearns) {
+  PinSage model(BaseModel({16, 16}), FastTrain());
+  EXPECT_EQ(model.name(), "PinSage");
+  ExpectTrainsAndBeatsPopularity(&model, "PinSage");
+}
+
+TEST(NgcfTest, TrainsAndLearns) {
+  Ngcf model(BaseModel({16, 16}), FastTrain());
+  EXPECT_EQ(model.name(), "NGCF");
+  ExpectTrainsAndBeatsPopularity(&model, "NGCF");
+}
+
+TEST(NgcfTest, LayerConcatenationWidensOutput) {
+  const auto split = testutil::SmallSplit();
+  Ngcf model(BaseModel({16, 16}), FastTrain());
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_EQ(model.symptom_embeddings().cols(), 48u);  // 16 + 16 + 16
+}
+
+TEST(HeteGcnTest, TrainsAndLearns) {
+  HeteGcn model(BaseModel({24}), FastTrain());
+  EXPECT_EQ(model.name(), "HeteGCN");
+  ExpectTrainsAndBeatsPopularity(&model, "HeteGCN");
+}
+
+TEST(HeteGcnTest, RejectsMultiLayerConfig) {
+  const auto split = testutil::SmallSplit();
+  HeteGcn model(BaseModel({24, 24}), FastTrain());
+  EXPECT_EQ(model.Fit(split.train).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BaselineContractTest, ScoreErrorsMatchInterface) {
+  const auto split = testutil::SmallSplit();
+  PinSage model(BaseModel({16}), FastTrain());
+  EXPECT_EQ(model.Score({0}).status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_EQ(model.Score({}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.Score({-5}).status().code(), StatusCode::kOutOfRange);
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+TEST(RegistryTest, AllRegisteredNamesConstruct) {
+  for (const std::string& name : core::RegisteredModelNames()) {
+    core::ModelSpec spec = core::DefaultSpecFor(name);
+    auto model = core::MakeModel(spec);
+    ASSERT_TRUE(model.ok()) << name;
+    EXPECT_EQ((*model)->name(), name);
+  }
+}
+
+TEST(RegistryTest, TableFourModelsAllRegistered) {
+  // The six models of the paper's Table IV must all be constructible —
+  // guards against registry renames breaking the experiment harness.
+  for (const std::string name :
+       {"HC-KGETM", "GC-MC", "PinSage", "NGCF", "HeteGCN", "SMGCN"}) {
+    auto model = core::MakeModel(core::DefaultSpecFor(name));
+    ASSERT_TRUE(model.ok()) << name;
+  }
+}
+
+TEST(RegistryTest, AttentionVariantConstructs) {
+  auto model = core::MakeModel(core::DefaultSpecFor("SMGCN-Att"));
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->name(), "SMGCN-Att");
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  core::ModelSpec spec;
+  spec.name = "DoesNotExist";
+  EXPECT_EQ(core::MakeModel(spec).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, SubmodelFlagsAreForcedByName) {
+  core::ModelSpec spec = core::DefaultSpecFor("Bipar-GCN");
+  spec.model.use_sge = true;     // must be overridden by the name
+  spec.model.use_si_mlp = true;  // must be overridden by the name
+  auto model = core::MakeModel(spec);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->name(), "Bipar-GCN");
+}
+
+TEST(RegistryTest, RegistryModelTrainsEndToEnd) {
+  const auto split = testutil::SmallSplit();
+  core::ModelSpec spec = core::DefaultSpecFor("SMGCN");
+  spec.model.embedding_dim = 16;
+  spec.model.layer_dims = {24, 24};
+  spec.model.thresholds = {2, 5};
+  spec.train.epochs = 6;
+  spec.train.batch_size = 128;
+  auto model = core::MakeModel(spec);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(split.train).ok());
+  auto report = eval::Evaluate((*model)->AsScorer(), split.test);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->At(20).recall, 0.2);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace smgcn

@@ -1,0 +1,290 @@
+// Tests for model persistence (parameter-store snapshots, inference
+// checkpoints, CheckpointRecommender) and validation-based early stopping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "src/core/checkpoint.h"
+#include "src/core/smgcn_model.h"
+#include "src/nn/init.h"
+#include "tests/test_util.h"
+
+namespace smgcn {
+namespace core {
+namespace {
+
+using tensor::Matrix;
+
+TrainConfig FastTrainConfig() {
+  TrainConfig train;
+  train.learning_rate = 3e-3;
+  train.l2_lambda = 1e-4;
+  train.batch_size = 128;
+  train.epochs = 10;
+  train.seed = 3;
+  return train;
+}
+
+ModelConfig SmallModelConfig() {
+  ModelConfig model;
+  model.embedding_dim = 16;
+  model.layer_dims = {24, 24};
+  model.thresholds = {2, 5};
+  return model;
+}
+
+// --------------------------------------------------------------------------
+// ParameterStore snapshots
+// --------------------------------------------------------------------------
+
+TEST(ParameterStoreIoTest, SaveLoadRoundTrip) {
+  Rng rng(1);
+  nn::ParameterStore store;
+  store.Create("a", nn::XavierUniform(3, 4, &rng));
+  store.Create("b.weight", nn::XavierUniform(2, 2, &rng));
+
+  const std::string path = testing::TempDir() + "/smgcn_store.ckpt";
+  ASSERT_TRUE(SaveParameterStore(store, path).ok());
+
+  // A freshly initialised store with the same structure restores exactly.
+  Rng rng2(99);
+  nn::ParameterStore other;
+  auto a = other.Create("a", nn::XavierUniform(3, 4, &rng2));
+  auto b = other.Create("b.weight", nn::XavierUniform(2, 2, &rng2));
+  ASSERT_TRUE(LoadParameterStoreValues(path, &other).ok());
+  EXPECT_EQ(a->value(), store.parameters()[0]->value());
+  EXPECT_EQ(b->value(), store.parameters()[1]->value());
+}
+
+TEST(ParameterStoreIoTest, RejectsCountMismatch) {
+  nn::ParameterStore store;
+  store.Create("a", Matrix(1, 1, 2.0));
+  const std::string path = testing::TempDir() + "/smgcn_store2.ckpt";
+  ASSERT_TRUE(SaveParameterStore(store, path).ok());
+
+  nn::ParameterStore bigger;
+  bigger.Create("a", Matrix(1, 1));
+  bigger.Create("extra", Matrix(1, 1));
+  EXPECT_EQ(LoadParameterStoreValues(path, &bigger).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ParameterStoreIoTest, RejectsNameAndShapeMismatch) {
+  nn::ParameterStore store;
+  store.Create("a", Matrix(2, 2, 1.0));
+  const std::string path = testing::TempDir() + "/smgcn_store3.ckpt";
+  ASSERT_TRUE(SaveParameterStore(store, path).ok());
+
+  nn::ParameterStore renamed;
+  renamed.Create("z", Matrix(2, 2));
+  EXPECT_EQ(LoadParameterStoreValues(path, &renamed).code(),
+            StatusCode::kNotFound);
+
+  nn::ParameterStore reshaped;
+  reshaped.Create("a", Matrix(3, 2));
+  EXPECT_EQ(LoadParameterStoreValues(path, &reshaped).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ParameterStoreIoTest, LoadMissingFileFails) {
+  nn::ParameterStore store;
+  store.Create("a", Matrix(1, 1));
+  EXPECT_EQ(LoadParameterStoreValues("/no/such/file", &store).code(),
+            StatusCode::kIoError);
+}
+
+// --------------------------------------------------------------------------
+// Inference checkpoints
+// --------------------------------------------------------------------------
+
+InferenceCheckpoint TinyCheckpoint(bool with_si) {
+  Rng rng(5);
+  InferenceCheckpoint ckpt;
+  ckpt.model_name = "SMGCN";
+  ckpt.symptom_embeddings = nn::XavierUniform(6, 4, &rng);
+  ckpt.herb_embeddings = nn::XavierUniform(9, 4, &rng);
+  if (with_si) {
+    ckpt.has_si_mlp = true;
+    ckpt.si_weight = nn::XavierUniform(4, 4, &rng);
+    ckpt.si_bias = Matrix(1, 4, 0.1);
+  }
+  return ckpt;
+}
+
+TEST(InferenceCheckpointTest, ValidateCatchesInconsistencies) {
+  EXPECT_TRUE(TinyCheckpoint(true).Validate().ok());
+  EXPECT_TRUE(TinyCheckpoint(false).Validate().ok());
+
+  auto bad = TinyCheckpoint(false);
+  bad.herb_embeddings = Matrix(9, 5);  // width mismatch
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyCheckpoint(true);
+  bad.si_weight = Matrix(3, 4);
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyCheckpoint(true);
+  bad.si_bias = Matrix(2, 4);
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = TinyCheckpoint(false);
+  bad.symptom_embeddings(0, 0) = std::nan("");
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(InferenceCheckpointTest, FileRoundTrip) {
+  for (const bool with_si : {false, true}) {
+    const InferenceCheckpoint original = TinyCheckpoint(with_si);
+    const std::string path = testing::TempDir() + "/smgcn_infer.ckpt";
+    ASSERT_TRUE(SaveInferenceCheckpoint(original, path).ok());
+    auto restored = LoadInferenceCheckpoint(path);
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_EQ(restored->model_name, original.model_name);
+    EXPECT_EQ(restored->has_si_mlp, original.has_si_mlp);
+    EXPECT_EQ(restored->symptom_embeddings, original.symptom_embeddings);
+    EXPECT_EQ(restored->herb_embeddings, original.herb_embeddings);
+    if (with_si) {
+      EXPECT_EQ(restored->si_weight, original.si_weight);
+      EXPECT_EQ(restored->si_bias, original.si_bias);
+    }
+  }
+}
+
+TEST(InferenceCheckpointTest, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/smgcn_garbage.ckpt";
+  {
+    std::ofstream out(path);
+    out << "not a checkpoint\n";
+  }
+  EXPECT_FALSE(LoadInferenceCheckpoint(path).ok());
+  EXPECT_EQ(LoadInferenceCheckpoint("/no/such/path").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CheckpointRecommenderTest, ScoresMatchOriginatingModel) {
+  const auto split = testutil::SmallSplit();
+  SmgcnModel model(SmallModelConfig(), FastTrainConfig());
+  ASSERT_TRUE(model.Fit(split.train).ok());
+
+  auto checkpoint = model.ExportCheckpoint();
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status();
+  const std::string path = testing::TempDir() + "/smgcn_model.ckpt";
+  ASSERT_TRUE(SaveInferenceCheckpoint(*checkpoint, path).ok());
+  auto reloaded = LoadInferenceCheckpoint(path);
+  ASSERT_TRUE(reloaded.ok());
+  auto served = CheckpointRecommender::FromCheckpoint(*std::move(reloaded));
+  ASSERT_TRUE(served.ok());
+
+  EXPECT_EQ(served->name(), "SMGCN");
+  for (const std::vector<int>& symptoms :
+       {std::vector<int>{0}, std::vector<int>{1, 5, 9}, std::vector<int>{3, 4}}) {
+    auto original = model.Score(symptoms);
+    auto restored = served->Score(symptoms);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(original->size(), restored->size());
+    for (std::size_t h = 0; h < original->size(); ++h) {
+      EXPECT_NEAR((*original)[h], (*restored)[h], 1e-9);
+    }
+  }
+}
+
+TEST(CheckpointRecommenderTest, ContractErrors) {
+  auto served = CheckpointRecommender::FromCheckpoint(TinyCheckpoint(true));
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->Fit(data::Corpus()).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(served->Score({}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(served->Score({100}).status().code(), StatusCode::kOutOfRange);
+  auto scores = served->Score({0, 3});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), 9u);
+}
+
+TEST(CheckpointRecommenderTest, ExportBeforeFitFails) {
+  SmgcnModel model(SmallModelConfig(), FastTrainConfig());
+  EXPECT_EQ(model.ExportCheckpoint().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --------------------------------------------------------------------------
+// Early stopping
+// --------------------------------------------------------------------------
+
+TEST(EarlyStoppingTest, ValidationConfigValidation) {
+  auto cfg = FastTrainConfig();
+  cfg.validation_fraction = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.validation_fraction = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.validation_fraction = 0.2;
+  cfg.patience = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.patience = 3;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(EarlyStoppingTest, RecordsValidationLosses) {
+  const auto split = testutil::SmallSplit();
+  auto train = FastTrainConfig();
+  train.validation_fraction = 0.15;
+  train.patience = 3;
+  train.epochs = 8;
+  SmgcnModel model(SmallModelConfig(), train);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  const TrainSummary& summary = model.train_summary();
+  EXPECT_EQ(summary.validation_losses.size(), summary.epoch_losses.size());
+  EXPECT_GE(summary.best_epoch, 1u);
+  EXPECT_LE(summary.best_epoch, summary.epoch_losses.size());
+}
+
+TEST(EarlyStoppingTest, StopsWhenValidationPlateausImmediately) {
+  // patience 1 on a tiny budget: training either stops early or finishes;
+  // in both cases the summary must be internally consistent.
+  const auto split = testutil::SmallSplit();
+  auto train = FastTrainConfig();
+  train.validation_fraction = 0.2;
+  train.patience = 1;
+  train.epochs = 30;
+  SmgcnModel model(SmallModelConfig(), train);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  const TrainSummary& summary = model.train_summary();
+  if (summary.stopped_early) {
+    EXPECT_LT(summary.epoch_losses.size(), 30u);
+  } else {
+    EXPECT_EQ(summary.epoch_losses.size(), 30u);
+  }
+  // The model still serves sane scores after restoration.
+  auto scores = model.Score({0, 1});
+  ASSERT_TRUE(scores.ok());
+  for (double v : *scores) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(EarlyStoppingTest, WorksWithBprLoss) {
+  const auto split = testutil::SmallSplit();
+  auto train = FastTrainConfig();
+  train.loss = LossKind::kBpr;
+  train.validation_fraction = 0.2;
+  train.patience = 2;
+  train.epochs = 10;
+  SmgcnModel model(SmallModelConfig(), train);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_FALSE(model.train_summary().validation_losses.empty());
+  auto scores = model.Score({0, 1});
+  ASSERT_TRUE(scores.ok());
+}
+
+TEST(EarlyStoppingTest, NoValidationMeansNoEarlyStop) {
+  const auto split = testutil::SmallSplit();
+  auto train = FastTrainConfig();
+  train.epochs = 5;
+  SmgcnModel model(SmallModelConfig(), train);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  EXPECT_TRUE(model.train_summary().validation_losses.empty());
+  EXPECT_FALSE(model.train_summary().stopped_early);
+  EXPECT_EQ(model.train_summary().best_epoch, 5u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smgcn

@@ -1,0 +1,145 @@
+// Tests for herb compatibility rules, constrained recommendation, and the
+// generator's contraindication support.
+#include <gtest/gtest.h>
+
+#include "src/core/compatibility.h"
+#include "src/core/smgcn_model.h"
+#include "src/data/tcm_generator.h"
+#include "tests/test_util.h"
+
+namespace smgcn {
+namespace core {
+namespace {
+
+TEST(CompatibilityRulesTest, AddAndQuery) {
+  CompatibilityRules rules;
+  ASSERT_TRUE(rules.AddIncompatiblePair(3, 7).ok());
+  EXPECT_TRUE(rules.AreIncompatible(3, 7));
+  EXPECT_TRUE(rules.AreIncompatible(7, 3));  // unordered
+  EXPECT_FALSE(rules.AreIncompatible(3, 8));
+  EXPECT_EQ(rules.num_rules(), 1u);
+  ASSERT_TRUE(rules.AddIncompatiblePair(7, 3).ok());  // idempotent
+  EXPECT_EQ(rules.num_rules(), 1u);
+}
+
+TEST(CompatibilityRulesTest, RejectsInvalidPairs) {
+  CompatibilityRules rules;
+  EXPECT_EQ(rules.AddIncompatiblePair(3, 3).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(rules.AddIncompatiblePair(-1, 2).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompatibilityRulesTest, ViolationDetection) {
+  CompatibilityRules rules;
+  ASSERT_TRUE(rules.AddIncompatiblePair(1, 2).ok());
+  ASSERT_TRUE(rules.AddIncompatiblePair(4, 5).ok());
+  EXPECT_FALSE(rules.HasViolation({1, 3, 5}));
+  EXPECT_TRUE(rules.HasViolation({1, 2, 3}));
+  const auto violations = rules.Violations({1, 2, 4, 5});
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0], std::make_pair(1, 2));
+  EXPECT_EQ(violations[1], std::make_pair(4, 5));
+  EXPECT_FALSE(rules.HasViolation({}));
+}
+
+TEST(CompatibilityRulesTest, FilterRankingKeepsOrderAndDropsConflicts) {
+  CompatibilityRules rules;
+  ASSERT_TRUE(rules.AddIncompatiblePair(10, 20).ok());
+  // 20 conflicts with the already-kept 10 and must be skipped; 30 fills in.
+  const std::vector<std::size_t> ranked{10, 20, 30, 40};
+  EXPECT_EQ(rules.FilterRanking(ranked, 3),
+            (std::vector<std::size_t>{10, 30, 40}));
+  EXPECT_EQ(rules.FilterRanking(ranked, 2), (std::vector<std::size_t>{10, 30}));
+  // Without rules, the top-k passes through.
+  CompatibilityRules empty;
+  EXPECT_EQ(empty.FilterRanking(ranked, 2), (std::vector<std::size_t>{10, 20}));
+}
+
+TEST(CompatibilityRulesTest, ParseAndSerializeRoundTrip) {
+  const data::Vocabulary vocab = data::Vocabulary::Synthetic(5, "herb_");
+  auto rules = CompatibilityRules::Parse(
+      "# comment\n"
+      "herb_0 herb_3\n"
+      "\n"
+      "herb_2 herb_4\n",
+      vocab);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  EXPECT_EQ(rules->num_rules(), 2u);
+  EXPECT_TRUE(rules->AreIncompatible(0, 3));
+  EXPECT_TRUE(rules->AreIncompatible(4, 2));
+
+  auto reparsed = CompatibilityRules::Parse(rules->Serialize(vocab), vocab);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_rules(), 2u);
+}
+
+TEST(CompatibilityRulesTest, ParseRejectsBadInput) {
+  const data::Vocabulary vocab = data::Vocabulary::Synthetic(3, "herb_");
+  EXPECT_FALSE(CompatibilityRules::Parse("herb_0\n", vocab).ok());
+  EXPECT_FALSE(CompatibilityRules::Parse("herb_0 unknown\n", vocab).ok());
+  EXPECT_FALSE(CompatibilityRules::Parse("herb_0 herb_0\n", vocab).ok());
+}
+
+TEST(CompatibilityTest, RecommendCompatibleRespectsRules) {
+  const auto split = testutil::SmallSplit();
+  ModelConfig model_cfg;
+  model_cfg.embedding_dim = 16;
+  model_cfg.layer_dims = {24};
+  model_cfg.thresholds = {2, 5};
+  TrainConfig train_cfg;
+  train_cfg.learning_rate = 3e-3;
+  train_cfg.batch_size = 128;
+  train_cfg.epochs = 8;
+  SmgcnModel model(model_cfg, train_cfg);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+
+  // Forbid the model's own top-2 pair and verify the constrained
+  // recommendation avoids it.
+  const std::vector<int> symptoms{0, 1, 2};
+  auto unconstrained = model.Recommend(symptoms, 10);
+  ASSERT_TRUE(unconstrained.ok());
+  CompatibilityRules rules;
+  ASSERT_TRUE(rules.AddIncompatiblePair(static_cast<int>((*unconstrained)[0]),
+                                        static_cast<int>((*unconstrained)[1]))
+                  .ok());
+
+  auto constrained = RecommendCompatible(model, symptoms, 10, rules);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_EQ(constrained->size(), 10u);
+  std::vector<int> as_ints;
+  for (std::size_t h : *constrained) as_ints.push_back(static_cast<int>(h));
+  EXPECT_FALSE(rules.HasViolation(as_ints));
+  // The top herb survives; its incompatible partner does not sit beside it.
+  EXPECT_EQ((*constrained)[0], (*unconstrained)[0]);
+}
+
+TEST(CompatibilityTest, GeneratorHonoursContraindications) {
+  data::TcmGeneratorConfig cfg = testutil::SmallCorpusConfig();
+  cfg.num_incompatible_pairs = 30;
+  data::TcmGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  ASSERT_TRUE(corpus.ok());
+  const auto& pairs = gen.ground_truth().incompatible_herb_pairs;
+  ASSERT_EQ(pairs.size(), 30u);
+
+  CompatibilityRules rules;
+  for (const auto& [a, b] : pairs) {
+    ASSERT_TRUE(rules.AddIncompatiblePair(a, b).ok());
+    // Base herbs are exempt from contraindication sampling.
+    EXPECT_GE(static_cast<std::size_t>(a), cfg.num_base_herbs);
+    EXPECT_GE(static_cast<std::size_t>(b), cfg.num_base_herbs);
+  }
+  for (const auto& p : corpus->prescriptions()) {
+    EXPECT_FALSE(rules.HasViolation(p.herbs));
+  }
+}
+
+TEST(CompatibilityTest, GeneratorRejectsTooManyPairs) {
+  data::TcmGeneratorConfig cfg = testutil::SmallCorpusConfig();
+  cfg.num_incompatible_pairs = cfg.num_herbs * cfg.num_herbs;
+  data::TcmGenerator gen(cfg);
+  EXPECT_FALSE(gen.Generate().ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smgcn

@@ -1,0 +1,170 @@
+// Unit tests for the CSR sparse matrix and graph statistics.
+#include <gtest/gtest.h>
+
+#include "src/graph/csr_matrix.h"
+#include "src/graph/graph_stats.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace graph {
+namespace {
+
+using tensor::Matrix;
+
+CsrMatrix SmallMatrix() {
+  // [ 1 0 2 ]
+  // [ 0 0 0 ]
+  // [ 3 4 0 ]
+  return CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {2, 0, 3.0}, {2, 1, 4.0}});
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  CsrMatrix m(4, 5);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.At(2, 3), 0.0);
+  EXPECT_EQ(m.RowNnz(0), 0u);
+}
+
+TEST(CsrTest, FromTripletsBasic) {
+  const CsrMatrix m = SmallMatrix();
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+  EXPECT_EQ(m.RowNnz(0), 2u);
+  EXPECT_EQ(m.RowNnz(1), 0u);
+}
+
+TEST(CsrTest, DuplicateTripletsAreSummed) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0}, {0, 1, 2.5}, {1, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), -1.0);
+}
+
+TEST(CsrTest, FromDenseDropsZeros) {
+  const Matrix dense{{0.0, 1.0}, {2.0, 0.0}};
+  const CsrMatrix m = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_LT(m.ToDense().MaxAbsDiff(dense), 1e-15);
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  Rng rng(1);
+  const Matrix dense = Matrix::RandomNormal(6, 5, 0.0, 1.0, &rng)
+                           .Map([](double v) { return std::fabs(v) < 0.7 ? 0.0 : v; });
+  const CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  const Matrix x = Matrix::RandomNormal(5, 4, 0.0, 1.0, &rng);
+  EXPECT_LT(sparse.Multiply(x).MaxAbsDiff(dense.MatMul(x)), 1e-12);
+}
+
+TEST(CsrTest, TransposeMultiplyMatchesDense) {
+  Rng rng(2);
+  const Matrix dense = Matrix::RandomNormal(6, 5, 0.0, 1.0, &rng)
+                           .Map([](double v) { return std::fabs(v) < 0.7 ? 0.0 : v; });
+  const CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  const Matrix x = Matrix::RandomNormal(6, 3, 0.0, 1.0, &rng);
+  EXPECT_LT(sparse.TransposeMultiply(x).MaxAbsDiff(dense.Transpose().MatMul(x)),
+            1e-12);
+}
+
+TEST(CsrTest, MultiplyEmptyRowsGiveZero) {
+  const CsrMatrix m = SmallMatrix();
+  const Matrix x = Matrix::Full(3, 2, 1.0);
+  const Matrix y = m.Multiply(x);
+  EXPECT_DOUBLE_EQ(y(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 0), 3.0);  // 1 + 2
+  EXPECT_DOUBLE_EQ(y(2, 0), 7.0);  // 3 + 4
+}
+
+TEST(CsrTest, RowNormalizedRowsSumToOne) {
+  const CsrMatrix norm = SmallMatrix().RowNormalized();
+  const auto sums = norm.RowSums();
+  EXPECT_NEAR(sums[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);  // empty row untouched
+  EXPECT_NEAR(sums[2], 1.0, 1e-12);
+  EXPECT_NEAR(norm.At(0, 2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CsrTest, TransposeIsExact) {
+  const CsrMatrix m = SmallMatrix();
+  const CsrMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), m.cols());
+  EXPECT_EQ(t.cols(), m.rows());
+  EXPECT_EQ(t.nnz(), m.nnz());
+  EXPECT_LT(t.ToDense().MaxAbsDiff(m.ToDense().Transpose()), 1e-15);
+}
+
+TEST(CsrTest, RowSums) {
+  const auto sums = SmallMatrix().RowSums();
+  EXPECT_DOUBLE_EQ(sums[0], 3.0);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);
+  EXPECT_DOUBLE_EQ(sums[2], 7.0);
+}
+
+TEST(CsrTest, ForEachInRowVisitsSortedEntries) {
+  const CsrMatrix m = SmallMatrix();
+  std::vector<std::size_t> cols;
+  std::vector<double> vals;
+  m.ForEachInRow(2, [&](std::size_t c, double v) {
+    cols.push_back(c);
+    vals.push_back(v);
+  });
+  EXPECT_EQ(cols, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(vals, (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(CsrDeathTest, OutOfRangeTripletAborts) {
+  EXPECT_DEATH(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}), "out of range");
+  EXPECT_DEATH(CsrMatrix::FromTriplets(2, 2, {{0, 5, 1.0}}), "out of range");
+}
+
+TEST(CsrDeathTest, MultiplyShapeMismatchAborts) {
+  const CsrMatrix m = SmallMatrix();
+  EXPECT_DEATH(m.Multiply(Matrix(2, 2)), "spmm");
+  EXPECT_DEATH(m.TransposeMultiply(Matrix(2, 2)), "spmm");
+}
+
+// --------------------------------------------------------------------------
+// Degree statistics
+// --------------------------------------------------------------------------
+
+TEST(GraphStatsTest, ComputesDegreeSummary) {
+  const DegreeStats stats = ComputeDegreeStats(SmallMatrix());
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_NEAR(stats.mean_degree, 4.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_EQ(stats.min_degree, 0u);
+  EXPECT_NEAR(stats.isolated_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_GT(stats.stddev_degree, 0.0);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  const DegreeStats stats = ComputeDegreeStats(CsrMatrix(0, 0));
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+}
+
+TEST(GraphStatsTest, UniformDegreesHaveZeroStddev) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}});
+  const DegreeStats stats = ComputeDegreeStats(m);
+  EXPECT_NEAR(stats.stddev_degree, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0);
+}
+
+TEST(GraphStatsTest, ToStringMentionsKeyNumbers) {
+  const std::string s = DegreeStatsToString(ComputeDegreeStats(SmallMatrix()));
+  EXPECT_NE(s.find("nodes=3"), std::string::npos);
+  EXPECT_NE(s.find("edges=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace smgcn

@@ -1,0 +1,495 @@
+// Unit tests for src/data: vocabulary, prescriptions, corpus IO, splitting
+// and the synthetic TCM generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/data/corpus_io.h"
+#include "src/data/prescription.h"
+#include "src/data/split.h"
+#include "src/data/tcm_generator.h"
+#include "src/data/vocabulary.h"
+
+namespace smgcn {
+namespace data {
+namespace {
+
+// --------------------------------------------------------------------------
+// Vocabulary
+// --------------------------------------------------------------------------
+
+TEST(VocabularyTest, GetOrAddAssignsSequentialIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("a"), 0);
+  EXPECT_EQ(v.GetOrAdd("b"), 1);
+  EXPECT_EQ(v.GetOrAdd("a"), 0);  // idempotent
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, AddRejectsDuplicates) {
+  Vocabulary v;
+  ASSERT_TRUE(v.Add("x").ok());
+  EXPECT_EQ(v.Add("x").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(VocabularyTest, LookupAndName) {
+  Vocabulary v;
+  v.GetOrAdd("ginseng");
+  EXPECT_EQ(*v.Lookup("ginseng"), 0);
+  EXPECT_EQ(v.Lookup("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.Name(0), "ginseng");
+  EXPECT_TRUE(v.Contains("ginseng"));
+  EXPECT_FALSE(v.Contains("nope"));
+  EXPECT_TRUE(v.ContainsId(0));
+  EXPECT_FALSE(v.ContainsId(1));
+  EXPECT_FALSE(v.ContainsId(-1));
+}
+
+TEST(VocabularyTest, SyntheticNames) {
+  const Vocabulary v = Vocabulary::Synthetic(3, "herb_");
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.Name(2), "herb_2");
+  EXPECT_EQ(*v.Lookup("herb_0"), 0);
+}
+
+// --------------------------------------------------------------------------
+// Prescription / Corpus
+// --------------------------------------------------------------------------
+
+TEST(PrescriptionTest, NormalizeSortsAndDedups) {
+  Prescription p{{3, 1, 3, 2}, {5, 5, 0}};
+  NormalizePrescription(&p);
+  EXPECT_EQ(p.symptoms, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(p.herbs, (std::vector<int>{0, 5}));
+}
+
+Corpus TinyCorpus() {
+  Corpus corpus(Vocabulary::Synthetic(4, "s"), Vocabulary::Synthetic(5, "h"), {});
+  EXPECT_TRUE(corpus.Add({{0, 1}, {0, 2}}).ok());
+  EXPECT_TRUE(corpus.Add({{1, 2}, {2, 3}}).ok());
+  EXPECT_TRUE(corpus.Add({{0}, {0}}).ok());
+  return corpus;
+}
+
+TEST(CorpusTest, BasicAccessors) {
+  const Corpus corpus = TinyCorpus();
+  EXPECT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.num_symptoms(), 4u);
+  EXPECT_EQ(corpus.num_herbs(), 5u);
+  EXPECT_EQ(corpus.at(1).herbs, (std::vector<int>{2, 3}));
+  EXPECT_FALSE(corpus.empty());
+}
+
+TEST(CorpusTest, AddValidatesIdsAndEmptiness) {
+  Corpus corpus(Vocabulary::Synthetic(2, "s"), Vocabulary::Synthetic(2, "h"), {});
+  EXPECT_EQ(corpus.Add({{}, {0}}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corpus.Add({{0}, {}}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corpus.Add({{5}, {0}}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(corpus.Add({{0}, {-1}}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(corpus.size(), 0u);
+}
+
+TEST(CorpusTest, FrequenciesCountSetMembership) {
+  const Corpus corpus = TinyCorpus();
+  const auto herb_freq = corpus.HerbFrequencies();
+  EXPECT_EQ(herb_freq, (std::vector<std::size_t>{2, 0, 2, 1, 0}));
+  const auto symptom_freq = corpus.SymptomFrequencies();
+  EXPECT_EQ(symptom_freq, (std::vector<std::size_t>{2, 2, 1, 0}));
+}
+
+TEST(CorpusTest, MeanSetSizesAndDistinctCounts) {
+  const Corpus corpus = TinyCorpus();
+  EXPECT_NEAR(corpus.MeanSymptomSetSize(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(corpus.MeanHerbSetSize(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(corpus.NumDistinctSymptomsUsed(), 3u);
+  EXPECT_EQ(corpus.NumDistinctHerbsUsed(), 3u);
+  EXPECT_DOUBLE_EQ(Corpus().MeanHerbSetSize(), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Corpus IO
+// --------------------------------------------------------------------------
+
+TEST(CorpusIoTest, ParseBasicFile) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "s_a s_b\th_x h_y\n"
+      "s_b\th_y\n";
+  auto corpus = ParseCorpus(text);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 2u);
+  EXPECT_EQ(corpus->num_symptoms(), 2u);
+  EXPECT_EQ(corpus->num_herbs(), 2u);
+  EXPECT_EQ(corpus->at(0).symptoms, (std::vector<int>{0, 1}));
+  EXPECT_EQ(corpus->at(1).symptoms, (std::vector<int>{1}));
+}
+
+TEST(CorpusIoTest, SerializeRoundTrip) {
+  const Corpus corpus = TinyCorpus();
+  auto restored = ParseCorpus(SerializeCorpus(corpus));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    // Names are preserved; ids may be renumbered by first-seen order, so
+    // compare through names.
+    const auto& orig = corpus.at(i);
+    const auto& got = restored->at(i);
+    ASSERT_EQ(orig.symptoms.size(), got.symptoms.size());
+    for (std::size_t j = 0; j < orig.symptoms.size(); ++j) {
+      EXPECT_EQ(corpus.symptom_vocab().Name(orig.symptoms[j]),
+                restored->symptom_vocab().Name(got.symptoms[j]));
+    }
+  }
+}
+
+TEST(CorpusIoTest, FixedVocabKeepsIdsAligned) {
+  const Corpus base = TinyCorpus();
+  auto parsed = ParseCorpus("s3 s0\th4\n", &base);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at(0).symptoms, (std::vector<int>{0, 3}));
+  EXPECT_EQ(parsed->at(0).herbs, (std::vector<int>{4}));
+  EXPECT_EQ(parsed->num_symptoms(), base.num_symptoms());
+}
+
+TEST(CorpusIoTest, FixedVocabRejectsUnknownNames) {
+  const Corpus base = TinyCorpus();
+  EXPECT_EQ(ParseCorpus("unknown\th0\n", &base).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCorpus("s0\tunknown\n", &base).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CorpusIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseCorpus("no-tab-here\n").ok());
+  EXPECT_FALSE(ParseCorpus("a\tb\tc\n").ok());
+  EXPECT_FALSE(ParseCorpus("\th0\n").ok());  // empty symptom field
+  EXPECT_FALSE(ParseCorpus("s0\t\n").ok());  // empty herb field
+}
+
+TEST(CorpusIoTest, ErrorMessagesIncludeLineNumbers) {
+  const auto status = ParseCorpus("s0\th0\nbroken line\n").status();
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/smgcn_corpus_test.tsv";
+  const Corpus corpus = TinyCorpus();
+  ASSERT_TRUE(SaveCorpus(corpus, path).ok());
+  auto restored = LoadCorpus(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), corpus.size());
+  EXPECT_EQ(LoadCorpus("/no/such/corpus.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+// --------------------------------------------------------------------------
+// Split
+// --------------------------------------------------------------------------
+
+Corpus MediumCorpus(std::size_t n) {
+  Corpus corpus(Vocabulary::Synthetic(10, "s"), Vocabulary::Synthetic(10, "h"), {});
+  Rng rng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    Prescription p;
+    p.symptoms = {static_cast<int>(rng.UniformInt(0, 9))};
+    p.herbs = {static_cast<int>(rng.UniformInt(0, 9))};
+    EXPECT_TRUE(corpus.Add(std::move(p)).ok());
+  }
+  return corpus;
+}
+
+TEST(SplitTest, PartitionsWithRequestedFraction) {
+  const Corpus corpus = MediumCorpus(100);
+  Rng rng(1);
+  auto split = SplitCorpus(corpus, 0.87, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 87u);
+  EXPECT_EQ(split->test.size(), 13u);
+  // Vocabularies are shared.
+  EXPECT_EQ(split->train.num_symptoms(), corpus.num_symptoms());
+  EXPECT_EQ(split->test.num_herbs(), corpus.num_herbs());
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  const Corpus corpus = MediumCorpus(50);
+  Rng rng1(7), rng2(7);
+  auto a = SplitCorpus(corpus, 0.8, &rng1);
+  auto b = SplitCorpus(corpus, 0.8, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->test.size(); ++i) {
+    EXPECT_EQ(a->test.at(i), b->test.at(i));
+  }
+}
+
+TEST(SplitTest, InvalidFractionRejected) {
+  const Corpus corpus = MediumCorpus(10);
+  Rng rng(1);
+  EXPECT_FALSE(SplitCorpus(corpus, 0.0, &rng).ok());
+  EXPECT_FALSE(SplitCorpus(corpus, 1.0, &rng).ok());
+  EXPECT_FALSE(SplitCorpus(corpus, -0.5, &rng).ok());
+}
+
+TEST(SplitTest, TinyCorpusRejected) {
+  Corpus corpus(Vocabulary::Synthetic(1, "s"), Vocabulary::Synthetic(1, "h"), {});
+  ASSERT_TRUE(corpus.Add({{0}, {0}}).ok());
+  Rng rng(1);
+  EXPECT_EQ(SplitCorpus(corpus, 0.5, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SplitTest, ExtremeFractionStillLeavesBothSidesNonEmpty) {
+  const Corpus corpus = MediumCorpus(10);
+  Rng rng(3);
+  auto split = SplitCorpus(corpus, 0.999, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_GE(split->test.size(), 1u);
+  EXPECT_GE(split->train.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// TcmGenerator
+// --------------------------------------------------------------------------
+
+TcmGeneratorConfig SmallGenConfig() {
+  TcmGeneratorConfig cfg;
+  cfg.num_symptoms = 40;
+  cfg.num_herbs = 60;
+  cfg.num_syndromes = 6;
+  cfg.num_prescriptions = 300;
+  cfg.symptom_pool_size = 8;
+  cfg.herb_pool_size = 10;
+  return cfg;
+}
+
+TEST(TcmGeneratorTest, ConfigValidation) {
+  EXPECT_TRUE(SmallGenConfig().Validate().ok());
+  auto bad = SmallGenConfig();
+  bad.num_symptoms = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallGenConfig();
+  bad.symptom_pool_size = 1000;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallGenConfig();
+  bad.min_herbs = 5;
+  bad.max_herbs = 3;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallGenConfig();
+  bad.second_syndrome_prob = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallGenConfig();
+  bad.num_base_herbs = 10000;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(TcmGeneratorTest, GeneratesRequestedCount) {
+  TcmGenerator gen(SmallGenConfig());
+  auto corpus = gen.Generate();
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 300u);
+  EXPECT_EQ(corpus->num_symptoms(), 40u);
+  EXPECT_EQ(corpus->num_herbs(), 60u);
+}
+
+TEST(TcmGeneratorTest, SetSizesWithinConfiguredBounds) {
+  const auto cfg = SmallGenConfig();
+  TcmGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  ASSERT_TRUE(corpus.ok());
+  for (const Prescription& p : corpus->prescriptions()) {
+    EXPECT_GE(static_cast<int>(p.symptoms.size()), 1);
+    // +1 for the possible noise symptom.
+    EXPECT_LE(static_cast<int>(p.symptoms.size()), cfg.max_symptoms + 1);
+    EXPECT_FALSE(p.herbs.empty());
+    for (int s : p.symptoms) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, static_cast<int>(cfg.num_symptoms));
+    }
+    for (int h : p.herbs) {
+      EXPECT_GE(h, 0);
+      EXPECT_LT(h, static_cast<int>(cfg.num_herbs));
+    }
+  }
+}
+
+TEST(TcmGeneratorTest, DeterministicGivenSeed) {
+  TcmGenerator a(SmallGenConfig()), b(SmallGenConfig());
+  auto ca = a.Generate();
+  auto cb = b.Generate();
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  ASSERT_EQ(ca->size(), cb->size());
+  for (std::size_t i = 0; i < ca->size(); ++i) EXPECT_EQ(ca->at(i), cb->at(i));
+}
+
+TEST(TcmGeneratorTest, DifferentSeedsDiffer) {
+  auto cfg = SmallGenConfig();
+  TcmGenerator a(cfg);
+  cfg.seed += 1;
+  TcmGenerator b(cfg);
+  auto ca = a.Generate();
+  auto cb = b.Generate();
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < ca->size() && !any_diff; ++i) {
+    any_diff = !(ca->at(i) == cb->at(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TcmGeneratorTest, HerbFrequenciesAreSkewed) {
+  // Reproduces the imbalance of paper Fig. 5: the most frequent herb should
+  // dominate the median herb by a large factor.
+  TcmGenerator gen(SmallGenConfig());
+  auto corpus = gen.Generate();
+  ASSERT_TRUE(corpus.ok());
+  auto freq = corpus->HerbFrequencies();
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+  ASSERT_GT(freq[0], 0u);
+  const double top = static_cast<double>(freq[0]);
+  const double median = static_cast<double>(freq[freq.size() / 2]);
+  EXPECT_GT(top, 4.0 * std::max(1.0, median));
+}
+
+TEST(TcmGeneratorTest, GroundTruthShapesMatchConfig) {
+  const auto cfg = SmallGenConfig();
+  TcmGenerator gen(cfg);
+  ASSERT_TRUE(gen.Generate().ok());
+  const SyndromeGroundTruth& gt = gen.ground_truth();
+  ASSERT_EQ(gt.syndrome_symptoms.size(), cfg.num_syndromes);
+  ASSERT_EQ(gt.syndrome_herbs.size(), cfg.num_syndromes);
+  for (std::size_t k = 0; k < cfg.num_syndromes; ++k) {
+    EXPECT_EQ(gt.syndrome_symptoms[k].size(), cfg.symptom_pool_size);
+    EXPECT_EQ(gt.syndrome_herbs[k].size(), cfg.herb_pool_size);
+    const std::set<int> unique(gt.syndrome_symptoms[k].begin(),
+                               gt.syndrome_symptoms[k].end());
+    EXPECT_EQ(unique.size(), cfg.symptom_pool_size);
+  }
+  EXPECT_EQ(gt.base_herbs.size(), cfg.num_base_herbs);
+  // One adjustment set per unordered syndrome pair.
+  EXPECT_EQ(gt.pair_adjustment_herbs.size(),
+            cfg.num_syndromes * (cfg.num_syndromes - 1) / 2);
+}
+
+TEST(TcmGeneratorTest, SymptomsCoOccurWithinSyndromes) {
+  // Symptoms from the same syndrome pool must co-occur far more often than
+  // random symptom pairs — the signal the SS synergy graph encodes.
+  auto cfg = SmallGenConfig();
+  cfg.num_prescriptions = 600;
+  TcmGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  ASSERT_TRUE(corpus.ok());
+  const auto& gt = gen.ground_truth();
+
+  // Count co-occurrences of the first syndrome's first two pool symptoms vs
+  // a cross-syndrome pair.
+  auto count_pair = [&](int a, int b) {
+    std::size_t count = 0;
+    for (const Prescription& p : corpus->prescriptions()) {
+      const bool has_a = std::binary_search(p.symptoms.begin(), p.symptoms.end(), a);
+      const bool has_b = std::binary_search(p.symptoms.begin(), p.symptoms.end(), b);
+      if (has_a && has_b) ++count;
+    }
+    return count;
+  };
+  const auto& pool0 = gt.syndrome_symptoms[0];
+  const std::size_t within = count_pair(pool0[0], pool0[1]);
+  // A pair picked from two different pools that do not share members.
+  int cross_a = pool0[0];
+  int cross_b = -1;
+  for (int candidate : gt.syndrome_symptoms[3]) {
+    if (std::find(pool0.begin(), pool0.end(), candidate) == pool0.end()) {
+      cross_b = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(cross_b, -1);
+  EXPECT_GT(within + 1, 2 * (count_pair(cross_a, cross_b) + 1));
+}
+
+TEST(TcmGeneratorTest, BaseHerbsAreNearUniversal) {
+  TcmGenerator gen(SmallGenConfig());
+  auto corpus = gen.Generate();
+  ASSERT_TRUE(corpus.ok());
+  const auto freq = corpus->HerbFrequencies();
+  for (int h : gen.ground_truth().base_herbs) {
+    // Each base herb appears with probability ~base_herb_prob per
+    // prescription.
+    EXPECT_GT(freq[static_cast<std::size_t>(h)], corpus->size() / 4);
+  }
+}
+
+TEST(TcmGeneratorTest, CompanionHerbsPairAndCoOccur) {
+  auto cfg = SmallGenConfig();
+  cfg.companion_prob = 0.7;
+  cfg.num_prescriptions = 500;
+  TcmGenerator gen(cfg);
+  auto corpus = gen.Generate();
+  ASSERT_TRUE(corpus.ok());
+  const auto& companion = gen.ground_truth().companion_of;
+  ASSERT_EQ(companion.size(), cfg.num_herbs);
+
+  // The matching is symmetric and excludes base herbs.
+  std::size_t paired = 0;
+  for (std::size_t h = 0; h < companion.size(); ++h) {
+    if (companion[h] < 0) continue;
+    ++paired;
+    EXPECT_EQ(companion[static_cast<std::size_t>(companion[h])],
+              static_cast<int>(h));
+    EXPECT_GE(h, cfg.num_base_herbs);
+  }
+  EXPECT_GT(paired, cfg.num_herbs / 2);
+
+  // A companion pair co-occurs far more often than expected by chance:
+  // count conditional co-occurrence for the most frequent paired herb.
+  const auto freq = corpus->HerbFrequencies();
+  int probe = -1;
+  std::size_t best_freq = 0;
+  for (std::size_t h = cfg.num_base_herbs; h < cfg.num_herbs; ++h) {
+    if (companion[h] >= 0 && freq[h] > best_freq) {
+      best_freq = freq[h];
+      probe = static_cast<int>(h);
+    }
+  }
+  ASSERT_NE(probe, -1);
+  ASSERT_GT(best_freq, 20u);
+  const int partner = companion[static_cast<std::size_t>(probe)];
+  std::size_t together = 0;
+  for (const Prescription& p : corpus->prescriptions()) {
+    if (std::binary_search(p.herbs.begin(), p.herbs.end(), probe) &&
+        std::binary_search(p.herbs.begin(), p.herbs.end(), partner)) {
+      ++together;
+    }
+  }
+  // With companion_prob 0.7 the partner joins most prescriptions of the
+  // probe herb.
+  EXPECT_GT(static_cast<double>(together) / static_cast<double>(best_freq), 0.4);
+}
+
+TEST(TcmGeneratorTest, CompanionProbValidation) {
+  auto cfg = SmallGenConfig();
+  cfg.companion_prob = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.companion_prob = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(TcmGeneratorTest, NoCompanionsWhenDisabled) {
+  TcmGenerator gen(SmallGenConfig());
+  ASSERT_TRUE(gen.Generate().ok());
+  EXPECT_TRUE(gen.ground_truth().companion_of.empty());
+}
+
+TEST(TcmGeneratorTest, InvalidConfigFailsGenerate) {
+  auto cfg = SmallGenConfig();
+  cfg.num_prescriptions = 0;
+  TcmGenerator gen(cfg);
+  EXPECT_FALSE(gen.Generate().ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace smgcn

@@ -1,0 +1,166 @@
+// Unit tests for the paper's graph constructions: the symptom-herb
+// bipartite graph and the thresholded SS / HH synergy graphs.
+#include <gtest/gtest.h>
+
+#include "src/data/prescription.h"
+#include "src/graph/graph_builder.h"
+
+namespace smgcn {
+namespace graph {
+namespace {
+
+using data::Corpus;
+using data::Vocabulary;
+
+Corpus HandCorpus() {
+  // p0: {s0, s1} -> {h0, h1}
+  // p1: {s0, s2} -> {h2, h3}
+  // p2: {s0, s1} -> {h0, h2}
+  Corpus corpus(Vocabulary::Synthetic(4, "s"), Vocabulary::Synthetic(5, "h"), {});
+  EXPECT_TRUE(corpus.Add({{0, 1}, {0, 1}}).ok());
+  EXPECT_TRUE(corpus.Add({{0, 2}, {2, 3}}).ok());
+  EXPECT_TRUE(corpus.Add({{0, 1}, {0, 2}}).ok());
+  return corpus;
+}
+
+TEST(GraphBuilderTest, SymptomHerbEdgesFromCoOccurrence) {
+  const CsrMatrix sh = BuildSymptomHerbGraph(HandCorpus());
+  EXPECT_EQ(sh.rows(), 4u);
+  EXPECT_EQ(sh.cols(), 5u);
+  // s0 appears with h0, h1 (p0), h2, h3 (p1), h0, h2 (p2).
+  EXPECT_DOUBLE_EQ(sh.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sh.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sh.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sh.At(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(sh.At(0, 4), 0.0);
+  // s1 never co-occurs with h3.
+  EXPECT_DOUBLE_EQ(sh.At(1, 3), 0.0);
+  // s3 is never used.
+  EXPECT_EQ(sh.RowNnz(3), 0u);
+}
+
+TEST(GraphBuilderTest, BipartiteEdgesAreBinaryEvenWhenRepeated) {
+  // (s0, h0) co-occurs in two prescriptions but the entry stays 1.
+  const CsrMatrix sh = BuildSymptomHerbGraph(HandCorpus());
+  EXPECT_DOUBLE_EQ(sh.At(0, 0), 1.0);
+}
+
+TEST(GraphBuilderTest, SynergyThresholdIsStrictlyGreater) {
+  const Corpus corpus = HandCorpus();
+  // Pair (s0, s1) co-occurs twice; (s0, s2) once.
+  const CsrMatrix ss0 = BuildSynergyGraph(corpus, /*use_herbs=*/false, 0);
+  EXPECT_DOUBLE_EQ(ss0.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ss0.At(0, 2), 1.0);
+  const CsrMatrix ss1 = BuildSynergyGraph(corpus, /*use_herbs=*/false, 1);
+  EXPECT_DOUBLE_EQ(ss1.At(0, 1), 1.0);   // count 2 > 1
+  EXPECT_DOUBLE_EQ(ss1.At(0, 2), 0.0);   // count 1, not > 1
+  const CsrMatrix ss2 = BuildSynergyGraph(corpus, /*use_herbs=*/false, 2);
+  EXPECT_EQ(ss2.nnz(), 0u);
+}
+
+TEST(GraphBuilderTest, SynergyGraphIsSymmetricWithZeroDiagonal) {
+  const CsrMatrix hh = BuildSynergyGraph(HandCorpus(), /*use_herbs=*/true, 0);
+  for (std::size_t i = 0; i < hh.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(hh.At(i, i), 0.0);
+    for (std::size_t j = 0; j < hh.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(hh.At(i, j), hh.At(j, i));
+    }
+  }
+}
+
+TEST(GraphBuilderTest, HerbSynergyCounts) {
+  // h0-h1 co-occur once (p0); h0-h2 once (p2); h2-h3 once (p1).
+  const CsrMatrix hh = BuildSynergyGraph(HandCorpus(), /*use_herbs=*/true, 0);
+  EXPECT_DOUBLE_EQ(hh.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(hh.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(hh.At(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(hh.At(1, 3), 0.0);
+}
+
+TEST(GraphBuilderTest, SecondOrderNeighboursAreNotSynergyEdges) {
+  // The paper's example (Sec. IV-B): in p1={s1}->{h1,h2}, p2={s1}->{h3},
+  // h2 and h3 are 2nd-order neighbours via s1 but never co-prescribed, so
+  // HH must not connect them.
+  Corpus corpus(Vocabulary::Synthetic(2, "s"), Vocabulary::Synthetic(4, "h"), {});
+  ASSERT_TRUE(corpus.Add({{1}, {1, 2}}).ok());
+  ASSERT_TRUE(corpus.Add({{1}, {3}}).ok());
+  const CsrMatrix hh = BuildSynergyGraph(corpus, /*use_herbs=*/true, 0);
+  EXPECT_DOUBLE_EQ(hh.At(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(hh.At(1, 2), 1.0);
+  const CsrMatrix sh = BuildSymptomHerbGraph(corpus);
+  EXPECT_DOUBLE_EQ(sh.At(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(sh.At(1, 3), 1.0);
+}
+
+TEST(GraphBuilderTest, BuildTcmGraphsWiresAllFour) {
+  auto graphs = BuildTcmGraphs(HandCorpus(), {0, 0});
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_EQ(graphs->symptom_herb.rows(), 4u);
+  EXPECT_EQ(graphs->herb_symptom.rows(), 5u);
+  EXPECT_EQ(graphs->symptom_symptom.rows(), 4u);
+  EXPECT_EQ(graphs->herb_herb.rows(), 5u);
+  // herb_symptom is the exact transpose.
+  EXPECT_LT(graphs->herb_symptom.ToDense().MaxAbsDiff(
+                graphs->symptom_herb.ToDense().Transpose()),
+            1e-15);
+}
+
+TEST(GraphBuilderTest, BuildTcmGraphsRejectsEmptyCorpusAndBadThresholds) {
+  Corpus empty(Vocabulary::Synthetic(2, "s"), Vocabulary::Synthetic(2, "h"), {});
+  EXPECT_EQ(BuildTcmGraphs(empty, {0, 0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(BuildTcmGraphs(HandCorpus(), {-1, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BuildTcmGraphs(HandCorpus(), {0, -5}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SampleNeighborsTest, CapsRowDegrees) {
+  // A row with 5 entries sampled down to 2; short rows untouched.
+  const CsrMatrix adj = CsrMatrix::FromTriplets(
+      2, 6,
+      {{0, 0, 1.0}, {0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}, {0, 4, 1.0}, {1, 5, 2.5}});
+  Rng rng(3);
+  const CsrMatrix sampled = SampleNeighbors(adj, 2, &rng);
+  EXPECT_EQ(sampled.RowNnz(0), 2u);
+  EXPECT_EQ(sampled.RowNnz(1), 1u);
+  EXPECT_DOUBLE_EQ(sampled.At(1, 5), 2.5);  // values preserved
+  // Sampled entries are a subset of the original row.
+  sampled.ForEachInRow(0, [&](std::size_t c, double v) {
+    EXPECT_DOUBLE_EQ(adj.At(0, c), v);
+  });
+}
+
+TEST(SampleNeighborsTest, FullGraphWhenCapExceedsDegrees) {
+  const CsrMatrix adj = BuildSymptomHerbGraph(HandCorpus());
+  Rng rng(5);
+  const CsrMatrix sampled = SampleNeighbors(adj, 1000, &rng);
+  EXPECT_EQ(sampled.nnz(), adj.nnz());
+  EXPECT_LT(sampled.ToDense().MaxAbsDiff(adj.ToDense()), 1e-15);
+}
+
+TEST(SampleNeighborsTest, DeterministicGivenSeed) {
+  const CsrMatrix adj = BuildSymptomHerbGraph(HandCorpus());
+  Rng a(7), b(7);
+  const CsrMatrix s1 = SampleNeighbors(adj, 2, &a);
+  const CsrMatrix s2 = SampleNeighbors(adj, 2, &b);
+  EXPECT_LT(s1.ToDense().MaxAbsDiff(s2.ToDense()), 1e-15);
+}
+
+TEST(GraphBuilderTest, HigherThresholdNeverAddsEdges) {
+  const Corpus corpus = HandCorpus();
+  const CsrMatrix lo = BuildSynergyGraph(corpus, true, 0);
+  const CsrMatrix hi = BuildSynergyGraph(corpus, true, 1);
+  EXPECT_LE(hi.nnz(), lo.nnz());
+  // Every high-threshold edge exists at the low threshold.
+  for (std::size_t r = 0; r < hi.rows(); ++r) {
+    hi.ForEachInRow(r, [&](std::size_t c, double v) {
+      EXPECT_DOUBLE_EQ(v, 1.0);
+      EXPECT_DOUBLE_EQ(lo.At(r, c), 1.0);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace smgcn

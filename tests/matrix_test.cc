@@ -1,0 +1,224 @@
+// Unit tests for the dense Matrix type and its serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/matrix_io.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace tensor {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+  m.SetZero();
+  EXPECT_DOUBLE_EQ(m.Sum(), 0.0);
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye.Sum(), 3.0);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowVector) {
+  const Matrix v = Matrix::RowVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(v.rows(), 1u);
+  EXPECT_EQ(v.cols(), 3u);
+  EXPECT_DOUBLE_EQ(v(0, 2), 3.0);
+}
+
+TEST(MatrixTest, RandomUniformRespectsBounds) {
+  Rng rng(1);
+  const Matrix m = Matrix::RandomUniform(20, 20, -0.5, 0.5, &rng);
+  EXPECT_GE(m.Min(), -0.5);
+  EXPECT_LT(m.Max(), 0.5);
+  EXPECT_NE(m.Min(), m.Max());
+}
+
+TEST(MatrixTest, ArithmeticOps) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  EXPECT_EQ(a.Add(b), (Matrix{{11.0, 22.0}, {33.0, 44.0}}));
+  EXPECT_EQ(b.Sub(a), (Matrix{{9.0, 18.0}, {27.0, 36.0}}));
+  EXPECT_EQ(a.Mul(b), (Matrix{{10.0, 40.0}, {90.0, 160.0}}));
+  EXPECT_EQ(a.Scale(2.0), (Matrix{{2.0, 4.0}, {6.0, 8.0}}));
+}
+
+TEST(MatrixTest, InPlaceOps) {
+  Matrix a{{1.0, 2.0}};
+  a.AddInPlace(Matrix{{1.0, 1.0}});
+  EXPECT_EQ(a, (Matrix{{2.0, 3.0}}));
+  a.AddScaled(Matrix{{1.0, 2.0}}, -2.0);
+  EXPECT_EQ(a, (Matrix{{0.0, -1.0}}));
+  a.ScaleInPlace(3.0);
+  EXPECT_EQ(a, (Matrix{{0.0, -3.0}}));
+  a.Apply([](double v) { return v + 1.0; });
+  EXPECT_EQ(a, (Matrix{{1.0, -2.0}}));
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  const Matrix c = a.MatMul(b);
+  EXPECT_EQ(c, (Matrix{{58.0, 64.0}, {139.0, 154.0}}));
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  Rng rng(2);
+  const Matrix a = Matrix::RandomNormal(4, 4, 0.0, 1.0, &rng);
+  EXPECT_LT(a.MatMul(Matrix::Identity(4)).MaxAbsDiff(a), 1e-12);
+}
+
+TEST(MatrixTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  const Matrix a = Matrix::RandomNormal(5, 3, 0.0, 1.0, &rng);
+  const Matrix b = Matrix::RandomNormal(5, 4, 0.0, 1.0, &rng);
+  // a^T * b
+  EXPECT_LT(a.TransposedMatMul(b).MaxAbsDiff(a.Transpose().MatMul(b)), 1e-12);
+  const Matrix c = Matrix::RandomNormal(6, 3, 0.0, 1.0, &rng);
+  // a * c^T
+  EXPECT_LT(a.MatMulTransposed(c).MaxAbsDiff(a.MatMul(c.Transpose())), 1e-12);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(4);
+  const Matrix a = Matrix::RandomNormal(3, 7, 0.0, 1.0, &rng);
+  EXPECT_EQ(a.Transpose().Transpose(), a);
+  EXPECT_EQ(a.Transpose().rows(), 7u);
+}
+
+TEST(MatrixTest, ConcatCols) {
+  const Matrix a{{1.0}, {2.0}};
+  const Matrix b{{3.0, 4.0}, {5.0, 6.0}};
+  const Matrix c = a.ConcatCols(b);
+  EXPECT_EQ(c, (Matrix{{1.0, 3.0, 4.0}, {2.0, 5.0, 6.0}}));
+}
+
+TEST(MatrixTest, Slices) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  EXPECT_EQ(m.SliceRows(1, 3), (Matrix{{4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}}));
+  EXPECT_EQ(m.SliceCols(0, 2),
+            (Matrix{{1.0, 2.0}, {4.0, 5.0}, {7.0, 8.0}}));
+  EXPECT_EQ(m.SliceRows(1, 1).rows(), 0u);
+}
+
+TEST(MatrixTest, GatherRowsWithDuplicates) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix g = m.GatherRows({1, 0, 1});
+  EXPECT_EQ(g, (Matrix{{3.0, 4.0}, {1.0, 2.0}, {3.0, 4.0}}));
+}
+
+TEST(MatrixTest, RowReductions) {
+  const Matrix m{{1.0, 2.0}, {3.0, 6.0}};
+  EXPECT_EQ(m.SumRows(), (Matrix{{4.0, 8.0}}));
+  EXPECT_EQ(m.MeanRows(), (Matrix{{2.0, 4.0}}));
+}
+
+TEST(MatrixTest, ScalarReductions) {
+  const Matrix m{{3.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(m.Min(), -4.0);
+  EXPECT_DOUBLE_EQ(m.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(m.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.Dot(Matrix{{2.0, 1.0}}), 2.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, AllFinite) {
+  Matrix m{{1.0, 2.0}};
+  EXPECT_TRUE(m.AllFinite());
+  m(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(m.AllFinite());
+  m(0, 0) = std::nan("");
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  const Matrix m(20, 20, 1.0);
+  const std::string s = m.ToString(2, 2);
+  EXPECT_NE(s.find("Matrix(20 x 20)"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAborts) {
+  const Matrix a(2, 2), b(3, 2);
+  EXPECT_DEATH(a.Add(b), "Check failed");
+  EXPECT_DEATH(a.MatMul(b), "matmul");
+  EXPECT_DEATH((void)a(5, 0), "Check failed");
+}
+
+// --------------------------------------------------------------------------
+// IO
+// --------------------------------------------------------------------------
+
+TEST(MatrixIoTest, SerializeRoundTripExact) {
+  Rng rng(5);
+  const Matrix m = Matrix::RandomNormal(7, 3, 0.0, 2.0, &rng);
+  auto restored = DeserializeMatrix(SerializeMatrix(m));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, m);  // bit-exact thanks to %.17g
+}
+
+TEST(MatrixIoTest, EmptyMatrixRoundTrip) {
+  auto restored = DeserializeMatrix(SerializeMatrix(Matrix()));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(MatrixIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/smgcn_matrix_test.txt";
+  const Matrix m{{1.25, -3.5}, {0.0, 42.0}};
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  auto restored = LoadMatrix(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, m);
+}
+
+TEST(MatrixIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadMatrix("/no/such/file").status().code(), StatusCode::kIoError);
+}
+
+TEST(MatrixIoTest, RejectsMissingHeader) {
+  EXPECT_FALSE(DeserializeMatrix("2 2\n1 2\n3 4\n").ok());
+}
+
+TEST(MatrixIoTest, RejectsMalformedShape) {
+  EXPECT_FALSE(DeserializeMatrix("smgcn-matrix v1\n2\n").ok());
+  EXPECT_FALSE(DeserializeMatrix("smgcn-matrix v1\nx y\n").ok());
+}
+
+TEST(MatrixIoTest, RejectsShortOrRaggedRows) {
+  EXPECT_FALSE(DeserializeMatrix("smgcn-matrix v1\n2 2\n1 2\n").ok());
+  EXPECT_FALSE(DeserializeMatrix("smgcn-matrix v1\n2 2\n1 2\n3\n").ok());
+  EXPECT_FALSE(DeserializeMatrix("smgcn-matrix v1\n1 2\n1 x\n").ok());
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace smgcn

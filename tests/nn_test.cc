@@ -1,0 +1,367 @@
+// Unit tests for src/nn: parameter store, initialisers, layers, optimizers
+// and the recommendation losses (including gradient checks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/init.h"
+#include "src/nn/linear.h"
+#include "src/nn/loss.h"
+#include "src/nn/mlp.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/parameter.h"
+
+namespace smgcn {
+namespace nn {
+namespace {
+
+using autograd::MakeConstant;
+using autograd::MakeVariable;
+using autograd::Variable;
+using tensor::Matrix;
+
+// --------------------------------------------------------------------------
+// ParameterStore
+// --------------------------------------------------------------------------
+
+TEST(ParameterStoreTest, CreateAndLookup) {
+  ParameterStore store;
+  Variable w = store.Create("w", Matrix(2, 3, 1.0));
+  EXPECT_TRUE(w->requires_grad());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.NumWeights(), 6u);
+  auto found = store.Get("w");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->get(), w.get());
+  EXPECT_EQ(store.Get("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParameterStoreTest, ZeroGradClearsAll) {
+  ParameterStore store;
+  Variable w = store.Create("w", Matrix(2, 2, 1.0));
+  w->AccumulateGrad(Matrix(2, 2, 5.0));
+  store.ZeroGrad();
+  EXPECT_DOUBLE_EQ(w->grad().Sum(), 0.0);
+}
+
+TEST(ParameterStoreTest, SquaredNormAndFiniteness) {
+  ParameterStore store;
+  Variable a = store.Create("a", Matrix(1, 2, 3.0));
+  store.Create("b", Matrix(1, 1, 4.0));
+  EXPECT_DOUBLE_EQ(store.SquaredNorm(), 9.0 + 9.0 + 16.0);
+  EXPECT_TRUE(store.AllFinite());
+  a->mutable_value()(0, 0) = std::nan("");
+  EXPECT_FALSE(store.AllFinite());
+}
+
+TEST(ParameterStoreDeathTest, DuplicateNameAborts) {
+  ParameterStore store;
+  store.Create("w", Matrix(1, 1));
+  EXPECT_DEATH(store.Create("w", Matrix(1, 1)), "duplicate");
+}
+
+// --------------------------------------------------------------------------
+// Initialisers
+// --------------------------------------------------------------------------
+
+TEST(InitTest, XavierBoundsAndSpread) {
+  Rng rng(1);
+  const Matrix w = XavierUniform(100, 50, &rng);
+  const double bound = std::sqrt(6.0 / 150.0);
+  EXPECT_GE(w.Min(), -bound);
+  EXPECT_LT(w.Max(), bound);
+  // Roughly zero-centred.
+  EXPECT_NEAR(w.Sum() / static_cast<double>(w.size()), 0.0, 0.02);
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(2);
+  const Matrix w = HeNormal(200, 100, &rng);
+  const double var = w.SquaredNorm() / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 200.0, 0.002);
+}
+
+TEST(InitTest, NormalInitStddev) {
+  Rng rng(3);
+  const Matrix w = NormalInit(100, 100, 0.1, &rng);
+  const double var = w.SquaredNorm() / static_cast<double>(w.size());
+  EXPECT_NEAR(std::sqrt(var), 0.1, 0.01);
+}
+
+// --------------------------------------------------------------------------
+// Linear & MLP
+// --------------------------------------------------------------------------
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  ParameterStore store;
+  Rng rng(4);
+  Linear layer("fc", 3, 2, /*use_bias=*/true, &store, &rng);
+  EXPECT_EQ(store.size(), 2u);  // weight + bias
+  Variable y = layer.Forward(MakeConstant(Matrix(5, 3, 1.0)));
+  EXPECT_EQ(y->value().rows(), 5u);
+  EXPECT_EQ(y->value().cols(), 2u);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  ParameterStore store;
+  Rng rng(5);
+  Linear layer("fc", 3, 2, /*use_bias=*/false, &store, &rng);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(layer.bias(), nullptr);
+}
+
+TEST(LinearTest, BiasStartsAtZeroSoForwardIsPureMatMul) {
+  ParameterStore store;
+  Rng rng(6);
+  Linear layer("fc", 4, 3, /*use_bias=*/true, &store, &rng);
+  const Matrix x = Matrix::RandomNormal(2, 4, 0.0, 1.0, &rng);
+  Variable y = layer.Forward(MakeConstant(x));
+  EXPECT_LT(y->value().MaxAbsDiff(x.MatMul(layer.weight()->value())), 1e-12);
+}
+
+TEST(MlpTest, StackedLayersShape) {
+  ParameterStore store;
+  Rng rng(7);
+  Mlp mlp("mlp", {8, 16, 4}, Activation::kRelu, &store, &rng);
+  EXPECT_EQ(mlp.num_layers(), 2u);
+  EXPECT_EQ(mlp.in_dim(), 8u);
+  EXPECT_EQ(mlp.out_dim(), 4u);
+  Variable y = mlp.Forward(MakeConstant(Matrix(3, 8, 0.5)));
+  EXPECT_EQ(y->value().rows(), 3u);
+  EXPECT_EQ(y->value().cols(), 4u);
+}
+
+TEST(MlpTest, ReluOutputNonNegative) {
+  ParameterStore store;
+  Rng rng(8);
+  Mlp mlp("mlp", {6, 6}, Activation::kRelu, &store, &rng);
+  Variable y = mlp.Forward(MakeConstant(Matrix::RandomNormal(10, 6, 0.0, 2.0, &rng)));
+  EXPECT_GE(y->value().Min(), 0.0);
+}
+
+TEST(MlpTest, ActivationKinds) {
+  auto x = MakeConstant(Matrix{{-1.0, 2.0}});
+  EXPECT_EQ(Activate(x, Activation::kIdentity).get(), x.get());
+  EXPECT_NEAR(Activate(x, Activation::kTanh)->value()(0, 0), std::tanh(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Activate(x, Activation::kRelu)->value()(0, 0), 0.0);
+  EXPECT_NEAR(Activate(x, Activation::kSigmoid)->value()(0, 1),
+              1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+}
+
+TEST(MlpTest, GradientsFlowToAllLayers) {
+  ParameterStore store;
+  Rng rng(9);
+  Mlp mlp("mlp", {4, 5, 3}, Activation::kTanh, &store, &rng);
+  Variable y = mlp.Forward(MakeConstant(Matrix::RandomNormal(2, 4, 0.0, 1.0, &rng)));
+  autograd::Backward(autograd::Sum(autograd::Mul(y, y)));
+  for (const auto& p : store.parameters()) {
+    EXPECT_GT(p->grad().Norm(), 0.0) << p->name();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Optimizers
+// --------------------------------------------------------------------------
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  ParameterStore store;
+  Variable w = store.Create("w", Matrix{{1.0, 2.0}});
+  w->AccumulateGrad(Matrix{{0.5, -1.0}});
+  Sgd sgd(&store, 0.1);
+  sgd.Step();
+  EXPECT_NEAR(w->value()(0, 0), 0.95, 1e-12);
+  EXPECT_NEAR(w->value()(0, 1), 2.1, 1e-12);
+  EXPECT_EQ(sgd.step_count(), 1u);
+}
+
+/// Minimises f(w) = ||w - target||^2 and expects convergence.
+template <typename OptimizerT, typename... Args>
+double OptimizeQuadratic(std::size_t steps, Args... args) {
+  ParameterStore store;
+  Variable w = store.Create("w", Matrix(1, 4, 5.0));
+  const Matrix target{{1.0, -2.0, 0.5, 3.0}};
+  OptimizerT opt(&store, args...);
+  for (std::size_t i = 0; i < steps; ++i) {
+    store.ZeroGrad();
+    Variable diff = autograd::Sub(w, MakeConstant(target));
+    Variable loss = autograd::Sum(autograd::Mul(diff, diff));
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  return w->value().MaxAbsDiff(target);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  EXPECT_LT(OptimizeQuadratic<Sgd>(200, 0.1), 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  EXPECT_LT(OptimizeQuadratic<Adam>(400, 0.1), 1e-3);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam step has magnitude ~lr regardless
+  // of gradient scale.
+  ParameterStore store;
+  Variable w = store.Create("w", Matrix{{0.0}});
+  w->AccumulateGrad(Matrix{{1000.0}});
+  Adam adam(&store, 0.01);
+  adam.Step();
+  EXPECT_NEAR(w->value()(0, 0), -0.01, 1e-6);
+}
+
+TEST(AdamTest, HandlesParametersRegisteredAfterConstruction) {
+  ParameterStore store;
+  Variable a = store.Create("a", Matrix{{1.0}});
+  Adam adam(&store, 0.1);
+  Variable b = store.Create("b", Matrix{{2.0}});
+  a->AccumulateGrad(Matrix{{1.0}});
+  b->AccumulateGrad(Matrix{{1.0}});
+  adam.Step();  // must not crash; both parameters move
+  EXPECT_LT(a->value()(0, 0), 1.0);
+  EXPECT_LT(b->value()(0, 0), 2.0);
+}
+
+// --------------------------------------------------------------------------
+// Losses
+// --------------------------------------------------------------------------
+
+TEST(LossTest, InverseFrequencyWeights) {
+  const auto w = InverseFrequencyWeights({10, 5, 1, 0});
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+  EXPECT_DOUBLE_EQ(w[2], 10.0);
+  EXPECT_DOUBLE_EQ(w[3], 10.0);  // unseen behaves like the rarest
+}
+
+TEST(LossTest, InverseFrequencyWeightsAllZero) {
+  const auto w = InverseFrequencyWeights({0, 0});
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+}
+
+TEST(LossTest, WeightedMseValue) {
+  auto scores = MakeVariable(Matrix{{0.5, 0.0}}, true);
+  const Matrix targets{{1.0, 0.0}};
+  Variable loss = WeightedMseLoss(scores, targets, {2.0, 3.0});
+  // 2 * (1 - 0.5)^2 + 3 * 0 = 0.5, batch of 1.
+  EXPECT_NEAR(loss->value()(0, 0), 0.5, 1e-12);
+}
+
+TEST(LossTest, WeightedMseAveragesOverBatch) {
+  auto scores = MakeVariable(Matrix{{0.0}, {1.0}}, true);
+  const Matrix targets{{1.0}, {1.0}};
+  Variable loss = WeightedMseLoss(scores, targets, {1.0});
+  EXPECT_NEAR(loss->value()(0, 0), 0.5, 1e-12);  // (1 + 0) / 2
+}
+
+TEST(LossTest, WeightedMseGradientCheck) {
+  Rng rng(10);
+  auto scores = MakeVariable(Matrix::RandomNormal(3, 5, 0.0, 1.0, &rng), true);
+  Matrix targets(3, 5, 0.0);
+  targets(0, 1) = 1.0;
+  targets(2, 4) = 1.0;
+  const std::vector<double> weights{1.0, 2.0, 0.5, 4.0, 1.5};
+
+  scores->ZeroGrad();
+  Variable loss = WeightedMseLoss(scores, targets, weights);
+  autograd::Backward(loss);
+  const Matrix analytic = scores->grad();
+
+  const double h = 1e-6;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      const double orig = scores->mutable_value()(r, c);
+      scores->mutable_value()(r, c) = orig + h;
+      const double up = WeightedMseLoss(scores, targets, weights)->value()(0, 0);
+      scores->mutable_value()(r, c) = orig - h;
+      const double down = WeightedMseLoss(scores, targets, weights)->value()(0, 0);
+      scores->mutable_value()(r, c) = orig;
+      EXPECT_NEAR(analytic(r, c), (up - down) / (2.0 * h), 1e-5);
+    }
+  }
+}
+
+TEST(LossTest, BprValueForKnownGap) {
+  auto scores = MakeVariable(Matrix{{2.0, 0.0}}, true);
+  Variable loss = BprLoss(scores, {{0, 0, 1}});
+  EXPECT_NEAR(loss->value()(0, 0), std::log1p(std::exp(-2.0)), 1e-12);
+}
+
+TEST(LossTest, BprDecreasesWithLargerMargin) {
+  auto close = MakeVariable(Matrix{{1.0, 0.9}}, true);
+  auto wide = MakeVariable(Matrix{{1.0, -3.0}}, true);
+  EXPECT_GT(BprLoss(close, {{0, 0, 1}})->value()(0, 0),
+            BprLoss(wide, {{0, 0, 1}})->value()(0, 0));
+}
+
+TEST(LossTest, BprGradientCheck) {
+  Rng rng(11);
+  auto scores = MakeVariable(Matrix::RandomNormal(2, 4, 0.0, 1.0, &rng), true);
+  const std::vector<BprTriple> triples{{0, 1, 2}, {1, 0, 3}, {0, 1, 3}};
+
+  scores->ZeroGrad();
+  autograd::Backward(BprLoss(scores, triples));
+  const Matrix analytic = scores->grad();
+
+  const double h = 1e-6;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double orig = scores->mutable_value()(r, c);
+      scores->mutable_value()(r, c) = orig + h;
+      const double up = BprLoss(scores, triples)->value()(0, 0);
+      scores->mutable_value()(r, c) = orig - h;
+      const double down = BprLoss(scores, triples)->value()(0, 0);
+      scores->mutable_value()(r, c) = orig;
+      EXPECT_NEAR(analytic(r, c), (up - down) / (2.0 * h), 1e-5);
+    }
+  }
+}
+
+TEST(LossTest, SigmoidCrossEntropyValue) {
+  auto scores = MakeVariable(Matrix{{0.0}}, true);
+  EXPECT_NEAR(
+      SigmoidCrossEntropyLoss(scores, Matrix{{1.0}}, {1.0})->value()(0, 0),
+      std::log(2.0), 1e-12);
+}
+
+TEST(LossTest, SigmoidCrossEntropyGradientCheck) {
+  Rng rng(12);
+  auto scores = MakeVariable(Matrix::RandomNormal(2, 3, 0.0, 2.0, &rng), true);
+  Matrix targets(2, 3, 0.0);
+  targets(1, 2) = 1.0;
+  const std::vector<double> weights{1.0, 2.0, 3.0};
+
+  scores->ZeroGrad();
+  autograd::Backward(SigmoidCrossEntropyLoss(scores, targets, weights));
+  const Matrix analytic = scores->grad();
+
+  const double h = 1e-6;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double orig = scores->mutable_value()(r, c);
+      scores->mutable_value()(r, c) = orig + h;
+      const double up =
+          SigmoidCrossEntropyLoss(scores, targets, weights)->value()(0, 0);
+      scores->mutable_value()(r, c) = orig - h;
+      const double down =
+          SigmoidCrossEntropyLoss(scores, targets, weights)->value()(0, 0);
+      scores->mutable_value()(r, c) = orig;
+      EXPECT_NEAR(analytic(r, c), (up - down) / (2.0 * h), 1e-5);
+    }
+  }
+}
+
+TEST(LossTest, L2PenaltyValueAndGradient) {
+  auto a = MakeVariable(Matrix{{3.0}}, true);
+  auto b = MakeVariable(Matrix{{4.0}}, true);
+  Variable penalty = L2Penalty({a, b}, 0.5);
+  EXPECT_NEAR(penalty->value()(0, 0), 0.5 * 25.0, 1e-12);
+  autograd::Backward(penalty);
+  EXPECT_NEAR(a->grad()(0, 0), 0.5 * 2.0 * 3.0, 1e-12);
+  EXPECT_NEAR(b->grad()(0, 0), 0.5 * 2.0 * 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace smgcn

@@ -1,0 +1,57 @@
+// Shared fixtures for model-level tests: a small synthetic corpus and
+// baseline scorers to compare trained models against.
+#ifndef SMGCN_TESTS_TEST_UTIL_H_
+#define SMGCN_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "src/data/split.h"
+#include "src/data/tcm_generator.h"
+#include "src/eval/evaluator.h"
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace testutil {
+
+/// A small but learnable corpus: trains any model here in a few seconds.
+inline data::TcmGeneratorConfig SmallCorpusConfig() {
+  data::TcmGeneratorConfig cfg;
+  cfg.num_symptoms = 50;
+  cfg.num_herbs = 80;
+  cfg.num_syndromes = 8;
+  cfg.num_prescriptions = 600;
+  cfg.symptom_pool_size = 10;
+  cfg.herb_pool_size = 12;
+  // Soften global popularity so the popularity heuristic is beatable and
+  // the learned structure dominates.
+  cfg.herb_zipf = 0.4;
+  cfg.base_herb_prob = 0.3;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+/// Generates and splits the small corpus (deterministic).
+inline data::TrainTestSplit SmallSplit() {
+  data::TcmGenerator gen(SmallCorpusConfig());
+  auto corpus = gen.Generate();
+  SMGCN_CHECK(corpus.ok()) << corpus.status();
+  Rng rng(1);
+  auto split = data::SplitCorpus(*corpus, 0.85, &rng);
+  SMGCN_CHECK(split.ok()) << split.status();
+  return *std::move(split);
+}
+
+/// Recommends herbs by global training popularity — any learned model worth
+/// its salt must beat this on recall@20.
+inline eval::HerbScorer PopularityScorer(const data::Corpus& train) {
+  std::vector<double> popularity;
+  for (std::size_t f : train.HerbFrequencies()) {
+    popularity.push_back(static_cast<double>(f));
+  }
+  return [popularity](const std::vector<int>&) { return popularity; };
+}
+
+}  // namespace testutil
+}  // namespace smgcn
+
+#endif  // SMGCN_TESTS_TEST_UTIL_H_
