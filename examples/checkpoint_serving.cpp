@@ -1,16 +1,22 @@
 // Production-flavoured example: train SMGCN once, export an inference
-// checkpoint to disk, reload it in a "serving" recommender, and apply herb
-// compatibility rules (contraindications) to the recommendations.
+// checkpoint to disk, reload it into a ServingEngine and drive it with a
+// concurrent load generator — mixed sync batches and async Submits from
+// several client threads — then print the engine's serving stats.
 //
 // Run: ./build/examples/checkpoint_serving
 #include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
 
 #include "src/core/checkpoint.h"
-#include "src/core/compatibility.h"
 #include "src/core/smgcn_model.h"
 #include "src/data/split.h"
 #include "src/data/tcm_generator.h"
+#include "src/serve/engine.h"
 #include "src/util/logging.h"
+#include "src/util/random.h"
+#include "src/util/stopwatch.h"
 
 int main() {
   using namespace smgcn;
@@ -21,7 +27,6 @@ int main() {
   gen_config.num_herbs = 100;
   gen_config.num_syndromes = 10;
   gen_config.num_prescriptions = 1500;
-  gen_config.num_incompatible_pairs = 20;  // contraindicated pairs
   data::TcmGenerator generator(gen_config);
   auto corpus = generator.Generate();
   SMGCN_CHECK_OK(corpus.status());
@@ -38,7 +43,6 @@ int main() {
   train_config.learning_rate = 2e-3;
   train_config.epochs = 25;
   train_config.batch_size = 256;
-  // Early stopping on a held-out slice of the training data.
   train_config.validation_fraction = 0.1;
   train_config.patience = 5;
 
@@ -55,45 +59,71 @@ int main() {
   SMGCN_CHECK_OK(core::SaveInferenceCheckpoint(*checkpoint, checkpoint_path));
   std::printf("exported inference checkpoint to %s\n", checkpoint_path.c_str());
 
-  // --- Online: reload and serve --------------------------------------------
+  // --- Online: reload into a serving engine --------------------------------
   auto reloaded = core::LoadInferenceCheckpoint(checkpoint_path);
   SMGCN_CHECK_OK(reloaded.status());
-  auto server = core::CheckpointRecommender::FromCheckpoint(*std::move(reloaded));
-  SMGCN_CHECK_OK(server.status());
+  serve::ServingEngineOptions options;
+  options.max_batch_size = 64;
+  options.max_wait_ms = 0.5;
+  options.cache_capacity = 1024;
+  auto engine = serve::ServingEngine::Create(*std::move(reloaded), options);
+  SMGCN_CHECK_OK(engine.status());
+  std::printf("engine up: model=%s, %zu symptoms, %zu herbs, %zu workers\n",
+              (*engine)->store().model_name().c_str(),
+              (*engine)->store().num_symptoms(),
+              (*engine)->store().num_herbs(),
+              (*engine)->options().num_threads);
 
-  // Compatibility rules from the generator's contraindication ground truth
-  // (in production these come from a curated rule file; see
-  // CompatibilityRules::Parse).
-  core::CompatibilityRules rules;
-  for (const auto& [a, b] : generator.ground_truth().incompatible_herb_pairs) {
-    SMGCN_CHECK_OK(rules.AddIncompatiblePair(a, b));
+  // Sanity: the engine's batched path must reproduce the checkpoint
+  // recommender's per-query scores exactly.
+  auto direct = core::CheckpointRecommender::FromCheckpoint(*checkpoint);
+  SMGCN_CHECK_OK(direct.status());
+  const data::Prescription& probe = split->test.at(0);
+  auto engine_top = (*engine)->Recommend(probe.symptoms, 10);
+  auto direct_top = direct->Recommend(probe.symptoms, 10);
+  SMGCN_CHECK_OK(engine_top.status());
+  SMGCN_CHECK_OK(direct_top.status());
+  SMGCN_CHECK(*engine_top == *direct_top)
+      << "engine and per-query paths disagree";
+  std::printf("probe query agrees with the per-query path; top herb: %s\n\n",
+              corpus->herb_vocab().Name(static_cast<int>(engine_top->front()))
+                  .c_str());
+
+  // --- Load generation: concurrent clients over real test queries ----------
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 2000;
+  std::printf("load test: %d clients x %d async queries (Zipf-ish repeats "
+              "exercise the cache)...\n",
+              kClients, kQueriesPerClient);
+  Stopwatch load_clock;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&engine, &split, c] {
+      Rng client_rng(100 + c);
+      std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        // Skewed sampling: a small hot set dominates, like real traffic.
+        const auto pick = static_cast<std::size_t>(client_rng.UniformInt(
+            0, client_rng.Bernoulli(0.7)
+                   ? static_cast<int>(split->test.size()) / 10
+                   : static_cast<int>(split->test.size()) - 1));
+        futures.push_back(
+            (*engine)->Submit(split->test.at(pick).symptoms, 10));
+      }
+      for (auto& future : futures) {
+        SMGCN_CHECK_OK(future.get().status());
+      }
+    });
   }
-  std::printf("loaded %zu contraindication rules\n", rules.num_rules());
+  for (auto& client : clients) client.join();
+  const double load_seconds = load_clock.ElapsedSeconds();
 
-  const data::Prescription& query = split->test.at(0);
-  auto unconstrained = server->Recommend(query.symptoms, 10);
-  SMGCN_CHECK_OK(unconstrained.status());
-  auto constrained = core::RecommendCompatible(*server, query.symptoms, 10, rules);
-  SMGCN_CHECK_OK(constrained.status());
+  (*engine)->Shutdown();  // drain: every future above has resolved
 
-  auto print_set = [&](const char* label, const std::vector<std::size_t>& herbs) {
-    std::printf("%s:", label);
-    for (std::size_t h : herbs) {
-      std::printf(" %s", corpus->herb_vocab().Name(static_cast<int>(h)).c_str());
-    }
-    std::printf("\n");
-  };
-  std::printf("\nsymptoms:");
-  for (int s : query.symptoms) {
-    std::printf(" %s", corpus->symptom_vocab().Name(s).c_str());
-  }
-  std::printf("\n");
-  print_set("raw top-10        ", *unconstrained);
-  print_set("compatibility-safe", *constrained);
-
-  std::vector<int> as_ints;
-  for (std::size_t h : *constrained) as_ints.push_back(static_cast<int>(h));
-  std::printf("constrained set violates rules: %s\n",
-              rules.HasViolation(as_ints) ? "YES (bug!)" : "no");
+  const serve::ServingStatsSnapshot stats = (*engine)->Stats();
+  std::printf("\nserved %d queries in %.2fs (%.0f QPS end-to-end)\n",
+              kClients * kQueriesPerClient, load_seconds,
+              kClients * kQueriesPerClient / load_seconds);
+  std::printf("engine stats: %s\n", stats.ToString().c_str());
   return 0;
 }

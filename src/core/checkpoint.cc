@@ -225,7 +225,8 @@ Result<std::vector<double>> CheckpointRecommender::Score(
   tensor::Matrix pooled(1, d, 0.0);
   for (int s : symptom_set) {
     if (s < 0 || static_cast<std::size_t>(s) >= es.rows()) {
-      return Status::OutOfRange(StrFormat("symptom id %d outside checkpoint", s));
+      return Status::InvalidArgument(
+          StrFormat("symptom id %d outside checkpoint", s));
     }
     const double* row = es.row_data(static_cast<std::size_t>(s));
     for (std::size_t c = 0; c < d; ++c) pooled(0, c) += row[c];

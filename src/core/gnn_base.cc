@@ -139,7 +139,8 @@ Result<std::vector<double>> GnnRecommenderBase::Score(
   Matrix pooled(1, dim, 0.0);
   for (int s : symptom_set) {
     if (s < 0 || static_cast<std::size_t>(s) >= num_symptoms_) {
-      return Status::OutOfRange(StrFormat("symptom id %d outside vocabulary", s));
+      return Status::InvalidArgument(
+          StrFormat("symptom id %d outside vocabulary", s));
     }
     const double* row = final_symptom_emb_.row_data(static_cast<std::size_t>(s));
     for (std::size_t c = 0; c < dim; ++c) pooled(0, c) += row[c];

@@ -27,10 +27,17 @@ class HerbRecommender {
   virtual Status Fit(const data::Corpus& train) = 0;
 
   /// Scores every herb for the symptom set (higher = more recommended).
-  /// Unknown symptom ids are a contract violation; an untrained model
-  /// returns FailedPrecondition.
+  /// Empty sets and out-of-range symptom ids yield InvalidArgument (never
+  /// undefined behaviour); an untrained model returns FailedPrecondition.
   virtual Result<std::vector<double>> Score(
       const std::vector<int>& symptom_set) const = 0;
+
+  /// Scores a batch of symptom sets. The default implementation loops over
+  /// Score; serving-oriented implementations (serve::EngineRecommender)
+  /// override it to fuse the batch into one GEMM. Fails on the first
+  /// malformed query with its index prefixed to the error message.
+  virtual Result<std::vector<std::vector<double>>> ScoreBatch(
+      const std::vector<std::vector<int>>& symptom_sets) const;
 
   /// Adapts the model to the evaluator's scorer signature. The model must
   /// be trained; scoring errors abort (they indicate bugs, not data issues).

@@ -1,0 +1,84 @@
+#include "src/serve/cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace smgcn {
+namespace serve {
+
+ShardedTopKCache::ShardedTopKCache(std::size_t capacity, std::size_t num_shards) {
+  num_shards = std::max<std::size_t>(num_shards, 1);
+  capacity = std::max<std::size_t>(capacity, 1);
+  // Never let sharding shrink the requested budget to zero per shard.
+  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_ = std::vector<Shard>(num_shards);
+}
+
+bool ShardedTopKCache::Lookup(std::uint64_t key,
+                              const std::vector<int>& symptom_ids,
+                              std::size_t k, std::vector<std::size_t>* top_k) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end() || it->second.k != k ||
+      it->second.symptom_ids != symptom_ids) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  *top_k = it->second.top_k;
+  return true;
+}
+
+void ShardedTopKCache::Insert(std::uint64_t key, std::vector<int> symptom_ids,
+                              std::size_t k, std::vector<std::size_t> top_k) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    // Overwrite (covers hash collisions and changed k) and refresh recency.
+    it->second.symptom_ids = std::move(symptom_ids);
+    it->second.k = k;
+    it->second.top_k = std::move(top_k);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  if (shard.entries.size() >= per_shard_capacity_) {
+    const std::uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    ++shard.evictions;
+  }
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.symptom_ids = std::move(symptom_ids);
+  entry.k = k;
+  entry.top_k = std::move(top_k);
+  entry.lru_it = shard.lru.begin();
+  shard.entries.emplace(key, std::move(entry));
+}
+
+CacheStats ShardedTopKCache::Stats() const {
+  CacheStats stats;
+  stats.capacity = per_shard_capacity_ * shards_.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.size += shard.entries.size();
+  }
+  return stats;
+}
+
+void ShardedTopKCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace serve
+}  // namespace smgcn

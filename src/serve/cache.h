@@ -1,0 +1,84 @@
+// Sharded LRU cache over canonical query keys, holding top-k herb results.
+//
+// Keys are the 64-bit canonical query hashes (with the requested k mixed
+// in); each entry also stores the canonical id list and k so a hash
+// collision reads as a miss instead of serving another query's herbs.
+// Sharding keeps the lock fine-grained under concurrent serving traffic.
+#ifndef SMGCN_SERVE_CACHE_H_
+#define SMGCN_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace smgcn {
+namespace serve {
+
+/// Point-in-time cache counters.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Thread-safe sharded LRU cache: canonical query key -> top-k herb ids.
+class ShardedTopKCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (both clamped to at least 1).
+  explicit ShardedTopKCache(std::size_t capacity, std::size_t num_shards = 8);
+
+  /// Returns true and fills `*top_k` when `key` holds a result for exactly
+  /// this id list and k. Counts a hit or miss and refreshes recency.
+  bool Lookup(std::uint64_t key, const std::vector<int>& symptom_ids,
+              std::size_t k, std::vector<std::size_t>* top_k);
+
+  /// Inserts (or overwrites) the result for `key`, evicting the shard's
+  /// least-recently-used entry when full.
+  void Insert(std::uint64_t key, std::vector<int> symptom_ids, std::size_t k,
+              std::vector<std::size_t> top_k);
+
+  /// Aggregated counters across shards.
+  CacheStats Stats() const;
+
+  /// Drops every entry (counters are retained).
+  void Clear();
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<int> symptom_ids;
+    std::size_t k = 0;
+    std::vector<std::size_t> top_k;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::list<std::uint64_t> lru;  // front = most recent
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(std::uint64_t key) { return shards_[key % shards_.size()]; }
+
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace serve
+}  // namespace smgcn
+
+#endif  // SMGCN_SERVE_CACHE_H_

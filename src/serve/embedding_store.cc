@@ -1,0 +1,108 @@
+#include "src/serve/embedding_store.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace serve {
+
+namespace {
+/// pooled (B x d) times the pre-transposed herb matrix (d x H): the
+/// serving-layout GEMM behind the batched hot path.
+///
+/// Two things make this beat the per-query Matrix::MatMulTransposed loop:
+///   * the inner loop runs over herbs with independent accumulators, so the
+///     compiler vectorises it (the per-query dot product is a serial
+///     dependency chain it may not reassociate);
+///   * a small query block reuses each streamed herb-transpose row across
+///     several queries while the block's output rows stay cache-resident.
+///
+/// Each output element still accumulates its d terms in ascending-k order
+/// starting from 0, the same per-element sum as MatMulTransposed, so every
+/// batch row agrees with the per-query path.
+tensor::Matrix BlockedScoresGemm(const tensor::Matrix& pooled,
+                                 const tensor::Matrix& herbs_t) {
+  const std::size_t batch = pooled.rows();
+  const std::size_t num_herbs = herbs_t.cols();
+  const std::size_t d = pooled.cols();
+  constexpr std::size_t kQueryBlock = 4;
+  tensor::Matrix out(batch, num_herbs, 0.0);
+  for (std::size_t i0 = 0; i0 < batch; i0 += kQueryBlock) {
+    const std::size_t i1 = std::min(i0 + kQueryBlock, batch);
+    for (std::size_t k = 0; k < d; ++k) {
+      const double* ht_row = herbs_t.row_data(k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double a = pooled.row_data(i)[k];
+        double* out_row = out.row_data(i);
+        for (std::size_t j = 0; j < num_herbs; ++j) out_row[j] += a * ht_row[j];
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoint) {
+  RETURN_IF_ERROR(checkpoint.Validate());
+  EmbeddingStore store;
+  store.model_name_ = std::move(checkpoint.model_name);
+  store.symptom_embeddings_ = std::move(checkpoint.symptom_embeddings);
+  // Serving layout: the GEMM wants herb-contiguous rows per embedding dim.
+  store.herb_embeddings_t_ = checkpoint.herb_embeddings.Transpose();
+  store.has_si_mlp_ = checkpoint.has_si_mlp;
+  if (store.has_si_mlp_) {
+    store.si_weight_ = std::move(checkpoint.si_weight);
+    store.si_bias_ = std::move(checkpoint.si_bias);
+  }
+  return store;
+}
+
+tensor::Matrix EmbeddingStore::PoolSymptoms(
+    const std::vector<CanonicalQuery>& batch) const {
+  const std::size_t d = dim();
+  tensor::Matrix pooled(batch.size(), d, 0.0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<int>& ids = batch[i].symptom_ids;
+    SMGCN_CHECK(!ids.empty()) << "canonical query must be non-empty";
+    double* out = pooled.row_data(i);
+    for (int s : ids) {
+      SMGCN_CHECK_LT(static_cast<std::size_t>(s), num_symptoms());
+      const double* row = symptom_embeddings_.row_data(static_cast<std::size_t>(s));
+      for (std::size_t c = 0; c < d; ++c) out[c] += row[c];
+    }
+    const double inv = 1.0 / static_cast<double>(ids.size());
+    for (std::size_t c = 0; c < d; ++c) out[c] *= inv;
+  }
+  return pooled;
+}
+
+tensor::Matrix EmbeddingStore::ScoreBatch(
+    const std::vector<CanonicalQuery>& batch) const {
+  tensor::Matrix pooled = PoolSymptoms(batch);
+  if (has_si_mlp_) {
+    // ReLU(pooled W + b), eq. 12, applied to the whole batch at once. The
+    // bias row is added per query row (broadcast over the batch).
+    tensor::Matrix hidden = pooled.MatMul(si_weight_);
+    const double* bias = si_bias_.row_data(0);
+    const std::size_t d = dim();
+    for (std::size_t i = 0; i < hidden.rows(); ++i) {
+      double* row = hidden.row_data(i);
+      for (std::size_t c = 0; c < d; ++c) {
+        row[c] += bias[c];
+        if (row[c] < 0.0) row[c] = 0.0;
+      }
+    }
+    pooled = std::move(hidden);
+  }
+  // One B x d * d x H GEMM scores the whole batch (eq. 13).
+  return BlockedScoresGemm(pooled, herb_embeddings_t_);
+}
+
+std::vector<double> EmbeddingStore::ScoreOne(const CanonicalQuery& query) const {
+  const tensor::Matrix scores = ScoreBatch({query});
+  return std::vector<double>(scores.data(), scores.data() + scores.cols());
+}
+
+}  // namespace serve
+}  // namespace smgcn

@@ -1,0 +1,68 @@
+// Immutable scoring artifact behind the serving engine.
+//
+// An EmbeddingStore is built once from an InferenceCheckpoint and serves the
+// syndrome-aware prediction pipeline (PAPER.md eqs. 12-13) for whole batches:
+//
+//   pooled  = mean of the query's symptom embedding rows     (B x d)
+//   synd    = ReLU(pooled W + b)   when the SI MLP is present (B x d)
+//   scores  = synd * E_H^T                                    (B x H)
+//
+// The herb matrix is re-laid out at Build time into its transpose (d x H) so
+// the batched GEMM's inner loop runs contiguously over herbs with independent
+// accumulators — the layout the vectoriser wants. Every row of a batched
+// result is bit-identical to scoring that query alone (the kernels process
+// rows independently in a fixed order), which is what makes the engine's
+// batched and per-query paths interchangeable.
+#ifndef SMGCN_SERVE_EMBEDDING_STORE_H_
+#define SMGCN_SERVE_EMBEDDING_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/serve/query.h"
+#include "src/tensor/matrix.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace serve {
+
+/// Immutable, thread-safe (read-only after Build) scoring artifact.
+class EmbeddingStore {
+ public:
+  /// Validates the checkpoint and takes ownership of its matrices.
+  static Result<EmbeddingStore> Build(core::InferenceCheckpoint checkpoint);
+
+  const std::string& model_name() const { return model_name_; }
+  std::size_t num_symptoms() const { return symptom_embeddings_.rows(); }
+  std::size_t num_herbs() const { return herb_embeddings_t_.cols(); }
+  std::size_t dim() const { return symptom_embeddings_.cols(); }
+  bool has_si_mlp() const { return has_si_mlp_; }
+
+  /// Mean-pools each query's symptom embeddings into one row (B x d).
+  /// Queries must already be canonical (ids validated against
+  /// num_symptoms()).
+  tensor::Matrix PoolSymptoms(const std::vector<CanonicalQuery>& batch) const;
+
+  /// Scores every herb for every query in one fused pass (B x H). Row i is
+  /// bit-identical to ScoreOne(batch[i]).
+  tensor::Matrix ScoreBatch(const std::vector<CanonicalQuery>& batch) const;
+
+  /// Herb scores for a single canonical query.
+  std::vector<double> ScoreOne(const CanonicalQuery& query) const;
+
+ private:
+  EmbeddingStore() = default;
+
+  std::string model_name_;
+  tensor::Matrix symptom_embeddings_;  // S x d
+  tensor::Matrix herb_embeddings_t_;   // d x H, GEMM-friendly serving layout
+  bool has_si_mlp_ = false;
+  tensor::Matrix si_weight_;  // d x d
+  tensor::Matrix si_bias_;    // 1 x d
+};
+
+}  // namespace serve
+}  // namespace smgcn
+
+#endif  // SMGCN_SERVE_EMBEDDING_STORE_H_

@@ -1,0 +1,346 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "src/eval/metrics.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace serve {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Rows per parallel work unit; a multiple of the store kernel's query block
+/// so every sub-batch still amortises herb-matrix streaming.
+constexpr std::size_t kScoreBlockRows = 16;
+}  // namespace
+
+void ServingEngine::ParallelBlocks(
+    std::size_t n, std::size_t block,
+    const std::function<void(std::size_t, std::size_t)>& fn) const {
+  const std::size_t num_blocks = block == 0 ? 0 : (n + block - 1) / block;
+  // With one block, or no workers to hand blocks to, the fan-out machinery is
+  // pure overhead — run the whole range inline on the caller.
+  if (num_blocks <= 1 || pool_->num_threads() <= 1) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  // Shared by the caller and any helpers; helpers arriving after the caller
+  // has returned find no blocks left and never touch fn (whose captures may
+  // reference the caller's dead stack frame by then).
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t num_blocks = 0;
+    std::size_t block = 0;
+    std::size_t n = 0;
+    std::function<void(std::size_t, std::size_t)> fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->num_blocks = num_blocks;
+  state->block = block;
+  state->n = n;
+  state->fn = fn;
+  const auto work = [](const std::shared_ptr<State>& s) {
+    while (true) {
+      const std::size_t b = s->next.fetch_add(1);
+      if (b >= s->num_blocks) return;
+      s->fn(b * s->block, std::min((b + 1) * s->block, s->n));
+      if (s->done.fetch_add(1) + 1 == s->num_blocks) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(num_blocks - 1, pool_->num_threads());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool_->Submit([state, work] { work(state); });
+  }
+  work(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done.load() == state->num_blocks; });
+}
+
+Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
+    core::InferenceCheckpoint checkpoint, ServingEngineOptions options) {
+  if (options.max_batch_size == 0) {
+    return Status::InvalidArgument("max_batch_size must be positive");
+  }
+  if (options.max_wait_ms < 0.0) {
+    return Status::InvalidArgument("max_wait_ms must be non-negative");
+  }
+  if (options.num_threads == 0) {
+    options.num_threads =
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  ASSIGN_OR_RETURN(EmbeddingStore store,
+                   EmbeddingStore::Build(std::move(checkpoint)));
+  return std::unique_ptr<ServingEngine>(
+      new ServingEngine(std::move(store), options));
+}
+
+ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
+    : store_(std::move(store)),
+      options_(options),
+      cache_(std::max<std::size_t>(options.cache_capacity, 1),
+             options.cache_shards),
+      cache_enabled_(options.cache_capacity > 0),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+  // Started in the body so the queue, mutex and condvar the loop touches are
+  // fully constructed first.
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
+    const std::vector<std::vector<int>>& queries) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<CanonicalQuery> canonical;
+  canonical.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto query = Canonicalize(queries[i], store_.num_symptoms());
+    if (!query.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "query %zu: %s", i, query.status().message().c_str()));
+    }
+    canonical.push_back(*std::move(query));
+  }
+  if (canonical.empty()) return std::vector<std::vector<double>>{};
+
+  std::vector<std::vector<double>> out(canonical.size());
+  ParallelBlocks(
+      canonical.size(), kScoreBlockRows,
+      [this, &canonical, &out](std::size_t begin, std::size_t end) {
+        // Full-range runs (the single-worker path) skip the sub-vector copy.
+        const tensor::Matrix scores =
+            (begin == 0 && end == canonical.size())
+                ? store_.ScoreBatch(canonical)
+                : store_.ScoreBatch(std::vector<CanonicalQuery>(
+                      canonical.begin() + begin, canonical.begin() + end));
+        for (std::size_t i = begin; i < end; ++i) {
+          const double* row = scores.row_data(i - begin);
+          out[i].assign(row, row + scores.cols());
+        }
+      });
+  stats_.RecordBatch(canonical.size());
+  const double latency = SecondsSince(start);
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    stats_.RecordQuery(latency);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
+    const std::vector<CanonicalQuery>& queries, std::size_t k) const {
+  std::vector<std::vector<std::size_t>> results(queries.size());
+  std::vector<std::size_t> misses;  // indices still needing a GEMM
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (cache_enabled_ &&
+        cache_.Lookup(queries[i].key, queries[i].symptom_ids, k, &results[i])) {
+      continue;
+    }
+    misses.push_back(i);
+  }
+  if (!misses.empty()) {
+    ParallelBlocks(
+        misses.size(), kScoreBlockRows,
+        [this, &misses, &queries, &results, k](std::size_t begin,
+                                               std::size_t end) {
+          std::vector<CanonicalQuery> to_score;
+          to_score.reserve(end - begin);
+          for (std::size_t m = begin; m < end; ++m) {
+            to_score.push_back(queries[misses[m]]);
+          }
+          const tensor::Matrix scores = store_.ScoreBatch(to_score);
+          for (std::size_t m = begin; m < end; ++m) {
+            const double* row = scores.row_data(m - begin);
+            std::vector<double> row_scores(row, row + scores.cols());
+            results[misses[m]] = eval::TopK(row_scores, k);
+            if (cache_enabled_) {
+              const CanonicalQuery& q = queries[misses[m]];
+              cache_.Insert(q.key, q.symptom_ids, k, results[misses[m]]);
+            }
+          }
+        });
+    stats_.RecordBatch(misses.size());
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
+    const std::vector<std::vector<int>>& queries, std::size_t k) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<CanonicalQuery> canonical;
+  canonical.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto query = Canonicalize(queries[i], store_.num_symptoms());
+    if (!query.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "query %zu: %s", i, query.status().message().c_str()));
+    }
+    canonical.push_back(*std::move(query));
+  }
+  auto results = RecommendCanonical(canonical, k);
+  const double latency = SecondsSince(start);
+  for (std::size_t i = 0; i < results.size(); ++i) stats_.RecordQuery(latency);
+  return results;
+}
+
+Result<std::vector<double>> ServingEngine::Score(
+    const std::vector<int>& symptoms) const {
+  ASSIGN_OR_RETURN(auto batch, ScoreBatch({symptoms}));
+  return std::move(batch.front());
+}
+
+Result<std::vector<std::size_t>> ServingEngine::Recommend(
+    const std::vector<int>& symptoms, std::size_t k) const {
+  ASSIGN_OR_RETURN(auto batch, RecommendBatch({symptoms}, k));
+  return std::move(batch.front());
+}
+
+std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
+    std::vector<int> symptoms, std::size_t k) {
+  PendingRequest request;
+  request.k = k;
+  request.enqueue_time = std::chrono::steady_clock::now();
+  auto future = request.promise.get_future();
+
+  auto query = Canonicalize(symptoms, store_.num_symptoms());
+  if (!query.ok()) {
+    request.promise.set_value(query.status());
+    return future;
+  }
+  request.query = *std::move(query);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shutting_down_) {
+      request.promise.set_value(Status::FailedPrecondition(
+          "ServingEngine is shut down; no new queries accepted"));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void ServingEngine::BatcherLoop() {
+  const auto max_wait = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.max_wait_ms));
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    // Hold an incomplete batch briefly so concurrent Submits coalesce; a
+    // full batch (or shutdown drain) flushes immediately.
+    const auto deadline = queue_.front().enqueue_time + max_wait;
+    while (queue_.size() < options_.max_batch_size && !shutting_down_) {
+      if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    std::vector<PendingRequest> batch;
+    const std::size_t take = std::min(queue_.size(), options_.max_batch_size);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    // Score on the pool so the batcher can immediately coalesce the next
+    // batch while this one runs.
+    auto shared = std::make_shared<std::vector<PendingRequest>>(std::move(batch));
+    pool_->Submit([this, shared] { ExecuteBatch(std::move(*shared)); });
+    lock.lock();
+  }
+}
+
+void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch) const {
+  // Requests in one micro-batch may ask for different k; group by k so each
+  // group shares one GEMM + cache pass.
+  std::vector<std::size_t> order(batch.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&batch](std::size_t a, std::size_t b) {
+                     return batch[a].k < batch[b].k;
+                   });
+  std::size_t begin = 0;
+  while (begin < order.size()) {
+    std::size_t end = begin + 1;
+    while (end < order.size() && batch[order[end]].k == batch[order[begin]].k) {
+      ++end;
+    }
+    std::vector<CanonicalQuery> queries;
+    queries.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      queries.push_back(batch[order[i]].query);
+    }
+    auto results = RecommendCanonical(queries, batch[order[begin]].k);
+    for (std::size_t i = begin; i < end; ++i) {
+      PendingRequest& request = batch[order[i]];
+      stats_.RecordQuery(SecondsSince(request.enqueue_time));
+      request.promise.set_value(std::move(results[i - begin]));
+    }
+    begin = end;
+  }
+}
+
+void ServingEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  // shutdown_mu_ serialises concurrent Shutdown callers around the join.
+  std::lock_guard<std::mutex> join_lock(shutdown_mu_);
+  if (batcher_.joinable()) batcher_.join();
+  // The batcher drained the queue into the pool; wait for those batches.
+  if (pool_) pool_->Wait();
+}
+
+ServingStatsSnapshot ServingEngine::Stats() const {
+  return stats_.Snapshot(cache_enabled_ ? cache_.Stats() : CacheStats{});
+}
+
+EngineRecommender::EngineRecommender(const ServingEngine* engine)
+    : engine_(engine) {
+  SMGCN_CHECK(engine != nullptr);
+}
+
+std::string EngineRecommender::name() const {
+  return engine_->store().model_name();
+}
+
+Status EngineRecommender::Fit(const data::Corpus&) {
+  return Status::FailedPrecondition(
+      "EngineRecommender serves a trained checkpoint; it cannot be fitted");
+}
+
+Result<std::vector<double>> EngineRecommender::Score(
+    const std::vector<int>& symptom_set) const {
+  return engine_->Score(symptom_set);
+}
+
+Result<std::vector<std::vector<double>>> EngineRecommender::ScoreBatch(
+    const std::vector<std::vector<int>>& symptom_sets) const {
+  return engine_->ScoreBatch(symptom_sets);
+}
+
+}  // namespace serve
+}  // namespace smgcn

@@ -1,0 +1,169 @@
+// ServingEngine: high-throughput serving on top of an InferenceCheckpoint.
+//
+// Three ways in, one scoring pipeline:
+//   * ScoreBatch / RecommendBatch — synchronous: canonicalize every query,
+//     serve cache hits, score the rest as ONE batched GEMM.
+//   * Score / Recommend — single-query conveniences over the batch path.
+//   * Submit — asynchronous: returns a std::future immediately; a
+//     micro-batcher coalesces queued queries (up to max_batch_size, waiting
+//     at most max_wait_ms for stragglers) into one GEMM executed on the
+//     shared ThreadPool, so concurrent callers amortise the matrix work.
+//
+// Batched, async and per-query results are bit-identical for a given
+// canonical query: the kernels process batch rows independently in a fixed
+// order (see EmbeddingStore).
+//
+// Shutdown() drains: queued queries are still answered, then the batcher
+// stops and later Submits fail fast with FailedPrecondition. The destructor
+// shuts down implicitly.
+#ifndef SMGCN_SERVE_ENGINE_H_
+#define SMGCN_SERVE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/core/recommender.h"
+#include "src/serve/cache.h"
+#include "src/serve/embedding_store.h"
+#include "src/serve/query.h"
+#include "src/serve/stats.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace smgcn {
+namespace serve {
+
+struct ServingEngineOptions {
+  /// Upper bound on queries fused into one GEMM by the micro-batcher (and
+  /// a validation bound for the synchronous batch API: 0 is invalid).
+  std::size_t max_batch_size = 64;
+  /// How long the micro-batcher holds an incomplete batch hoping for more
+  /// queries before flushing it anyway.
+  double max_wait_ms = 0.2;
+  /// Worker threads executing micro-batches; 0 means
+  /// hardware_concurrency (at least 1).
+  std::size_t num_threads = 0;
+  /// Total top-k cache entries; 0 disables caching entirely.
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+};
+
+/// Concurrent batched inference engine over a trained checkpoint.
+/// Thread-safe: every public method may be called from any thread.
+class ServingEngine {
+ public:
+  /// Validates the checkpoint and options and starts the worker threads.
+  static Result<std::unique_ptr<ServingEngine>> Create(
+      core::InferenceCheckpoint checkpoint, ServingEngineOptions options = {});
+
+  ~ServingEngine();
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Scores every herb for every query in one fused GEMM. Fails with
+  /// InvalidArgument when any query is empty or holds out-of-range ids
+  /// (the message names the offending query index). Duplicate ids within a
+  /// query are deduplicated (set semantics).
+  Result<std::vector<std::vector<double>>> ScoreBatch(
+      const std::vector<std::vector<int>>& queries) const;
+
+  /// Top-k herb ids per query; consults the cache before scoring.
+  Result<std::vector<std::vector<std::size_t>>> RecommendBatch(
+      const std::vector<std::vector<int>>& queries, std::size_t k) const;
+
+  /// Single-query conveniences over the batch path.
+  Result<std::vector<double>> Score(const std::vector<int>& symptoms) const;
+  Result<std::vector<std::size_t>> Recommend(const std::vector<int>& symptoms,
+                                             std::size_t k) const;
+
+  /// Enqueues a query for micro-batched execution. The future resolves with
+  /// the top-k herb ids, an InvalidArgument for malformed queries, or
+  /// FailedPrecondition when the engine is already shut down.
+  std::future<Result<std::vector<std::size_t>>> Submit(
+      std::vector<int> symptoms, std::size_t k);
+
+  /// Stops accepting Submits, answers everything already queued, and joins
+  /// the batcher. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Serving counters merged with cache counters.
+  ServingStatsSnapshot Stats() const;
+
+  const EmbeddingStore& store() const { return store_; }
+  const ServingEngineOptions& options() const { return options_; }
+
+ private:
+  struct PendingRequest {
+    CanonicalQuery query;
+    std::size_t k = 0;
+    std::promise<Result<std::vector<std::size_t>>> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+  };
+
+  ServingEngine(EmbeddingStore store, ServingEngineOptions options);
+
+  /// Runs `fn(begin, end)` over [0, n) in blocks of `block` rows, fanned
+  /// out across the thread pool with the calling thread participating.
+  /// Callable from pool workers themselves (the micro-batcher): the caller
+  /// claims blocks too, so progress never depends on free workers.
+  void ParallelBlocks(
+      std::size_t n, std::size_t block,
+      const std::function<void(std::size_t, std::size_t)>& fn) const;
+
+  /// Top-k for pre-canonicalized queries: cache lookaside + one GEMM for
+  /// the misses. Used by both the sync batch path and the micro-batcher.
+  std::vector<std::vector<std::size_t>> RecommendCanonical(
+      const std::vector<CanonicalQuery>& queries, std::size_t k) const;
+
+  void BatcherLoop();
+  /// Scores one coalesced batch and fulfils its promises.
+  void ExecuteBatch(std::vector<PendingRequest> batch) const;
+
+  EmbeddingStore store_;
+  ServingEngineOptions options_;
+  mutable ShardedTopKCache cache_;
+  bool cache_enabled_ = false;
+  mutable StatsRecorder stats_;
+
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  bool shutting_down_ = false;  // guarded by queue_mu_
+  std::mutex shutdown_mu_;      // serialises Shutdown callers
+  std::thread batcher_;         // started last (ctor body); joined in Shutdown
+};
+
+/// Adapts a ServingEngine to the HerbRecommender interface so evaluators and
+/// examples can ride the batched GEMM path transparently: ScoreBatch is
+/// overridden to fuse the whole batch into one engine call instead of the
+/// base class's per-query loop. Fit is a FailedPrecondition, as for
+/// CheckpointRecommender. Does not own the engine.
+class EngineRecommender : public core::HerbRecommender {
+ public:
+  /// `engine` must outlive this recommender.
+  explicit EngineRecommender(const ServingEngine* engine);
+
+  std::string name() const override;
+  Status Fit(const data::Corpus& train) override;
+  Result<std::vector<double>> Score(
+      const std::vector<int>& symptom_set) const override;
+  Result<std::vector<std::vector<double>>> ScoreBatch(
+      const std::vector<std::vector<int>>& symptom_sets) const override;
+
+ private:
+  const ServingEngine* engine_;
+};
+
+}  // namespace serve
+}  // namespace smgcn
+
+#endif  // SMGCN_SERVE_ENGINE_H_

@@ -1,0 +1,57 @@
+#include "src/serve/query.h"
+
+#include <algorithm>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace serve {
+
+namespace {
+// splitmix64 finalizer: full-avalanche mixing of a 64-bit state.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t HashSymptomIds(const std::vector<int>& sorted_ids) {
+  // FNV-1a over the id stream, then an avalanche pass; the per-id multiply
+  // keeps prefix sets ({1} vs {1,3}) well separated.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int id : sorted_ids) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h ^ (static_cast<std::uint64_t>(sorted_ids.size()) << 56));
+}
+
+std::uint64_t CombineKey(std::uint64_t key, std::uint64_t salt) {
+  return Mix64(key ^ (salt * 0xc2b2ae3d27d4eb4fULL));
+}
+
+Result<CanonicalQuery> Canonicalize(const std::vector<int>& symptoms,
+                                    std::size_t num_symptoms) {
+  if (symptoms.empty()) {
+    return Status::InvalidArgument("symptom set must be non-empty");
+  }
+  for (int s : symptoms) {
+    if (s < 0 || static_cast<std::size_t>(s) >= num_symptoms) {
+      return Status::InvalidArgument(StrFormat(
+          "symptom id %d outside vocabulary of %zu", s, num_symptoms));
+    }
+  }
+  CanonicalQuery query;
+  query.symptom_ids = symptoms;
+  std::sort(query.symptom_ids.begin(), query.symptom_ids.end());
+  query.symptom_ids.erase(
+      std::unique(query.symptom_ids.begin(), query.symptom_ids.end()),
+      query.symptom_ids.end());
+  query.key = HashSymptomIds(query.symptom_ids);
+  return query;
+}
+
+}  // namespace serve
+}  // namespace smgcn

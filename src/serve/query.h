@@ -1,0 +1,45 @@
+// Request canonicalization for the serving engine.
+//
+// A serving query is a *set* of symptom ids: order does not matter and
+// duplicates carry no extra weight. Canonicalize() maps the caller's raw
+// vector onto that set representation (sorted ascending, unique), validates
+// every id against the checkpoint's symptom vocabulary, and derives a stable
+// 64-bit key so equivalent queries ({3,1,3} and {1,3}) share cache entries.
+#ifndef SMGCN_SERVE_QUERY_H_
+#define SMGCN_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace serve {
+
+/// A validated, canonical symptom-set query.
+struct CanonicalQuery {
+  /// Sorted ascending, duplicate-free, every id in [0, num_symptoms).
+  std::vector<int> symptom_ids;
+  /// Stable 64-bit hash of `symptom_ids`; identical across processes and
+  /// runs (safe to use as a persistent cache key).
+  std::uint64_t key = 0;
+};
+
+/// Stable FNV-1a-style hash of a sorted id list with avalanche finalizer.
+std::uint64_t HashSymptomIds(const std::vector<int>& sorted_ids);
+
+/// Mixes a salt (e.g. the requested top-k) into a query key so results with
+/// different parameters never alias in a cache.
+std::uint64_t CombineKey(std::uint64_t key, std::uint64_t salt);
+
+/// Sorts and dedups `symptoms` and computes the query key. Returns
+/// InvalidArgument when the set is empty or any id falls outside
+/// [0, num_symptoms) — serving rejects malformed traffic instead of
+/// treating it as a caller contract violation.
+Result<CanonicalQuery> Canonicalize(const std::vector<int>& symptoms,
+                                    std::size_t num_symptoms);
+
+}  // namespace serve
+}  // namespace smgcn
+
+#endif  // SMGCN_SERVE_QUERY_H_

@@ -1,0 +1,127 @@
+#include "src/serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace serve {
+
+namespace {
+std::size_t BucketFor(double seconds) {
+  const double micros = seconds * 1e6;
+  if (micros < 1.0) return 0;
+  const auto bucket = static_cast<std::size_t>(std::log2(micros));
+  return std::min(bucket, LatencyHistogram::kNumBuckets - 1);
+}
+
+/// Geometric midpoint of bucket [2^i, 2^(i+1)) microseconds, in seconds.
+double BucketMidSeconds(std::size_t bucket) {
+  return std::exp2(static_cast<double>(bucket) + 0.5) * 1e-6;
+}
+}  // namespace
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  ++buckets_[BucketFor(seconds)];
+  ++count_;
+  total_seconds_ += seconds;
+  max_seconds_ = std::max(max_seconds_, seconds);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // At least one sample: p=0 means "fastest recorded", not an empty bucket.
+  const double target = std::max(p * static_cast<double>(count_), 1.0);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= target) {
+      // A bucket midpoint can overshoot the largest latency actually seen
+      // (e.g. every sample near the bucket's lower edge); never report a
+      // percentile above the recorded max.
+      return std::min(BucketMidSeconds(b), max_seconds_);
+    }
+  }
+  return max_seconds_;
+}
+
+std::vector<std::string> ServingStatsSnapshot::CsvHeader() {
+  return {"queries",        "batches",       "mean_batch_size",
+          "qps",            "p50_ms",        "p90_ms",
+          "p99_ms",         "max_ms",        "mean_ms",
+          "cache_hits",     "cache_misses",  "cache_evictions",
+          "cache_hit_rate"};
+}
+
+std::vector<std::string> ServingStatsSnapshot::ToCsvRow() const {
+  return {StrFormat("%llu", static_cast<unsigned long long>(queries)),
+          StrFormat("%llu", static_cast<unsigned long long>(batches)),
+          StrFormat("%.3f", mean_batch_size),
+          StrFormat("%.1f", qps),
+          StrFormat("%.4f", latency_p50_ms),
+          StrFormat("%.4f", latency_p90_ms),
+          StrFormat("%.4f", latency_p99_ms),
+          StrFormat("%.4f", latency_max_ms),
+          StrFormat("%.4f", latency_mean_ms),
+          StrFormat("%llu", static_cast<unsigned long long>(cache.hits)),
+          StrFormat("%llu", static_cast<unsigned long long>(cache.misses)),
+          StrFormat("%llu", static_cast<unsigned long long>(cache.evictions)),
+          StrFormat("%.4f", cache.hit_rate())};
+}
+
+std::string ServingStatsSnapshot::ToString() const {
+  return StrFormat(
+      "queries=%llu qps=%.1f | batches=%llu mean_batch=%.2f max_batch=%zu | "
+      "latency ms p50=%.3f p90=%.3f p99=%.3f max=%.3f | "
+      "cache hits=%llu misses=%llu evictions=%llu hit_rate=%.1f%%",
+      static_cast<unsigned long long>(queries), qps,
+      static_cast<unsigned long long>(batches), mean_batch_size,
+      max_batch_size, latency_p50_ms, latency_p90_ms, latency_p99_ms,
+      latency_max_ms, static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.evictions),
+      cache.hit_rate() * 100.0);
+}
+
+void StatsRecorder::RecordQuery(double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latency_.Record(latency_seconds);
+  ++queries_;
+}
+
+void StatsRecorder::RecordBatch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_queries_ += batch_size;
+  max_batch_size_ = std::max(max_batch_size_, batch_size);
+}
+
+ServingStatsSnapshot StatsRecorder::Snapshot(const CacheStats& cache) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServingStatsSnapshot snap;
+  snap.queries = queries_;
+  snap.batches = batches_;
+  snap.batched_queries = batched_queries_;
+  snap.elapsed_seconds = uptime_.ElapsedSeconds();
+  snap.qps = snap.elapsed_seconds > 0.0
+                 ? static_cast<double>(queries_) / snap.elapsed_seconds
+                 : 0.0;
+  snap.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_queries_) /
+                          static_cast<double>(batches_);
+  snap.max_batch_size = max_batch_size_;
+  snap.latency_p50_ms = latency_.Percentile(0.50) * 1e3;
+  snap.latency_p90_ms = latency_.Percentile(0.90) * 1e3;
+  snap.latency_p99_ms = latency_.Percentile(0.99) * 1e3;
+  snap.latency_max_ms = latency_.max_seconds() * 1e3;
+  snap.latency_mean_ms = latency_.mean_seconds() * 1e3;
+  snap.cache = cache;
+  return snap;
+}
+
+}  // namespace serve
+}  // namespace smgcn

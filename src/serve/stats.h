@@ -1,0 +1,96 @@
+// Serving observability: latency histogram, throughput, batch-size
+// distribution and cache effectiveness, exported as a snapshot struct and a
+// CSV row for dashboards / bench output.
+#ifndef SMGCN_SERVE_STATS_H_
+#define SMGCN_SERVE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/serve/cache.h"
+#include "src/util/stopwatch.h"
+
+namespace smgcn {
+namespace serve {
+
+/// Log-bucketed latency histogram. Bucket i spans [2^i, 2^(i+1))
+/// microseconds, so 48 buckets cover sub-microsecond to multi-day
+/// latencies with ~2x resolution. Not thread-safe on its own; the
+/// StatsRecorder serialises access.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 48;
+
+  void Record(double seconds);
+
+  std::uint64_t count() const { return count_; }
+  double total_seconds() const { return total_seconds_; }
+  double max_seconds() const { return max_seconds_; }
+  double mean_seconds() const {
+    return count_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(count_);
+  }
+
+  /// Latency (seconds) below which a fraction `p` in [0,1] of recorded
+  /// samples fall; reports the geometric midpoint of the matching bucket
+  /// (0 when empty).
+  double Percentile(double p) const;
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double total_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+};
+
+/// Point-in-time view of a serving engine's health.
+struct ServingStatsSnapshot {
+  std::uint64_t queries = 0;  // queries answered (cached + scored)
+  std::uint64_t batches = 0;  // GEMM executions
+  std::uint64_t batched_queries = 0;  // queries answered via those GEMMs
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  double mean_batch_size = 0.0;
+  std::size_t max_batch_size = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  CacheStats cache;
+
+  /// Column names matching ToCsvRow(), for CsvWriter headers.
+  static std::vector<std::string> CsvHeader();
+  std::vector<std::string> ToCsvRow() const;
+  /// Human-readable multi-line rendering for CLI output.
+  std::string ToString() const;
+};
+
+/// Thread-safe recorder the engine feeds; Snapshot() merges in the cache
+/// counters (the cache keeps its own, sharded).
+class StatsRecorder {
+ public:
+  /// Records one answered query and its end-to-end latency.
+  void RecordQuery(double latency_seconds);
+
+  /// Records one executed GEMM covering `batch_size` queries.
+  void RecordBatch(std::size_t batch_size);
+
+  ServingStatsSnapshot Snapshot(const CacheStats& cache) const;
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram latency_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_queries_ = 0;
+  std::size_t max_batch_size_ = 0;
+  Stopwatch uptime_;
+};
+
+}  // namespace serve
+}  // namespace smgcn
+
+#endif  // SMGCN_SERVE_STATS_H_

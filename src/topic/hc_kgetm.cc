@@ -126,7 +126,8 @@ Result<std::vector<double>> HcKgetm::Score(
   std::vector<double> scores(num_herbs_, 0.0);
   for (int s : symptom_set) {
     if (s < 0 || static_cast<std::size_t>(s) >= num_symptoms_) {
-      return Status::OutOfRange(StrFormat("symptom id %d outside vocabulary", s));
+      return Status::InvalidArgument(
+          StrFormat("symptom id %d outside vocabulary", s));
     }
     const double* row = symptom_herb_scores_.row_data(static_cast<std::size_t>(s));
     for (std::size_t h = 0; h < num_herbs_; ++h) scores[h] += row[h];

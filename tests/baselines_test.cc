@@ -95,7 +95,7 @@ TEST(BaselineContractTest, ScoreErrorsMatchInterface) {
   EXPECT_EQ(model.Score({0}).status().code(), StatusCode::kFailedPrecondition);
   ASSERT_TRUE(model.Fit(split.train).ok());
   EXPECT_EQ(model.Score({}).status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(model.Score({-5}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(model.Score({-5}).status().code(), StatusCode::kInvalidArgument);
 }
 
 // --------------------------------------------------------------------------

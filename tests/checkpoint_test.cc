@@ -195,7 +195,7 @@ TEST(CheckpointRecommenderTest, ContractErrors) {
   ASSERT_TRUE(served.ok());
   EXPECT_EQ(served->Fit(data::Corpus()).code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(served->Score({}).status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(served->Score({100}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(served->Score({100}).status().code(), StatusCode::kInvalidArgument);
   auto scores = served->Score({0, 3});
   ASSERT_TRUE(scores.ok());
   EXPECT_EQ(scores->size(), 9u);

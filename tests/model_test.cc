@@ -208,8 +208,8 @@ TEST(SmgcnModelTest, ScoreContract) {
   EXPECT_EQ(scores->size(), split.train.num_herbs());
 
   EXPECT_EQ(model.Score({}).status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(model.Score({-1}).status().code(), StatusCode::kOutOfRange);
-  EXPECT_EQ(model.Score({99999}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(model.Score({-1}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(model.Score({99999}).status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SmgcnModelTest, RecommendReturnsTopK) {

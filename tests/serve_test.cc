@@ -1,0 +1,465 @@
+// Tests for src/serve: query canonicalization, the embedding store's
+// batched scoring (bit-identical to CheckpointRecommender::Score), the
+// sharded LRU cache, serving stats and the ServingEngine's sync, async and
+// shutdown behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/serve/cache.h"
+#include "src/serve/embedding_store.h"
+#include "src/serve/engine.h"
+#include "src/serve/query.h"
+#include "src/serve/stats.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace serve {
+namespace {
+
+// A deterministic synthetic checkpoint: no training required to exercise
+// the serving stack.
+core::InferenceCheckpoint MakeCheckpoint(std::size_t num_symptoms = 24,
+                                         std::size_t num_herbs = 40,
+                                         std::size_t dim = 8,
+                                         bool with_si_mlp = true) {
+  Rng rng(907);
+  core::InferenceCheckpoint ckpt;
+  ckpt.model_name = "test-ckpt";
+  ckpt.symptom_embeddings =
+      tensor::Matrix::RandomNormal(num_symptoms, dim, 0.0, 1.0, &rng);
+  ckpt.herb_embeddings =
+      tensor::Matrix::RandomNormal(num_herbs, dim, 0.0, 1.0, &rng);
+  ckpt.has_si_mlp = with_si_mlp;
+  if (with_si_mlp) {
+    ckpt.si_weight = tensor::Matrix::RandomNormal(dim, dim, 0.0, 0.5, &rng);
+    ckpt.si_bias = tensor::Matrix::RandomNormal(1, dim, 0.0, 0.5, &rng);
+  }
+  return ckpt;
+}
+
+// --------------------------------------------------------------------------
+// Canonicalization
+// --------------------------------------------------------------------------
+
+TEST(CanonicalizeTest, SortsAndDedups) {
+  auto q = Canonicalize({3, 1, 3, 7, 1}, 10);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->symptom_ids, (std::vector<int>{1, 3, 7}));
+}
+
+TEST(CanonicalizeTest, EquivalentQueriesShareKey) {
+  auto a = Canonicalize({3, 1, 3}, 10);
+  auto b = Canonicalize({1, 3}, 10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->symptom_ids, b->symptom_ids);
+  EXPECT_EQ(a->key, b->key);
+}
+
+TEST(CanonicalizeTest, RejectsEmptyAndOutOfRange) {
+  EXPECT_EQ(Canonicalize({}, 10).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Canonicalize({-1}, 10).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Canonicalize({10}, 10).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(Canonicalize({9}, 10).ok());
+}
+
+TEST(CanonicalizeTest, KeysSeparateDistinctSets) {
+  // Prefixes, permut-equivalent sets and near misses must hash apart.
+  std::set<std::uint64_t> keys;
+  std::vector<std::vector<int>> sets = {
+      {1}, {1, 3}, {1, 3, 5}, {3, 5}, {1, 5}, {2, 3}, {0}, {5}};
+  for (const auto& s : sets) keys.insert(Canonicalize(s, 10)->key);
+  EXPECT_EQ(keys.size(), sets.size());
+}
+
+TEST(CanonicalizeTest, CombineKeySeparatesSalts) {
+  const std::uint64_t key = Canonicalize({1, 2}, 10)->key;
+  EXPECT_NE(CombineKey(key, 5), CombineKey(key, 10));
+  EXPECT_NE(CombineKey(key, 5), key);
+}
+
+// --------------------------------------------------------------------------
+// EmbeddingStore
+// --------------------------------------------------------------------------
+
+TEST(EmbeddingStoreTest, BuildRejectsInvalidCheckpoint) {
+  core::InferenceCheckpoint broken = MakeCheckpoint();
+  broken.si_weight = tensor::Matrix(3, 3, 0.0);  // wrong shape vs dim=8
+  EXPECT_FALSE(EmbeddingStore::Build(std::move(broken)).ok());
+}
+
+TEST(EmbeddingStoreTest, ExposesCheckpointShape) {
+  auto store = EmbeddingStore::Build(MakeCheckpoint(24, 40, 8));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_symptoms(), 24u);
+  EXPECT_EQ(store->num_herbs(), 40u);
+  EXPECT_EQ(store->dim(), 8u);
+  EXPECT_TRUE(store->has_si_mlp());
+  EXPECT_EQ(store->model_name(), "test-ckpt");
+}
+
+// The acceptance bar: every row of a batched score matrix must be
+// bit-identical to scoring that query alone through the original
+// CheckpointRecommender path.
+TEST(EmbeddingStoreTest, BatchedScoresBitIdenticalToPerQueryScore) {
+  for (bool with_mlp : {true, false}) {
+    core::InferenceCheckpoint ckpt = MakeCheckpoint(24, 40, 8, with_mlp);
+    auto reference = core::CheckpointRecommender::FromCheckpoint(ckpt);
+    ASSERT_TRUE(reference.ok());
+    auto store = EmbeddingStore::Build(std::move(ckpt));
+    ASSERT_TRUE(store.ok());
+
+    std::vector<std::vector<int>> raw_queries = {
+        {0}, {1, 2, 3}, {5, 9, 13, 21}, {23}, {2, 4, 6, 8, 10, 12}};
+    std::vector<CanonicalQuery> batch;
+    for (const auto& raw : raw_queries) {
+      batch.push_back(*Canonicalize(raw, store->num_symptoms()));
+    }
+    const tensor::Matrix scores = store->ScoreBatch(batch);
+    ASSERT_EQ(scores.rows(), batch.size());
+    ASSERT_EQ(scores.cols(), store->num_herbs());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto expected = reference->Score(batch[i].symptom_ids);
+      ASSERT_TRUE(expected.ok());
+      for (std::size_t h = 0; h < store->num_herbs(); ++h) {
+        // EXPECT_EQ, not NEAR: rows must match bit for bit.
+        EXPECT_EQ(scores(i, h), (*expected)[h])
+            << "query " << i << " herb " << h << " mlp=" << with_mlp;
+      }
+    }
+  }
+}
+
+TEST(EmbeddingStoreTest, ScoreOneMatchesBatchRow) {
+  auto store = EmbeddingStore::Build(MakeCheckpoint());
+  ASSERT_TRUE(store.ok());
+  const CanonicalQuery q = *Canonicalize({2, 7, 11}, store->num_symptoms());
+  const std::vector<double> one = store->ScoreOne(q);
+  const tensor::Matrix batch = store->ScoreBatch({q, q});
+  for (std::size_t h = 0; h < store->num_herbs(); ++h) {
+    EXPECT_EQ(one[h], batch(0, h));
+    EXPECT_EQ(one[h], batch(1, h));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Cache
+// --------------------------------------------------------------------------
+
+TEST(CacheTest, MissThenHit) {
+  ShardedTopKCache cache(16, 4);
+  const std::vector<int> ids{1, 3};
+  std::vector<std::size_t> out;
+  EXPECT_FALSE(cache.Lookup(42, ids, 5, &out));
+  cache.Insert(42, ids, 5, {7, 8, 9});
+  ASSERT_TRUE(cache.Lookup(42, ids, 5, &out));
+  EXPECT_EQ(out, (std::vector<std::size_t>{7, 8, 9}));
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(CacheTest, DifferentKIsAMiss) {
+  ShardedTopKCache cache(16, 1);
+  const std::vector<int> ids{1, 3};
+  cache.Insert(42, ids, 5, {7, 8});
+  std::vector<std::size_t> out;
+  EXPECT_FALSE(cache.Lookup(42, ids, 10, &out));
+}
+
+TEST(CacheTest, HashCollisionVerifiedByIds) {
+  ShardedTopKCache cache(16, 1);
+  cache.Insert(42, {1, 3}, 5, {7});
+  std::vector<std::size_t> out;
+  // Same key, different canonical ids: must not serve the other query's herbs.
+  EXPECT_FALSE(cache.Lookup(42, {2, 4}, 5, &out));
+}
+
+TEST(CacheTest, EvictsLeastRecentlyUsed) {
+  ShardedTopKCache cache(2, 1);  // two entries, one shard
+  cache.Insert(1, {1}, 5, {10});
+  cache.Insert(2, {2}, 5, {20});
+  std::vector<std::size_t> out;
+  ASSERT_TRUE(cache.Lookup(1, {1}, 5, &out));  // refresh key 1
+  cache.Insert(3, {3}, 5, {30});               // evicts key 2 (LRU)
+  EXPECT_TRUE(cache.Lookup(1, {1}, 5, &out));
+  EXPECT_FALSE(cache.Lookup(2, {2}, 5, &out));
+  EXPECT_TRUE(cache.Lookup(3, {3}, 5, &out));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(CacheTest, ClearDropsEntriesKeepsCounters) {
+  ShardedTopKCache cache(8, 2);
+  cache.Insert(1, {1}, 5, {10});
+  std::vector<std::size_t> out;
+  ASSERT_TRUE(cache.Lookup(1, {1}, 5, &out));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(1, {1}, 5, &out));
+  EXPECT_EQ(cache.Stats().size, 0u);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Stats
+// --------------------------------------------------------------------------
+
+TEST(StatsTest, HistogramPercentilesBracketSamples) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 90; ++i) hist.Record(100e-6);  // ~100us
+  for (int i = 0; i < 10; ++i) hist.Record(10e-3);   // ~10ms
+  EXPECT_EQ(hist.count(), 100u);
+  // p50 lives in the 100us bucket (x2 bucket resolution), p99 in the 10ms one.
+  EXPECT_GT(hist.Percentile(0.50), 30e-6);
+  EXPECT_LT(hist.Percentile(0.50), 300e-6);
+  EXPECT_GT(hist.Percentile(0.99), 3e-3);
+  EXPECT_LT(hist.Percentile(0.99), 30e-3);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 10e-3);
+  EXPECT_EQ(hist.Percentile(0.0), hist.Percentile(1e-9));
+}
+
+TEST(StatsTest, EmptyHistogramIsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_EQ(hist.mean_seconds(), 0.0);
+}
+
+TEST(StatsTest, SnapshotCsvRowMatchesHeader) {
+  StatsRecorder recorder;
+  recorder.RecordBatch(4);
+  for (int i = 0; i < 4; ++i) recorder.RecordQuery(1e-3);
+  const ServingStatsSnapshot snap = recorder.Snapshot(CacheStats{});
+  EXPECT_EQ(snap.queries, 4u);
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size, 4.0);
+  EXPECT_EQ(snap.ToCsvRow().size(), ServingStatsSnapshot::CsvHeader().size());
+  EXPECT_FALSE(snap.ToString().empty());
+}
+
+// --------------------------------------------------------------------------
+// ServingEngine
+// --------------------------------------------------------------------------
+
+std::unique_ptr<ServingEngine> MakeEngine(ServingEngineOptions options = {}) {
+  auto engine = ServingEngine::Create(MakeCheckpoint(), options);
+  SMGCN_CHECK(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+TEST(ServingEngineTest, CreateRejectsBadOptions) {
+  ServingEngineOptions options;
+  options.max_batch_size = 0;
+  EXPECT_EQ(ServingEngine::Create(MakeCheckpoint(), options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServingEngineTest, ScoreBatchBitIdenticalToCheckpointRecommender) {
+  core::InferenceCheckpoint ckpt = MakeCheckpoint();
+  auto reference = core::CheckpointRecommender::FromCheckpoint(ckpt);
+  ASSERT_TRUE(reference.ok());
+  auto engine = ServingEngine::Create(std::move(ckpt));
+  ASSERT_TRUE(engine.ok());
+
+  const std::vector<std::vector<int>> queries = {
+      {4, 2, 0}, {11}, {1, 3, 5, 7, 9}, {20, 22}};
+  auto batch = (*engine)->ScoreBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto canonical = Canonicalize(queries[i], 24);
+    auto expected = reference->Score(canonical->symptom_ids);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ((*batch)[i], *expected) << "query " << i;
+  }
+}
+
+TEST(ServingEngineTest, RecommendMatchesRecommendBatchAndIsCanonical) {
+  auto engine = MakeEngine();
+  // {3,1,3} and {1,3} are the same query; both paths must agree.
+  auto a = engine->Recommend({3, 1, 3}, 10);
+  auto b = engine->Recommend({1, 3}, 10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  auto batch = engine->RecommendBatch({{3, 1, 3}, {1, 3}}, 10);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ((*batch)[0], *a);
+  EXPECT_EQ((*batch)[1], *a);
+}
+
+TEST(ServingEngineTest, MalformedQueryNamesIndex) {
+  auto engine = MakeEngine();
+  auto result = engine->ScoreBatch({{1}, {999}});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("query 1"), std::string::npos);
+  EXPECT_TRUE(engine->ScoreBatch({}).ok());  // empty batch is fine
+}
+
+TEST(ServingEngineTest, RepeatQueriesHitCache) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->Recommend({1, 2, 3}, 10).ok());
+  ASSERT_TRUE(engine->Recommend({3, 2, 1, 1}, 10).ok());  // same canonical set
+  const ServingStatsSnapshot stats = engine->Stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  // The second query must not have triggered another GEMM.
+  EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(ServingEngineTest, CacheDisabledStillServes) {
+  ServingEngineOptions options;
+  options.cache_capacity = 0;
+  auto engine = MakeEngine(options);
+  auto a = engine->Recommend({1, 2}, 5);
+  auto b = engine->Recommend({1, 2}, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(engine->Stats().cache.hits, 0u);
+  EXPECT_EQ(engine->Stats().batches, 2u);
+}
+
+TEST(ServingEngineTest, SubmitMatchesSyncRecommend) {
+  auto engine = MakeEngine();
+  auto expected = engine->Recommend({2, 4, 6}, 8);
+  ASSERT_TRUE(expected.ok());
+  auto future = engine->Submit({6, 4, 2, 2}, 8);  // same canonical query
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, *expected);
+}
+
+TEST(ServingEngineTest, SubmitRejectsMalformedImmediately) {
+  auto engine = MakeEngine();
+  EXPECT_EQ(engine->Submit({}, 5).get().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->Submit({-3}, 5).get().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServingEngineTest, ConcurrentSubmitsFromManyThreads) {
+  ServingEngineOptions options;
+  options.max_batch_size = 16;
+  options.max_wait_ms = 0.5;
+  auto engine = MakeEngine(options);
+
+  // Ground truth computed via the synchronous path first.
+  std::vector<std::vector<int>> queries;
+  std::vector<std::vector<std::size_t>> expected;
+  for (int i = 0; i < 24; ++i) {
+    queries.push_back({i % 24, (i * 7 + 1) % 24, (i * 3 + 2) % 24});
+    auto top = engine->Recommend(queries.back(), 10);
+    ASSERT_TRUE(top.ok());
+    expected.push_back(*top);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto& q = queries[(t * kPerThread + i) % queries.size()];
+        futures.push_back(engine->Submit(q, 10));
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        auto result = futures[i].get();
+        const auto& want = expected[(t * kPerThread + i) % expected.size()];
+        if (!result.ok() || *result != want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServingStatsSnapshot stats = engine->Stats();
+  EXPECT_GE(stats.queries, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(stats.cache.hits, 0u);  // repeats must hit the cache
+}
+
+TEST(ServingEngineTest, MicroBatcherCoalesces) {
+  ServingEngineOptions options;
+  options.max_batch_size = 64;
+  options.max_wait_ms = 20.0;  // generous window so the queue fills up
+  options.cache_capacity = 0;  // force every query through the GEMM
+  auto engine = MakeEngine(options);
+  std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(engine->Submit({i % 24, (i + 1) % 24}, 5));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  const ServingStatsSnapshot stats = engine->Stats();
+  // 32 queries must have shared GEMMs: far fewer batches than queries.
+  EXPECT_LT(stats.batches, 32u);
+  EXPECT_GT(stats.mean_batch_size, 1.0);
+}
+
+TEST(ServingEngineTest, ShutdownDrainsQueuedQueries) {
+  ServingEngineOptions options;
+  options.max_wait_ms = 50.0;  // queries would linger without the drain
+  auto engine = MakeEngine(options);
+  std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(engine->Submit({i % 24}, 5));
+  }
+  engine->Shutdown();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  // After shutdown, new queries fail fast.
+  EXPECT_EQ(engine->Submit({1}, 5).get().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServingEngineTest, DestructorDrainsImplicitly) {
+  std::future<Result<std::vector<std::size_t>>> future;
+  {
+    auto engine = MakeEngine();
+    future = engine->Submit({1, 2}, 5);
+  }  // ~ServingEngine must resolve the future
+  EXPECT_TRUE(future.get().ok());
+}
+
+// --------------------------------------------------------------------------
+// EngineRecommender adapter
+// --------------------------------------------------------------------------
+
+TEST(EngineRecommenderTest, OverridesBatchPathAndMatchesBase) {
+  core::InferenceCheckpoint ckpt = MakeCheckpoint();
+  auto reference = core::CheckpointRecommender::FromCheckpoint(ckpt);
+  ASSERT_TRUE(reference.ok());
+  auto engine = ServingEngine::Create(std::move(ckpt));
+  ASSERT_TRUE(engine.ok());
+  EngineRecommender recommender(engine->get());
+
+  EXPECT_EQ(recommender.name(), "test-ckpt");
+  EXPECT_EQ(recommender.Fit(data::Corpus()).code(),
+            StatusCode::kFailedPrecondition);
+
+  const std::vector<std::vector<int>> queries = {{1, 2}, {5, 9, 13}};
+  // The base-class default loops Score; the adapter fuses one GEMM. Both
+  // must agree with the checkpoint recommender (bit-identical rows).
+  auto fused = recommender.ScoreBatch(queries);
+  auto looped = reference->ScoreBatch(queries);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(looped.ok());
+  EXPECT_EQ(*fused, *looped);
+
+  // Top-k through the inherited Recommend() convenience.
+  auto top = recommender.Recommend({1, 2}, 5);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 5u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace smgcn

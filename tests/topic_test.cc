@@ -222,7 +222,7 @@ TEST(HcKgetmTest, TrainsAndScores) {
   ASSERT_TRUE(scores.ok());
   EXPECT_EQ(scores->size(), split.train.num_herbs());
   EXPECT_EQ(model.Score({}).status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(model.Score({-1}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(model.Score({-1}).status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(HcKgetmTest, BeatsRandomOnClusteredData) {

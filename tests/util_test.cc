@@ -434,6 +434,31 @@ TEST(LoggingDeathTest, CheckFailureAborts) {
   EXPECT_DEATH(SMGCN_CHECK_OK(smgcn::Status::Internal("boom")), "boom");
 }
 
+TEST(ThreadPoolTest, StressManyProducersManyTasks) {
+  // The serving engine submits micro-batches from a batcher thread while
+  // clients hammer the sync API; this stress mirrors that pattern —
+  // several producer threads racing Submit against a worker pool, with
+  // interleaved Waits.
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  constexpr int kProducers = 6;
+  constexpr int kTasksPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&sum, p, i] { sum.fetch_add(p * kTasksPerProducer + i); });
+        if (i % 100 == 0) pool.Wait();  // interleave waits with submits
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.Wait();
+  long expected = 0;
+  for (int i = 0; i < kProducers * kTasksPerProducer; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
 TEST(ThreadPoolTest, ReusableAfterWait) {
   smgcn::ThreadPool pool(2);
   std::atomic<int> counter{0};
