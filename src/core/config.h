@@ -45,6 +45,12 @@ struct TrainConfig {
   double validation_fraction = 0.0;
   std::size_t patience = 5;
 
+  /// Worker threads for the tensor/graph kernels (smgcn::parallel). 0 keeps
+  /// the process-wide setting untouched; any other value is applied before
+  /// the first epoch. The kernels partition over output rows, so losses,
+  /// gradients and trained parameters are bit-identical at every setting.
+  std::size_t num_threads = 0;
+
   Status Validate() const;
 };
 

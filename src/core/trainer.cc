@@ -7,6 +7,7 @@
 
 #include "src/nn/optimizer.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 #include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
@@ -16,11 +17,17 @@ namespace core {
 tensor::Matrix BuildTargetMatrix(const data::Corpus& corpus,
                                  const std::vector<std::size_t>& indices) {
   tensor::Matrix targets(indices.size(), corpus.num_herbs(), 0.0);
-  for (std::size_t b = 0; b < indices.size(); ++b) {
-    for (int h : corpus.at(indices[b]).herbs) {
-      targets(b, static_cast<std::size_t>(h)) = 1.0;
-    }
-  }
+  // Each batch row is filled from its own prescription only, so the
+  // partition is race-free and order-independent.
+  parallel::ParallelFor(
+      0, indices.size(), 64,
+      [&corpus, &indices, &targets](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          for (int h : corpus.at(indices[b]).herbs) {
+            targets(b, static_cast<std::size_t>(h)) = 1.0;
+          }
+        }
+      });
   return targets;
 }
 
@@ -132,6 +139,8 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
   if (store == nullptr || store->size() == 0) {
     return Status::FailedPrecondition("parameter store is empty");
   }
+
+  if (config.num_threads > 0) parallel::SetNumThreads(config.num_threads);
 
   const std::vector<double> herb_weights =
       nn::InverseFrequencyWeights(train.HerbFrequencies());

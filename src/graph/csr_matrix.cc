@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace smgcn {
 namespace graph {
@@ -69,14 +70,21 @@ tensor::Matrix CsrMatrix::Multiply(const tensor::Matrix& dense) const {
   SMGCN_CHECK_EQ(cols_, dense.rows()) << "spmm inner dimension mismatch";
   tensor::Matrix out(rows_, dense.cols(), 0.0);
   const std::size_t d = dense.cols();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double* o_row = out.row_data(r);
-    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      const double v = values_[i];
-      const double* src = dense.row_data(col_idx_[i]);
-      for (std::size_t j = 0; j < d; ++j) o_row[j] += v * src[j];
-    }
-  }
+  // Row propagation is naturally output-row partitioned: out row r only
+  // reads this row r's edges, so any chunking is bit-identical.
+  const std::size_t mean_row_ops = d * std::max<std::size_t>(nnz() / std::max<std::size_t>(rows_, 1), 1);
+  parallel::ParallelFor(
+      0, rows_, std::max<std::size_t>(1, (std::size_t{1} << 15) / mean_row_ops),
+      [this, &dense, &out, d](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          double* o_row = out.row_data(r);
+          for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+            const double v = values_[i];
+            const double* src = dense.row_data(col_idx_[i]);
+            for (std::size_t j = 0; j < d; ++j) o_row[j] += v * src[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -84,14 +92,29 @@ tensor::Matrix CsrMatrix::TransposeMultiply(const tensor::Matrix& dense) const {
   SMGCN_CHECK_EQ(rows_, dense.rows()) << "spmm^T inner dimension mismatch";
   tensor::Matrix out(cols_, dense.cols(), 0.0);
   const std::size_t d = dense.cols();
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* src = dense.row_data(r);
-    for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      const double v = values_[i];
-      double* o_row = out.row_data(col_idx_[i]);
-      for (std::size_t j = 0; j < d; ++j) o_row[j] += v * src[j];
-    }
-  }
+  // The scatter form (out[col_idx] += ...) races under partitioning, so each
+  // chunk owns a contiguous output-row range [cb, ce) and scans the whole
+  // edge list, keeping only edges whose target column falls in its range.
+  // Every out row c still accumulates in ascending input-row order — the
+  // exact sums of the sequential scatter loop. The redundant O(threads*nnz)
+  // index scan is cheap against the O(nnz*d) useful flops.
+  const std::size_t edges = std::max<std::size_t>(nnz(), 1);
+  const std::size_t mean_row_ops =
+      d * std::max<std::size_t>(edges / std::max<std::size_t>(cols_, 1), 1);
+  parallel::ParallelFor(
+      0, cols_, std::max<std::size_t>(1, (std::size_t{1} << 15) / mean_row_ops),
+      [this, &dense, &out, d](std::size_t cb, std::size_t ce) {
+        for (std::size_t r = 0; r < rows_; ++r) {
+          const double* src = dense.row_data(r);
+          for (std::size_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+            const std::size_t c = col_idx_[i];
+            if (c < cb || c >= ce) continue;
+            const double v = values_[i];
+            double* o_row = out.row_data(c);
+            for (std::size_t j = 0; j < d; ++j) o_row[j] += v * src[j];
+          }
+        }
+      });
   return out;
 }
 

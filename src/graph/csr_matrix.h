@@ -45,10 +45,14 @@ class CsrMatrix {
   double At(std::size_t r, std::size_t c) const;
 
   /// Sparse x dense product: (rows x cols) * (cols x d) -> rows x d.
+  /// Fans out across smgcn::parallel over output rows; bit-identical at
+  /// every thread count.
   tensor::Matrix Multiply(const tensor::Matrix& dense) const;
 
   /// Transposed product: this^T * dense, i.e. (cols x rows) * (rows x d).
   /// Used by autograd's spmm backward without materialising the transpose.
+  /// Parallel chunks gather disjoint output-row ranges (no scatter races);
+  /// bit-identical at every thread count.
   tensor::Matrix TransposeMultiply(const tensor::Matrix& dense) const;
 
   /// Returns a copy whose every row is scaled to sum to 1 (rows with zero

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace smgcn {
 namespace nn {
@@ -51,14 +52,20 @@ Variable WeightedMseLoss(const Variable& scores, const Matrix& targets,
       const double g = node->grad()(0, 0);
       Matrix& grad = scores->grad();
       const Matrix& s = scores->value();
-      for (std::size_t r = 0; r < s.rows(); ++r) {
-        double* gr = grad.row_data(r);
-        const double* sr = s.row_data(r);
-        const double* tr = targets.row_data(r);
-        for (std::size_t c = 0; c < s.cols(); ++c) {
-          gr[c] += g * (-2.0) * weights[c] * (tr[c] - sr[c]) / batch;
-        }
-      }
+      // Per-example accumulation: each chunk owns whole batch rows of the
+      // gradient, so the fan-out is race-free and bit-identical.
+      parallel::ParallelFor(
+          0, s.rows(), 8,
+          [&, g](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r) {
+              double* gr = grad.row_data(r);
+              const double* sr = s.row_data(r);
+              const double* tr = targets.row_data(r);
+              for (std::size_t c = 0; c < s.cols(); ++c) {
+                gr[c] += g * (-2.0) * weights[c] * (tr[c] - sr[c]) / batch;
+              }
+            }
+          });
     });
   }
   return out;
@@ -85,6 +92,8 @@ Variable BprLoss(const Variable& scores, const std::vector<BprTriple>& triples) 
   Variable out = autograd::MakeVariable(Matrix(1, 1, loss), scores->requires_grad());
   out->set_parents({scores});
   if (scores->requires_grad()) {
+    // Stays sequential: distinct triples may hit the same (row, herb) cell,
+    // so a partition over triples would race and reorder the sums.
     out->set_backward([scores = scores.get(), triples, n](Node* node) {
       const double g = node->grad()(0, 0);
       Matrix& grad = scores->grad();
@@ -130,15 +139,19 @@ Variable SigmoidCrossEntropyLoss(const Variable& scores, const Matrix& targets,
       const double g = node->grad()(0, 0);
       Matrix& grad = scores->grad();
       const Matrix& s = scores->value();
-      for (std::size_t r = 0; r < s.rows(); ++r) {
-        double* gr = grad.row_data(r);
-        const double* sr = s.row_data(r);
-        const double* tr = targets.row_data(r);
-        for (std::size_t c = 0; c < s.cols(); ++c) {
-          const double sig = 1.0 / (1.0 + std::exp(-sr[c]));
-          gr[c] += g * weights[c] * (sig - tr[c]) / batch;
-        }
-      }
+      parallel::ParallelFor(
+          0, s.rows(), 8,
+          [&, g](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r) {
+              double* gr = grad.row_data(r);
+              const double* sr = s.row_data(r);
+              const double* tr = targets.row_data(r);
+              for (std::size_t c = 0; c < s.cols(); ++c) {
+                const double sig = 1.0 / (1.0 + std::exp(-sr[c]));
+                gr[c] += g * weights[c] * (sig - tr[c]) / batch;
+              }
+            }
+          });
     });
   }
   return out;

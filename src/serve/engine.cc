@@ -6,6 +6,7 @@
 
 #include "src/eval/metrics.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 #include "src/util/string_util.h"
 
 namespace smgcn {
@@ -82,6 +83,9 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
   if (options.num_threads == 0) {
     options.num_threads =
         std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  if (options.kernel_threads > 0) {
+    parallel::SetNumThreads(options.kernel_threads);
   }
   ASSIGN_OR_RETURN(EmbeddingStore store,
                    EmbeddingStore::Build(std::move(checkpoint)));

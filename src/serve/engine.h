@@ -51,6 +51,10 @@ struct ServingEngineOptions {
   /// Worker threads executing micro-batches; 0 means
   /// hardware_concurrency (at least 1).
   std::size_t num_threads = 0;
+  /// When > 0, Create applies this as the process-wide smgcn::parallel
+  /// worker count used inside the tensor kernels (deterministic: scores are
+  /// bit-identical at every setting). 0 leaves the global setting alone.
+  std::size_t kernel_threads = 0;
   /// Total top-k cache entries; 0 disables caching entirely.
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;

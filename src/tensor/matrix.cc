@@ -5,11 +5,29 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 #include "src/util/random.h"
 #include "src/util/string_util.h"
 
 namespace smgcn {
 namespace tensor {
+
+namespace {
+
+/// Minimum double ops a parallel chunk should amortise; below this the
+/// fan-out overhead beats the win and kernels run inline.
+constexpr std::size_t kMinOpsPerChunk = 1 << 15;
+
+/// Row grain for a kernel whose per-row cost is `ops_per_row` double ops.
+std::size_t RowGrain(std::size_t ops_per_row) {
+  return std::max<std::size_t>(1, kMinOpsPerChunk / std::max<std::size_t>(ops_per_row, 1));
+}
+
+/// Tile edge for the blocked transpose: 32x32 doubles = two 8 KiB tiles in
+/// flight, comfortably inside L1 alongside the source rows.
+constexpr std::size_t kTransposeBlock = 32;
+
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -69,17 +87,33 @@ void Matrix::Fill(double value) { std::fill(data_.begin(), data_.end(), value); 
 void Matrix::AddInPlace(const Matrix& other) {
   SMGCN_CHECK_EQ(rows_, other.rows_);
   SMGCN_CHECK_EQ(cols_, other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // Element-wise kernels partition the flat storage: each entry is written
+  // by exactly one chunk from its own inputs, so any partition is
+  // bit-identical to the sequential loop.
+  parallel::ParallelFor(0, data_.size(), kMinOpsPerChunk,
+                        [this, &other](std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            data_[i] += other.data_[i];
+                          }
+                        });
 }
 
 void Matrix::AddScaled(const Matrix& other, double alpha) {
   SMGCN_CHECK_EQ(rows_, other.rows_);
   SMGCN_CHECK_EQ(cols_, other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  parallel::ParallelFor(0, data_.size(), kMinOpsPerChunk,
+                        [this, &other, alpha](std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            data_[i] += alpha * other.data_[i];
+                          }
+                        });
 }
 
 void Matrix::ScaleInPlace(double alpha) {
-  for (double& v : data_) v *= alpha;
+  parallel::ParallelFor(0, data_.size(), kMinOpsPerChunk,
+                        [this, alpha](std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) data_[i] *= alpha;
+                        });
 }
 
 void Matrix::Apply(const std::function<double(double)>& fn) {
@@ -102,7 +136,12 @@ Matrix Matrix::Mul(const Matrix& other) const {
   SMGCN_CHECK_EQ(rows_, other.rows_);
   SMGCN_CHECK_EQ(cols_, other.cols_);
   Matrix out = *this;
-  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  parallel::ParallelFor(0, data_.size(), kMinOpsPerChunk,
+                        [&out, &other](std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) {
+                            out.data_[i] *= other.data_[i];
+                          }
+                        });
   return out;
 }
 
@@ -120,47 +159,80 @@ Matrix Matrix::Map(const std::function<double(double)>& fn) const {
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* src = row_data(r);
-    for (std::size_t c = 0; c < cols_; ++c) out.data_[c * rows_ + r] = src[c];
-  }
+  // Blocked tile copy: both the reads and the writes of one tile stay
+  // cache-resident instead of striding a full column per output element.
+  // Partitioned over output-row blocks; tiles write disjoint rows of out.
+  parallel::ParallelFor(
+      0, cols_, kTransposeBlock * RowGrain(rows_),
+      [this, &out](std::size_t cb, std::size_t ce) {
+        for (std::size_t r0 = 0; r0 < rows_; r0 += kTransposeBlock) {
+          const std::size_t r1 = std::min(r0 + kTransposeBlock, rows_);
+          for (std::size_t c0 = cb; c0 < ce; c0 += kTransposeBlock) {
+            const std::size_t c1 = std::min(c0 + kTransposeBlock, ce);
+            for (std::size_t r = r0; r < r1; ++r) {
+              const double* src = row_data(r);
+              for (std::size_t c = c0; c < c1; ++c) {
+                out.data_[c * rows_ + r] = src[c];
+              }
+            }
+          }
+        }
+      });
   return out;
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   SMGCN_CHECK_EQ(cols_, other.rows_) << "matmul inner dimension mismatch";
   Matrix out(rows_, other.cols_, 0.0);
-  // i-k-j loop order keeps both B and C accesses sequential.
   const std::size_t n = other.cols_;
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = row_data(i);
-    double* c_row = out.row_data(i);
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.row_data(k);
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
-    }
-  }
+  // Skipping a == 0.0 terms is only sound when B holds no NaN/Inf:
+  // 0.0 * NaN and 0.0 * Inf are NaN, and dropping them would let a poisoned
+  // row masquerade as a clean zero contribution. One O(kn) scan of B decides
+  // the fast path for the whole O(mkn) product, identically in every chunk.
+  const bool skip_zeros = other.AllFinite();
+  // i-k-j loop order keeps both B and C accesses sequential. Partitioned
+  // over output rows: row i is always the same sequential k-j loop.
+  parallel::ParallelFor(
+      0, rows_, RowGrain(cols_ * n),
+      [this, &other, &out, n, skip_zeros](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i) {
+          const double* a_row = row_data(i);
+          double* c_row = out.row_data(i);
+          for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = a_row[k];
+            if (a == 0.0 && skip_zeros) continue;
+            const double* b_row = other.row_data(k);
+            for (std::size_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+          }
+        }
+      });
   return out;
 }
 
 Matrix Matrix::TransposedMatMul(const Matrix& other) const {
-  // (this^T * other): this is (m x k) viewed as (k x m)^T? We compute
-  // out[c][j] = sum_r this[r][c] * other[r][j]; shapes: out is cols_ x other.cols_.
+  // (this^T * other): out[c][j] = sum_r this[r][c] * other[r][j]; out is
+  // cols_ x other.cols_. Gather form: each chunk owns a contiguous range of
+  // output rows c and scans every input row r itself, accumulating out[c]
+  // in ascending-r order — the scatter form (r outer, c inner) writes the
+  // same sums but races under output-row partitioning.
   SMGCN_CHECK_EQ(rows_, other.rows_) << "transposed matmul row mismatch";
   Matrix out(cols_, other.cols_, 0.0);
   const std::size_t n = other.cols_;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* a_row = row_data(r);
-    const double* b_row = other.row_data(r);
-    for (std::size_t c = 0; c < cols_; ++c) {
-      const double a = a_row[c];
-      if (a == 0.0) continue;
-      double* o_row = out.row_data(c);
-      for (std::size_t j = 0; j < n; ++j) o_row[j] += a * b_row[j];
-    }
-  }
+  const bool skip_zeros = other.AllFinite();  // see MatMul
+  parallel::ParallelFor(
+      0, cols_, RowGrain(rows_ * n),
+      [this, &other, &out, n, skip_zeros](std::size_t cb, std::size_t ce) {
+        for (std::size_t r = 0; r < rows_; ++r) {
+          const double* a_row = row_data(r);
+          const double* b_row = other.row_data(r);
+          for (std::size_t c = cb; c < ce; ++c) {
+            const double a = a_row[c];
+            if (a == 0.0 && skip_zeros) continue;
+            double* o_row = out.row_data(c);
+            for (std::size_t j = 0; j < n; ++j) o_row[j] += a * b_row[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -168,16 +240,20 @@ Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   // out[i][j] = sum_k this[i][k] * other[j][k]; out is rows_ x other.rows_.
   SMGCN_CHECK_EQ(cols_, other.cols_) << "matmul-transposed column mismatch";
   Matrix out(rows_, other.rows_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = row_data(i);
-    double* o_row = out.row_data(i);
-    for (std::size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.row_data(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      o_row[j] = acc;
-    }
-  }
+  parallel::ParallelFor(
+      0, rows_, RowGrain(other.rows_ * cols_),
+      [this, &other, &out](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i) {
+          const double* a_row = row_data(i);
+          double* o_row = out.row_data(i);
+          for (std::size_t j = 0; j < other.rows_; ++j) {
+            const double* b_row = other.row_data(j);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+            o_row[j] = acc;
+          }
+        }
+      });
   return out;
 }
 

@@ -19,6 +19,10 @@ class Rng;
 namespace tensor {
 
 /// Dense row-major matrix. Copy is deep; move is O(1).
+///
+/// The GEMM, transpose and element-wise kernels fan out across
+/// smgcn::parallel partitioned over *output rows*, so their results are
+/// bit-identical at every thread count (see src/util/parallel.h).
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -69,7 +73,9 @@ class Matrix {
   void AddScaled(const Matrix& other, double alpha);
   /// this *= alpha.
   void ScaleInPlace(double alpha);
-  /// Applies fn to every entry.
+  /// Applies fn to every entry, sequentially in storage order: fn may be
+  /// stateful (the dropout mask draws an RNG stream through it), so this
+  /// never fans out to the parallel layer.
   void Apply(const std::function<double(double)>& fn);
 
   /// --- Pure operations (allocate their result) --------------------------
@@ -116,6 +122,10 @@ class Matrix {
   double MaxAbsDiff(const Matrix& other) const;
   /// True when every entry is finite.
   bool AllFinite() const;
+  /// Debug helper: true when any entry is NaN or +/-Inf. The GEMM kernels
+  /// must propagate such entries (0 * NaN == NaN); use this to locate the
+  /// poisoned operand when they do.
+  bool HasNonFinite() const { return !AllFinite(); }
 
   bool operator==(const Matrix& other) const;
 

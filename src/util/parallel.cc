@@ -1,0 +1,136 @@
+#include "src/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/util/thread_pool.h"
+
+namespace smgcn {
+namespace parallel {
+
+namespace {
+
+std::mutex config_mu;
+std::size_t configured_threads = 0;  // 0 = not yet resolved
+
+// Helpers only; the caller is worker zero, so a pool exists for n >= 2.
+std::unique_ptr<ThreadPool>& PoolHolder() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+thread_local bool in_parallel_region = false;
+
+/// Per-call shared state. Helpers that arrive after the caller has returned
+/// (their chunk counter is exhausted) must still find this alive, hence the
+/// shared_ptr ownership in every participant.
+struct RunState {
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> done_chunks{0};
+  std::size_t num_chunks = 0;
+  std::size_t chunk_size = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::function<void(std::size_t, std::size_t)> fn;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void RunChunks(const std::shared_ptr<RunState>& state) {
+  const bool was_in_region = in_parallel_region;
+  in_parallel_region = true;
+  while (true) {
+    const std::size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->num_chunks) break;
+    const std::size_t chunk_begin = state->begin + c * state->chunk_size;
+    const std::size_t chunk_end =
+        std::min(chunk_begin + state->chunk_size, state->end);
+    state->fn(chunk_begin, chunk_end);
+    if (state->done_chunks.fetch_add(1) + 1 == state->num_chunks) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  }
+  in_parallel_region = was_in_region;
+}
+
+}  // namespace
+
+std::size_t HardwareThreads() {
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+void SetNumThreads(std::size_t n) {
+  if (n == 0) n = HardwareThreads();
+  std::lock_guard<std::mutex> lock(config_mu);
+  if (n == configured_threads) return;
+  configured_threads = n;
+  PoolHolder().reset();
+  if (n > 1) PoolHolder() = std::make_unique<ThreadPool>(n - 1);
+}
+
+std::size_t GetNumThreads() {
+  std::lock_guard<std::mutex> lock(config_mu);
+  if (configured_threads == 0) configured_threads = HardwareThreads();
+  return configured_threads;
+}
+
+bool InParallelRegion() { return in_parallel_region; }
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+
+  ThreadPool* pool = nullptr;
+  std::size_t threads = 1;
+  if (!in_parallel_region && n > grain) {
+    std::lock_guard<std::mutex> lock(config_mu);
+    if (configured_threads == 0) {
+      configured_threads = HardwareThreads();
+      if (configured_threads > 1) {
+        PoolHolder() = std::make_unique<ThreadPool>(configured_threads - 1);
+      }
+    }
+    threads = configured_threads;
+    pool = PoolHolder().get();
+  }
+  if (threads <= 1 || pool == nullptr) {
+    // Inline path: same fn over the full range, so single-thread output is
+    // the reference the parallel path must match bit-for-bit.
+    const bool was_in_region = in_parallel_region;
+    in_parallel_region = true;
+    fn(begin, end);
+    in_parallel_region = was_in_region;
+    return;
+  }
+
+  // A few chunks per thread so uneven rows (e.g. CSR) still balance, but
+  // never chunks smaller than the grain.
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t num_chunks = std::min(threads * 4, max_chunks);
+  auto state = std::make_shared<RunState>();
+  state->num_chunks = num_chunks;
+  state->chunk_size = (n + num_chunks - 1) / num_chunks;
+  state->begin = begin;
+  state->end = end;
+  state->fn = fn;
+
+  const std::size_t helpers = std::min(num_chunks - 1, pool->num_threads());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { RunChunks(state); });
+  }
+  RunChunks(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->done_chunks.load() == state->num_chunks;
+  });
+}
+
+}  // namespace parallel
+}  // namespace smgcn

@@ -106,6 +106,26 @@ TEST(MatrixTest, TransposeInvolution) {
   EXPECT_EQ(a.Transpose().rows(), 7u);
 }
 
+TEST(MatrixTest, BlockedTransposeRoundTripsNonSquare) {
+  // Shapes straddling the 32-entry tile edge: remainders on rows, columns,
+  // both, and degenerate single-row/column cases.
+  const std::size_t shapes[][2] = {{1, 97}, {97, 1},  {31, 33}, {32, 32},
+                                   {33, 31}, {70, 130}, {128, 5}};
+  Rng rng(41);
+  for (const auto& shape : shapes) {
+    const Matrix a = Matrix::RandomNormal(shape[0], shape[1], 0.0, 1.0, &rng);
+    const Matrix t = a.Transpose();
+    ASSERT_EQ(t.rows(), shape[1]);
+    ASSERT_EQ(t.cols(), shape[0]);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t c = 0; c < a.cols(); ++c) {
+        ASSERT_EQ(t(c, r), a(r, c)) << shape[0] << "x" << shape[1];
+      }
+    }
+    EXPECT_EQ(t.Transpose(), a);
+  }
+}
+
 TEST(MatrixTest, ConcatCols) {
   const Matrix a{{1.0}, {2.0}};
   const Matrix b{{3.0, 4.0}, {5.0, 6.0}};
@@ -153,10 +173,81 @@ TEST(MatrixTest, MaxAbsDiff) {
 TEST(MatrixTest, AllFinite) {
   Matrix m{{1.0, 2.0}};
   EXPECT_TRUE(m.AllFinite());
+  EXPECT_FALSE(m.HasNonFinite());
   m(0, 0) = std::numeric_limits<double>::infinity();
   EXPECT_FALSE(m.AllFinite());
+  EXPECT_TRUE(m.HasNonFinite());
   m(0, 0) = std::nan("");
   EXPECT_FALSE(m.AllFinite());
+  EXPECT_TRUE(m.HasNonFinite());
+}
+
+// --------------------------------------------------------------------------
+// NaN/Inf propagation through the GEMM kernels. The seed kernels skipped
+// a == 0.0 terms unconditionally, so 0 * NaN (which must be NaN) was
+// silently dropped and a poisoned embedding row could masquerade as a clean
+// zero contribution; these are the regression tests for that fix.
+// --------------------------------------------------------------------------
+
+TEST(MatrixGemmNonFiniteTest, MatMulPropagatesNaNThroughZero) {
+  // a(0, 1) == 0.0 pairs with b(1, j) == NaN: the product row must poison.
+  Matrix a{{1.0, 0.0}, {2.0, 3.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  b(1, 0) = std::nan("");
+  const Matrix out = a.MatMul(b);
+  EXPECT_TRUE(std::isnan(out(0, 0)));  // 1*1 + 0*NaN
+  EXPECT_TRUE(std::isnan(out(1, 0)));  // 2*1 + 3*NaN
+  EXPECT_DOUBLE_EQ(out(0, 1), 1.0);    // finite column untouched
+}
+
+TEST(MatrixGemmNonFiniteTest, MatMulPropagatesInfThroughZero) {
+  Matrix a{{1.0, 0.0}, {2.0, 3.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  b(1, 0) = std::numeric_limits<double>::infinity();
+  const Matrix out = a.MatMul(b);
+  EXPECT_TRUE(std::isnan(out(0, 0)));    // 1*1 + 0*Inf = 1 + NaN
+  EXPECT_TRUE(std::isinf(out(1, 0)));    // 2*1 + 3*Inf
+  EXPECT_DOUBLE_EQ(out(0, 1), 1.0);
+}
+
+TEST(MatrixGemmNonFiniteTest, TransposedMatMulPropagatesNaNThroughZero) {
+  // this(r, c) == 0.0 pairs with other(r, j) == NaN; out row c must poison.
+  Matrix a{{0.0, 5.0}, {1.0, 1.0}};
+  Matrix b{{1.0}, {1.0}};
+  b(0, 0) = std::nan("");
+  const Matrix out = a.TransposedMatMul(b);  // a^T * b, 2x1
+  EXPECT_TRUE(std::isnan(out(0, 0)));  // 0*NaN + 1*1
+  EXPECT_TRUE(std::isnan(out(1, 0)));  // 5*NaN + 1*1
+}
+
+TEST(MatrixGemmNonFiniteTest, TransposedMatMulPropagatesInfThroughZero) {
+  Matrix a{{0.0, 5.0}, {1.0, 1.0}};
+  Matrix b{{1.0}, {1.0}};
+  b(0, 0) = std::numeric_limits<double>::infinity();
+  const Matrix out = a.TransposedMatMul(b);
+  EXPECT_TRUE(std::isnan(out(0, 0)));  // 0*Inf
+  EXPECT_TRUE(std::isinf(out(1, 0)));  // 5*Inf + 1
+}
+
+TEST(MatrixGemmNonFiniteTest, MatMulTransposedPropagatesNonFinite) {
+  Matrix a{{0.0, 1.0}};
+  Matrix b{{1.0, 1.0}, {2.0, 2.0}};
+  b(0, 0) = std::nan("");
+  b(1, 0) = std::numeric_limits<double>::infinity();
+  const Matrix out = a.MatMulTransposed(b);  // 1x2
+  EXPECT_TRUE(std::isnan(out(0, 0)));  // 0*NaN + 1*1
+  EXPECT_TRUE(std::isnan(out(0, 1)));  // 0*Inf + 1*2
+}
+
+TEST(MatrixGemmNonFiniteTest, ZeroSkipFastPathStillExactWhenFinite) {
+  // With a fully finite B the kernels may skip zero terms; the result must
+  // equal the dense hand computation exactly.
+  const Matrix a{{0.0, 2.0, 0.0}, {1.0, 0.0, 3.0}};
+  const Matrix b{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(a.MatMul(b), (Matrix{{6.0, 8.0}, {16.0, 20.0}}));
+  const Matrix c{{1.0, 2.0}, {0.0, 4.0}};
+  EXPECT_EQ(c.TransposedMatMul(c),
+            c.Transpose().MatMul(c));
 }
 
 TEST(MatrixTest, ToStringTruncates) {

@@ -17,6 +17,7 @@
 #include "src/serve/query.h"
 #include "src/serve/stats.h"
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 #include "src/util/random.h"
 
 namespace smgcn {
@@ -386,6 +387,79 @@ TEST(ServingEngineTest, ConcurrentSubmitsFromManyThreads) {
   const ServingStatsSnapshot stats = engine->Stats();
   EXPECT_GE(stats.queries, static_cast<std::uint64_t>(kThreads * kPerThread));
   EXPECT_GT(stats.cache.hits, 0u);  // repeats must hit the cache
+}
+
+TEST(ServingEngineTest, ScoreBatchHammeredUnderParallelKernels) {
+  // Cache + stats audit under the multi-threaded kernels: a deliberately
+  // tiny sharded cache (constant evictions) is hammered by sync ScoreBatch,
+  // RecommendBatch and async Submit from several threads while the tensor
+  // kernels themselves fan out across the process-wide parallel pool.
+  parallel::SetNumThreads(4);
+  ServingEngineOptions options;
+  options.max_batch_size = 8;
+  options.max_wait_ms = 0.1;
+  options.num_threads = 3;
+  options.cache_capacity = 6;  // forces eviction churn
+  options.cache_shards = 2;
+  auto engine = MakeEngine(options);
+
+  std::vector<std::vector<int>> queries;
+  std::vector<std::vector<double>> expected_scores;
+  std::vector<std::vector<std::size_t>> expected_topk;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back({i % 24, (i * 5 + 3) % 24});
+    auto scores = engine->Score(queries.back());
+    ASSERT_TRUE(scores.ok());
+    expected_scores.push_back(*scores);
+    auto top = engine->Recommend(queries.back(), 6);
+    ASSERT_TRUE(top.ok());
+    expected_topk.push_back(*top);
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 40;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t base = static_cast<std::size_t>(t * kIters + i);
+        const std::vector<std::vector<int>> batch = {
+            queries[base % queries.size()], queries[(base + 5) % queries.size()],
+            queries[(base + 11) % queries.size()]};
+        if (i % 3 == 0) {
+          auto scores = engine->ScoreBatch(batch);
+          if (!scores.ok() || (*scores)[0] != expected_scores[base % queries.size()]) {
+            mismatches.fetch_add(1);
+            continue;
+          }
+        } else if (i % 3 == 1) {
+          auto top = engine->RecommendBatch(batch, 6);
+          if (!top.ok() || (*top)[0] != expected_topk[base % queries.size()]) {
+            mismatches.fetch_add(1);
+          }
+        } else {
+          auto future = engine->Submit(batch[0], 6);
+          auto top = future.get();
+          if (!top.ok() || *top != expected_topk[base % queries.size()]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServingStatsSnapshot stats = engine->Stats();
+  // Counter coherence across shards: every lookup is either a hit or a miss,
+  // occupancy never exceeds the budget, and churn actually happened.
+  EXPECT_GT(stats.cache.misses, 0u);
+  EXPECT_GT(stats.cache.evictions, 0u);
+  EXPECT_LE(stats.cache.size, stats.cache.capacity);
+  EXPECT_LE(stats.cache.evictions, stats.cache.misses);
+  EXPECT_GE(stats.queries, static_cast<std::uint64_t>(kThreads * kIters));
+  parallel::SetNumThreads(1);
 }
 
 TEST(ServingEngineTest, MicroBatcherCoalesces) {
