@@ -6,9 +6,10 @@
 #include <numeric>
 
 #include "src/nn/optimizer.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
-#include "src/util/stopwatch.h"
 #include "src/util/string_util.h"
 
 namespace smgcn {
@@ -147,7 +148,26 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
 
   Rng rng(config.seed);
   nn::Adam optimizer(store, config.learning_rate);
-  Stopwatch watch;
+
+  // Trainer span hierarchy (run > epoch > batch > forward/backward) plus
+  // step counting, recorded into the process-wide registry. Instruments are
+  // resolved once here so the per-batch cost is two clock reads per span.
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Histogram* run_span_sink =
+      reg.GetHistogram(obs::SpanHistogramName("train.run"));
+  obs::Histogram* epoch_span_sink =
+      reg.GetHistogram(obs::SpanHistogramName("train.epoch"));
+  obs::Histogram* batch_span_sink =
+      reg.GetHistogram(obs::SpanHistogramName("train.batch"));
+  obs::Histogram* forward_span_sink =
+      reg.GetHistogram(obs::SpanHistogramName("train.forward"));
+  obs::Histogram* backward_span_sink =
+      reg.GetHistogram(obs::SpanHistogramName("train.backward"));
+  obs::Histogram* validation_span_sink =
+      reg.GetHistogram(obs::SpanHistogramName("train.validation"));
+  obs::Counter* steps_counter = reg.GetCounter("train.steps");
+  obs::Counter* epochs_counter = reg.GetCounter("train.epochs");
+  obs::ScopedSpan run_span(run_span_sink);
 
   // Optional validation holdout for early stopping.
   std::vector<std::size_t> order(train.size());
@@ -169,6 +189,7 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
   std::vector<tensor::Matrix> best_snapshot;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span(epoch_span_sink);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -179,8 +200,11 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
           order.begin() + static_cast<std::ptrdiff_t>(start),
           order.begin() + static_cast<std::ptrdiff_t>(end));
 
+      obs::ScopedSpan batch_span(batch_span_sink);
       store->ZeroGrad();
+      obs::ScopedSpan forward_span(forward_span_sink);
       autograd::Variable scores = forward(batch, /*training=*/true);
+      forward_span.Stop();
       if (scores == nullptr) {
         return Status::Internal("forward function returned null scores");
       }
@@ -210,12 +234,17 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
             loss_value, epoch, summary.steps));
       }
 
-      autograd::Backward(loss);
+      {
+        obs::ScopedSpan backward_span(backward_span_sink);
+        autograd::Backward(loss);
+      }
       optimizer.Step();
+      steps_counter->Increment();
       ++summary.steps;
       epoch_loss += loss_value;
       ++batches;
     }
+    epochs_counter->Increment();
 
     if (!store->AllFinite()) {
       return Status::Internal(
@@ -226,6 +255,7 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
     summary.best_epoch = epoch + 1;
 
     if (!val_indices.empty()) {
+      obs::ScopedSpan validation_span(validation_span_sink);
       ASSIGN_OR_RETURN(
           const double val_loss,
           ValidationLoss(train, config, val_indices, herb_weights, forward, &rng));
@@ -264,7 +294,7 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
   if (!best_snapshot.empty()) {
     RestoreParameters(best_snapshot, store);
   }
-  summary.seconds = watch.ElapsedSeconds();
+  summary.seconds = run_span.Stop();
   return summary;
 }
 

@@ -1,0 +1,107 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smgcn {
+namespace obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS: C++20 specifies the member, but
+/// the CAS loop is portable across the toolchains this repo targets.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current > value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t BucketFor(double value) {
+  const double micros = value * 1e6;
+  if (micros < 1.0) return 0;
+  const auto bucket = static_cast<std::size_t>(std::log2(micros));
+  return std::min(bucket, Histogram::kNumBuckets - 1);
+}
+
+/// Geometric midpoint of bucket [2^i, 2^(i+1)) millionths, in base units.
+double BucketMid(std::size_t bucket) {
+  return std::exp2(static_cast<double>(bucket) + 0.5) * 1e-6;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+void Gauge::SetToMax(double value) { AtomicMax(&value_, value); }
+
+Histogram::Histogram() : min_(std::numeric_limits<double>::infinity()) {}
+
+void Histogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMax(&max_, value);
+  AtomicMin(&min_, value);
+}
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isinf(m) ? 0.0 : m;
+}
+
+double Histogram::Percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // At least one sample: p=0 means "fastest recorded", not an empty bucket.
+  const double target = std::max(p * static_cast<double>(n), 1.0);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= target) {
+      // The final bucket has no upper edge, so its midpoint says nothing
+      // about the samples in it; the recorded max is the only honest bound.
+      if (b == kNumBuckets - 1) return max();
+      // A midpoint can overshoot the largest value actually seen, or
+      // undershoot the smallest (e.g. a single sample near a bucket edge);
+      // never report a percentile outside the recorded [min, max].
+      return std::clamp(BucketMid(b), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace smgcn

@@ -1,0 +1,109 @@
+// Observability instruments: Counter, Gauge and log-bucketed Histogram.
+//
+// Instruments are the leaves of the smgcn::obs metrics registry
+// (src/obs/registry.h). Every mutation is a relaxed atomic operation, so
+// recording on a hot path costs one uncontended RMW and instruments may be
+// hammered from any number of threads. Reads are weakly consistent under
+// concurrent writes: a snapshot taken mid-update may mix values from
+// before and after an in-flight Record, but every individual field is
+// torn-free and counts are never lost.
+//
+// This layer deliberately depends on nothing but the standard library so
+// that the lowest layers of the codebase (util/parallel, util/logging) can
+// record into it without a dependency cycle.
+#ifndef SMGCN_OBS_METRICS_H_
+#define SMGCN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace smgcn {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the counter. Not linearizable against concurrent Increments;
+  /// meant for tests and benchmark setup.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar that can move in both directions.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta);
+
+  /// Raises the gauge to `value` if it is currently lower (atomic max).
+  void SetToMax(double value);
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed distribution. Bucket i spans [2^i, 2^(i+1)) millionths of
+/// the base unit, so 48 buckets cover 1e-6 to ~1.4e8 with ~2x resolution —
+/// for durations in seconds that is sub-microsecond to multi-day. Values
+/// below 1e-6 land in bucket 0; negatives clamp to 0. Generalises the
+/// serving latency histogram so any subsystem can record durations (or any
+/// non-negative value) through the registry.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 48;
+
+  void Record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Largest / smallest recorded value (0 when empty).
+  double max() const;
+  double min() const;
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Value below which a fraction `p` in [0,1] of recorded samples fall.
+  /// Reports the geometric midpoint of the matching bucket clamped to the
+  /// recorded [min, max]; an empty histogram reports 0, a single sample
+  /// reports itself exactly, and samples in the final (overflow) bucket —
+  /// whose upper edge is unbounded, making its midpoint meaningless —
+  /// report the recorded max.
+  double Percentile(double p) const;
+
+  /// Zeroes every bucket and summary field. Not linearizable against
+  /// concurrent Records; meant for tests and benchmark setup.
+  void Reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+  // +infinity while empty; min() hides that and reports 0.
+  std::atomic<double> min_;
+
+ public:
+  Histogram();
+};
+
+}  // namespace obs
+}  // namespace smgcn
+
+#endif  // SMGCN_OBS_METRICS_H_

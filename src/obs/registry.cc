@@ -1,0 +1,197 @@
+#include "src/obs/registry.h"
+
+#include <cstdio>
+
+namespace smgcn {
+namespace obs {
+
+namespace {
+
+std::string FormatUint(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric name: `smgcn_` prefix, every other character class
+/// collapsed to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "smgcn_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  // Leaked deliberately: instruments must outlive every recording thread,
+  // including ones still running during static destruction.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string Registry::NextScopeId(const std::string& base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base + FormatUint(scope_ids_[base]++) + ".";
+}
+
+std::vector<std::string> Registry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& entry : counters_) names.push_back(entry.first);
+  return names;
+}
+
+std::vector<std::string> Registry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& entry : gauges_) names.push_back(entry.first);
+  return names;
+}
+
+std::vector<std::string> Registry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& entry : histograms_) names.push_back(entry.first);
+  return names;
+}
+
+std::string Registry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "counter " + name + " " + FormatUint(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "gauge " + name + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += "histogram " + name + " count=" + FormatUint(hist->count()) +
+           " mean=" + FormatDouble(hist->mean()) +
+           " p50=" + FormatDouble(hist->Percentile(0.50)) +
+           " p90=" + FormatDouble(hist->Percentile(0.90)) +
+           " p99=" + FormatDouble(hist->Percentile(0.99)) +
+           " max=" + FormatDouble(hist->max()) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + FormatUint(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} " + FormatDouble(hist->Percentile(0.50)) +
+           "\n";
+    out += prom + "{quantile=\"0.9\"} " + FormatDouble(hist->Percentile(0.90)) +
+           "\n";
+    out +=
+        prom + "{quantile=\"0.99\"} " + FormatDouble(hist->Percentile(0.99)) +
+        "\n";
+    out += prom + "_sum " + FormatDouble(hist->sum()) + "\n";
+    out += prom + "_count " + FormatUint(hist->count()) + "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::CsvHeader() {
+  return {"metric", "type", "value", "count", "mean",
+          "p50",    "p90",  "p99",   "max"};
+}
+
+std::vector<std::vector<std::string>> Registry::CsvRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    rows.push_back({name, "counter", FormatUint(counter->value()), "", "", "",
+                    "", "", ""});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    rows.push_back(
+        {name, "gauge", FormatDouble(gauge->value()), "", "", "", "", "", ""});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    rows.push_back({name, "histogram", FormatDouble(hist->sum()),
+                    FormatUint(hist->count()), FormatDouble(hist->mean()),
+                    FormatDouble(hist->Percentile(0.50)),
+                    FormatDouble(hist->Percentile(0.90)),
+                    FormatDouble(hist->Percentile(0.99)),
+                    FormatDouble(hist->max())});
+  }
+  return rows;
+}
+
+std::string Registry::ExportCsv() const {
+  std::string out;
+  const auto header = CsvHeader();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out += ",";
+    out += header[i];
+  }
+  out += "\n";
+  for (const auto& row : CsvRows()) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += row[i];  // instrument names never contain CSV specials
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Registry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : counters_) entry.second->Reset();
+  for (auto& entry : gauges_) entry.second->Reset();
+  for (auto& entry : histograms_) entry.second->Reset();
+}
+
+}  // namespace obs
+}  // namespace smgcn

@@ -1,0 +1,41 @@
+#include "src/obs/span.h"
+
+namespace smgcn {
+namespace obs {
+
+namespace {
+thread_local int g_span_depth = 0;
+}  // namespace
+
+std::string SpanHistogramName(const std::string& name) {
+  return "span." + name + ".seconds";
+}
+
+ScopedSpan::ScopedSpan(Histogram* sink)
+    : sink_(sink), start_(std::chrono::steady_clock::now()) {
+  ++g_span_depth;
+}
+
+ScopedSpan::ScopedSpan(Registry* registry, const std::string& name)
+    : ScopedSpan(registry->GetHistogram(SpanHistogramName(name))) {}
+
+ScopedSpan::ScopedSpan(const std::string& name)
+    : ScopedSpan(&Registry::Global(), name) {}
+
+ScopedSpan::~ScopedSpan() { Stop(); }
+
+double ScopedSpan::Stop() {
+  if (stopped_) return recorded_seconds_;
+  stopped_ = true;
+  --g_span_depth;
+  recorded_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (sink_ != nullptr) sink_->Record(recorded_seconds_);
+  return recorded_seconds_;
+}
+
+int ScopedSpan::CurrentDepth() { return g_span_depth; }
+
+}  // namespace obs
+}  // namespace smgcn

@@ -1,0 +1,66 @@
+// Lightweight RAII trace spans recording wall-clock durations into
+// registry histograms.
+//
+// A span measures construction→Stop (or destruction) and records the
+// elapsed seconds into a histogram — by convention one named
+// `span.<name>.seconds`, so every span site becomes a per-name duration
+// distribution in the registry. Spans nest freely (each level records into
+// its own histogram); the per-thread depth is exposed for tests and
+// debugging. Cost is two steady_clock reads plus one histogram record, so
+// spans are safe around anything coarser than a few microseconds.
+//
+// Hot paths should resolve the histogram once and use the Histogram*
+// constructor; the name-based constructors do a registry lookup per span.
+//
+//   obs::Histogram* h = obs::Registry::Global().GetHistogram(
+//       "span.train.batch.seconds");
+//   for (...) { obs::ScopedSpan span(h); ... }
+#ifndef SMGCN_OBS_SPAN_H_
+#define SMGCN_OBS_SPAN_H_
+
+#include <chrono>
+#include <string>
+
+#include "src/obs/registry.h"
+
+namespace smgcn {
+namespace obs {
+
+class ScopedSpan {
+ public:
+  /// Records into `sink` (may be null: the span then only tracks depth).
+  explicit ScopedSpan(Histogram* sink);
+
+  /// Records into `registry`'s histogram `span.<name>.seconds`.
+  ScopedSpan(Registry* registry, const std::string& name);
+
+  /// Records into the global registry's histogram `span.<name>.seconds`.
+  explicit ScopedSpan(const std::string& name);
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early, recording once; returns the elapsed seconds.
+  /// Subsequent Stops (and the destructor) are no-ops returning the
+  /// originally recorded duration.
+  double Stop();
+
+  /// Nesting depth of live spans on the calling thread (0 outside any).
+  static int CurrentDepth();
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+  double recorded_seconds_ = 0.0;
+  bool stopped_ = false;
+};
+
+/// Names the histogram a span called `name` records into.
+std::string SpanHistogramName(const std::string& name);
+
+}  // namespace obs
+}  // namespace smgcn
+
+#endif  // SMGCN_OBS_SPAN_H_

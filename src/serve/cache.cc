@@ -6,12 +6,24 @@
 namespace smgcn {
 namespace serve {
 
-ShardedTopKCache::ShardedTopKCache(std::size_t capacity, std::size_t num_shards) {
+ShardedTopKCache::ShardedTopKCache(std::size_t capacity, std::size_t num_shards,
+                                   obs::Registry* registry,
+                                   std::string prefix) {
   num_shards = std::max<std::size_t>(num_shards, 1);
   capacity = std::max<std::size_t>(capacity, 1);
   // Never let sharding shrink the requested budget to zero per shard.
   per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
   shards_ = std::vector<Shard>(num_shards);
+
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Global();
+  prefix_ = prefix.empty() ? reg.NextScopeId("serve.cache") : std::move(prefix);
+  hits_ = reg.GetCounter(prefix_ + "hits");
+  misses_ = reg.GetCounter(prefix_ + "misses");
+  evictions_ = reg.GetCounter(prefix_ + "evictions");
+  size_ = reg.GetGauge(prefix_ + "size");
+  capacity_ = reg.GetGauge(prefix_ + "capacity");
+  capacity_->Set(static_cast<double>(per_shard_capacity_ * num_shards));
 }
 
 bool ShardedTopKCache::Lookup(std::uint64_t key,
@@ -22,10 +34,10 @@ bool ShardedTopKCache::Lookup(std::uint64_t key,
   auto it = shard.entries.find(key);
   if (it == shard.entries.end() || it->second.k != k ||
       it->second.symptom_ids != symptom_ids) {
-    ++shard.misses;
+    misses_->Increment();
     return false;
   }
-  ++shard.hits;
+  hits_->Increment();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   *top_k = it->second.top_k;
   return true;
@@ -48,7 +60,7 @@ void ShardedTopKCache::Insert(std::uint64_t key, std::vector<int> symptom_ids,
     const std::uint64_t victim = shard.lru.back();
     shard.lru.pop_back();
     shard.entries.erase(victim);
-    ++shard.evictions;
+    evictions_->Increment();
   }
   shard.lru.push_front(key);
   Entry entry;
@@ -62,13 +74,14 @@ void ShardedTopKCache::Insert(std::uint64_t key, std::vector<int> symptom_ids,
 CacheStats ShardedTopKCache::Stats() const {
   CacheStats stats;
   stats.capacity = per_shard_capacity_ * shards_.size();
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.evictions = evictions_->value();
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    stats.hits += shard.hits;
-    stats.misses += shard.misses;
-    stats.evictions += shard.evictions;
     stats.size += shard.entries.size();
   }
+  size_->Set(static_cast<double>(stats.size));
   return stats;
 }
 

@@ -4,14 +4,31 @@
 // in); each entry also stores the canonical id list and k so a hash
 // collision reads as a miss instead of serving another query's herbs.
 // Sharding keeps the lock fine-grained under concurrent serving traffic.
+//
+// Effectiveness counters are smgcn::obs registry instruments — by default
+// under a unique auto-allocated `serve.cacheN.` scope, or under whatever
+// scope the owner passes in (the serving engine uses
+// `serve.engineN.cache.`):
+//
+//   <prefix>hits       counter
+//   <prefix>misses     counter
+//   <prefix>evictions  counter
+//   <prefix>size       gauge (refreshed by Stats())
+//   <prefix>capacity   gauge
+//
+// Stats() assembles the CacheStats compatibility view from them.
 #ifndef SMGCN_SERVE_CACHE_H_
 #define SMGCN_SERVE_CACHE_H_
 
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/registry.h"
 
 namespace smgcn {
 namespace serve {
@@ -34,8 +51,12 @@ struct CacheStats {
 class ShardedTopKCache {
  public:
   /// `capacity` is the total entry budget, split evenly across
-  /// `num_shards` (both clamped to at least 1).
-  explicit ShardedTopKCache(std::size_t capacity, std::size_t num_shards = 8);
+  /// `num_shards` (both clamped to at least 1). Counters are created in
+  /// `registry` (the global registry when null) under `prefix` (a unique
+  /// "serve.cacheN." scope when empty).
+  explicit ShardedTopKCache(std::size_t capacity, std::size_t num_shards = 8,
+                            obs::Registry* registry = nullptr,
+                            std::string prefix = {});
 
   /// Returns true and fills `*top_k` when `key` holds a result for exactly
   /// this id list and k. Counts a hit or miss and refreshes recency.
@@ -55,6 +76,9 @@ class ShardedTopKCache {
 
   std::size_t num_shards() const { return shards_.size(); }
 
+  /// Registry scope the counters live under, e.g. "serve.cache0.".
+  const std::string& obs_prefix() const { return prefix_; }
+
  private:
   struct Entry {
     std::vector<int> symptom_ids;
@@ -67,15 +91,18 @@ class ShardedTopKCache {
     mutable std::mutex mu;
     std::unordered_map<std::uint64_t, Entry> entries;
     std::list<std::uint64_t> lru;  // front = most recent
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
   };
 
   Shard& ShardFor(std::uint64_t key) { return shards_[key % shards_.size()]; }
 
   std::size_t per_shard_capacity_;
   std::vector<Shard> shards_;
+  std::string prefix_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Gauge* size_;
+  obs::Gauge* capacity_;
 };
 
 }  // namespace serve

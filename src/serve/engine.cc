@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/eval/metrics.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/string_util.h"
@@ -81,10 +83,13 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
     return Status::InvalidArgument("max_wait_ms must be non-negative");
   }
   if (options.num_threads == 0) {
-    options.num_threads =
-        std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    // The unified parallel configuration story: pool sizing follows the
+    // process-wide smgcn::parallel worker count unless explicitly
+    // overridden through the deprecated per-engine knob.
+    options.num_threads = parallel::GetNumThreads();
   }
   if (options.kernel_threads > 0) {
+    // Deprecated per-engine override of the process-wide kernel workers.
     parallel::SetNumThreads(options.kernel_threads);
   }
   ASSIGN_OR_RETURN(EmbeddingStore store,
@@ -96,9 +101,19 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
 ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
     : store_(std::move(store)),
       options_(options),
+      obs_prefix_(obs::Registry::Global().NextScopeId("serve.engine")),
       cache_(std::max<std::size_t>(options.cache_capacity, 1),
-             options.cache_shards),
+             options.cache_shards, &obs::Registry::Global(),
+             obs_prefix_ + "cache."),
       cache_enabled_(options.cache_capacity > 0),
+      stats_(&obs::Registry::Global(), obs_prefix_),
+      submitted_(obs::Registry::Global().GetCounter("serve.submitted")),
+      coalesce_span_(obs::Registry::Global().GetHistogram(
+          obs::SpanHistogramName("serve.coalesce"))),
+      gemm_span_(obs::Registry::Global().GetHistogram(
+          obs::SpanHistogramName("serve.gemm"))),
+      execute_span_(obs::Registry::Global().GetHistogram(
+          obs::SpanHistogramName("serve.execute_batch"))),
       pool_(std::make_unique<ThreadPool>(options.num_threads)) {
   // Started in the body so the queue, mutex and condvar the loop touches are
   // fully constructed first.
@@ -126,6 +141,7 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
   ParallelBlocks(
       canonical.size(), kScoreBlockRows,
       [this, &canonical, &out](std::size_t begin, std::size_t end) {
+        obs::ScopedSpan gemm_span(gemm_span_);
         // Full-range runs (the single-worker path) skip the sub-vector copy.
         const tensor::Matrix scores =
             (begin == 0 && end == canonical.size())
@@ -161,6 +177,7 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
         misses.size(), kScoreBlockRows,
         [this, &misses, &queries, &results, k](std::size_t begin,
                                                std::size_t end) {
+          obs::ScopedSpan gemm_span(gemm_span_);
           std::vector<CanonicalQuery> to_score;
           to_score.reserve(end - begin);
           for (std::size_t m = begin; m < end; ++m) {
@@ -215,6 +232,7 @@ Result<std::vector<std::size_t>> ServingEngine::Recommend(
 
 std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
     std::vector<int> symptoms, std::size_t k) {
+  submitted_->Increment();
   PendingRequest request;
   request.k = k;
   request.enqueue_time = std::chrono::steady_clock::now();
@@ -266,6 +284,9 @@ void ServingEngine::BatcherLoop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    // Coalescing time: how long the oldest request waited for the batch to
+    // form (bounded by max_wait_ms plus scheduling noise).
+    coalesce_span_->Record(SecondsSince(batch.front().enqueue_time));
     lock.unlock();
     // Score on the pool so the batcher can immediately coalesce the next
     // batch while this one runs.
@@ -276,6 +297,7 @@ void ServingEngine::BatcherLoop() {
 }
 
 void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch) const {
+  obs::ScopedSpan execute_span(execute_span_);
   // Requests in one micro-batch may ask for different k; group by k so each
   // group shares one GEMM + cache pass.
   std::vector<std::size_t> order(batch.size());

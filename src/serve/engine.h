@@ -48,12 +48,18 @@ struct ServingEngineOptions {
   /// How long the micro-batcher holds an incomplete batch hoping for more
   /// queries before flushing it anyway.
   double max_wait_ms = 0.2;
-  /// Worker threads executing micro-batches; 0 means
-  /// hardware_concurrency (at least 1).
+  /// DEPRECATED thread knob (kept for compatibility): worker threads
+  /// executing micro-batches. 0 — the recommended setting — sizes the pool
+  /// from the process-wide smgcn::parallel configuration
+  /// (parallel::GetNumThreads(), i.e. hardware concurrency unless
+  /// overridden once at startup). See docs/API_TOUR.md §Parallelism.
   std::size_t num_threads = 0;
-  /// When > 0, Create applies this as the process-wide smgcn::parallel
-  /// worker count used inside the tensor kernels (deterministic: scores are
-  /// bit-identical at every setting). 0 leaves the global setting alone.
+  /// DEPRECATED thread knob (kept for compatibility): when > 0, Create
+  /// forwards this to parallel::SetNumThreads, mutating the process-wide
+  /// kernel worker count (deterministic: scores are bit-identical at every
+  /// setting). 0 — the recommended setting — leaves the global
+  /// configuration alone. Prefer calling parallel::SetNumThreads once at
+  /// startup instead. See docs/API_TOUR.md §Parallelism.
   std::size_t kernel_threads = 0;
   /// Total top-k cache entries; 0 disables caching entirely.
   std::size_t cache_capacity = 4096;
@@ -98,8 +104,15 @@ class ServingEngine {
   /// the batcher. Idempotent; called by the destructor.
   void Shutdown();
 
-  /// Serving counters merged with cache counters.
+  /// Serving counters merged with cache counters. A thin compatibility
+  /// view assembled from the engine's smgcn::obs registry instruments (see
+  /// obs_prefix()); values match the pre-registry recorder bit for bit for
+  /// a given workload.
   ServingStatsSnapshot Stats() const;
+
+  /// Scope this engine's instruments occupy in obs::Registry::Global(),
+  /// e.g. "serve.engine0." (the cache's live under "<prefix>cache.").
+  const std::string& obs_prefix() const { return obs_prefix_; }
 
   const EmbeddingStore& store() const { return store_; }
   const ServingEngineOptions& options() const { return options_; }
@@ -133,9 +146,16 @@ class ServingEngine {
 
   EmbeddingStore store_;
   ServingEngineOptions options_;
+  std::string obs_prefix_;  // initialised before cache_ and stats_
   mutable ShardedTopKCache cache_;
   bool cache_enabled_ = false;
   mutable StatsRecorder stats_;
+  // Span sinks on the submit → coalesce → GEMM path, shared across engines
+  // (process-wide histograms; resolved once here so spans are cheap).
+  obs::Counter* submitted_;        // serve.submitted
+  obs::Histogram* coalesce_span_;  // span.serve.coalesce.seconds
+  obs::Histogram* gemm_span_;      // span.serve.gemm.seconds
+  obs::Histogram* execute_span_;   // span.serve.execute_batch.seconds
 
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex queue_mu_;

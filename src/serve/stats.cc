@@ -1,52 +1,12 @@
 #include "src/serve/stats.h"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "src/util/string_util.h"
 
 namespace smgcn {
 namespace serve {
-
-namespace {
-std::size_t BucketFor(double seconds) {
-  const double micros = seconds * 1e6;
-  if (micros < 1.0) return 0;
-  const auto bucket = static_cast<std::size_t>(std::log2(micros));
-  return std::min(bucket, LatencyHistogram::kNumBuckets - 1);
-}
-
-/// Geometric midpoint of bucket [2^i, 2^(i+1)) microseconds, in seconds.
-double BucketMidSeconds(std::size_t bucket) {
-  return std::exp2(static_cast<double>(bucket) + 0.5) * 1e-6;
-}
-}  // namespace
-
-void LatencyHistogram::Record(double seconds) {
-  if (seconds < 0.0) seconds = 0.0;
-  ++buckets_[BucketFor(seconds)];
-  ++count_;
-  total_seconds_ += seconds;
-  max_seconds_ = std::max(max_seconds_, seconds);
-}
-
-double LatencyHistogram::Percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 1.0);
-  // At least one sample: p=0 means "fastest recorded", not an empty bucket.
-  const double target = std::max(p * static_cast<double>(count_), 1.0);
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b];
-    if (static_cast<double>(seen) >= target) {
-      // A bucket midpoint can overshoot the largest latency actually seen
-      // (e.g. every sample near the bucket's lower edge); never report a
-      // percentile above the recorded max.
-      return std::min(BucketMidSeconds(b), max_seconds_);
-    }
-  }
-  return max_seconds_;
-}
 
 std::vector<std::string> ServingStatsSnapshot::CsvHeader() {
   return {"queries",        "batches",       "mean_batch_size",
@@ -86,39 +46,47 @@ std::string ServingStatsSnapshot::ToString() const {
       cache.hit_rate() * 100.0);
 }
 
+StatsRecorder::StatsRecorder(obs::Registry* registry, std::string prefix) {
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Global();
+  prefix_ = prefix.empty() ? reg.NextScopeId("serve.engine") : std::move(prefix);
+  queries_ = reg.GetCounter(prefix_ + "queries");
+  batches_ = reg.GetCounter(prefix_ + "batches");
+  batched_queries_ = reg.GetCounter(prefix_ + "batched_queries");
+  max_batch_size_ = reg.GetGauge(prefix_ + "max_batch_size");
+  latency_ = reg.GetHistogram(prefix_ + "latency.seconds");
+}
+
 void StatsRecorder::RecordQuery(double latency_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  latency_.Record(latency_seconds);
-  ++queries_;
+  latency_->Record(latency_seconds);
+  queries_->Increment();
 }
 
 void StatsRecorder::RecordBatch(std::size_t batch_size) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++batches_;
-  batched_queries_ += batch_size;
-  max_batch_size_ = std::max(max_batch_size_, batch_size);
+  batches_->Increment();
+  batched_queries_->Increment(batch_size);
+  max_batch_size_->SetToMax(static_cast<double>(batch_size));
 }
 
 ServingStatsSnapshot StatsRecorder::Snapshot(const CacheStats& cache) const {
-  std::lock_guard<std::mutex> lock(mu_);
   ServingStatsSnapshot snap;
-  snap.queries = queries_;
-  snap.batches = batches_;
-  snap.batched_queries = batched_queries_;
+  snap.queries = queries_->value();
+  snap.batches = batches_->value();
+  snap.batched_queries = batched_queries_->value();
   snap.elapsed_seconds = uptime_.ElapsedSeconds();
   snap.qps = snap.elapsed_seconds > 0.0
-                 ? static_cast<double>(queries_) / snap.elapsed_seconds
+                 ? static_cast<double>(snap.queries) / snap.elapsed_seconds
                  : 0.0;
   snap.mean_batch_size =
-      batches_ == 0 ? 0.0
-                    : static_cast<double>(batched_queries_) /
-                          static_cast<double>(batches_);
-  snap.max_batch_size = max_batch_size_;
-  snap.latency_p50_ms = latency_.Percentile(0.50) * 1e3;
-  snap.latency_p90_ms = latency_.Percentile(0.90) * 1e3;
-  snap.latency_p99_ms = latency_.Percentile(0.99) * 1e3;
-  snap.latency_max_ms = latency_.max_seconds() * 1e3;
-  snap.latency_mean_ms = latency_.mean_seconds() * 1e3;
+      snap.batches == 0 ? 0.0
+                        : static_cast<double>(snap.batched_queries) /
+                              static_cast<double>(snap.batches);
+  snap.max_batch_size = static_cast<std::size_t>(max_batch_size_->value());
+  snap.latency_p50_ms = latency_->Percentile(0.50) * 1e3;
+  snap.latency_p90_ms = latency_->Percentile(0.90) * 1e3;
+  snap.latency_p99_ms = latency_->Percentile(0.99) * 1e3;
+  snap.latency_max_ms = latency_->max() * 1e3;
+  snap.latency_mean_ms = latency_->mean() * 1e3;
   snap.cache = cache;
   return snap;
 }

@@ -1,48 +1,49 @@
-// Serving observability: latency histogram, throughput, batch-size
-// distribution and cache effectiveness, exported as a snapshot struct and a
-// CSV row for dashboards / bench output.
+// Serving observability: latency, throughput, batch-size distribution and
+// cache effectiveness.
+//
+// Since the obs redesign the instruments live in the process-wide
+// smgcn::obs registry (each engine under its own `serve.engineN.` scope);
+// StatsRecorder is the serving-side recording facade and
+// ServingStatsSnapshot the thin compatibility view that Stats() callers,
+// benches and dashboards keep consuming unchanged.
 #ifndef SMGCN_SERVE_STATS_H_
 #define SMGCN_SERVE_STATS_H_
 
-#include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/registry.h"
 #include "src/serve/cache.h"
 #include "src/util/stopwatch.h"
 
 namespace smgcn {
 namespace serve {
 
-/// Log-bucketed latency histogram. Bucket i spans [2^i, 2^(i+1))
-/// microseconds, so 48 buckets cover sub-microsecond to multi-day
-/// latencies with ~2x resolution. Not thread-safe on its own; the
-/// StatsRecorder serialises access.
+/// Log-bucketed latency histogram: a seconds-flavoured veneer over
+/// obs::Histogram (bucket i spans [2^i, 2^(i+1)) microseconds, 48 buckets,
+/// ~2x resolution from sub-microsecond to multi-day). Thread-safe; kept so
+/// existing serving callers retain the *_seconds vocabulary.
 class LatencyHistogram {
  public:
-  static constexpr std::size_t kNumBuckets = 48;
+  static constexpr std::size_t kNumBuckets = obs::Histogram::kNumBuckets;
 
-  void Record(double seconds);
+  void Record(double seconds) { histogram_.Record(seconds); }
 
-  std::uint64_t count() const { return count_; }
-  double total_seconds() const { return total_seconds_; }
-  double max_seconds() const { return max_seconds_; }
-  double mean_seconds() const {
-    return count_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(count_);
-  }
+  std::uint64_t count() const { return histogram_.count(); }
+  double total_seconds() const { return histogram_.sum(); }
+  double max_seconds() const { return histogram_.max(); }
+  double mean_seconds() const { return histogram_.mean(); }
 
   /// Latency (seconds) below which a fraction `p` in [0,1] of recorded
   /// samples fall; reports the geometric midpoint of the matching bucket
-  /// (0 when empty).
-  double Percentile(double p) const;
+  /// clamped to the recorded [min, max] (0 when empty, the sample itself
+  /// when there is exactly one, the max for the final overflow bucket).
+  double Percentile(double p) const { return histogram_.Percentile(p); }
 
  private:
-  std::array<std::uint64_t, kNumBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  double total_seconds_ = 0.0;
-  double max_seconds_ = 0.0;
+  obs::Histogram histogram_;
 };
 
 /// Point-in-time view of a serving engine's health.
@@ -68,10 +69,27 @@ struct ServingStatsSnapshot {
   std::string ToString() const;
 };
 
-/// Thread-safe recorder the engine feeds; Snapshot() merges in the cache
-/// counters (the cache keeps its own, sharded).
+/// Thread-safe recorder the engine feeds. Creates its instruments in
+/// `registry` (the global registry when null) under `prefix` (a unique
+/// auto-allocated "serve.engineN." scope when empty):
+///
+///   <prefix>queries            counter
+///   <prefix>batches            counter
+///   <prefix>batched_queries    counter
+///   <prefix>max_batch_size     gauge (atomic max)
+///   <prefix>latency.seconds    histogram
+///
+/// Recording is lock-free; Snapshot() assembles the compatibility view from
+/// those instruments (merging in the cache counters, which the cache keeps
+/// in its own registry scope). A snapshot taken while recorders are active
+/// is weakly consistent across instruments — counts never tear, but e.g.
+/// `queries` may already include a query whose latency sample is still in
+/// flight.
 class StatsRecorder {
  public:
+  explicit StatsRecorder(obs::Registry* registry = nullptr,
+                         std::string prefix = {});
+
   /// Records one answered query and its end-to-end latency.
   void RecordQuery(double latency_seconds);
 
@@ -80,13 +98,16 @@ class StatsRecorder {
 
   ServingStatsSnapshot Snapshot(const CacheStats& cache) const;
 
+  /// Registry scope the instruments live under, e.g. "serve.engine0.".
+  const std::string& prefix() const { return prefix_; }
+
  private:
-  mutable std::mutex mu_;
-  LatencyHistogram latency_;
-  std::uint64_t queries_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_queries_ = 0;
-  std::size_t max_batch_size_ = 0;
+  std::string prefix_;
+  obs::Counter* queries_;
+  obs::Counter* batches_;
+  obs::Counter* batched_queries_;
+  obs::Gauge* max_batch_size_;
+  obs::Histogram* latency_;
   Stopwatch uptime_;
 };
 

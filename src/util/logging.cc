@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <utility>
+
+#include "src/obs/registry.h"
 
 namespace smgcn {
 namespace {
@@ -37,7 +40,31 @@ std::mutex& SinkMutex() {
   return mu;
 }
 
+LogSink& SinkHolder() {  // guarded by SinkMutex()
+  static LogSink sink;
+  return sink;
+}
+
+struct LogCounters {
+  obs::Counter* messages;       // log.messages
+  obs::Counter* errors_logged;  // log.errors_logged
+};
+
+LogCounters& Counters() {
+  static LogCounters counters = [] {
+    obs::Registry& reg = obs::Registry::Global();
+    return LogCounters{reg.GetCounter("log.messages"),
+                       reg.GetCounter("log.errors_logged")};
+  }();
+  return counters;
+}
+
 }  // namespace
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkHolder() = std::move(sink);
+}
 
 void SetMinLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -57,9 +84,18 @@ LogMessage::~LogMessage() {
   const bool enabled =
       static_cast<int>(level_) >= g_min_level.load(std::memory_order_relaxed);
   if (enabled || level_ == LogLevel::kFatal) {
+    Counters().messages->Increment();
+    if (level_ >= LogLevel::kError) Counters().errors_logged->Increment();
+    const std::string line = stream_.str();
     std::lock_guard<std::mutex> lock(SinkMutex());
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    const LogSink& sink = SinkHolder();
+    if (sink) sink(level_, line);
+    // FATAL always reaches stderr so a crash leaves a trace even when a
+    // test sink swallows the line.
+    if (!sink || level_ == LogLevel::kFatal) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+      std::fflush(stderr);
+    }
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

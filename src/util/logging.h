@@ -6,6 +6,7 @@
 #ifndef SMGCN_UTIL_LOGGING_H_
 #define SMGCN_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,20 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 /// Process-wide minimum level; messages below it are dropped.
 void SetMinLogLevel(LogLevel level);
 LogLevel GetMinLogLevel();
+
+/// Destination for formatted log lines: receives the level and the full
+/// "[LEVEL file:line] message" line without a trailing newline. Invocations
+/// are serialised under an internal mutex, so a sink needs no locking of
+/// its own, but it must not log (that would deadlock).
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the process-wide log destination (default: stderr). Passing a
+/// null sink restores the stderr default. FATAL lines are always written to
+/// stderr as well, before aborting, so a crashing process leaves a trace
+/// even when a test sink is installed. Every emitted line also increments
+/// the obs registry counter `log.messages`, and lines at kError or above
+/// increment `log.errors_logged`.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/registry.h"
 #include "src/util/thread_pool.h"
 
 namespace smgcn {
@@ -16,6 +17,31 @@ namespace {
 
 std::mutex config_mu;
 std::size_t configured_threads = 0;  // 0 = not yet resolved
+
+// Registry instruments for the pool (see docs/API_TOUR.md §Observability).
+// Resolved lazily so the registry exists before first use; recording is one
+// relaxed atomic op, cheap enough for the inline fast path.
+struct PoolMetrics {
+  obs::Counter* inline_runs;       // ParallelFor calls run inline
+  obs::Counter* fanout_runs;       // ParallelFor calls fanned out
+  obs::Counter* tasks_dispatched;  // helper tasks handed to the pool
+  obs::Counter* chunks_total;      // chunks executed (caller + helpers)
+  obs::Counter* chunks_stolen;     // chunks executed by pool helpers
+  obs::Gauge* workers;             // configured worker count
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics = [] {
+    obs::Registry& reg = obs::Registry::Global();
+    return PoolMetrics{reg.GetCounter("parallel.inline_runs"),
+                       reg.GetCounter("parallel.fanout_runs"),
+                       reg.GetCounter("parallel.tasks_dispatched"),
+                       reg.GetCounter("parallel.chunks_total"),
+                       reg.GetCounter("parallel.chunks_stolen"),
+                       reg.GetGauge("parallel.workers")};
+  }();
+  return metrics;
+}
 
 // Helpers only; the caller is worker zero, so a pool exists for n >= 2.
 std::unique_ptr<ThreadPool>& PoolHolder() {
@@ -40,12 +66,15 @@ struct RunState {
   std::condition_variable cv;
 };
 
-void RunChunks(const std::shared_ptr<RunState>& state) {
+void RunChunks(const std::shared_ptr<RunState>& state, bool is_helper) {
+  PoolMetrics& metrics = Metrics();
   const bool was_in_region = in_parallel_region;
   in_parallel_region = true;
   while (true) {
     const std::size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (c >= state->num_chunks) break;
+    metrics.chunks_total->Increment();
+    if (is_helper) metrics.chunks_stolen->Increment();
     const std::size_t chunk_begin = state->begin + c * state->chunk_size;
     const std::size_t chunk_end =
         std::min(chunk_begin + state->chunk_size, state->end);
@@ -66,6 +95,7 @@ std::size_t HardwareThreads() {
 
 void SetNumThreads(std::size_t n) {
   if (n == 0) n = HardwareThreads();
+  Metrics().workers->Set(static_cast<double>(n));
   std::lock_guard<std::mutex> lock(config_mu);
   if (n == configured_threads) return;
   configured_threads = n;
@@ -74,9 +104,14 @@ void SetNumThreads(std::size_t n) {
 }
 
 std::size_t GetNumThreads() {
-  std::lock_guard<std::mutex> lock(config_mu);
-  if (configured_threads == 0) configured_threads = HardwareThreads();
-  return configured_threads;
+  std::size_t n;
+  {
+    std::lock_guard<std::mutex> lock(config_mu);
+    if (configured_threads == 0) configured_threads = HardwareThreads();
+    n = configured_threads;
+  }
+  Metrics().workers->Set(static_cast<double>(n));
+  return n;
 }
 
 bool InParallelRegion() { return in_parallel_region; }
@@ -102,13 +137,16 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
   }
   if (threads <= 1 || pool == nullptr) {
     // Inline path: same fn over the full range, so single-thread output is
-    // the reference the parallel path must match bit-for-bit.
+    // the reference the parallel path must match bit-for-bit. One relaxed
+    // counter increment is the only instrumentation on this hot path.
+    Metrics().inline_runs->Increment();
     const bool was_in_region = in_parallel_region;
     in_parallel_region = true;
     fn(begin, end);
     in_parallel_region = was_in_region;
     return;
   }
+  Metrics().fanout_runs->Increment();
 
   // A few chunks per thread so uneven rows (e.g. CSR) still balance, but
   // never chunks smaller than the grain.
@@ -122,10 +160,11 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
   state->fn = fn;
 
   const std::size_t helpers = std::min(num_chunks - 1, pool->num_threads());
+  Metrics().tasks_dispatched->Increment(helpers);
   for (std::size_t h = 0; h < helpers; ++h) {
-    pool->Submit([state] { RunChunks(state); });
+    pool->Submit([state] { RunChunks(state, /*is_helper=*/true); });
   }
-  RunChunks(state);
+  RunChunks(state, /*is_helper=*/false);
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&state] {
     return state->done_chunks.load() == state->num_chunks;

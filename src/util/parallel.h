@@ -12,6 +12,17 @@
 // Nested calls (fn itself calling ParallelFor, directly or through a
 // kernel) run inline on the current thread, so kernels never deadlock on
 // pool capacity and never oversubscribe.
+//
+// SetNumThreads is THE process-wide parallelism knob: the deprecated
+// per-config fields (TrainConfig::num_threads,
+// ServingEngineOptions::kernel_threads) funnel into it, and serving pools
+// size themselves from GetNumThreads(). See docs/API_TOUR.md §Parallelism.
+//
+// The layer reports into obs::Registry::Global(): counters
+// parallel.inline_runs / parallel.fanout_runs / parallel.tasks_dispatched /
+// parallel.chunks_total / parallel.chunks_stolen and gauge
+// parallel.workers. Recording is a relaxed atomic increment, so the inline
+// fast path stays cheap.
 #ifndef SMGCN_UTIL_PARALLEL_H_
 #define SMGCN_UTIL_PARALLEL_H_
 

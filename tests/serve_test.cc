@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/core/checkpoint.h"
+#include "src/obs/registry.h"
 #include "src/serve/cache.h"
 #include "src/serve/embedding_store.h"
 #include "src/serve/engine.h"
@@ -235,6 +236,32 @@ TEST(StatsTest, EmptyHistogramIsZero) {
   EXPECT_EQ(hist.mean_seconds(), 0.0);
 }
 
+TEST(StatsTest, SingleSamplePercentileIsExact) {
+  // Regression: the raw bucket midpoint for one 100us sample is ~90.5us;
+  // clamping to the recorded range must report the sample itself.
+  LatencyHistogram hist;
+  hist.Record(100e-6);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 100e-6);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 100e-6);
+}
+
+TEST(StatsTest, IdenticalSamplesClampToThemselves) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 4; ++i) hist.Record(120e-6);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 120e-6);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.99), 120e-6);
+}
+
+TEST(StatsTest, OverflowBucketPercentileReportsMax) {
+  // Regression: a sample past the last bucket edge used to report that
+  // bucket's (meaningless) midpoint, ~2e8s for a 1e9s sample.
+  LatencyHistogram hist;
+  for (int i = 0; i < 9; ++i) hist.Record(1e-6);
+  hist.Record(1e9);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(hist.max_seconds(), 1e9);
+}
+
 TEST(StatsTest, SnapshotCsvRowMatchesHeader) {
   StatsRecorder recorder;
   recorder.RecordBatch(4);
@@ -315,6 +342,50 @@ TEST(ServingEngineTest, RepeatQueriesHitCache) {
   EXPECT_EQ(stats.cache.hits, 1u);
   // The second query must not have triggered another GEMM.
   EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(ServingEngineTest, StatsCompatibilityViewMatchesRegistry) {
+  // Stats() is a thin view assembled from the engine's registry scope; for
+  // a fixed workload its values must match the pre-redesign recorder:
+  // 3 distinct queries (one GEMM each) plus 1 repeat (cache hit, no GEMM).
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->Recommend({1, 2, 3}, 10).ok());
+  ASSERT_TRUE(engine->Recommend({4, 5}, 10).ok());
+  ASSERT_TRUE(engine->Recommend({6}, 10).ok());
+  ASSERT_TRUE(engine->Recommend({3, 2, 1}, 10).ok());
+
+  const ServingStatsSnapshot stats = engine->Stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.batched_queries, 3u);
+  EXPECT_EQ(stats.max_batch_size, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 1.0);
+  EXPECT_EQ(stats.cache.misses, 3u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_GT(stats.latency_p50_ms, 0.0);
+
+  // Cross-check every snapshot field against the underlying instruments.
+  obs::Registry& reg = obs::Registry::Global();
+  const std::string& prefix = engine->obs_prefix();
+  EXPECT_EQ(reg.GetCounter(prefix + "queries")->value(), stats.queries);
+  EXPECT_EQ(reg.GetCounter(prefix + "batches")->value(), stats.batches);
+  EXPECT_EQ(reg.GetCounter(prefix + "batched_queries")->value(),
+            stats.batched_queries);
+  EXPECT_EQ(reg.GetCounter(prefix + "cache.hits")->value(), stats.cache.hits);
+  EXPECT_EQ(reg.GetCounter(prefix + "cache.misses")->value(),
+            stats.cache.misses);
+  EXPECT_EQ(reg.GetHistogram(prefix + "latency.seconds")->count(),
+            stats.queries);
+}
+
+TEST(ServingEngineTest, EnginesGetDistinctObsScopes) {
+  auto a = MakeEngine();
+  auto b = MakeEngine();
+  EXPECT_NE(a->obs_prefix(), b->obs_prefix());
+  // One engine's traffic must not leak into the other's instruments.
+  ASSERT_TRUE(a->Recommend({1, 2}, 5).ok());
+  EXPECT_EQ(a->Stats().queries, 1u);
+  EXPECT_EQ(b->Stats().queries, 0u);
 }
 
 TEST(ServingEngineTest, CacheDisabledStillServes) {

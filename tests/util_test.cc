@@ -5,12 +5,15 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <iterator>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/obs/registry.h"
 #include "src/util/csv.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
@@ -419,6 +422,53 @@ TEST(LoggingTest, MinLevelRoundTrip) {
   LOG_DEBUG << "suppressed";
   LOG_INFO << "suppressed";
   smgcn::SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, SinkCapturesFormattedLines) {
+  std::vector<std::pair<smgcn::LogLevel, std::string>> captured;
+  smgcn::SetLogSink(
+      [&captured](smgcn::LogLevel level, const std::string& line) {
+        captured.emplace_back(level, line);
+      });
+  LOG_INFO << "sink test message";
+  LOG_WARNING << "second line";
+  smgcn::SetLogSink(nullptr);  // restore stderr before `captured` dies
+  LOG_INFO << "after restore";  // must not reach the removed sink
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, smgcn::LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("[INFO"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("sink test message"), std::string::npos);
+  EXPECT_EQ(captured[1].first, smgcn::LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SinkRespectsMinLevel) {
+  const smgcn::LogLevel original = smgcn::GetMinLogLevel();
+  std::vector<std::string> captured;
+  smgcn::SetLogSink([&captured](smgcn::LogLevel, const std::string& line) {
+    captured.push_back(line);
+  });
+  smgcn::SetMinLogLevel(smgcn::LogLevel::kWarning);
+  LOG_INFO << "filtered out";
+  LOG_WARNING << "kept";
+  smgcn::SetLogSink(nullptr);
+  smgcn::SetMinLogLevel(original);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].find("kept"), std::string::npos);
+}
+
+TEST(LoggingTest, ErrorsLoggedCounterTracksErrorLines) {
+  smgcn::obs::Counter* errors =
+      smgcn::obs::Registry::Global().GetCounter("log.errors_logged");
+  smgcn::obs::Counter* messages =
+      smgcn::obs::Registry::Global().GetCounter("log.messages");
+  smgcn::SetLogSink([](smgcn::LogLevel, const std::string&) {});  // quiet
+  const std::uint64_t errors_before = errors->value();
+  const std::uint64_t messages_before = messages->value();
+  LOG_INFO << "not an error";
+  LOG_ERROR << "an error";
+  smgcn::SetLogSink(nullptr);
+  EXPECT_EQ(errors->value(), errors_before + 1);
+  EXPECT_EQ(messages->value(), messages_before + 2);
 }
 
 TEST(LoggingTest, CheckMacrosPassOnTrueConditions) {
