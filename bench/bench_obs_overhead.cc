@@ -21,6 +21,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/obs/trace.h"
 #include "src/tensor/matrix.h"
 #include "src/util/random.h"
 #include "src/util/stopwatch.h"
@@ -143,6 +144,47 @@ bool Run() {
     rows.push_back({"scoped_span", kSpanOps, base, inst});
   }
 
+  // Traced spans: the same ScopedSpan but carrying a trace-name id, first
+  // with the global trace collector disabled (the always-on production
+  // path: one extra relaxed load per span) and then with it enabled
+  // (emitting begin/end events into the per-thread ring).
+  const std::uint32_t trace_id = obs::trace::InternName("bench.span");
+  {
+    auto [base, inst] = Compare(
+        [span_sink] {
+          for (std::size_t i = 0; i < kSpanOps; ++i) {
+            g_guard = g_guard + 1;
+            obs::ScopedSpan span(span_sink);
+          }
+        },
+        [span_sink, trace_id] {
+          for (std::size_t i = 0; i < kSpanOps; ++i) {
+            g_guard = g_guard + 1;
+            obs::ScopedSpan span(span_sink, trace_id);
+          }
+        });
+    rows.push_back({"scoped_span_traced_off", kSpanOps, base, inst});
+  }
+
+  obs::trace::Start();
+  {
+    auto [base, inst] = Compare(
+        [span_sink] {
+          for (std::size_t i = 0; i < kSpanOps; ++i) {
+            g_guard = g_guard + 1;
+            obs::ScopedSpan span(span_sink);
+          }
+        },
+        [span_sink, trace_id] {
+          for (std::size_t i = 0; i < kSpanOps; ++i) {
+            g_guard = g_guard + 1;
+            obs::ScopedSpan span(span_sink, trace_id);
+          }
+        });
+    rows.push_back({"scoped_span_traced_on", kSpanOps, base, inst});
+  }
+  obs::trace::Stop();
+
   // Serving-scale scoring GEMM (128 queries x 753 herbs at width 64),
   // instrumented the way the engine does it: once per kernel call.
   Rng rng(20260806);
@@ -179,6 +221,27 @@ bool Run() {
         });
     rows.push_back({"gemm_plus_span", kGemmReps, base, inst});
   }
+
+  // Same GEMM, traced span with tracing enabled: the acceptance case for
+  // turning the timeline on in production serving.
+  obs::trace::Start();
+  {
+    auto [base, inst] = Compare(
+        [&gemm, span_sink] {
+          for (std::size_t rep = 0; rep < kGemmReps; ++rep) {
+            obs::ScopedSpan span(span_sink);
+            gemm();
+          }
+        },
+        [&gemm, span_sink, trace_id] {
+          for (std::size_t rep = 0; rep < kGemmReps; ++rep) {
+            obs::ScopedSpan span(span_sink, trace_id);
+            gemm();
+          }
+        });
+    rows.push_back({"gemm_span_traced_on", kGemmReps, base, inst});
+  }
+  obs::trace::Stop();
 
   TablePrinter table(
       {"workload", "ops", "baseline_s", "instrumented_s", "overhead", "extra/op"});

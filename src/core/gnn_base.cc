@@ -1,6 +1,9 @@
 #include "src/core/gnn_base.h"
 
+#include <memory>
+
 #include "src/autograd/ops.h"
+#include "src/core/train_telemetry.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -58,12 +61,33 @@ Status GnnRecommenderBase::Fit(const data::Corpus& train) {
                     nn::Activation::kRelu, &store_, &rng);
   }
 
+  if (telemetry_ != nullptr) {
+    // Each eval epoch recomputes embeddings from the current parameters;
+    // the scorer closure pins them so the evaluation pass is consistent
+    // even though training resumes afterwards.
+    telemetry_->SetScorerFactory([this]() -> eval::HerbScorer {
+      PrepareForPass(/*training=*/false);
+      auto [es, eh] = ComputeEmbeddings(/*training=*/false);
+      auto symptom_emb = std::make_shared<Matrix>(es->value());
+      auto herb_emb = std::make_shared<Matrix>(eh->value());
+      return [this, symptom_emb, herb_emb](const std::vector<int>& symptom_set) {
+        Result<std::vector<double>> scores =
+            ScoreWithEmbeddings(*symptom_emb, *herb_emb, symptom_set);
+        // HerbScorer cannot carry a Status; a zero vector keeps the
+        // evaluation well-formed and scores the query as all-misses.
+        if (!scores.ok()) return std::vector<double>(num_herbs_, 0.0);
+        return *std::move(scores);
+      };
+    });
+  }
+
   ASSIGN_OR_RETURN(
       summary_,
       TrainModel(train, train_config_, &store_,
                  [this, &train](const std::vector<std::size_t>& batch, bool training) {
                    return Forward(train, batch, training);
-                 }));
+                 },
+                 telemetry_));
 
   PrepareForPass(/*training=*/false);  // inference uses the full graph
   auto [es_final, eh_final] = ComputeEmbeddings(/*training=*/false);
@@ -129,20 +153,20 @@ Result<InferenceCheckpoint> GnnRecommenderBase::ExportCheckpoint() const {
   return checkpoint;
 }
 
-Result<std::vector<double>> GnnRecommenderBase::Score(
+Result<std::vector<double>> GnnRecommenderBase::ScoreWithEmbeddings(
+    const Matrix& symptom_emb, const Matrix& herb_emb,
     const std::vector<int>& symptom_set) const {
-  if (!trained_) return Status::FailedPrecondition("model is not trained");
   if (symptom_set.empty()) {
     return Status::InvalidArgument("symptom set must be non-empty");
   }
-  const std::size_t dim = final_symptom_emb_.cols();
+  const std::size_t dim = symptom_emb.cols();
   Matrix pooled(1, dim, 0.0);
   for (int s : symptom_set) {
     if (s < 0 || static_cast<std::size_t>(s) >= num_symptoms_) {
       return Status::InvalidArgument(
           StrFormat("symptom id %d outside vocabulary", s));
     }
-    const double* row = final_symptom_emb_.row_data(static_cast<std::size_t>(s));
+    const double* row = symptom_emb.row_data(static_cast<std::size_t>(s));
     for (std::size_t c = 0; c < dim; ++c) pooled(0, c) += row[c];
   }
   pooled.ScaleInPlace(1.0 / static_cast<double>(symptom_set.size()));
@@ -153,8 +177,14 @@ Result<std::vector<double>> GnnRecommenderBase::Score(
     syndrome = out->value();
   }
 
-  const Matrix scores = syndrome.MatMulTransposed(final_herb_emb_);
+  const Matrix scores = syndrome.MatMulTransposed(herb_emb);
   return std::vector<double>(scores.data(), scores.data() + scores.cols());
+}
+
+Result<std::vector<double>> GnnRecommenderBase::Score(
+    const std::vector<int>& symptom_set) const {
+  if (!trained_) return Status::FailedPrecondition("model is not trained");
+  return ScoreWithEmbeddings(final_symptom_emb_, final_herb_emb_, symptom_set);
 }
 
 }  // namespace core

@@ -41,6 +41,12 @@ class GnnRecommenderBase : public HerbRecommender {
   /// serving via CheckpointRecommender. FailedPrecondition before Fit.
   Result<InferenceCheckpoint> ExportCheckpoint() const;
 
+  /// Streams per-epoch telemetry (losses, norms, seconds, and — because the
+  /// model installs a scorer factory over its current embeddings — ranking
+  /// metrics) into `telemetry` during the next Fit. Call before Fit; the
+  /// pointer must outlive it. Null detaches.
+  void AttachTelemetry(TrainTelemetry* telemetry) { telemetry_ = telemetry; }
+
  protected:
   /// Registers trainable parameters into store(). Graphs are already built.
   virtual Status BuildParameters(Rng* rng) = 0;
@@ -94,6 +100,13 @@ class GnnRecommenderBase : public HerbRecommender {
   /// until the next pass so SpMM backward closures remain valid.
   void PrepareForPass(bool training);
 
+  /// Score() against explicit embedding matrices. Used both for the final
+  /// trained model (cached embeddings) and mid-training evaluation, where
+  /// embeddings are recomputed from the current parameters.
+  Result<std::vector<double>> ScoreWithEmbeddings(
+      const tensor::Matrix& symptom_emb, const tensor::Matrix& herb_emb,
+      const std::vector<int>& symptom_set) const;
+
   ModelConfig model_config_;
   TrainConfig train_config_;
 
@@ -108,6 +121,7 @@ class GnnRecommenderBase : public HerbRecommender {
   Rng dropout_rng_{0};
 
   bool trained_ = false;
+  TrainTelemetry* telemetry_ = nullptr;  // not owned; see AttachTelemetry
   TrainSummary summary_;
   tensor::Matrix final_symptom_emb_;
   tensor::Matrix final_herb_emb_;

@@ -1,0 +1,158 @@
+#include "src/core/train_telemetry.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/trace.h"
+#include "src/util/logging.h"
+
+namespace smgcn {
+namespace core {
+namespace {
+
+/// JSON number literal; non-finite values render as null (JSON has no NaN).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EpochTelemetry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"event\":\"epoch\",\"epoch\":" << epoch
+      << ",\"loss\":" << JsonNumber(mean_loss);
+  if (has_validation_loss) {
+    out << ",\"val_loss\":" << JsonNumber(validation_loss);
+  }
+  out << ",\"grad_norm\":" << JsonNumber(grad_norm)
+      << ",\"param_norm\":" << JsonNumber(param_norm)
+      << ",\"epoch_seconds\":" << JsonNumber(epoch_seconds)
+      << ",\"steps\":" << cumulative_steps;
+  if (has_eval) {
+    out << ",\"metrics\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < eval.cutoffs.size(); ++i) {
+      const std::size_t k = eval.cutoffs[i];
+      const eval::MetricsAtK& m = eval.metrics[i];
+      if (!first) out << ",";
+      first = false;
+      out << "\"p@" << k << "\":" << JsonNumber(m.precision) << ",\"r@" << k
+          << "\":" << JsonNumber(m.recall) << ",\"ndcg@" << k
+          << "\":" << JsonNumber(m.ndcg);
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+Result<std::unique_ptr<TrainTelemetry>> TrainTelemetry::Create(
+    TrainTelemetryOptions options) {
+  std::unique_ptr<TrainTelemetry> telemetry(
+      new TrainTelemetry(std::move(options)));
+  if (!telemetry->options_.jsonl_path.empty()) {
+    telemetry->file_ = std::fopen(telemetry->options_.jsonl_path.c_str(), "w");
+    if (telemetry->file_ == nullptr) {
+      return Status::IoError("cannot open telemetry file '" +
+                              telemetry->options_.jsonl_path +
+                              "' for writing");
+    }
+  }
+  return telemetry;
+}
+
+TrainTelemetry::TrainTelemetry(TrainTelemetryOptions options)
+    : options_(std::move(options)) {}
+
+TrainTelemetry::~TrainTelemetry() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TrainTelemetry::SetScorerFactory(
+    std::function<eval::HerbScorer()> factory) {
+  scorer_factory_ = std::move(factory);
+}
+
+Status TrainTelemetry::OnEpochEnd(EpochTelemetry record) {
+  const bool eval_due = options_.eval_corpus != nullptr &&
+                        scorer_factory_ != nullptr &&
+                        options_.eval_every > 0 &&
+                        record.epoch % options_.eval_every == 0;
+  if (eval_due) {
+    eval::HerbScorer scorer = scorer_factory_();
+    if (scorer != nullptr) {
+      ASSIGN_OR_RETURN(record.eval,
+                       eval::Evaluate(scorer, *options_.eval_corpus,
+                                      options_.eval_cutoffs));
+      record.has_eval = true;
+    }
+  }
+  RETURN_IF_ERROR(AppendLine(record.ToJson()));
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+void TrainTelemetry::OnDivergence(std::size_t epoch, std::size_t step,
+                                  const std::string& what) {
+  std::ostringstream out;
+  out << "{\"event\":\"divergence\",\"epoch\":" << epoch
+      << ",\"step\":" << step << ",\"what\":\"" << JsonEscape(what) << "\"}";
+  // Best effort: the caller is already returning a divergence Status, so an
+  // IO failure here must not mask it.
+  (void)AppendLine(out.str());
+  obs::trace::Instant("train.divergence");
+  LOG_ERROR << "training diverged at epoch " << epoch << " step " << step
+            << ": " << what;
+}
+
+Status TrainTelemetry::AppendLine(const std::string& line) {
+  lines_.push_back(line);
+  if (file_ != nullptr) {
+    if (std::fputs(line.c_str(), file_) < 0 ||
+        std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
+      return Status::IoError("write to telemetry file '" +
+                              options_.jsonl_path + "' failed");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace smgcn

@@ -1,0 +1,115 @@
+// Per-epoch training telemetry: one JSONL record per epoch, appended to a
+// file as the run progresses so a crashed or diverged run still leaves its
+// history on disk.
+//
+// The trainer owns *when* records are cut (end of every epoch, plus a
+// divergence event when a non-finite loss or parameter is detected);
+// TrainTelemetry owns *what* goes into a record and where it lands. Models
+// that want ranking metrics inside the records install a scorer factory
+// (see GnnRecommenderBase::AttachTelemetry) which is invoked every
+// `eval_every` epochs against `eval_corpus` using the existing evaluator.
+//
+// Record schema (one JSON object per line):
+//   {"event":"epoch","epoch":3,"loss":0.41,"val_loss":0.44,
+//    "grad_norm":1.2e-1,"param_norm":37.9,"epoch_seconds":0.52,"steps":96,
+//    "metrics":{"p@5":0.31,"r@5":0.22,"ndcg@5":0.38, ...}}
+// Divergence events use {"event":"divergence","epoch":N,"step":S,
+// "what":"..."} and are also mirrored to the trace buffer as an instant.
+#ifndef SMGCN_CORE_TRAIN_TELEMETRY_H_
+#define SMGCN_CORE_TRAIN_TELEMETRY_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/prescription.h"
+#include "src/eval/evaluator.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace core {
+
+/// One epoch's worth of telemetry, as observed by the trainer.
+struct EpochTelemetry {
+  std::size_t epoch = 0;  // 1-based, matches TrainSummary::best_epoch
+  double mean_loss = 0.0;
+  bool has_validation_loss = false;
+  double validation_loss = 0.0;
+  double grad_norm = 0.0;   // L2 norm of gradients after the last step
+  double param_norm = 0.0;  // L2 norm of all parameters
+  double epoch_seconds = 0.0;
+  std::size_t cumulative_steps = 0;
+  /// Filled by TrainTelemetry::OnEpochEnd when an eval corpus and scorer
+  /// factory are configured and this epoch is on the eval cadence.
+  bool has_eval = false;
+  eval::EvaluationReport eval;
+
+  /// The record as a single JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+struct TrainTelemetryOptions {
+  /// Path of the JSONL file; empty keeps records in memory only.
+  std::string jsonl_path;
+  /// Held-out corpus to evaluate against after each eval epoch; null
+  /// disables ranking metrics even when a scorer factory is installed.
+  const data::Corpus* eval_corpus = nullptr;
+  std::vector<std::size_t> eval_cutoffs = {5, 10, 20};
+  /// Evaluate every Nth epoch (1 = every epoch); 0 disables eval.
+  std::size_t eval_every = 1;
+};
+
+/// Collects per-epoch records, optionally streaming them to a JSONL file.
+/// Not thread-safe: the trainer calls it from the training thread only.
+class TrainTelemetry {
+ public:
+  /// Fails when `jsonl_path` is set but cannot be opened for writing.
+  static Result<std::unique_ptr<TrainTelemetry>> Create(
+      TrainTelemetryOptions options);
+
+  ~TrainTelemetry();
+
+  TrainTelemetry(const TrainTelemetry&) = delete;
+  TrainTelemetry& operator=(const TrainTelemetry&) = delete;
+
+  /// Installs the factory producing a scorer over the model's *current*
+  /// parameters. Called once per eval epoch; the returned scorer is used
+  /// for the whole evaluation pass then discarded. A null factory (or one
+  /// returning a null scorer) skips eval for that epoch.
+  void SetScorerFactory(std::function<eval::HerbScorer()> factory);
+
+  /// Finalises one epoch record: runs eval when due, renders the JSON
+  /// line, appends it to the file (flushing so crashes keep the tail).
+  /// Eval errors fail the call; IO errors fail the call.
+  Status OnEpochEnd(EpochTelemetry record);
+
+  /// Records a divergence event (non-finite loss or parameter). Appends a
+  /// JSONL event line, emits a trace instant and logs at ERROR. Best
+  /// effort: IO errors are swallowed since the caller is already failing.
+  void OnDivergence(std::size_t epoch, std::size_t step,
+                    const std::string& what);
+
+  const std::vector<EpochTelemetry>& records() const { return records_; }
+  /// The JSON lines as written (epoch records and divergence events).
+  const std::vector<std::string>& JsonLines() const { return lines_; }
+  const std::string& path() const { return options_.jsonl_path; }
+
+ private:
+  explicit TrainTelemetry(TrainTelemetryOptions options);
+
+  /// Appends one line to the JSONL file (if any) and to lines_.
+  Status AppendLine(const std::string& line);
+
+  TrainTelemetryOptions options_;
+  std::function<eval::HerbScorer()> scorer_factory_;
+  std::vector<EpochTelemetry> records_;
+  std::vector<std::string> lines_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_TRAIN_TELEMETRY_H_

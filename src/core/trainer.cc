@@ -5,9 +5,11 @@
 #include <limits>
 #include <numeric>
 
+#include "src/core/train_telemetry.h"
 #include "src/nn/optimizer.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/string_util.h"
@@ -129,10 +131,20 @@ void RestoreParameters(const std::vector<tensor::Matrix>& snapshot,
   }
 }
 
+/// Name of the first parameter holding a non-finite value, or "" when all
+/// are finite. Used to make divergence errors actionable.
+std::string FirstNonFiniteParameter(const nn::ParameterStore& store) {
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (!store.parameters()[i]->value().AllFinite()) return store.names()[i];
+  }
+  return "";
+}
+
 }  // namespace
 
 Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& config,
-                                nn::ParameterStore* store, const ForwardFn& forward) {
+                                nn::ParameterStore* store, const ForwardFn& forward,
+                                TrainTelemetry* telemetry) {
   RETURN_IF_ERROR(config.Validate());
   if (train.empty()) {
     return Status::FailedPrecondition("cannot train on an empty corpus");
@@ -141,7 +153,12 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
     return Status::FailedPrecondition("parameter store is empty");
   }
 
-  if (config.num_threads > 0) parallel::SetNumThreads(config.num_threads);
+  if (config.num_threads > 0) {
+    LogWarningOnce("TrainConfig.num_threads",
+                   "TrainConfig::num_threads is deprecated; call "
+                   "parallel::SetNumThreads() once at startup instead");
+    parallel::SetNumThreads(config.num_threads);
+  }
 
   const std::vector<double> herb_weights =
       nn::InverseFrequencyWeights(train.HerbFrequencies());
@@ -167,7 +184,17 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
       reg.GetHistogram(obs::SpanHistogramName("train.validation"));
   obs::Counter* steps_counter = reg.GetCounter("train.steps");
   obs::Counter* epochs_counter = reg.GetCounter("train.epochs");
-  obs::ScopedSpan run_span(run_span_sink);
+  // Trace name ids interned once alongside the sinks; when tracing is off
+  // the per-span cost is a single relaxed load.
+  obs::trace::TraceBuffer& tracer = obs::trace::TraceBuffer::Global();
+  const std::uint32_t run_trace_id = tracer.InternName("train.run");
+  const std::uint32_t epoch_trace_id = tracer.InternName("train.epoch");
+  const std::uint32_t batch_trace_id = tracer.InternName("train.batch");
+  const std::uint32_t forward_trace_id = tracer.InternName("train.forward");
+  const std::uint32_t backward_trace_id = tracer.InternName("train.backward");
+  const std::uint32_t validation_trace_id =
+      tracer.InternName("train.validation");
+  obs::ScopedSpan run_span(run_span_sink, run_trace_id);
 
   // Optional validation holdout for early stopping.
   std::vector<std::size_t> order(train.size());
@@ -189,7 +216,7 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
   std::vector<tensor::Matrix> best_snapshot;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    obs::ScopedSpan epoch_span(epoch_span_sink);
+    obs::ScopedSpan epoch_span(epoch_span_sink, epoch_trace_id);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -200,9 +227,9 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
           order.begin() + static_cast<std::ptrdiff_t>(start),
           order.begin() + static_cast<std::ptrdiff_t>(end));
 
-      obs::ScopedSpan batch_span(batch_span_sink);
+      obs::ScopedSpan batch_span(batch_span_sink, batch_trace_id);
       store->ZeroGrad();
-      obs::ScopedSpan forward_span(forward_span_sink);
+      obs::ScopedSpan forward_span(forward_span_sink, forward_trace_id);
       autograd::Variable scores = forward(batch, /*training=*/true);
       forward_span.Stop();
       if (scores == nullptr) {
@@ -228,14 +255,18 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
 
       const double loss_value = loss->value()(0, 0);
       if (!std::isfinite(loss_value)) {
-        return Status::Internal(StrFormat(
+        const std::string what = StrFormat(
             "non-finite loss %g at epoch %zu step %zu (diverged; lower the "
             "learning rate)",
-            loss_value, epoch, summary.steps));
+            loss_value, epoch, summary.steps);
+        if (telemetry != nullptr) {
+          telemetry->OnDivergence(epoch + 1, summary.steps, what);
+        }
+        return Status::Internal(what);
       }
 
       {
-        obs::ScopedSpan backward_span(backward_span_sink);
+        obs::ScopedSpan backward_span(backward_span_sink, backward_trace_id);
         autograd::Backward(loss);
       }
       optimizer.Step();
@@ -247,15 +278,21 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
     epochs_counter->Increment();
 
     if (!store->AllFinite()) {
-      return Status::Internal(
-          StrFormat("parameters diverged to non-finite values at epoch %zu", epoch));
+      const std::string what = StrFormat(
+          "parameter '%s' diverged to non-finite values at epoch %zu",
+          FirstNonFiniteParameter(*store).c_str(), epoch);
+      if (telemetry != nullptr) {
+        telemetry->OnDivergence(epoch + 1, summary.steps, what);
+      }
+      return Status::Internal(what);
     }
     epoch_loss /= static_cast<double>(batches);
     summary.epoch_losses.push_back(epoch_loss);
     summary.best_epoch = epoch + 1;
 
+    bool stop_early = false;
     if (!val_indices.empty()) {
-      obs::ScopedSpan validation_span(validation_span_sink);
+      obs::ScopedSpan validation_span(validation_span_sink, validation_trace_id);
       ASSIGN_OR_RETURN(
           const double val_loss,
           ValidationLoss(train, config, val_indices, herb_weights, forward, &rng));
@@ -269,15 +306,35 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
         ++epochs_since_best;
         if (epochs_since_best >= config.patience) {
           summary.stopped_early = true;
+          stop_early = true;
           if (config.log_every > 0) {
             LOG_INFO << StrFormat(
                 "early stop at epoch %zu (best validation loss %.6f at epoch "
                 "%zu)",
                 epoch + 1, best_val_loss, summary.best_epoch);
           }
-          break;
         }
       }
+    }
+
+    // The epoch span closes here (validation included) so epoch_seconds and
+    // the telemetry record cover the same window — even on the early-stop
+    // epoch, which is why the break above became a flag.
+    summary.epoch_seconds.push_back(epoch_span.Stop());
+
+    if (telemetry != nullptr) {
+      EpochTelemetry record;
+      record.epoch = epoch + 1;
+      record.mean_loss = epoch_loss;
+      if (!summary.validation_losses.empty()) {
+        record.has_validation_loss = true;
+        record.validation_loss = summary.validation_losses.back();
+      }
+      record.grad_norm = std::sqrt(store->GradSquaredNorm());
+      record.param_norm = std::sqrt(store->SquaredNorm());
+      record.epoch_seconds = summary.epoch_seconds.back();
+      record.cumulative_steps = summary.steps;
+      RETURN_IF_ERROR(telemetry->OnEpochEnd(std::move(record)));
     }
 
     if (config.log_every > 0 && (epoch + 1) % config.log_every == 0) {
@@ -289,6 +346,7 @@ Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& co
                                             summary.validation_losses.back())
                                       .c_str());
     }
+    if (stop_early) break;
   }
 
   if (!best_snapshot.empty()) {

@@ -19,6 +19,8 @@
 namespace smgcn {
 namespace core {
 
+class TrainTelemetry;
+
 /// Multi-hot herb target matrix (batch x num_herbs) for the given
 /// prescription indices of `corpus`.
 tensor::Matrix BuildTargetMatrix(const data::Corpus& corpus,
@@ -41,6 +43,8 @@ std::vector<nn::BprTriple> SampleBprTriples(
 /// Per-training-run summary.
 struct TrainSummary {
   std::vector<double> epoch_losses;  // mean batch loss per epoch
+  /// Wall seconds per epoch; parallel to epoch_losses.
+  std::vector<double> epoch_seconds;
   /// Held-out data losses per epoch (empty without validation).
   std::vector<double> validation_losses;
   std::size_t steps = 0;
@@ -63,9 +67,13 @@ using ForwardFn = std::function<autograd::Variable(
 
 /// Runs the full optimisation. `store` owns the model parameters; `forward`
 /// closes over the model. Fails on invalid config, empty corpus, or
-/// numerical divergence (non-finite loss/parameters).
+/// numerical divergence (non-finite loss/parameters; the error names the
+/// first non-finite parameter). `telemetry`, when non-null, receives one
+/// EpochTelemetry record per completed epoch and a divergence event when
+/// training fails numerically (see src/core/train_telemetry.h).
 Result<TrainSummary> TrainModel(const data::Corpus& train, const TrainConfig& config,
-                                nn::ParameterStore* store, const ForwardFn& forward);
+                                nn::ParameterStore* store, const ForwardFn& forward,
+                                TrainTelemetry* telemetry = nullptr);
 
 }  // namespace core
 }  // namespace smgcn

@@ -42,6 +42,14 @@ double ParameterStore::SquaredNorm() const {
   return total;
 }
 
+double ParameterStore::GradSquaredNorm() const {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    if (p->has_grad()) total += p->grad().SquaredNorm();
+  }
+  return total;
+}
+
 bool ParameterStore::AllFinite() const {
   for (const auto& p : params_) {
     if (!p->value().AllFinite()) return false;

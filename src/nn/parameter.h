@@ -40,6 +40,11 @@ class ParameterStore {
   /// for reporting; the differentiable penalty is built via ops).
   double SquaredNorm() const;
 
+  /// Sum of squared gradient entries over all parameters that currently
+  /// hold a gradient (i.e. after backward, before ZeroGrad). Parameters
+  /// whose gradient is still unallocated contribute zero.
+  double GradSquaredNorm() const;
+
   /// True when every parameter holds only finite values.
   bool AllFinite() const;
 

@@ -1,0 +1,67 @@
+#include "src/obs/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/trace.h"
+
+namespace smgcn {
+namespace obs {
+
+std::string RenderRunReport(const Registry& registry,
+                            const std::vector<std::string>& telemetry_lines,
+                            const std::vector<RunReportSection>& extra_sections,
+                            const RunReportOptions& options) {
+  std::ostringstream out;
+  out << "# " << options.title << "\n";
+
+  const trace::TraceStats stats = trace::Stats();
+  out << "\n## Trace\n\n"
+      << "| events emitted | retained | dropped | threads | tracing |\n"
+      << "|---|---|---|---|---|\n"
+      << "| " << stats.emitted << " | " << stats.retained << " | "
+      << stats.dropped << " | " << stats.threads << " | "
+      << (trace::Enabled() ? "on" : "off") << " |\n\n"
+      << "Dropped events are counted in `obs.trace.dropped_events`; load "
+         "the exported `trace.json` in chrome://tracing or "
+         "https://ui.perfetto.dev for the timeline.\n";
+
+  out << "\n## Training telemetry";
+  if (telemetry_lines.empty()) {
+    out << "\n\n(no telemetry records)\n";
+  } else {
+    const std::size_t tail =
+        options.telemetry_tail == 0
+            ? telemetry_lines.size()
+            : std::min(options.telemetry_tail, telemetry_lines.size());
+    out << " (last " << tail << " of " << telemetry_lines.size()
+        << " records)\n\n```json\n";
+    for (std::size_t i = telemetry_lines.size() - tail;
+         i < telemetry_lines.size(); ++i) {
+      out << telemetry_lines[i] << "\n";
+    }
+    out << "```\n";
+  }
+
+  out << "\n## Metrics registry\n\n```\n" << registry.ExportText() << "```\n";
+
+  for (const RunReportSection& section : extra_sections) {
+    out << "\n## " << section.heading << "\n\n" << section.body;
+    if (section.body.empty() || section.body.back() != '\n') out << "\n";
+  }
+  return out.str();
+}
+
+bool WriteRunReport(const std::string& path, const Registry& registry,
+                    const std::vector<std::string>& telemetry_lines,
+                    const std::vector<RunReportSection>& extra_sections,
+                    const RunReportOptions& options) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << RenderRunReport(registry, telemetry_lines, extra_sections, options);
+  return file.good();
+}
+
+}  // namespace obs
+}  // namespace smgcn

@@ -1,0 +1,54 @@
+// RunReport: one Markdown artifact summarising a run after the fact.
+//
+// Combines the three observability surfaces — the metrics registry
+// snapshot (what the process counted), the training-telemetry tail (how
+// the last epochs went) and the trace-buffer accounting (what the
+// timeline holds and how much was dropped) — into a single report.md an
+// engineer can read without re-running anything. Callers append their own
+// sections (serving stats, slow-query log) via RunReportSection.
+//
+// See examples/run_report.cpp for the end-to-end producer: it trains a
+// tiny model and drops trace.json + telemetry.jsonl + report.md.
+#ifndef SMGCN_OBS_REPORT_H_
+#define SMGCN_OBS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/registry.h"
+
+namespace smgcn {
+namespace obs {
+
+/// A caller-supplied report section, rendered as `## <heading>` followed
+/// by the body verbatim (Markdown).
+struct RunReportSection {
+  std::string heading;
+  std::string body;
+};
+
+struct RunReportOptions {
+  std::string title = "Run report";
+  /// How many telemetry records (JSONL lines) the report quotes, counted
+  /// from the end.
+  std::size_t telemetry_tail = 10;
+};
+
+/// Renders the Markdown report: title, trace stats (from the global
+/// TraceBuffer plus the `obs.trace.dropped_events` counter), the telemetry
+/// tail, the registry snapshot, then `extra_sections` in order.
+std::string RenderRunReport(const Registry& registry,
+                            const std::vector<std::string>& telemetry_lines,
+                            const std::vector<RunReportSection>& extra_sections,
+                            const RunReportOptions& options = {});
+
+/// Writes RenderRunReport() to `path`; false on IO failure.
+bool WriteRunReport(const std::string& path, const Registry& registry,
+                    const std::vector<std::string>& telemetry_lines,
+                    const std::vector<RunReportSection>& extra_sections,
+                    const RunReportOptions& options = {});
+
+}  // namespace obs
+}  // namespace smgcn
+
+#endif  // SMGCN_OBS_REPORT_H_

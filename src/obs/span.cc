@@ -16,8 +16,21 @@ ScopedSpan::ScopedSpan(Histogram* sink)
   ++g_span_depth;
 }
 
+ScopedSpan::ScopedSpan(Histogram* sink, std::uint32_t trace_name_id)
+    : sink_(sink), trace_name_id_(trace_name_id) {
+  ++g_span_depth;
+  if (trace_name_id_ != 0 && trace::Enabled()) {
+    trace::TraceBuffer::Global().Emit(trace::Phase::kBegin, trace_name_id_);
+    trace_began_ = true;
+  }
+  // Clock read last so the traced and untraced spans measure the same
+  // region (the begin event lands just before the measured window opens).
+  start_ = std::chrono::steady_clock::now();
+}
+
 ScopedSpan::ScopedSpan(Registry* registry, const std::string& name)
-    : ScopedSpan(registry->GetHistogram(SpanHistogramName(name))) {}
+    : ScopedSpan(registry->GetHistogram(SpanHistogramName(name)),
+                 trace::TraceBuffer::Global().InternName(name)) {}
 
 ScopedSpan::ScopedSpan(const std::string& name)
     : ScopedSpan(&Registry::Global(), name) {}
@@ -32,6 +45,12 @@ double ScopedSpan::Stop() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   if (sink_ != nullptr) sink_->Record(recorded_seconds_);
+  if (trace_began_) {
+    // If tracing was stopped mid-span this end is dropped by Emit; the
+    // exporter's repair pass closes the orphaned begin instead.
+    trace::TraceBuffer::Global().Emit(trace::Phase::kEnd, trace_name_id_);
+    trace_began_ = false;
+  }
   return recorded_seconds_;
 }
 

@@ -1,0 +1,302 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/registry.h"
+
+namespace smgcn {
+namespace obs {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Counter* DroppedCounter() {
+  static Counter* counter =
+      Registry::Global().GetCounter("obs.trace.dropped_events");
+  return counter;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Event {
+  std::uint64_t ts_ns = 0;
+  std::uint32_t name_id = 0;
+  Phase phase = Phase::kBegin;
+};
+
+// The thread-local cache holds the ring of the *global* buffer only;
+// secondary TraceBuffer instances (none exist today) would re-register on
+// every emit, which is correct but slow.
+thread_local void* t_owner = nullptr;
+thread_local void* t_buffer = nullptr;
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();  // never destroyed
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer() : names_(1, std::string()) {
+  capacity_ = TraceOptions{}.events_per_thread;
+}
+
+TraceBuffer::ThreadBuffer* TraceBuffer::CurrentThreadBuffer() {
+  if (t_owner == this && t_buffer != nullptr) {
+    return static_cast<ThreadBuffer*>(t_buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = buffers_.size() + 1;  // 1-based display tid
+  if (internal::g_enabled.load(std::memory_order_relaxed)) {
+    buffer->slots = std::vector<Slot>(capacity_);
+  }
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  t_owner = this;
+  t_buffer = raw;
+  return raw;
+}
+
+void TraceBuffer::Start(TraceOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = options.events_per_thread;
+  for (auto& buffer : buffers_) {
+    buffer->slots = std::vector<Slot>(capacity_);
+    buffer->head.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+  base_ns_.store(NowNs(), std::memory_order_relaxed);
+  internal::g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceBuffer::Stop() {
+  internal::g_enabled.store(false, std::memory_order_release);
+}
+
+std::uint32_t TraceBuffer::InternName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(name);
+  name_ids_.emplace(name, id);
+  return id;
+}
+
+void TraceBuffer::SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer->name = name;
+}
+
+void TraceBuffer::Emit(Phase phase, std::uint32_t name_id) {
+  if (!Enabled() || name_id == 0) return;
+  ThreadBuffer* buffer = CurrentThreadBuffer();
+  if (buffer->slots.empty()) {
+    // Registered while tracing was off; allocate the ring now. Rare (once
+    // per thread), so the lock is off the steady-state path.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (capacity_ == 0) return;
+    if (buffer->slots.empty()) buffer->slots = std::vector<Slot>(capacity_);
+  }
+  const std::uint64_t idx = buffer->head.load(std::memory_order_relaxed);
+  Slot& slot = buffer->slots[idx % buffer->slots.size()];
+  slot.ts_ns.store(NowNs() - base_ns_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  slot.name_id.store(name_id, std::memory_order_relaxed);
+  slot.phase.store(static_cast<std::uint8_t>(phase), std::memory_order_relaxed);
+  buffer->head.store(idx + 1, std::memory_order_release);
+  if (idx >= buffer->slots.size()) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    DroppedCounter()->Increment();
+  }
+}
+
+TraceStats TraceBuffer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceStats stats;
+  stats.threads = buffers_.size();
+  for (const auto& buffer : buffers_) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    stats.emitted += head;
+    stats.retained +=
+        std::min<std::uint64_t>(head, buffer->slots.size());
+    stats.dropped += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+std::string TraceBuffer::ExportChromeTrace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto append = [&out, &first](const std::string& event) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << event;
+  };
+
+  for (const auto& buffer : buffers_) {
+    const std::string tid = std::to_string(buffer->tid);
+    if (!buffer->name.empty()) {
+      append("{\"ph\":\"M\",\"pid\":1,\"tid\":" + tid +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+             JsonEscape(buffer->name) + "\"}}");
+    }
+
+    // Snapshot the resident window oldest-first. The owning thread may
+    // still be emitting; a torn slot is harmless because the repair pass
+    // below keeps the output well-formed regardless.
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = buffer->slots.size();
+    if (cap == 0 || head == 0) continue;
+    const std::uint64_t begin = head > cap ? head - cap : 0;
+    std::vector<Event> events;
+    events.reserve(static_cast<std::size_t>(head - begin));
+    for (std::uint64_t i = begin; i < head; ++i) {
+      const Slot& slot = buffer->slots[i % cap];
+      Event event;
+      event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+      event.name_id = slot.name_id.load(std::memory_order_relaxed);
+      event.phase = static_cast<Phase>(
+          slot.phase.load(std::memory_order_relaxed) % 3);
+      if (event.name_id == 0 || event.name_id >= names_.size()) continue;
+      events.push_back(event);
+    }
+
+    // Repair pass: drop E events orphaned by wraparound, close B events
+    // left open at the window edge, and clamp timestamps monotone (the
+    // single writer makes them monotone already; clamping also absorbs a
+    // torn concurrent write).
+    std::uint64_t last_ts = 0;
+    std::vector<std::uint32_t> open;  // stack of unmatched B name ids
+    const auto emit_event = [&](char ph, std::uint64_t ts_ns,
+                                std::uint32_t name_id) {
+      char ts[48];
+      std::snprintf(ts, sizeof(ts), "%.3f", static_cast<double>(ts_ns) / 1e3);
+      std::string event;
+      event += "{\"ph\":\"";
+      event += ph;
+      event += "\",\"pid\":1,\"tid\":" + tid + ",\"ts\":" + ts +
+               ",\"name\":\"" + JsonEscape(names_[name_id]) + "\"";
+      if (ph == 'i') event += ",\"s\":\"t\"";
+      event += "}";
+      append(event);
+    };
+    for (const Event& event : events) {
+      const std::uint64_t ts = std::max(event.ts_ns, last_ts);
+      last_ts = ts;
+      switch (event.phase) {
+        case Phase::kBegin:
+          open.push_back(event.name_id);
+          emit_event('B', ts, event.name_id);
+          break;
+        case Phase::kEnd:
+          if (open.empty()) break;  // begin was overwritten: drop
+          emit_event('E', ts, open.back());
+          open.pop_back();
+          break;
+        case Phase::kInstant:
+          emit_event('i', ts, event.name_id);
+          break;
+      }
+    }
+    while (!open.empty()) {  // close spans cut off by the window edge
+      emit_event('E', last_ts, open.back());
+      open.pop_back();
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool TraceBuffer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << ExportChromeTrace();
+  return file.good();
+}
+
+void TraceBuffer::ResetForTest() {
+  internal::g_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    buffer->head.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Start(TraceOptions options) { TraceBuffer::Global().Start(options); }
+void Stop() { TraceBuffer::Global().Stop(); }
+std::uint32_t InternName(const std::string& name) {
+  return TraceBuffer::Global().InternName(name);
+}
+void SetCurrentThreadName(const std::string& name) {
+  TraceBuffer::Global().SetCurrentThreadName(name);
+}
+void Instant(const std::string& name) {
+  if (!Enabled()) return;
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Emit(Phase::kInstant, buffer.InternName(name));
+}
+TraceStats Stats() { return TraceBuffer::Global().Stats(); }
+std::string ExportChromeTrace() {
+  return TraceBuffer::Global().ExportChromeTrace();
+}
+bool WriteChromeTrace(const std::string& path) {
+  return TraceBuffer::Global().WriteChromeTrace(path);
+}
+
+}  // namespace trace
+}  // namespace obs
+}  // namespace smgcn

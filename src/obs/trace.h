@@ -1,0 +1,172 @@
+// Event timeline tracing: the "what happened when" companion to the
+// metrics registry's "how much / how long on average".
+//
+// TraceBuffer is a process-wide collection of per-thread fixed-capacity
+// ring buffers holding begin/end/instant events (interned name id, thread
+// id, steady_clock nanoseconds). Writes are relaxed atomics into the
+// calling thread's own ring, so emitting costs one clock read plus three
+// relaxed stores and never blocks; when a ring wraps, the overwritten
+// events are counted in the registry counter `obs.trace.dropped_events`
+// (and per-buffer for Stats()).
+//
+// Lifecycle: tracing is off by default and `Enabled()` is a single relaxed
+// load, so instrumented call sites cost nothing measurable when tracing is
+// disabled (see bench_obs_overhead). `Start()` clears the rings and flips
+// the flag; `Stop()` flips it back, leaving the recorded events in place
+// for export. Start/Stop must not race in-flight emitters (call them at
+// phase boundaries, like parallel::SetNumThreads).
+//
+// ExportChromeTrace() renders the Chrome trace-event JSON format that
+// chrome://tracing and https://ui.perfetto.dev load directly. The export
+// repairs wraparound damage so the file is always well-formed: an end
+// event whose begin was overwritten is dropped, and a begin left open at
+// the buffer edge gets a synthetic end at the thread's last timestamp —
+// every B is matched by an E and timestamps are monotone per thread.
+//
+// ScopedSpan (src/obs/span.h) emits begin/end pairs into this buffer
+// whenever it is constructed with a trace name id and tracing is enabled,
+// so the existing span hierarchy (train.run > train.epoch > train.batch,
+// serve.execute_batch > serve.gemm) doubles as the trace timeline.
+#ifndef SMGCN_OBS_TRACE_H_
+#define SMGCN_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smgcn {
+namespace obs {
+namespace trace {
+
+/// Event kind, mirroring the Chrome trace-event phases B / E / i.
+enum class Phase : std::uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };
+
+struct TraceOptions {
+  /// Ring capacity per thread, in events. Each event is ~24 bytes, so the
+  /// default retains the most recent ~64k events (~1.5 MB) per thread.
+  std::size_t events_per_thread = 1u << 16;
+};
+
+/// Point-in-time accounting of the trace buffers.
+struct TraceStats {
+  std::uint64_t emitted = 0;   // events written since the last Start
+  std::uint64_t retained = 0;  // events still resident in the rings
+  std::uint64_t dropped = 0;   // events overwritten by wraparound
+  std::size_t threads = 0;     // threads that have registered a ring
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True while tracing is active. One relaxed load — the gate instrumented
+/// call sites check before doing any trace work.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+class TraceBuffer {
+ public:
+  /// The process-wide buffer every emitter records into. Never destroyed,
+  /// so detached threads may emit during static destruction.
+  static TraceBuffer& Global();
+
+  TraceBuffer();
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Clears every ring, applies `options` and enables tracing. Must not
+  /// race in-flight Emit calls (call at a phase boundary).
+  void Start(TraceOptions options = {});
+
+  /// Disables tracing; recorded events stay available for export.
+  void Stop();
+
+  /// Returns the stable id for `name`, interning it on first use. Id 0 is
+  /// reserved (never returned). Takes a lock — resolve once per call site
+  /// and cache, like registry instruments.
+  std::uint32_t InternName(const std::string& name);
+
+  /// Names the calling thread in exported timelines ("parallel.worker0").
+  /// Registers the thread's ring if it has none yet; cheap enough to call
+  /// unconditionally at thread start.
+  void SetCurrentThreadName(const std::string& name);
+
+  /// Records one event on the calling thread's ring. No-op when tracing is
+  /// disabled or `name_id` is 0.
+  void Emit(Phase phase, std::uint32_t name_id);
+
+  TraceStats Stats() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}); loads in
+  /// chrome://tracing and Perfetto. Always well-formed (see file comment).
+  std::string ExportChromeTrace() const;
+
+  /// Writes ExportChromeTrace() to `path`; false on IO failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Disables tracing and zeroes every ring and drop count. Interned names
+  /// and registered threads survive (call-site caches stay valid).
+  void ResetForTest();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint32_t> name_id{0};
+    std::atomic<std::uint8_t> phase{0};
+  };
+
+  /// One ring per thread; only the owning thread writes, exporters read
+  /// the atomics concurrently.
+  struct ThreadBuffer {
+    std::uint64_t tid = 0;
+    std::string name;                       // guarded by mu_
+    std::vector<Slot> slots;                // (re)sized under mu_ only
+    std::atomic<std::uint64_t> head{0};     // next write index (monotonic)
+    std::atomic<std::uint64_t> dropped{0};  // overwritten events
+  };
+
+  /// The calling thread's ring, registered (and its slots allocated, when
+  /// tracing is on) on first use.
+  ThreadBuffer* CurrentThreadBuffer();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::string> names_;  // id -> name; index 0 reserved
+  std::map<std::string, std::uint32_t> name_ids_;
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> base_ns_{0};  // timestamps are relative to this
+};
+
+// Convenience wrappers over TraceBuffer::Global().
+
+inline void EmitBegin(std::uint32_t name_id) {
+  if (Enabled()) TraceBuffer::Global().Emit(Phase::kBegin, name_id);
+}
+inline void EmitEnd(std::uint32_t name_id) {
+  if (Enabled()) TraceBuffer::Global().Emit(Phase::kEnd, name_id);
+}
+inline void EmitInstant(std::uint32_t name_id) {
+  if (Enabled()) TraceBuffer::Global().Emit(Phase::kInstant, name_id);
+}
+
+void Start(TraceOptions options = {});
+void Stop();
+std::uint32_t InternName(const std::string& name);
+void SetCurrentThreadName(const std::string& name);
+/// Interns + emits an instant event; for cold paths (divergence, errors).
+void Instant(const std::string& name);
+TraceStats Stats();
+std::string ExportChromeTrace();
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace trace
+}  // namespace obs
+}  // namespace smgcn
+
+#endif  // SMGCN_OBS_TRACE_H_

@@ -82,13 +82,23 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
   if (options.max_wait_ms < 0.0) {
     return Status::InvalidArgument("max_wait_ms must be non-negative");
   }
+  if (options.slow_query_threshold_ms < 0.0) {
+    return Status::InvalidArgument("slow_query_threshold_ms must be non-negative");
+  }
   if (options.num_threads == 0) {
     // The unified parallel configuration story: pool sizing follows the
     // process-wide smgcn::parallel worker count unless explicitly
     // overridden through the deprecated per-engine knob.
     options.num_threads = parallel::GetNumThreads();
+  } else {
+    LogWarningOnce("ServingEngineOptions.num_threads",
+                   "ServingEngineOptions::num_threads is deprecated; leave it "
+                   "0 and call parallel::SetNumThreads() once at startup");
   }
   if (options.kernel_threads > 0) {
+    LogWarningOnce("ServingEngineOptions.kernel_threads",
+                   "ServingEngineOptions::kernel_threads is deprecated; call "
+                   "parallel::SetNumThreads() once at startup instead");
     // Deprecated per-engine override of the process-wide kernel workers.
     parallel::SetNumThreads(options.kernel_threads);
   }
@@ -107,6 +117,9 @@ ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
              obs_prefix_ + "cache."),
       cache_enabled_(options.cache_capacity > 0),
       stats_(&obs::Registry::Global(), obs_prefix_),
+      slow_log_(options.slow_query_threshold_ms / 1e3,
+                options.slow_query_log_capacity, &obs::Registry::Global(),
+                obs_prefix_),
       submitted_(obs::Registry::Global().GetCounter("serve.submitted")),
       coalesce_span_(obs::Registry::Global().GetHistogram(
           obs::SpanHistogramName("serve.coalesce"))),
@@ -114,7 +127,10 @@ ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
           obs::SpanHistogramName("serve.gemm"))),
       execute_span_(obs::Registry::Global().GetHistogram(
           obs::SpanHistogramName("serve.execute_batch"))),
-      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+      gemm_trace_id_(obs::trace::TraceBuffer::Global().InternName("serve.gemm")),
+      execute_trace_id_(
+          obs::trace::TraceBuffer::Global().InternName("serve.execute_batch")),
+      pool_(std::make_unique<ThreadPool>(options.num_threads, "serve.worker")) {
   // Started in the body so the queue, mutex and condvar the loop touches are
   // fully constructed first.
   batcher_ = std::thread([this] { BatcherLoop(); });
@@ -141,7 +157,7 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
   ParallelBlocks(
       canonical.size(), kScoreBlockRows,
       [this, &canonical, &out](std::size_t begin, std::size_t end) {
-        obs::ScopedSpan gemm_span(gemm_span_);
+        obs::ScopedSpan gemm_span(gemm_span_, gemm_trace_id_);
         // Full-range runs (the single-worker path) skip the sub-vector copy.
         const tensor::Matrix scores =
             (begin == 0 && end == canonical.size())
@@ -162,12 +178,15 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
 }
 
 std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
-    const std::vector<CanonicalQuery>& queries, std::size_t k) const {
+    const std::vector<CanonicalQuery>& queries, std::size_t k,
+    std::vector<QueryStages>* stages) const {
+  if (stages != nullptr) stages->assign(queries.size(), QueryStages{});
   std::vector<std::vector<std::size_t>> results(queries.size());
   std::vector<std::size_t> misses;  // indices still needing a GEMM
   for (std::size_t i = 0; i < queries.size(); ++i) {
     if (cache_enabled_ &&
         cache_.Lookup(queries[i].key, queries[i].symptom_ids, k, &results[i])) {
+      if (stages != nullptr) (*stages)[i].cache_hit = true;
       continue;
     }
     misses.push_back(i);
@@ -175,15 +194,17 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
   if (!misses.empty()) {
     ParallelBlocks(
         misses.size(), kScoreBlockRows,
-        [this, &misses, &queries, &results, k](std::size_t begin,
-                                               std::size_t end) {
-          obs::ScopedSpan gemm_span(gemm_span_);
+        [this, &misses, &queries, &results, stages, k](std::size_t begin,
+                                                       std::size_t end) {
+          obs::ScopedSpan gemm_span(gemm_span_, gemm_trace_id_);
           std::vector<CanonicalQuery> to_score;
           to_score.reserve(end - begin);
           for (std::size_t m = begin; m < end; ++m) {
             to_score.push_back(queries[misses[m]]);
           }
           const tensor::Matrix scores = store_.ScoreBatch(to_score);
+          const double gemm_seconds = gemm_span.Stop();
+          const auto topk_start = std::chrono::steady_clock::now();
           for (std::size_t m = begin; m < end; ++m) {
             const double* row = scores.row_data(m - begin);
             std::vector<double> row_scores(row, row + scores.cols());
@@ -191,6 +212,22 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
             if (cache_enabled_) {
               const CanonicalQuery& q = queries[misses[m]];
               cache_.Insert(q.key, q.symptom_ids, k, results[misses[m]]);
+            }
+          }
+          if (stages != nullptr) {
+            // Stage shares: block time divided evenly over the block's
+            // queries (rows of one GEMM are not separable). Each write goes
+            // to a distinct index, so blocks never race.
+            const std::size_t block = end - begin;
+            const double topk_share =
+                SecondsSince(topk_start) / static_cast<double>(block);
+            const double gemm_share =
+                gemm_seconds / static_cast<double>(block);
+            for (std::size_t m = begin; m < end; ++m) {
+              QueryStages& s = (*stages)[misses[m]];
+              s.gemm_seconds = gemm_share;
+              s.topk_seconds = topk_share;
+              s.batch_size = block;
             }
           }
         });
@@ -212,9 +249,27 @@ Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
     }
     canonical.push_back(*std::move(query));
   }
-  auto results = RecommendCanonical(canonical, k);
+  std::vector<QueryStages> stages;
+  auto results = RecommendCanonical(canonical, k,
+                                    slow_log_.enabled() ? &stages : nullptr);
   const double latency = SecondsSince(start);
   for (std::size_t i = 0; i < results.size(); ++i) stats_.RecordQuery(latency);
+  if (slow_log_.enabled() && latency >= slow_log_.threshold_seconds()) {
+    // Synchronous queries share the batch's wall time; queue and coalesce
+    // are async-only stages and stay zero.
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+      SlowQueryRecord record;
+      record.symptom_ids = canonical[i].symptom_ids;
+      record.key = canonical[i].key;
+      record.k = k;
+      record.total_seconds = latency;
+      record.gemm_seconds = stages[i].gemm_seconds;
+      record.topk_seconds = stages[i].topk_seconds;
+      record.cache_hit = stages[i].cache_hit;
+      record.batch_size = stages[i].batch_size;
+      slow_log_.Record(std::move(record));
+    }
+  }
   return results;
 }
 
@@ -259,6 +314,7 @@ std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
 }
 
 void ServingEngine::BatcherLoop() {
+  obs::trace::SetCurrentThreadName(obs_prefix_ + "batcher");
   const auto max_wait = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double, std::milli>(options_.max_wait_ms));
@@ -286,18 +342,23 @@ void ServingEngine::BatcherLoop() {
     }
     // Coalescing time: how long the oldest request waited for the batch to
     // form (bounded by max_wait_ms plus scheduling noise).
-    coalesce_span_->Record(SecondsSince(batch.front().enqueue_time));
+    const double coalesce_seconds = SecondsSince(batch.front().enqueue_time);
+    coalesce_span_->Record(coalesce_seconds);
     lock.unlock();
     // Score on the pool so the batcher can immediately coalesce the next
     // batch while this one runs.
     auto shared = std::make_shared<std::vector<PendingRequest>>(std::move(batch));
-    pool_->Submit([this, shared] { ExecuteBatch(std::move(*shared)); });
+    pool_->Submit([this, shared, coalesce_seconds] {
+      ExecuteBatch(std::move(*shared), coalesce_seconds);
+    });
     lock.lock();
   }
 }
 
-void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch) const {
-  obs::ScopedSpan execute_span(execute_span_);
+void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch,
+                                 double coalesce_seconds) const {
+  obs::ScopedSpan execute_span(execute_span_, execute_trace_id_);
+  const auto execute_start = std::chrono::steady_clock::now();
   // Requests in one micro-batch may ask for different k; group by k so each
   // group shares one GEMM + cache pass.
   std::vector<std::size_t> order(batch.size());
@@ -317,10 +378,31 @@ void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch) const {
     for (std::size_t i = begin; i < end; ++i) {
       queries.push_back(batch[order[i]].query);
     }
-    auto results = RecommendCanonical(queries, batch[order[begin]].k);
+    std::vector<QueryStages> stages;
+    auto results = RecommendCanonical(queries, batch[order[begin]].k,
+                                      slow_log_.enabled() ? &stages : nullptr);
     for (std::size_t i = begin; i < end; ++i) {
       PendingRequest& request = batch[order[i]];
-      stats_.RecordQuery(SecondsSince(request.enqueue_time));
+      const double total_seconds = SecondsSince(request.enqueue_time);
+      stats_.RecordQuery(total_seconds);
+      if (slow_log_.enabled() &&
+          total_seconds >= slow_log_.threshold_seconds()) {
+        const QueryStages& s = stages[i - begin];
+        SlowQueryRecord record;
+        record.symptom_ids = request.query.symptom_ids;
+        record.key = request.query.key;
+        record.k = request.k;
+        record.total_seconds = total_seconds;
+        record.queue_seconds = std::chrono::duration<double>(
+                                   execute_start - request.enqueue_time)
+                                   .count();
+        record.coalesce_seconds = coalesce_seconds;
+        record.gemm_seconds = s.gemm_seconds;
+        record.topk_seconds = s.topk_seconds;
+        record.cache_hit = s.cache_hit;
+        record.batch_size = s.batch_size;
+        slow_log_.Record(std::move(record));
+      }
       request.promise.set_value(std::move(results[i - begin]));
     }
     begin = end;

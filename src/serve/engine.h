@@ -34,6 +34,7 @@
 #include "src/serve/cache.h"
 #include "src/serve/embedding_store.h"
 #include "src/serve/query.h"
+#include "src/serve/slow_log.h"
 #include "src/serve/stats.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
@@ -64,6 +65,14 @@ struct ServingEngineOptions {
   /// Total top-k cache entries; 0 disables caching entirely.
   std::size_t cache_capacity = 4096;
   std::size_t cache_shards = 8;
+  /// Latency threshold for the slow-query log in milliseconds: Recommend
+  /// queries at or above it are recorded with a per-stage breakdown (queue
+  /// → coalesce → GEMM → top-k); see slow_query_log(). 0 (the default)
+  /// disables the log.
+  double slow_query_threshold_ms = 0.0;
+  /// Retained slow-query entries (bounded ring, oldest evicted); the
+  /// eviction-independent count lives in `<obs_prefix>slow_queries`.
+  std::size_t slow_query_log_capacity = 128;
 };
 
 /// Concurrent batched inference engine over a trained checkpoint.
@@ -114,6 +123,9 @@ class ServingEngine {
   /// e.g. "serve.engine0." (the cache's live under "<prefix>cache.").
   const std::string& obs_prefix() const { return obs_prefix_; }
 
+  /// The slow-query log (disabled unless slow_query_threshold_ms > 0).
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
+
   const EmbeddingStore& store() const { return store_; }
   const ServingEngineOptions& options() const { return options_; }
 
@@ -135,14 +147,30 @@ class ServingEngine {
       std::size_t n, std::size_t block,
       const std::function<void(std::size_t, std::size_t)>& fn) const;
 
+  /// Per-query stage attribution for the slow-query log. Batched stages
+  /// are shares: block stage time divided by the block's query count.
+  struct QueryStages {
+    double gemm_seconds = 0.0;
+    double topk_seconds = 0.0;
+    bool cache_hit = false;
+    std::size_t batch_size = 1;
+  };
+
   /// Top-k for pre-canonicalized queries: cache lookaside + one GEMM for
   /// the misses. Used by both the sync batch path and the micro-batcher.
+  /// `stages`, when non-null, is resized to queries.size() and filled with
+  /// per-query attribution (only worth the timing cost when the slow-query
+  /// log is enabled).
   std::vector<std::vector<std::size_t>> RecommendCanonical(
-      const std::vector<CanonicalQuery>& queries, std::size_t k) const;
+      const std::vector<CanonicalQuery>& queries, std::size_t k,
+      std::vector<QueryStages>* stages = nullptr) const;
 
   void BatcherLoop();
   /// Scores one coalesced batch and fulfils its promises.
-  void ExecuteBatch(std::vector<PendingRequest> batch) const;
+  /// `coalesce_seconds` is how long the batch's oldest request waited for
+  /// the batch to be cut (attributed to every query in the batch).
+  void ExecuteBatch(std::vector<PendingRequest> batch,
+                    double coalesce_seconds) const;
 
   EmbeddingStore store_;
   ServingEngineOptions options_;
@@ -150,12 +178,16 @@ class ServingEngine {
   mutable ShardedTopKCache cache_;
   bool cache_enabled_ = false;
   mutable StatsRecorder stats_;
+  mutable SlowQueryLog slow_log_;
   // Span sinks on the submit → coalesce → GEMM path, shared across engines
   // (process-wide histograms; resolved once here so spans are cheap).
   obs::Counter* submitted_;        // serve.submitted
   obs::Histogram* coalesce_span_;  // span.serve.coalesce.seconds
   obs::Histogram* gemm_span_;      // span.serve.gemm.seconds
   obs::Histogram* execute_span_;   // span.serve.execute_batch.seconds
+  // Trace name ids for the same path, interned once per engine.
+  std::uint32_t gemm_trace_id_;
+  std::uint32_t execute_trace_id_;
 
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex queue_mu_;

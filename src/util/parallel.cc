@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/util/thread_pool.h"
 
 namespace smgcn {
@@ -100,7 +101,7 @@ void SetNumThreads(std::size_t n) {
   if (n == configured_threads) return;
   configured_threads = n;
   PoolHolder().reset();
-  if (n > 1) PoolHolder() = std::make_unique<ThreadPool>(n - 1);
+  if (n > 1) PoolHolder() = std::make_unique<ThreadPool>(n - 1, "parallel.worker");
 }
 
 std::size_t GetNumThreads() {
@@ -129,7 +130,8 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
     if (configured_threads == 0) {
       configured_threads = HardwareThreads();
       if (configured_threads > 1) {
-        PoolHolder() = std::make_unique<ThreadPool>(configured_threads - 1);
+        PoolHolder() =
+            std::make_unique<ThreadPool>(configured_threads - 1, "parallel.worker");
       }
     }
     threads = configured_threads;
@@ -147,6 +149,16 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
     return;
   }
   Metrics().fanout_runs->Increment();
+  // Fanned-out regions show up on the caller's trace track; the id is
+  // interned once, and when tracing is off the whole block is one branch.
+  const bool traced = obs::trace::Enabled();
+  std::uint32_t fanout_trace_id = 0;
+  if (traced) {
+    static const std::uint32_t interned_id =
+        obs::trace::InternName("parallel.for");
+    fanout_trace_id = interned_id;
+    obs::trace::EmitBegin(fanout_trace_id);
+  }
 
   // A few chunks per thread so uneven rows (e.g. CSR) still balance, but
   // never chunks smaller than the grain.
@@ -165,10 +177,13 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
     pool->Submit([state] { RunChunks(state, /*is_helper=*/true); });
   }
   RunChunks(state, /*is_helper=*/false);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&state] {
-    return state->done_chunks.load() == state->num_chunks;
-  });
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&state] {
+      return state->done_chunks.load() == state->num_chunks;
+    });
+  }
+  if (traced) obs::trace::EmitEnd(fanout_trace_id);
 }
 
 }  // namespace parallel

@@ -1,14 +1,24 @@
 #include "src/util/thread_pool.h"
 
 #include <atomic>
+#include <string>
+
+#include "src/obs/trace.h"
 
 namespace smgcn {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads,
+                       std::string thread_name_prefix) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i, thread_name_prefix] {
+      if (!thread_name_prefix.empty()) {
+        obs::trace::SetCurrentThreadName(thread_name_prefix +
+                                         std::to_string(i));
+      }
+      WorkerLoop();
+    });
   }
 }
 

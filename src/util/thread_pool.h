@@ -8,6 +8,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,8 +18,11 @@ namespace smgcn {
 /// without exception-based error handling on hot paths).
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (at least one).
-  explicit ThreadPool(std::size_t num_threads);
+  /// Spawns `num_threads` workers (at least one). A non-empty
+  /// `thread_name_prefix` registers each worker with the trace buffer as
+  /// "<prefix><index>" so pool threads are labelled in exported timelines.
+  explicit ThreadPool(std::size_t num_threads,
+                      std::string thread_name_prefix = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

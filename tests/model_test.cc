@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "src/core/config.h"
 #include "src/core/smgcn_model.h"
+#include "src/core/train_telemetry.h"
 #include "src/core/trainer.h"
+#include "src/util/logging.h"
 #include "tests/test_util.h"
 
 namespace smgcn {
@@ -366,6 +370,116 @@ TEST(SmgcnModelTest, DivergenceIsReportedNotCrashed) {
   if (!status.ok()) {
     EXPECT_EQ(status.code(), StatusCode::kInternal);
   }
+}
+
+// --------------------------------------------------------------------------
+// Telemetry
+// --------------------------------------------------------------------------
+
+TEST(SmgcnModelTest, EpochSecondsParallelToEpochLosses) {
+  const auto split = testutil::SmallSplit();
+  auto train = FastTrainConfig();
+  train.epochs = 6;
+  // Early stopping exercises the restructured loop: the stop epoch must
+  // still get its seconds entry.
+  train.validation_fraction = 0.2;
+  train.patience = 1;
+  SmgcnModel model(SmallModelConfig(), train);
+  ASSERT_TRUE(model.Fit(split.train).ok());
+  const TrainSummary& summary = model.train_summary();
+  ASSERT_FALSE(summary.epoch_losses.empty());
+  EXPECT_EQ(summary.epoch_seconds.size(), summary.epoch_losses.size());
+  for (double seconds : summary.epoch_seconds) EXPECT_GT(seconds, 0.0);
+}
+
+TEST(SmgcnModelTest, TelemetryGetsOneRecordPerEpochWithEvalMetrics) {
+  const auto split = testutil::SmallSplit();
+  TrainTelemetryOptions options;  // in-memory only
+  options.eval_corpus = &split.test;
+  auto telemetry = TrainTelemetry::Create(options);
+  ASSERT_TRUE(telemetry.ok());
+
+  auto train = FastTrainConfig();
+  train.epochs = 5;
+  SmgcnModel model(SmallModelConfig(), train);
+  model.AttachTelemetry(telemetry->get());
+  ASSERT_TRUE(model.Fit(split.train).ok());
+
+  const auto& records = (*telemetry)->records();
+  ASSERT_EQ(records.size(), model.train_summary().epoch_losses.size());
+  EXPECT_EQ((*telemetry)->JsonLines().size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EpochTelemetry& record = records[i];
+    EXPECT_EQ(record.epoch, i + 1);
+    EXPECT_EQ(record.mean_loss, model.train_summary().epoch_losses[i]);
+    EXPECT_GT(record.param_norm, 0.0);
+    EXPECT_GT(record.grad_norm, 0.0);
+    EXPECT_GT(record.epoch_seconds, 0.0);
+    ASSERT_TRUE(record.has_eval);
+    EXPECT_GT(record.eval.At(20).recall, 0.0);
+    const std::string json = record.ToJson();
+    EXPECT_NE(json.find("\"event\":\"epoch\""), std::string::npos);
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  }
+  // Later epochs train longer, so the model should not get *worse* by a
+  // wide margin — sanity that mid-training eval runs on current params.
+  EXPECT_GT(records.back().eval.At(20).recall,
+            records.front().eval.At(20).recall * 0.5);
+}
+
+TEST(SmgcnModelTest, DivergenceNamesFirstNonFiniteParameterAndLogsEvent) {
+  const auto split = testutil::SmallSplit();
+  TrainTelemetryOptions options;
+  auto telemetry = TrainTelemetry::Create(options);
+  ASSERT_TRUE(telemetry.ok());
+
+  auto train = FastTrainConfig();
+  // Adam-style steps move parameters by ~learning_rate per step, so pick a
+  // rate that overflows the very next forward pass (params ~1e200, squared
+  // in the GEMM -> inf) regardless of gradient magnitudes.
+  train.learning_rate = 1e200;
+  train.epochs = 8;
+  train.log_every = 0;
+  SetLogSink([](LogLevel, const std::string&) {});  // quiet the ERROR line
+  SmgcnModel model(SmallModelConfig(), train);
+  model.AttachTelemetry(telemetry->get());
+  const Status status = model.Fit(split.train);
+  SetLogSink(nullptr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("diverged"), std::string::npos)
+      << status.message();
+  // The divergence event reaches the telemetry stream too.
+  bool saw_divergence = false;
+  for (const std::string& line : (*telemetry)->JsonLines()) {
+    if (line.find("\"event\":\"divergence\"") != std::string::npos) {
+      saw_divergence = true;
+    }
+  }
+  EXPECT_TRUE(saw_divergence);
+}
+
+TEST(SmgcnModelTest, DeprecatedNumThreadsWarnsExactlyOnce) {
+  const auto split = testutil::SmallSplit();
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& line) {
+    if (level == LogLevel::kWarning) captured.push_back(line);
+  });
+  auto train = FastTrainConfig();
+  train.epochs = 1;
+  train.num_threads = 2;  // deprecated knob
+  for (int round = 0; round < 2; ++round) {
+    SmgcnModel model(SmallModelConfig(), train);
+    ASSERT_TRUE(model.Fit(split.train).ok());
+  }
+  SetLogSink(nullptr);
+  std::size_t deprecation_lines = 0;
+  for (const std::string& line : captured) {
+    if (line.find("TrainConfig::num_threads is deprecated") !=
+        std::string::npos) {
+      ++deprecation_lines;
+    }
+  }
+  EXPECT_EQ(deprecation_lines, 1u);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "src/serve/embedding_store.h"
 #include "src/serve/engine.h"
 #include "src/serve/query.h"
+#include "src/serve/slow_log.h"
 #include "src/serve/stats.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
@@ -603,6 +604,131 @@ TEST(EngineRecommenderTest, OverridesBatchPathAndMatchesBase) {
   auto top = recommender.Recommend({1, 2}, 5);
   ASSERT_TRUE(top.ok());
   EXPECT_EQ(top->size(), 5u);
+}
+
+// --------------------------------------------------------------------------
+// Slow-query log
+// --------------------------------------------------------------------------
+
+TEST(SlowQueryLogTest, DisabledByDefault) {
+  auto engine = MakeEngine();
+  EXPECT_FALSE(engine->slow_query_log().enabled());
+  ASSERT_TRUE(engine->Recommend({1, 2, 3}, 5).ok());
+  EXPECT_EQ(engine->slow_query_log().total_recorded(), 0u);
+  EXPECT_TRUE(engine->slow_query_log().Snapshot().empty());
+}
+
+TEST(SlowQueryLogTest, NegativeThresholdIsRejected) {
+  ServingEngineOptions options;
+  options.slow_query_threshold_ms = -1.0;
+  EXPECT_EQ(ServingEngine::Create(MakeCheckpoint(), options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SlowQueryLogTest, SyncQueriesRecordStageBreakdown) {
+  ServingEngineOptions options;
+  options.slow_query_threshold_ms = 1e-6;  // everything is "slow"
+  options.cache_capacity = 4;
+  auto engine = MakeEngine(options);
+  ASSERT_TRUE(engine->slow_query_log().enabled());
+  ASSERT_TRUE(engine->RecommendBatch({{1, 2}, {3, 4, 5}}, 7).ok());
+  ASSERT_TRUE(engine->Recommend({1, 2}, 7).ok());  // cache hit
+
+  const auto records = engine->slow_query_log().Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(engine->slow_query_log().total_recorded(), 3u);
+  for (const SlowQueryRecord& record : records) {
+    EXPECT_EQ(record.k, 7u);
+    EXPECT_GT(record.total_seconds, 0.0);
+    EXPECT_GE(record.batch_size, 1u);
+    // Sync path: the query never sat in the async queue.
+    EXPECT_EQ(record.queue_seconds, 0.0);
+    EXPECT_EQ(record.coalesce_seconds, 0.0);
+    EXPECT_FALSE(record.ToString().empty());
+  }
+  EXPECT_FALSE(records[0].cache_hit);
+  EXPECT_TRUE(records[2].cache_hit);
+  EXPECT_GT(records[0].gemm_seconds + records[0].topk_seconds, 0.0);
+  EXPECT_EQ(records[2].gemm_seconds, 0.0);  // hits skip the GEMM
+  EXPECT_NE(engine->slow_query_log().RenderMarkdown().find("| total |"),
+            std::string::npos);
+}
+
+TEST(SlowQueryLogTest, AsyncQueriesRecordQueueAndBatch) {
+  ServingEngineOptions options;
+  options.slow_query_threshold_ms = 1e-6;
+  options.cache_capacity = 0;  // force every query through the GEMM
+  options.max_batch_size = 64;
+  options.max_wait_ms = 10.0;  // encourage coalescing
+  auto engine = MakeEngine(options);
+  std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(engine->Submit({i % 24, (i + 3) % 24}, 5));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  engine->Shutdown();
+
+  const auto records = engine->slow_query_log().Snapshot();
+  ASSERT_EQ(records.size(), 16u);
+  bool saw_coalesced_batch = false;
+  for (const SlowQueryRecord& record : records) {
+    EXPECT_GE(record.queue_seconds, 0.0);
+    EXPECT_GE(record.coalesce_seconds, 0.0);
+    EXPECT_GE(record.total_seconds,
+              record.gemm_seconds + record.topk_seconds);
+    if (record.batch_size > 1) saw_coalesced_batch = true;
+  }
+  EXPECT_TRUE(saw_coalesced_batch);
+}
+
+TEST(SlowQueryLogTest, EvictsOldestBeyondCapacity) {
+  ServingEngineOptions options;
+  options.slow_query_threshold_ms = 1e-6;
+  options.slow_query_log_capacity = 4;
+  options.cache_capacity = 0;
+  auto engine = MakeEngine(options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine->Recommend({i % 24, (i + 1) % 24}, 5).ok());
+  }
+  EXPECT_EQ(engine->slow_query_log().Snapshot().size(), 4u);
+  EXPECT_EQ(engine->slow_query_log().total_recorded(), 10u);
+}
+
+// --------------------------------------------------------------------------
+// Deprecated threading knobs
+// --------------------------------------------------------------------------
+
+TEST(ServingEngineTest, DeprecatedThreadKnobsWarnExactlyOncePerKnob) {
+  // The warnings deduplicate process-wide, and an earlier test in this
+  // binary already constructs an engine with num_threads set — so only
+  // kernel_threads (used nowhere else) can be asserted exactly-once here;
+  // num_threads is asserted at-most-once (the dedup property itself).
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& line) {
+    if (level == LogLevel::kWarning) captured.push_back(line);
+  });
+  ServingEngineOptions options;
+  options.num_threads = 2;
+  options.kernel_threads = 2;
+  for (int round = 0; round < 2; ++round) {
+    auto engine = MakeEngine(options);
+    ASSERT_TRUE(engine->Recommend({1, 2}, 5).ok());
+  }
+  SetLogSink(nullptr);
+  std::size_t num_threads_lines = 0;
+  std::size_t kernel_threads_lines = 0;
+  for (const std::string& line : captured) {
+    if (line.find("ServingEngineOptions::num_threads is deprecated") !=
+        std::string::npos) {
+      ++num_threads_lines;
+    }
+    if (line.find("ServingEngineOptions::kernel_threads is deprecated") !=
+        std::string::npos) {
+      ++kernel_threads_lines;
+    }
+  }
+  EXPECT_LE(num_threads_lines, 1u);
+  EXPECT_EQ(kernel_threads_lines, 1u);
 }
 
 }  // namespace

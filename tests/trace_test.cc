@@ -1,0 +1,229 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+
+namespace smgcn {
+namespace obs {
+namespace trace {
+namespace {
+
+std::size_t CountSubstring(const std::string& text, const std::string& what) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(what); pos != std::string::npos;
+       pos = text.find(what, pos + what.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Parsed "real" event (metadata rows excluded): tid + ts + phase.
+struct ParsedEvent {
+  int tid = 0;
+  double ts = 0.0;
+  char phase = '?';
+};
+
+/// The export puts one event per line; this scans them without a JSON
+/// parser so the test exercises the raw bytes the browser would see.
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  std::size_t line_start = 0;
+  while (line_start < json.size()) {
+    std::size_t line_end = json.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = json.size();
+    const std::string line = json.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ParsedEvent event;
+    char phase_buf[4] = {0};
+    // Metadata rows ("ph":"M") have no "ts" and do not match this format.
+    if (std::sscanf(line.c_str(),
+                    "{\"ph\":\"%1[BEi]\",\"pid\":1,\"tid\":%d,\"ts\":%lf",
+                    phase_buf, &event.tid, &event.ts) == 3) {
+      event.phase = phase_buf[0];
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceBuffer::Global().ResetForTest();
+    Registry::Global().GetCounter("obs.trace.dropped_events")->Reset();
+  }
+  void TearDown() override { TraceBuffer::Global().ResetForTest(); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndEmitIsNoOp) {
+  EXPECT_FALSE(Enabled());
+  const std::uint32_t id = InternName("trace_test.noop");
+  EmitBegin(id);
+  EmitEnd(id);
+  EXPECT_EQ(Stats().emitted, 0u);
+}
+
+TEST_F(TraceTest, InternNameIsStableAndNonZero) {
+  const std::uint32_t a = InternName("trace_test.a");
+  const std::uint32_t b = InternName("trace_test.b");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, InternName("trace_test.a"));
+}
+
+TEST_F(TraceTest, ExportsMatchedBeginEndPairs) {
+  Start();
+  const std::uint32_t id = InternName("trace_test.pair");
+  for (int i = 0; i < 5; ++i) {
+    EmitBegin(id);
+    EmitEnd(id);
+  }
+  Instant("trace_test.blip");
+  Stop();
+
+  const std::string json = ExportChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(CountSubstring(json, "\"ph\":\"B\""), 5u);
+  EXPECT_EQ(CountSubstring(json, "\"ph\":\"E\""), 5u);
+  EXPECT_EQ(CountSubstring(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("trace_test.pair"), std::string::npos);
+  EXPECT_NE(json.find("trace_test.blip"), std::string::npos);
+}
+
+TEST_F(TraceTest, OrphanEndIsDroppedAndUnclosedBeginIsClosed) {
+  Start();
+  const std::uint32_t id = InternName("trace_test.orphan");
+  EmitEnd(id);    // no matching begin: must not survive export
+  EmitBegin(id);  // never closed: exporter synthesizes the end
+  Stop();
+
+  const std::string json = ExportChromeTrace();
+  EXPECT_EQ(CountSubstring(json, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(CountSubstring(json, "\"ph\":\"E\""), 1u);
+}
+
+TEST_F(TraceTest, OverflowCountsDropsAndExportStaysWellFormed) {
+  Counter* dropped = Registry::Global().GetCounter("obs.trace.dropped_events");
+  TraceOptions options;
+  options.events_per_thread = 64;
+  Start(options);
+  const std::uint32_t id = InternName("trace_test.wrap");
+  const std::uint64_t pairs = 500;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    EmitBegin(id);
+    EmitEnd(id);
+  }
+  Stop();
+
+  const TraceStats stats = Stats();
+  EXPECT_EQ(stats.emitted, 2 * pairs);
+  EXPECT_EQ(stats.retained, 64u);
+  EXPECT_EQ(stats.dropped, 2 * pairs - 64);
+  EXPECT_EQ(dropped->value(), 2 * pairs - 64);
+
+  // After wraparound the window can open mid-span; the repair pass must
+  // still pair every B with an E and keep timestamps monotone per thread.
+  const std::string json = ExportChromeTrace();
+  EXPECT_EQ(CountSubstring(json, "\"ph\":\"B\""),
+            CountSubstring(json, "\"ph\":\"E\""));
+  std::map<int, double> last_ts;
+  std::map<int, int> open_depth;
+  for (const ParsedEvent& event : ParseEvents(json)) {
+    auto it = last_ts.find(event.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(event.ts, it->second);
+    }
+    last_ts[event.tid] = event.ts;
+    if (event.phase == 'B') ++open_depth[event.tid];
+    if (event.phase == 'E') {
+      --open_depth[event.tid];
+      EXPECT_GE(open_depth[event.tid], 0);
+    }
+  }
+  for (const auto& [tid, depth] : open_depth) EXPECT_EQ(depth, 0) << tid;
+}
+
+TEST_F(TraceTest, ThreadNamesAppearAsMetadata) {
+  SetCurrentThreadName("trace_test.main");
+  Start();
+  EmitBegin(InternName("trace_test.named"));
+  Stop();
+  const std::string json = ExportChromeTrace();
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("trace_test.main"), std::string::npos);
+}
+
+TEST_F(TraceTest, ScopedSpanEmitsIntoTimeline) {
+  Start();
+  { ScopedSpan span("trace_test.scoped"); }
+  Stop();
+  const std::string json = ExportChromeTrace();
+  EXPECT_EQ(CountSubstring(json, "trace_test.scoped"), 2u);  // one B, one E
+  // The histogram side of the span is unaffected by tracing.
+  EXPECT_GE(Registry::Global()
+                .GetHistogram(SpanHistogramName("trace_test.scoped"))
+                ->count(),
+            1u);
+}
+
+TEST_F(TraceTest, ConcurrentEmittersWithMidFlightExport) {
+  TraceOptions options;
+  options.events_per_thread = 256;  // force wraparound under load
+  Start(options);
+  const std::uint32_t id = InternName("trace_test.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kPairsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, id] {
+      SetCurrentThreadName("trace_test.worker" + std::to_string(t));
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        EmitBegin(id);
+        EmitEnd(id);
+      }
+    });
+  }
+  // Export while the emitters are running: must not crash or deadlock and
+  // must produce well-formed output from the torn snapshot.
+  for (int round = 0; round < 3; ++round) {
+    const std::string json = ExportChromeTrace();
+    EXPECT_EQ(CountSubstring(json, "\"ph\":\"B\""),
+              CountSubstring(json, "\"ph\":\"E\""));
+  }
+  for (auto& thread : threads) thread.join();
+  Stop();
+
+  const std::string json = ExportChromeTrace();
+  EXPECT_EQ(CountSubstring(json, "\"ph\":\"B\""),
+            CountSubstring(json, "\"ph\":\"E\""));
+  const TraceStats stats = Stats();
+  EXPECT_EQ(stats.emitted,
+            static_cast<std::uint64_t>(kThreads) * 2 * kPairsPerThread);
+  EXPECT_GE(stats.threads, static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, ResetKeepsInternedIdsValid) {
+  const std::uint32_t id = InternName("trace_test.sticky");
+  Start();
+  EmitBegin(id);
+  EmitEnd(id);
+  TraceBuffer::Global().ResetForTest();
+  EXPECT_FALSE(Enabled());
+  EXPECT_EQ(Stats().emitted, 0u);
+  EXPECT_EQ(InternName("trace_test.sticky"), id);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace obs
+}  // namespace smgcn
