@@ -1,7 +1,9 @@
-// Production-flavoured example: train SMGCN once, export an inference
-// checkpoint to disk, reload it into a ServingEngine and drive it with a
-// concurrent load generator — mixed sync batches and async Submits from
-// several client threads — then print the engine's serving stats.
+// Production-flavoured example: train SMGCN once, export it as a binary
+// model artifact, publish it into a ModelManager and drive the serving
+// engine with a concurrent load generator — then hot-swap a second model
+// version mid-load with zero downtime, roll it back, and print the serving
+// stats. This is the model-lifecycle path production deploys use
+// (docs/API_TOUR.md §Model lifecycle).
 //
 // Run: ./build/examples/checkpoint_serving
 #include <cstdio>
@@ -9,11 +11,13 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/artifact.h"
 #include "src/core/checkpoint.h"
 #include "src/core/smgcn_model.h"
 #include "src/data/split.h"
 #include "src/data/tcm_generator.h"
 #include "src/serve/engine.h"
+#include "src/serve/model_manager.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
 #include "src/util/stopwatch.h"
@@ -53,26 +57,56 @@ int main() {
               model.train_summary().best_epoch,
               model.train_summary().stopped_early ? " (early stop)" : "");
 
+  // The training side writes the legacy text checkpoint, then the converter
+  // turns it into the mmap-able binary artifact serving opens — the same
+  // migration path a pre-artifact deployment would follow.
   const std::string checkpoint_path = "/tmp/smgcn_serving.ckpt";
+  const std::string artifact_v1 = "/tmp/smgcn_serving_v1.smga";
   auto checkpoint = model.ExportCheckpoint();
   SMGCN_CHECK_OK(checkpoint.status());
   SMGCN_CHECK_OK(core::SaveInferenceCheckpoint(*checkpoint, checkpoint_path));
-  std::printf("exported inference checkpoint to %s\n", checkpoint_path.c_str());
+  SMGCN_CHECK_OK(
+      core::ConvertCheckpointToArtifact(checkpoint_path, "v1", artifact_v1));
+  {
+    auto mapped = core::MappedArtifact::Open(artifact_v1);
+    SMGCN_CHECK_OK(mapped.status());
+    std::printf("artifact %s: model=%s version=%s format=v%u mmap=%s "
+                "(%zu bytes)\n",
+                artifact_v1.c_str(), mapped->model_name().c_str(),
+                mapped->model_version().c_str(), mapped->format_version(),
+                mapped->memory_mapped() ? "yes" : "no", mapped->file_bytes());
+  }
 
-  // --- Online: reload into a serving engine --------------------------------
-  auto reloaded = core::LoadInferenceCheckpoint(checkpoint_path);
-  SMGCN_CHECK_OK(reloaded.status());
-  serve::ServingEngineOptions options;
-  options.max_batch_size = 64;
-  options.max_wait_ms = 0.5;
-  options.cache_capacity = 1024;
-  auto engine = serve::ServingEngine::Create(*std::move(reloaded), options);
+  // A second version to deploy mid-load: the same model with its herb
+  // embeddings nudged, standing in for a retrained checkpoint.
+  const std::string artifact_v2 = "/tmp/smgcn_serving_v2.smga";
+  {
+    core::InferenceCheckpoint v2 = *checkpoint;
+    for (std::size_t r = 0; r < v2.herb_embeddings.rows(); ++r) {
+      for (std::size_t c = 0; c < v2.herb_embeddings.cols(); ++c) {
+        v2.herb_embeddings(r, c) *= 1.01;
+      }
+    }
+    SMGCN_CHECK_OK(core::SaveArtifact(v2, "v2", artifact_v2));
+  }
+
+  // --- Online: publish into a model manager --------------------------------
+  serve::ModelManagerOptions manager_options;
+  manager_options.engine_options.max_batch_size = 64;
+  manager_options.engine_options.max_wait_ms = 0.5;
+  manager_options.engine_options.cache_capacity = 1024;
+  auto manager = serve::ModelManager::Create(manager_options);
+  SMGCN_CHECK_OK(manager.status());
+  auto receipt = (*manager)->PublishArtifact(artifact_v1);
+  SMGCN_CHECK_OK(receipt.status());
+  const std::string model_name = receipt->model;
+  auto engine = (*manager)->Engine(model_name);
   SMGCN_CHECK_OK(engine.status());
-  std::printf("engine up: model=%s, %zu symptoms, %zu herbs, %zu workers\n",
-              (*engine)->store().model_name().c_str(),
+  std::printf("serving model '%s', active version %s: %zu symptoms, "
+              "%zu herbs\n",
+              model_name.c_str(), (*engine)->active_version().c_str(),
               (*engine)->store().num_symptoms(),
-              (*engine)->store().num_herbs(),
-              (*engine)->options().num_threads);
+              (*engine)->store().num_herbs());
 
   // Sanity: the engine's batched path must reproduce the checkpoint
   // recommender's per-query scores exactly.
@@ -89,16 +123,17 @@ int main() {
               corpus->herb_vocab().Name(static_cast<int>(engine_top->front()))
                   .c_str());
 
-  // --- Load generation: concurrent clients over real test queries ----------
+  // --- Load generation with a mid-flight hot swap --------------------------
   constexpr int kClients = 4;
   constexpr int kQueriesPerClient = 2000;
-  std::printf("load test: %d clients x %d async queries (Zipf-ish repeats "
-              "exercise the cache)...\n",
+  std::printf("load test: %d clients x %d async queries, hot-swapping to v2 "
+              "mid-load...\n",
               kClients, kQueriesPerClient);
   Stopwatch load_clock;
+  serve::ServingEngine* live = *engine;
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
-    clients.emplace_back([&engine, &split, c] {
+    clients.emplace_back([live, &split, c] {
       Rng client_rng(100 + c);
       std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
       for (int i = 0; i < kQueriesPerClient; ++i) {
@@ -107,20 +142,39 @@ int main() {
             0, client_rng.Bernoulli(0.7)
                    ? static_cast<int>(split->test.size()) / 10
                    : static_cast<int>(split->test.size()) - 1));
-        futures.push_back(
-            (*engine)->Submit(split->test.at(pick).symptoms, 10));
+        futures.push_back(live->Submit(split->test.at(pick).symptoms, 10));
       }
       for (auto& future : futures) {
         SMGCN_CHECK_OK(future.get().status());
       }
     });
   }
+
+  // Deploy v2 while the clients are hammering the engine: in-flight queries
+  // finish on v1, new ones route to v2, nobody is dropped or paused.
+  auto swap_receipt = (*manager)->PublishArtifact(artifact_v2);
+  SMGCN_CHECK_OK(swap_receipt.status());
+  std::printf("hot-swapped to version %s (in-flight queries finish on v1)\n",
+              swap_receipt->version.c_str());
+
   for (auto& client : clients) client.join();
   const double load_seconds = load_clock.ElapsedSeconds();
 
-  (*engine)->Shutdown();  // drain: every future above has resolved
+  // --- Rollback and wrap up -------------------------------------------------
+  SMGCN_CHECK_OK((*manager)->Rollback(model_name));
+  auto active = (*manager)->ActiveVersion(model_name);
+  SMGCN_CHECK_OK(active.status());
+  std::printf("rolled back; active version is %s again\n", active->c_str());
+  for (const auto& info : (*manager)->ListModels()) {
+    for (const auto& version : info.versions) {
+      std::printf("  retained %s/%s%s\n", info.name.c_str(),
+                  version.version.c_str(), version.active ? " (active)" : "");
+    }
+  }
 
-  const serve::ServingStatsSnapshot stats = (*engine)->Stats();
+  (*manager)->Shutdown();  // drain: every future above has resolved
+
+  const serve::ServingStatsSnapshot stats = live->Stats();
   std::printf("\nserved %d queries in %.2fs (%.0f QPS end-to-end)\n",
               kClients * kQueriesPerClient, load_seconds,
               kClients * kQueriesPerClient / load_seconds);

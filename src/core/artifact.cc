@@ -1,0 +1,406 @@
+#include "src/core/artifact.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "src/util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SMGCN_ARTIFACT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace smgcn {
+namespace core {
+
+namespace {
+
+constexpr char kArtifactMagic[8] = {'S', 'M', 'G', 'C', 'N', 'A', 'R', 'T'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kAlignment = 64;
+
+/// Section kinds, in required on-disk order.
+enum SectionKind : std::uint32_t {
+  kSymptomEmbeddings = 1,
+  kHerbEmbeddings = 2,
+  kSiWeight = 3,
+  kSiBias = 4,
+};
+
+const char* SectionKindName(std::uint32_t kind) {
+  switch (kind) {
+    case kSymptomEmbeddings: return "symptom_embeddings";
+    case kHerbEmbeddings: return "herb_embeddings";
+    case kSiWeight: return "si_weight";
+    case kSiBias: return "si_bias";
+    default: return "unknown";
+  }
+}
+
+/// Fixed-size file header; mirrored byte-for-byte on disk.
+struct ArtifactHeader {
+  char magic[8];
+  std::uint32_t format_version;
+  std::uint32_t endian_tag;
+  std::uint32_t flags;  // bit 0: has SI MLP
+  std::uint32_t section_count;
+  std::uint32_t name_len;
+  std::uint32_t version_len;
+  std::uint64_t file_bytes;
+  /// FNV-1a over this struct (with this field zeroed) plus the name and
+  /// version strings.
+  std::uint64_t header_checksum;
+  char pad[16];
+};
+static_assert(sizeof(ArtifactHeader) == 64, "header must stay 64 bytes");
+
+struct SectionHeader {
+  std::uint32_t kind;
+  std::uint32_t reserved;
+  std::uint64_t rows;
+  std::uint64_t cols;
+  std::uint64_t offset;  // payload offset from file start, 64-byte aligned
+  std::uint64_t bytes;   // rows * cols * sizeof(double)
+  std::uint64_t checksum;
+  char pad[16];
+};
+static_assert(sizeof(SectionHeader) == 64, "section header must stay 64 bytes");
+
+std::size_t AlignUp(std::size_t n) {
+  return (n + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+std::uint64_t HeaderChecksum(ArtifactHeader header, const std::string& name,
+                             const std::string& version) {
+  header.header_checksum = 0;
+  std::uint64_t h = ArtifactChecksum(&header, sizeof(header));
+  // Chain the strings through the same FNV state (checksum of checksum
+  // concatenated with the next range would lose avalanche over the bytes).
+  std::string tail = name + '\0' + version;
+  h ^= ArtifactChecksum(tail.data(), tail.size());
+  return h;
+}
+
+struct PendingSection {
+  std::uint32_t kind = 0;
+  const tensor::Matrix* matrix = nullptr;
+};
+
+}  // namespace
+
+std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes) {
+  // FNV-1a 64 with a final avalanche mix, same family as the query hash.
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+Status SaveArtifact(const InferenceCheckpoint& checkpoint,
+                    const std::string& model_version, const std::string& path) {
+  RETURN_IF_ERROR(checkpoint.Validate());
+  if (model_version.empty()) {
+    return Status::InvalidArgument("artifact model_version must be non-empty");
+  }
+  const std::string name =
+      checkpoint.model_name.empty() ? "unnamed" : checkpoint.model_name;
+
+  std::vector<PendingSection> sections = {
+      {kSymptomEmbeddings, &checkpoint.symptom_embeddings},
+      {kHerbEmbeddings, &checkpoint.herb_embeddings},
+  };
+  if (checkpoint.has_si_mlp) {
+    sections.push_back({kSiWeight, &checkpoint.si_weight});
+    sections.push_back({kSiBias, &checkpoint.si_bias});
+  }
+
+  ArtifactHeader header{};
+  std::memcpy(header.magic, kArtifactMagic, sizeof(kArtifactMagic));
+  header.format_version = kArtifactFormatVersion;
+  header.endian_tag = kEndianTag;
+  header.flags = checkpoint.has_si_mlp ? 1u : 0u;
+  header.section_count = static_cast<std::uint32_t>(sections.size());
+  header.name_len = static_cast<std::uint32_t>(name.size());
+  header.version_len = static_cast<std::uint32_t>(model_version.size());
+
+  const std::size_t table_offset =
+      AlignUp(sizeof(ArtifactHeader) + name.size() + model_version.size());
+  std::size_t payload_offset =
+      AlignUp(table_offset + sections.size() * sizeof(SectionHeader));
+
+  std::vector<SectionHeader> table(sections.size());
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const tensor::Matrix& m = *sections[i].matrix;
+    SectionHeader& s = table[i];
+    s = SectionHeader{};
+    s.kind = sections[i].kind;
+    s.rows = m.rows();
+    s.cols = m.cols();
+    s.offset = payload_offset;
+    s.bytes = m.size() * sizeof(double);
+    s.checksum = ArtifactChecksum(m.data(), s.bytes);
+    payload_offset = AlignUp(payload_offset + s.bytes);
+  }
+  header.file_bytes = payload_offset;
+  header.header_checksum = HeaderChecksum(header, name, model_version);
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  std::size_t written = 0;
+  const auto write = [&file, &written](const void* data, std::size_t bytes) {
+    file.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(bytes));
+    written += bytes;
+  };
+  const auto pad_to = [&](std::size_t offset) {
+    static const char zeros[kAlignment] = {};
+    while (written < offset) {
+      const std::size_t chunk = std::min(offset - written, sizeof(zeros));
+      write(zeros, chunk);
+    }
+  };
+  write(&header, sizeof(header));
+  write(name.data(), name.size());
+  write(model_version.data(), model_version.size());
+  pad_to(table_offset);
+  write(table.data(), table.size() * sizeof(SectionHeader));
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    pad_to(table[i].offset);
+    write(sections[i].matrix->data(), table[i].bytes);
+  }
+  pad_to(header.file_bytes);
+  if (!file) return Status::IoError("write failed: " + path);
+  file.close();
+  if (!file) return Status::IoError("close failed: " + path);
+  return Status::OK();
+}
+
+Status ConvertCheckpointToArtifact(const std::string& checkpoint_path,
+                                   const std::string& model_version,
+                                   const std::string& artifact_path) {
+  ASSIGN_OR_RETURN(const InferenceCheckpoint checkpoint,
+                   LoadInferenceCheckpoint(checkpoint_path));
+  return SaveArtifact(checkpoint, model_version, artifact_path);
+}
+
+MappedArtifact::MappedArtifact(MappedArtifact&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedArtifact& MappedArtifact::operator=(MappedArtifact&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  data_ = other.data_;
+  size_ = other.size_;
+  map_base_ = other.map_base_;
+  fallback_ = std::move(other.fallback_);
+  model_name_ = std::move(other.model_name_);
+  model_version_ = std::move(other.model_version_);
+  format_version_ = other.format_version_;
+  symptoms_ = other.symptoms_;
+  herbs_ = other.herbs_;
+  si_weight_ = other.si_weight_;
+  si_bias_ = other.si_bias_;
+  other.map_base_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  // Fallback storage moved out; views into it stay valid because the
+  // vector's heap block moved with it.
+  return *this;
+}
+
+MappedArtifact::~MappedArtifact() { Release(); }
+
+void MappedArtifact::Release() {
+#if SMGCN_ARTIFACT_HAS_MMAP
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, size_);
+    map_base_ = nullptr;
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+}
+
+Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
+  MappedArtifact artifact;
+#if SMGCN_ARTIFACT_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return Status::IoError("cannot stat artifact: " + path);
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size > 0) {
+      void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (base == MAP_FAILED) {
+        return Status::IoError("mmap failed: " + path);
+      }
+      artifact.map_base_ = base;
+      artifact.data_ = static_cast<const unsigned char*>(base);
+      artifact.size_ = size;
+    } else {
+      ::close(fd);
+      return Status::InvalidArgument("artifact is empty: " + path);
+    }
+  }
+#endif
+  if (artifact.data_ == nullptr) {
+    // Buffered-read fallback (non-POSIX, or open() failed above — retry via
+    // fstream for a uniform error message).
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return Status::IoError("cannot open artifact: " + path);
+    artifact.fallback_.assign(std::istreambuf_iterator<char>(file),
+                              std::istreambuf_iterator<char>());
+    if (artifact.fallback_.empty()) {
+      return Status::InvalidArgument("artifact is empty: " + path);
+    }
+    artifact.data_ = artifact.fallback_.data();
+    artifact.size_ = artifact.fallback_.size();
+  }
+
+  const unsigned char* data = artifact.data_;
+  const std::size_t size = artifact.size_;
+  if (size < sizeof(ArtifactHeader)) {
+    return Status::InvalidArgument(StrFormat(
+        "artifact truncated: %zu bytes is smaller than the %zu-byte header",
+        size, sizeof(ArtifactHeader)));
+  }
+  ArtifactHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (std::memcmp(header.magic, kArtifactMagic, sizeof(kArtifactMagic)) != 0) {
+    return Status::InvalidArgument("not an smgcn artifact (bad magic): " + path);
+  }
+  if (header.endian_tag != kEndianTag) {
+    return Status::InvalidArgument(
+        "artifact endianness does not match this machine: " + path);
+  }
+  if (header.format_version > kArtifactFormatVersion) {
+    return Status::FailedPrecondition(StrFormat(
+        "artifact format v%u was written by a newer toolchain (this build "
+        "reads v%u)",
+        header.format_version, kArtifactFormatVersion));
+  }
+  if (header.format_version < kArtifactFormatVersion) {
+    return Status::FailedPrecondition(StrFormat(
+        "artifact format v%u predates this build (v%u); re-run the "
+        "converter (artifact_tool convert) on the source checkpoint",
+        header.format_version, kArtifactFormatVersion));
+  }
+  if (header.file_bytes != size) {
+    return Status::InvalidArgument(
+        StrFormat("artifact truncated: header promises %llu bytes, file has "
+                  "%zu",
+                  static_cast<unsigned long long>(header.file_bytes), size));
+  }
+  const std::size_t strings_end =
+      sizeof(ArtifactHeader) + header.name_len + header.version_len;
+  if (strings_end > size) {
+    return Status::InvalidArgument("artifact name/version strings overrun file");
+  }
+  artifact.model_name_.assign(
+      reinterpret_cast<const char*>(data + sizeof(ArtifactHeader)),
+      header.name_len);
+  artifact.model_version_.assign(
+      reinterpret_cast<const char*>(data + sizeof(ArtifactHeader) +
+                                    header.name_len),
+      header.version_len);
+  artifact.format_version_ = header.format_version;
+  if (HeaderChecksum(header, artifact.model_name_, artifact.model_version_) !=
+      header.header_checksum) {
+    return Status::InvalidArgument("artifact header checksum mismatch: " + path);
+  }
+  const bool has_si = (header.flags & 1u) != 0;
+  const std::uint32_t expected_sections = has_si ? 4 : 2;
+  if (header.section_count != expected_sections) {
+    return Status::InvalidArgument(StrFormat(
+        "artifact section count %u does not match SI flag (expected %u)",
+        header.section_count, expected_sections));
+  }
+
+  const std::size_t table_offset = AlignUp(strings_end);
+  if (table_offset + header.section_count * sizeof(SectionHeader) > size) {
+    return Status::InvalidArgument("artifact section table overruns file");
+  }
+  const std::uint32_t expected_kind[4] = {kSymptomEmbeddings, kHerbEmbeddings,
+                                          kSiWeight, kSiBias};
+  for (std::uint32_t i = 0; i < header.section_count; ++i) {
+    SectionHeader s;
+    std::memcpy(&s, data + table_offset + i * sizeof(SectionHeader), sizeof(s));
+    const char* kind_name = SectionKindName(s.kind);
+    if (s.kind != expected_kind[i]) {
+      return Status::InvalidArgument(StrFormat(
+          "artifact section %u has kind %u (%s), expected %u (%s)", i, s.kind,
+          kind_name, expected_kind[i], SectionKindName(expected_kind[i])));
+    }
+    if (s.offset % kAlignment != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "section %s payload offset %llu is not 64-byte aligned", kind_name,
+          static_cast<unsigned long long>(s.offset)));
+    }
+    if (s.rows == 0 || s.cols == 0) {
+      return Status::InvalidArgument(
+          StrFormat("section %s has empty shape", kind_name));
+    }
+    if (s.rows > size || s.cols > size ||
+        s.bytes != s.rows * s.cols * sizeof(double)) {
+      return Status::InvalidArgument(
+          StrFormat("section %s shape/byte-count mismatch", kind_name));
+    }
+    if (s.offset > size || s.bytes > size - s.offset) {
+      return Status::InvalidArgument(
+          StrFormat("section %s payload overruns file", kind_name));
+    }
+    if (ArtifactChecksum(data + s.offset, s.bytes) != s.checksum) {
+      return Status::InvalidArgument(StrFormat(
+          "section %s payload checksum mismatch (corrupted artifact)",
+          kind_name));
+    }
+    SectionView view;
+    view.data = reinterpret_cast<const double*>(data + s.offset);
+    view.rows = s.rows;
+    view.cols = s.cols;
+    switch (s.kind) {
+      case kSymptomEmbeddings: artifact.symptoms_ = view; break;
+      case kHerbEmbeddings: artifact.herbs_ = view; break;
+      case kSiWeight: artifact.si_weight_ = view; break;
+      case kSiBias: artifact.si_bias_ = view; break;
+    }
+  }
+  return artifact;
+}
+
+Result<InferenceCheckpoint> MappedArtifact::ToCheckpoint() const {
+  const auto copy_section = [](const SectionView& view) {
+    tensor::Matrix m(view.rows, view.cols);
+    std::memcpy(m.data(), view.data, view.rows * view.cols * sizeof(double));
+    return m;
+  };
+  InferenceCheckpoint checkpoint;
+  checkpoint.model_name = model_name_;
+  checkpoint.symptom_embeddings = copy_section(symptoms_);
+  checkpoint.herb_embeddings = copy_section(herbs_);
+  checkpoint.has_si_mlp = has_si_mlp();
+  if (checkpoint.has_si_mlp) {
+    checkpoint.si_weight = copy_section(si_weight_);
+    checkpoint.si_bias = copy_section(si_bias_);
+  }
+  RETURN_IF_ERROR(checkpoint.Validate());
+  return checkpoint;
+}
+
+}  // namespace core
+}  // namespace smgcn

@@ -1,0 +1,135 @@
+// Versioned, memory-mappable binary model artifacts.
+//
+// The text InferenceCheckpoint format (checkpoint.h) is human-inspectable
+// but costs a full parse per load. Production deploys want the opposite
+// trade: an artifact is written once by the training side and then opened
+// many times by serving processes, so the on-disk layout IS the in-memory
+// layout — OpenArtifact() maps the file and validates headers + checksums
+// without parsing a single number.
+//
+// Layout (all integers native-endian, guarded by an endian tag):
+//
+//   offset 0    ArtifactHeader   64 B   magic, format version, model
+//                                       name/version lengths, section
+//                                       count, total size, header checksum
+//   64          model name       name_len bytes (not NUL-terminated)
+//   ...         model version    version_len bytes
+//   pad to 64
+//   ...         SectionHeader[n] 64 B each: kind, rows, cols, payload
+//                                       offset/bytes, payload checksum
+//   pad to 64
+//   ...         payloads         row-major double data, each section
+//                                       64-byte aligned from file start
+//
+// Sections are the matrices of an InferenceCheckpoint (symptom/herb
+// embeddings, optional SI weight/bias). Checksums are FNV-1a 64 over the
+// raw payload bytes, so a flipped bit anywhere fails Open() with a message
+// naming the damaged section.
+//
+// Versioning semantics:
+//   * `format_version` is the layout revision (kArtifactFormatVersion).
+//     Open() accepts exactly the current revision; a newer file fails with
+//     FailedPrecondition ("built by a newer toolchain"), an older one
+//     names the converter to run. CI pins the revision against
+//     docs/ARTIFACT_FORMAT.md so it cannot drift silently.
+//   * `model_version` is the semantic version of the trained model
+//     ("2024-06-01-a", "v7", ...) chosen by whoever calls SaveArtifact;
+//     the serving ModelManager keys rollback history on it.
+#ifndef SMGCN_CORE_ARTIFACT_H_
+#define SMGCN_CORE_ARTIFACT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace core {
+
+/// On-disk layout revision written into every artifact. Bump only together
+/// with a converter from the previous revision and a docs/ARTIFACT_FORMAT.md
+/// update (the artifact-compatibility CI job enforces the pairing).
+inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+
+/// FNV-1a 64-bit over a byte range; the per-section checksum function.
+std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes);
+
+/// Serialises `checkpoint` (validated first) under the given semantic model
+/// version. The file is written to `path` atomically enough for local use
+/// (temp file + rename would be overkill here; partial writes fail Open's
+/// size check).
+Status SaveArtifact(const InferenceCheckpoint& checkpoint,
+                    const std::string& model_version, const std::string& path);
+
+/// Reads the text checkpoint at `checkpoint_path` and writes it back out as
+/// a binary artifact — the migration path for pre-artifact deployments.
+Status ConvertCheckpointToArtifact(const std::string& checkpoint_path,
+                                   const std::string& model_version,
+                                   const std::string& artifact_path);
+
+/// A validated, read-only mapping of an artifact file. Open() mmaps the
+/// file (falling back to a buffered read where mmap is unavailable) and
+/// verifies magic, endianness, format version, bounds and every checksum;
+/// after that, section accessors are pointer arithmetic into the mapping.
+/// Movable, not copyable; the mapping lives as long as the object.
+class MappedArtifact {
+ public:
+  static Result<MappedArtifact> Open(const std::string& path);
+
+  MappedArtifact(MappedArtifact&& other) noexcept;
+  MappedArtifact& operator=(MappedArtifact&& other) noexcept;
+  MappedArtifact(const MappedArtifact&) = delete;
+  MappedArtifact& operator=(const MappedArtifact&) = delete;
+  ~MappedArtifact();
+
+  const std::string& model_name() const { return model_name_; }
+  const std::string& model_version() const { return model_version_; }
+  std::uint32_t format_version() const { return format_version_; }
+  bool has_si_mlp() const { return si_weight_.data != nullptr; }
+  /// True when the file was mmap'd (false on the buffered-read fallback).
+  bool memory_mapped() const { return map_base_ != nullptr; }
+  std::size_t file_bytes() const { return size_; }
+
+  /// Zero-copy view of one matrix section; `data` points into the mapping
+  /// (64-byte aligned, row-major, rows x cols doubles).
+  struct SectionView {
+    const double* data = nullptr;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+  };
+  SectionView symptom_embeddings() const { return symptoms_; }
+  SectionView herb_embeddings() const { return herbs_; }
+  /// Zero-size views when the model has no SI MLP.
+  SectionView si_weight() const { return si_weight_; }
+  SectionView si_bias() const { return si_bias_; }
+
+  /// Copies the sections into a heap-backed InferenceCheckpoint (one memcpy
+  /// per matrix — no parsing) and runs its full semantic validation,
+  /// including the non-finite scan the byte checksums cannot express.
+  Result<InferenceCheckpoint> ToCheckpoint() const;
+
+ private:
+  MappedArtifact() = default;
+  void Release();
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;             // non-null when mmap'd
+  std::vector<unsigned char> fallback_;  // buffered-read storage otherwise
+
+  std::string model_name_;
+  std::string model_version_;
+  std::uint32_t format_version_ = 0;
+  SectionView symptoms_;
+  SectionView herbs_;
+  SectionView si_weight_;
+  SectionView si_bias_;
+};
+
+}  // namespace core
+}  // namespace smgcn
+
+#endif  // SMGCN_CORE_ARTIFACT_H_

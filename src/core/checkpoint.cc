@@ -154,51 +154,149 @@ Status SaveInferenceCheckpoint(const InferenceCheckpoint& checkpoint,
   return WriteStringToFile(out, path);
 }
 
+namespace {
+
+/// Line-counting reader so checkpoint loader errors can name the exact
+/// offending line and section instead of a generic parse failure.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& content) : in_(content) {}
+
+  bool Next(std::string* line) {
+    if (!std::getline(in_, *line)) return false;
+    ++line_number_;
+    return true;
+  }
+
+  /// 1-based number of the last line returned by Next.
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::istringstream in_;
+  std::size_t line_number_ = 0;
+};
+
+/// Reads one matrix block of the text format, attributing every failure to
+/// `section` and a line number.
+Result<tensor::Matrix> ReadMatrixSection(LineReader* reader,
+                                         const char* section) {
+  std::string line;
+  if (!reader->Next(&line)) {
+    return Status::InvalidArgument(StrFormat(
+        "%s section: file ends after line %zu where the matrix header was "
+        "expected",
+        section, reader->line_number()));
+  }
+  if (line != tensor::kMatrixTextMagic) {
+    return Status::InvalidArgument(StrFormat(
+        "%s section: line %zu: expected matrix header '%s', found '%.60s'",
+        section, reader->line_number(), tensor::kMatrixTextMagic,
+        line.c_str()));
+  }
+  if (!reader->Next(&line)) {
+    return Status::InvalidArgument(
+        StrFormat("%s section: file ends after line %zu where the shape "
+                  "line was expected",
+                  section, reader->line_number()));
+  }
+  const std::size_t shape_line = reader->line_number();
+  const auto dims = SplitWhitespace(line);
+  if (dims.size() != 2) {
+    return Status::InvalidArgument(StrFormat(
+        "%s section: line %zu: malformed shape line '%.60s' (want '<rows> "
+        "<cols>')",
+        section, shape_line, line.c_str()));
+  }
+  const auto rows_or = ParseInt(dims[0]);
+  const auto cols_or = ParseInt(dims[1]);
+  if (!rows_or.ok() || !cols_or.ok() || *rows_or < 0 || *cols_or < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "%s section: line %zu: shape '%.60s' is not a pair of non-negative "
+        "integers",
+        section, shape_line, line.c_str()));
+  }
+  const int rows = *rows_or;
+  const int cols = *cols_or;
+  if (rows > 0 && cols > 0 &&
+      static_cast<std::size_t>(rows) >
+          tensor::kMaxMatrixElements / static_cast<std::size_t>(cols)) {
+    return Status::InvalidArgument(StrFormat(
+        "%s section: line %zu: shape %d x %d exceeds the supported size "
+        "(likely corrupted)",
+        section, shape_line, rows, cols));
+  }
+
+  tensor::Matrix m(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    if (!reader->Next(&line)) {
+      return Status::InvalidArgument(StrFormat(
+          "%s section: truncated at line %zu: got %d of %d data rows",
+          section, reader->line_number(), r, rows));
+    }
+    const auto fields = SplitWhitespace(line);
+    if (static_cast<int>(fields.size()) != cols) {
+      return Status::InvalidArgument(StrFormat(
+          "%s section: line %zu: data row %d has %zu fields, expected %d",
+          section, reader->line_number(), r, fields.size(), cols));
+    }
+    for (int c = 0; c < cols; ++c) {
+      const auto v = ParseDouble(fields[static_cast<std::size_t>(c)]);
+      if (!v.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s section: line %zu: row %d column %d: '%.40s' is not a "
+            "number",
+            section, reader->line_number(), r, c,
+            fields[static_cast<std::size_t>(c)].c_str()));
+      }
+      m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = *v;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
 Result<InferenceCheckpoint> LoadInferenceCheckpoint(const std::string& path) {
   ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
-  std::istringstream in(content);
+  LineReader reader(content);
   std::string line;
-  if (!std::getline(in, line) || line != kCheckpointMagic) {
-    return Status::InvalidArgument("missing inference-checkpoint header");
+  if (!reader.Next(&line) || line != kCheckpointMagic) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: line 1 is not the inference-checkpoint header '%s'",
+        path.c_str(), kCheckpointMagic));
   }
   InferenceCheckpoint checkpoint;
-  if (!std::getline(in, checkpoint.model_name)) {
-    return Status::InvalidArgument("missing model name");
+  if (!reader.Next(&checkpoint.model_name) ||
+      StripAsciiWhitespace(checkpoint.model_name).empty()) {
+    return Status::InvalidArgument(
+        "line 2: missing model name (file truncated or empty name)");
   }
-  if (!std::getline(in, line) || (line != "si 0" && line != "si 1")) {
-    return Status::InvalidArgument("missing/invalid SI flag line");
+  if (!reader.Next(&line) || (line != "si 0" && line != "si 1")) {
+    return Status::InvalidArgument(StrFormat(
+        "line %zu: expected SI flag line 'si 0' or 'si 1', found '%.60s'",
+        reader.line_number(), line.c_str()));
   }
   checkpoint.has_si_mlp = line == "si 1";
 
-  auto read_matrix = [&in](const char* what) -> Result<tensor::Matrix> {
-    std::string block, row;
-    if (!std::getline(in, row)) {
-      return Status::InvalidArgument(std::string("missing matrix: ") + what);
-    }
-    block += row + "\n";
-    if (!std::getline(in, row)) {
-      return Status::InvalidArgument(std::string("missing shape: ") + what);
-    }
-    block += row + "\n";
-    const auto dims = SplitWhitespace(row);
-    if (dims.size() != 2) {
-      return Status::InvalidArgument(std::string("bad shape: ") + what);
-    }
-    ASSIGN_OR_RETURN(const int rows, ParseInt(dims[0]));
-    for (int r = 0; r < rows; ++r) {
-      if (!std::getline(in, row)) {
-        return Status::InvalidArgument(std::string("truncated matrix: ") + what);
-      }
-      block += row + "\n";
-    }
-    return tensor::DeserializeMatrix(block);
-  };
-
-  ASSIGN_OR_RETURN(checkpoint.symptom_embeddings, read_matrix("symptom embeddings"));
-  ASSIGN_OR_RETURN(checkpoint.herb_embeddings, read_matrix("herb embeddings"));
+  ASSIGN_OR_RETURN(checkpoint.symptom_embeddings,
+                   ReadMatrixSection(&reader, "symptom embeddings"));
+  ASSIGN_OR_RETURN(checkpoint.herb_embeddings,
+                   ReadMatrixSection(&reader, "herb embeddings"));
+  const char* last_section = "herb embeddings";
   if (checkpoint.has_si_mlp) {
-    ASSIGN_OR_RETURN(checkpoint.si_weight, read_matrix("SI weight"));
-    ASSIGN_OR_RETURN(checkpoint.si_bias, read_matrix("SI bias"));
+    ASSIGN_OR_RETURN(checkpoint.si_weight,
+                     ReadMatrixSection(&reader, "SI weight"));
+    ASSIGN_OR_RETURN(checkpoint.si_bias,
+                     ReadMatrixSection(&reader, "SI bias"));
+    last_section = "SI bias";
+  }
+  while (reader.Next(&line)) {
+    if (!StripAsciiWhitespace(line).empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu: trailing garbage after the %s section: '%.60s'",
+          reader.line_number(), last_section, line.c_str()));
+    }
   }
   RETURN_IF_ERROR(checkpoint.Validate());
   return checkpoint;

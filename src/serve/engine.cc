@@ -7,6 +7,7 @@
 #include "src/eval/metrics.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/string_util.h"
@@ -23,7 +24,26 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 /// Rows per parallel work unit; a multiple of the store kernel's query block
 /// so every sub-batch still amortises herb-matrix streaming.
 constexpr std::size_t kScoreBlockRows = 16;
+
+/// Process-unique cache salts: a counter run through the query-key mixer so
+/// consecutive publishes land in unrelated cache shards/buckets.
+std::uint64_t NextSnapshotSalt() {
+  static std::atomic<std::uint64_t> next{1};
+  return CombineKey(0x5347434e53414c54ull /* "SGCNSALT" */,
+                    next.fetch_add(1, std::memory_order_relaxed));
+}
 }  // namespace
+
+Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
+    core::InferenceCheckpoint checkpoint, std::string version) {
+  if (version.empty()) {
+    return Status::InvalidArgument("model version must be non-empty");
+  }
+  ASSIGN_OR_RETURN(EmbeddingStore store,
+                   EmbeddingStore::Build(std::move(checkpoint)));
+  return std::make_shared<const ModelSnapshot>(
+      std::move(store), std::move(version), NextSnapshotSalt());
+}
 
 void ServingEngine::ParallelBlocks(
     std::size_t n, std::size_t block,
@@ -76,6 +96,18 @@ void ServingEngine::ParallelBlocks(
 
 Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
     core::InferenceCheckpoint checkpoint, ServingEngineOptions options) {
+  ASSIGN_OR_RETURN(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      MakeModelSnapshot(std::move(checkpoint), options.initial_version));
+  return CreateFromSnapshot(std::move(snapshot), std::move(options));
+}
+
+Result<std::unique_ptr<ServingEngine>> ServingEngine::CreateFromSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot,
+    ServingEngineOptions options) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be non-null");
+  }
   if (options.max_batch_size == 0) {
     return Status::InvalidArgument("max_batch_size must be positive");
   }
@@ -102,14 +134,13 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
     // Deprecated per-engine override of the process-wide kernel workers.
     parallel::SetNumThreads(options.kernel_threads);
   }
-  ASSIGN_OR_RETURN(EmbeddingStore store,
-                   EmbeddingStore::Build(std::move(checkpoint)));
   return std::unique_ptr<ServingEngine>(
-      new ServingEngine(std::move(store), options));
+      new ServingEngine(std::move(snapshot), options));
 }
 
-ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
-    : store_(std::move(store)),
+ServingEngine::ServingEngine(std::shared_ptr<const ModelSnapshot> snapshot,
+                             ServingEngineOptions options)
+    : snapshot_(std::move(snapshot)),
       options_(options),
       obs_prefix_(obs::Registry::Global().NextScopeId("serve.engine")),
       cache_(std::max<std::size_t>(options.cache_capacity, 1),
@@ -121,6 +152,7 @@ ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
                 options.slow_query_log_capacity, &obs::Registry::Global(),
                 obs_prefix_),
       submitted_(obs::Registry::Global().GetCounter("serve.submitted")),
+      publishes_(obs::Registry::Global().GetCounter(obs_prefix_ + "publishes")),
       coalesce_span_(obs::Registry::Global().GetHistogram(
           obs::SpanHistogramName("serve.coalesce"))),
       gemm_span_(obs::Registry::Global().GetHistogram(
@@ -130,6 +162,8 @@ ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
       gemm_trace_id_(obs::trace::TraceBuffer::Global().InternName("serve.gemm")),
       execute_trace_id_(
           obs::trace::TraceBuffer::Global().InternName("serve.execute_batch")),
+      publish_trace_id_(
+          obs::trace::TraceBuffer::Global().InternName("serve.publish")),
       pool_(std::make_unique<ThreadPool>(options.num_threads, "serve.worker")) {
   // Started in the body so the queue, mutex and condvar the loop touches are
   // fully constructed first.
@@ -138,13 +172,52 @@ ServingEngine::ServingEngine(EmbeddingStore store, ServingEngineOptions options)
 
 ServingEngine::~ServingEngine() { Shutdown(); }
 
+Status ServingEngine::Publish(core::InferenceCheckpoint checkpoint,
+                              std::string version) {
+  ASSIGN_OR_RETURN(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      MakeModelSnapshot(std::move(checkpoint), std::move(version)));
+  return PublishSnapshot(std::move(snapshot));
+}
+
+Status ServingEngine::PublishSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("snapshot must be non-null");
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  publishes_->Increment();
+  obs::trace::EmitInstant(publish_trace_id_);
+  return Status::OK();
+}
+
+std::shared_ptr<const ModelSnapshot> ServingEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::string ServingEngine::active_version() const {
+  return Snapshot()->version;
+}
+
+const EmbeddingStore& ServingEngine::store() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_->store;
+}
+
 Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
     const std::vector<std::vector<int>>& queries) const {
   const auto start = std::chrono::steady_clock::now();
+  // One snapshot per call: the whole batch scores on a single version even
+  // if a Publish lands mid-flight.
+  const std::shared_ptr<const ModelSnapshot> snap = Snapshot();
   std::vector<CanonicalQuery> canonical;
   canonical.reserve(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    auto query = Canonicalize(queries[i], store_.num_symptoms());
+    auto query = Canonicalize(queries[i], snap->store.num_symptoms());
     if (!query.ok()) {
       return Status::InvalidArgument(StrFormat(
           "query %zu: %s", i, query.status().message().c_str()));
@@ -156,13 +229,13 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
   std::vector<std::vector<double>> out(canonical.size());
   ParallelBlocks(
       canonical.size(), kScoreBlockRows,
-      [this, &canonical, &out](std::size_t begin, std::size_t end) {
+      [this, &snap, &canonical, &out](std::size_t begin, std::size_t end) {
         obs::ScopedSpan gemm_span(gemm_span_, gemm_trace_id_);
         // Full-range runs (the single-worker path) skip the sub-vector copy.
         const tensor::Matrix scores =
             (begin == 0 && end == canonical.size())
-                ? store_.ScoreBatch(canonical)
-                : store_.ScoreBatch(std::vector<CanonicalQuery>(
+                ? snap->store.ScoreBatch(canonical)
+                : snap->store.ScoreBatch(std::vector<CanonicalQuery>(
                       canonical.begin() + begin, canonical.begin() + end));
         for (std::size_t i = begin; i < end; ++i) {
           const double* row = scores.row_data(i - begin);
@@ -178,14 +251,17 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
 }
 
 std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
-    const std::vector<CanonicalQuery>& queries, std::size_t k,
-    std::vector<QueryStages>* stages) const {
+    const ModelSnapshot& snap, const std::vector<CanonicalQuery>& queries,
+    std::size_t k, std::vector<QueryStages>* stages) const {
   if (stages != nullptr) stages->assign(queries.size(), QueryStages{});
   std::vector<std::vector<std::size_t>> results(queries.size());
   std::vector<std::size_t> misses;  // indices still needing a GEMM
   for (std::size_t i = 0; i < queries.size(); ++i) {
+    // Salting the key with the snapshot scopes the entry to this publish:
+    // after a swap, old-version entries can never match again.
+    const std::uint64_t key = CombineKey(queries[i].key, snap.salt);
     if (cache_enabled_ &&
-        cache_.Lookup(queries[i].key, queries[i].symptom_ids, k, &results[i])) {
+        cache_.Lookup(key, queries[i].symptom_ids, k, &results[i])) {
       if (stages != nullptr) (*stages)[i].cache_hit = true;
       continue;
     }
@@ -194,15 +270,15 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
   if (!misses.empty()) {
     ParallelBlocks(
         misses.size(), kScoreBlockRows,
-        [this, &misses, &queries, &results, stages, k](std::size_t begin,
-                                                       std::size_t end) {
+        [this, &snap, &misses, &queries, &results, stages, k](
+            std::size_t begin, std::size_t end) {
           obs::ScopedSpan gemm_span(gemm_span_, gemm_trace_id_);
           std::vector<CanonicalQuery> to_score;
           to_score.reserve(end - begin);
           for (std::size_t m = begin; m < end; ++m) {
             to_score.push_back(queries[misses[m]]);
           }
-          const tensor::Matrix scores = store_.ScoreBatch(to_score);
+          const tensor::Matrix scores = snap.store.ScoreBatch(to_score);
           const double gemm_seconds = gemm_span.Stop();
           const auto topk_start = std::chrono::steady_clock::now();
           for (std::size_t m = begin; m < end; ++m) {
@@ -211,7 +287,8 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
             results[misses[m]] = eval::TopK(row_scores, k);
             if (cache_enabled_) {
               const CanonicalQuery& q = queries[misses[m]];
-              cache_.Insert(q.key, q.symptom_ids, k, results[misses[m]]);
+              cache_.Insert(CombineKey(q.key, snap.salt), q.symptom_ids, k,
+                            results[misses[m]]);
             }
           }
           if (stages != nullptr) {
@@ -239,10 +316,11 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
 Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
     const std::vector<std::vector<int>>& queries, std::size_t k) const {
   const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const ModelSnapshot> snap = Snapshot();
   std::vector<CanonicalQuery> canonical;
   canonical.reserve(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    auto query = Canonicalize(queries[i], store_.num_symptoms());
+    auto query = Canonicalize(queries[i], snap->store.num_symptoms());
     if (!query.ok()) {
       return Status::InvalidArgument(StrFormat(
           "query %zu: %s", i, query.status().message().c_str()));
@@ -250,7 +328,7 @@ Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
     canonical.push_back(*std::move(query));
   }
   std::vector<QueryStages> stages;
-  auto results = RecommendCanonical(canonical, k,
+  auto results = RecommendCanonical(*snap, canonical, k,
                                     slow_log_.enabled() ? &stages : nullptr);
   const double latency = SecondsSince(start);
   for (std::size_t i = 0; i < results.size(); ++i) stats_.RecordQuery(latency);
@@ -293,7 +371,10 @@ std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
   request.enqueue_time = std::chrono::steady_clock::now();
   auto future = request.promise.get_future();
 
-  auto query = Canonicalize(symptoms, store_.num_symptoms());
+  // Bind the request to the version active at admission; the batch executor
+  // scores it on this snapshot even if a Publish lands first.
+  request.snapshot = Snapshot();
+  auto query = Canonicalize(symptoms, request.snapshot->store.num_symptoms());
   if (!query.ok()) {
     request.promise.set_value(query.status());
     return future;
@@ -359,27 +440,35 @@ void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch,
                                  double coalesce_seconds) const {
   obs::ScopedSpan execute_span(execute_span_, execute_trace_id_);
   const auto execute_start = std::chrono::steady_clock::now();
-  // Requests in one micro-batch may ask for different k; group by k so each
-  // group shares one GEMM + cache pass.
+  // Requests in one micro-batch may ask for different k or — across a hot
+  // swap — be bound to different snapshots; group by (snapshot, k) so each
+  // group shares one GEMM + cache pass on its own version.
   std::vector<std::size_t> order(batch.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(),
                    [&batch](std::size_t a, std::size_t b) {
+                     if (batch[a].snapshot.get() != batch[b].snapshot.get()) {
+                       return batch[a].snapshot.get() < batch[b].snapshot.get();
+                     }
                      return batch[a].k < batch[b].k;
                    });
   std::size_t begin = 0;
   while (begin < order.size()) {
     std::size_t end = begin + 1;
-    while (end < order.size() && batch[order[end]].k == batch[order[begin]].k) {
+    while (end < order.size() &&
+           batch[order[end]].snapshot.get() ==
+               batch[order[begin]].snapshot.get() &&
+           batch[order[end]].k == batch[order[begin]].k) {
       ++end;
     }
+    const ModelSnapshot& snap = *batch[order[begin]].snapshot;
     std::vector<CanonicalQuery> queries;
     queries.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
       queries.push_back(batch[order[i]].query);
     }
     std::vector<QueryStages> stages;
-    auto results = RecommendCanonical(queries, batch[order[begin]].k,
+    auto results = RecommendCanonical(snap, queries, batch[order[begin]].k,
                                       slow_log_.enabled() ? &stages : nullptr);
     for (std::size_t i = begin; i < end; ++i) {
       PendingRequest& request = batch[order[i]];

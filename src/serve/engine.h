@@ -13,6 +13,14 @@
 // canonical query: the kernels process batch rows independently in a fixed
 // order (see EmbeddingStore).
 //
+// Hot swap: the engine serves from an immutable ModelSnapshot held through
+// a shared_ptr. Publish() atomically installs a new snapshot (RCU-style);
+// every query grabs the pointer once on entry and finishes on that version
+// even if a swap lands mid-flight, so responses are never mixed-version and
+// a swap never pauses traffic. Cache entries are keyed with the snapshot's
+// unique salt, so a swap implicitly invalidates stale top-k results without
+// flushing anything (superseded entries age out through LRU).
+//
 // Shutdown() drains: queued queries are still answered, then the batcher
 // stops and later Submits fail fast with FailedPrecondition. The destructor
 // shuts down implicitly.
@@ -41,6 +49,35 @@
 
 namespace smgcn {
 namespace serve {
+
+/// One published model version: an immutable scoring store plus the
+/// versioning identity the serving layer keys caches and rollbacks on.
+/// Always handled through shared_ptr<const ...> — in-flight queries keep
+/// the snapshot they grabbed alive (RCU semantics), so publishing a new
+/// version never invalidates a reader.
+struct ModelSnapshot {
+  ModelSnapshot(EmbeddingStore store_in, std::string version_in,
+                std::uint64_t salt_in)
+      : store(std::move(store_in)),
+        version(std::move(version_in)),
+        salt(salt_in) {}
+
+  EmbeddingStore store;
+  /// Semantic model version ("v7", "2026-08-01-a", ...), chosen by the
+  /// publisher; surfaced in examples/stats and used by ModelManager's
+  /// rollback bookkeeping.
+  std::string version;
+  /// Process-unique per publish instance; mixed into every cache key so an
+  /// entry computed under one snapshot can never answer a query routed to
+  /// another. Re-publishing the same snapshot object (rollback) reuses the
+  /// salt, which makes its surviving cache entries instantly warm again.
+  std::uint64_t salt = 0;
+};
+
+/// Validates `checkpoint` and freezes it into a snapshot under the given
+/// semantic version, assigning a fresh cache salt.
+Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
+    core::InferenceCheckpoint checkpoint, std::string version);
 
 struct ServingEngineOptions {
   /// Upper bound on queries fused into one GEMM by the micro-batcher (and
@@ -73,19 +110,48 @@ struct ServingEngineOptions {
   /// Retained slow-query entries (bounded ring, oldest evicted); the
   /// eviction-independent count lives in `<obs_prefix>slow_queries`.
   std::size_t slow_query_log_capacity = 128;
+  /// Semantic version assigned to the checkpoint passed to Create() (the
+  /// snapshot-based factory carries its own version).
+  std::string initial_version = "v1";
 };
 
 /// Concurrent batched inference engine over a trained checkpoint.
-/// Thread-safe: every public method may be called from any thread.
+/// Thread-safe: every public method may be called from any thread,
+/// including Publish concurrently with queries.
 class ServingEngine {
  public:
   /// Validates the checkpoint and options and starts the worker threads.
+  /// The checkpoint becomes the engine's initial snapshot under
+  /// options.initial_version.
   static Result<std::unique_ptr<ServingEngine>> Create(
       core::InferenceCheckpoint checkpoint, ServingEngineOptions options = {});
+
+  /// As Create, but starts from an already-built snapshot (the
+  /// ModelManager's publish/rollback path).
+  static Result<std::unique_ptr<ServingEngine>> CreateFromSnapshot(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      ServingEngineOptions options = {});
 
   ~ServingEngine();
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Atomically swaps serving to `checkpoint` under `version`. In-flight
+  /// queries finish on the snapshot they grabbed; queries arriving after
+  /// Publish returns score on the new version. Fails (leaving the current
+  /// version serving) when the checkpoint is invalid.
+  Status Publish(core::InferenceCheckpoint checkpoint, std::string version);
+
+  /// As Publish, for a pre-built snapshot. Reusing a snapshot object that
+  /// served before (rollback) restores its still-resident cache entries.
+  Status PublishSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The snapshot new queries are currently routed to. Holding the returned
+  /// pointer pins that version's store (it stays valid across swaps).
+  std::shared_ptr<const ModelSnapshot> Snapshot() const;
+
+  /// Semantic version of the active snapshot.
+  std::string active_version() const;
 
   /// Scores every herb for every query in one fused GEMM. Fails with
   /// InvalidArgument when any query is empty or holds out-of-range ids
@@ -105,7 +171,9 @@ class ServingEngine {
 
   /// Enqueues a query for micro-batched execution. The future resolves with
   /// the top-k herb ids, an InvalidArgument for malformed queries, or
-  /// FailedPrecondition when the engine is already shut down.
+  /// FailedPrecondition when the engine is already shut down. The query is
+  /// bound to the snapshot active at Submit time and is answered from it
+  /// even if a Publish lands before the batch executes.
   std::future<Result<std::vector<std::size_t>>> Submit(
       std::vector<int> symptoms, std::size_t k);
 
@@ -120,24 +188,32 @@ class ServingEngine {
   ServingStatsSnapshot Stats() const;
 
   /// Scope this engine's instruments occupy in obs::Registry::Global(),
-  /// e.g. "serve.engine0." (the cache's live under "<prefix>cache.").
+  /// e.g. "serve.engine0." (the cache's live under "<prefix>cache.",
+  /// publishes under "<prefix>publishes").
   const std::string& obs_prefix() const { return obs_prefix_; }
 
   /// The slow-query log (disabled unless slow_query_threshold_ms > 0).
   const SlowQueryLog& slow_query_log() const { return slow_log_; }
 
-  const EmbeddingStore& store() const { return store_; }
+  /// Convenience view of the active snapshot's store. The reference stays
+  /// valid until the NEXT Publish (the engine pins the snapshot it serves
+  /// from); callers that outlive a swap must hold Snapshot() instead.
+  const EmbeddingStore& store() const;
   const ServingEngineOptions& options() const { return options_; }
 
  private:
   struct PendingRequest {
     CanonicalQuery query;
     std::size_t k = 0;
+    /// The version this request was admitted under; ExecuteBatch scores it
+    /// there, so async responses are attributable to exactly one publish.
+    std::shared_ptr<const ModelSnapshot> snapshot;
     std::promise<Result<std::vector<std::size_t>>> promise;
     std::chrono::steady_clock::time_point enqueue_time;
   };
 
-  ServingEngine(EmbeddingStore store, ServingEngineOptions options);
+  ServingEngine(std::shared_ptr<const ModelSnapshot> snapshot,
+                ServingEngineOptions options);
 
   /// Runs `fn(begin, end)` over [0, n) in blocks of `block` rows, fanned
   /// out across the thread pool with the calling thread participating.
@@ -156,23 +232,29 @@ class ServingEngine {
     std::size_t batch_size = 1;
   };
 
-  /// Top-k for pre-canonicalized queries: cache lookaside + one GEMM for
-  /// the misses. Used by both the sync batch path and the micro-batcher.
+  /// Top-k for pre-canonicalized queries against one pinned snapshot:
+  /// cache lookaside (keys salted with the snapshot) + one GEMM for the
+  /// misses. Used by both the sync batch path and the micro-batcher.
   /// `stages`, when non-null, is resized to queries.size() and filled with
   /// per-query attribution (only worth the timing cost when the slow-query
   /// log is enabled).
   std::vector<std::vector<std::size_t>> RecommendCanonical(
-      const std::vector<CanonicalQuery>& queries, std::size_t k,
-      std::vector<QueryStages>* stages = nullptr) const;
+      const ModelSnapshot& snap, const std::vector<CanonicalQuery>& queries,
+      std::size_t k, std::vector<QueryStages>* stages = nullptr) const;
 
   void BatcherLoop();
-  /// Scores one coalesced batch and fulfils its promises.
+  /// Scores one coalesced batch and fulfils its promises. Requests are
+  /// grouped by (snapshot, k); each group shares one GEMM + cache pass.
   /// `coalesce_seconds` is how long the batch's oldest request waited for
   /// the batch to be cut (attributed to every query in the batch).
   void ExecuteBatch(std::vector<PendingRequest> batch,
                     double coalesce_seconds) const;
 
-  EmbeddingStore store_;
+  /// The active snapshot, guarded by snapshot_mu_ (held only to copy the
+  /// pointer — scoring never runs under it).
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  mutable std::mutex snapshot_mu_;
+
   ServingEngineOptions options_;
   std::string obs_prefix_;  // initialised before cache_ and stats_
   mutable ShardedTopKCache cache_;
@@ -182,12 +264,14 @@ class ServingEngine {
   // Span sinks on the submit → coalesce → GEMM path, shared across engines
   // (process-wide histograms; resolved once here so spans are cheap).
   obs::Counter* submitted_;        // serve.submitted
+  obs::Counter* publishes_;        // <prefix>publishes
   obs::Histogram* coalesce_span_;  // span.serve.coalesce.seconds
   obs::Histogram* gemm_span_;      // span.serve.gemm.seconds
   obs::Histogram* execute_span_;   // span.serve.execute_batch.seconds
   // Trace name ids for the same path, interned once per engine.
   std::uint32_t gemm_trace_id_;
   std::uint32_t execute_trace_id_;
+  std::uint32_t publish_trace_id_;
 
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex queue_mu_;

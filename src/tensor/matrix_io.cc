@@ -8,12 +8,8 @@
 namespace smgcn {
 namespace tensor {
 
-namespace {
-constexpr char kMagic[] = "smgcn-matrix v1";
-}  // namespace
-
 std::string SerializeMatrix(const Matrix& m) {
-  std::string out(kMagic);
+  std::string out(kMatrixTextMagic);
   out += '\n';
   out += StrFormat("%zu %zu\n", m.rows(), m.cols());
   for (std::size_t r = 0; r < m.rows(); ++r) {
@@ -28,7 +24,7 @@ std::string SerializeMatrix(const Matrix& m) {
 Result<Matrix> DeserializeMatrix(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
+  if (!std::getline(in, line) || line != kMatrixTextMagic) {
     return Status::InvalidArgument("missing smgcn-matrix header");
   }
   if (!std::getline(in, line)) {
@@ -42,6 +38,14 @@ Result<Matrix> DeserializeMatrix(const std::string& text) {
   ASSIGN_OR_RETURN(const int cols, ParseInt(dims[1]));
   if (rows < 0 || cols < 0) {
     return Status::InvalidArgument("negative matrix dimensions");
+  }
+  if (rows > 0 && cols > 0 &&
+      static_cast<std::size_t>(rows) >
+          kMaxMatrixElements / static_cast<std::size_t>(cols)) {
+    return Status::InvalidArgument(
+        StrFormat("matrix dimensions %d x %d exceed the supported size "
+                  "(likely a corrupted shape line)",
+                  rows, cols));
   }
 
   Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));

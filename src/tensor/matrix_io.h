@@ -11,6 +11,15 @@
 namespace smgcn {
 namespace tensor {
 
+/// First line of the serialized text format; shared with loaders (the
+/// checkpoint reader) that need to recognise a matrix block boundary.
+inline constexpr char kMatrixTextMagic[] = "smgcn-matrix v1";
+
+/// Hard ceiling on rows * cols accepted by DeserializeMatrix (2^28 doubles
+/// = 2 GiB): a corrupted shape line fails with InvalidArgument instead of
+/// attempting an absurd allocation.
+inline constexpr std::size_t kMaxMatrixElements = std::size_t{1} << 28;
+
 /// Writes `m` to `path` as:
 ///   smgcn-matrix v1
 ///   <rows> <cols>

@@ -1,0 +1,241 @@
+// Tests for the binary model-artifact format (src/core/artifact.h):
+// save/open round trips, the text-checkpoint converter, and the validation
+// paths — every class of corruption must fail Open() with a message naming
+// what is damaged, never yield a silently wrong model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/core/artifact.h"
+#include "src/core/checkpoint.h"
+#include "src/tensor/matrix.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace core {
+namespace {
+
+using tensor::Matrix;
+
+InferenceCheckpoint MakeCheckpoint(bool with_si_mlp = true,
+                                   std::size_t num_symptoms = 12,
+                                   std::size_t num_herbs = 20,
+                                   std::size_t dim = 6) {
+  Rng rng(4242);
+  InferenceCheckpoint ckpt;
+  ckpt.model_name = "artifact-test-model";
+  ckpt.symptom_embeddings =
+      Matrix::RandomNormal(num_symptoms, dim, 0.0, 1.0, &rng);
+  ckpt.herb_embeddings = Matrix::RandomNormal(num_herbs, dim, 0.0, 1.0, &rng);
+  ckpt.has_si_mlp = with_si_mlp;
+  if (with_si_mlp) {
+    ckpt.si_weight = Matrix::RandomNormal(dim, dim, 0.0, 0.5, &rng);
+    ckpt.si_bias = Matrix::RandomNormal(1, dim, 0.0, 0.5, &rng);
+  }
+  return ckpt;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good());
+  return std::string(std::istreambuf_iterator<char>(file),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(file.good());
+}
+
+bool ViewEqualsMatrix(const MappedArtifact::SectionView& view,
+                      const Matrix& m) {
+  return view.rows == m.rows() && view.cols == m.cols() &&
+         std::memcmp(view.data, m.data(),
+                     m.size() * sizeof(double)) == 0;
+}
+
+// --------------------------------------------------------------------------
+// Round trips
+// --------------------------------------------------------------------------
+
+TEST(ArtifactTest, SaveOpenRoundTripIsBitExact) {
+  for (const bool with_si : {false, true}) {
+    const InferenceCheckpoint original = MakeCheckpoint(with_si);
+    const std::string path = testing::TempDir() + "/smgcn_roundtrip.smga";
+    ASSERT_TRUE(SaveArtifact(original, "v3", path).ok());
+
+    auto artifact = MappedArtifact::Open(path);
+    ASSERT_TRUE(artifact.ok()) << artifact.status();
+    EXPECT_EQ(artifact->model_name(), "artifact-test-model");
+    EXPECT_EQ(artifact->model_version(), "v3");
+    EXPECT_EQ(artifact->format_version(), kArtifactFormatVersion);
+    EXPECT_EQ(artifact->has_si_mlp(), with_si);
+
+    EXPECT_TRUE(ViewEqualsMatrix(artifact->symptom_embeddings(),
+                                 original.symptom_embeddings));
+    EXPECT_TRUE(
+        ViewEqualsMatrix(artifact->herb_embeddings(), original.herb_embeddings));
+    if (with_si) {
+      EXPECT_TRUE(ViewEqualsMatrix(artifact->si_weight(), original.si_weight));
+      EXPECT_TRUE(ViewEqualsMatrix(artifact->si_bias(), original.si_bias));
+    } else {
+      EXPECT_EQ(artifact->si_weight().data, nullptr);
+      EXPECT_EQ(artifact->si_bias().data, nullptr);
+    }
+
+    // Payload offsets are 64-byte aligned from file start, so under mmap
+    // (page-aligned base) the section pointers are 64-byte aligned too.
+    if (artifact->memory_mapped()) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(
+                    artifact->symptom_embeddings().data) %
+                    64,
+                0u);
+      EXPECT_EQ(
+          reinterpret_cast<std::uintptr_t>(artifact->herb_embeddings().data) %
+              64,
+          0u);
+    }
+  }
+}
+
+TEST(ArtifactTest, ToCheckpointRestoresEverything) {
+  const InferenceCheckpoint original = MakeCheckpoint(true);
+  const std::string path = testing::TempDir() + "/smgcn_tockpt.smga";
+  ASSERT_TRUE(SaveArtifact(original, "2026-08-08-a", path).ok());
+  auto artifact = MappedArtifact::Open(path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  auto restored = artifact->ToCheckpoint();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->model_name, original.model_name);
+  EXPECT_EQ(restored->has_si_mlp, original.has_si_mlp);
+  EXPECT_EQ(restored->symptom_embeddings, original.symptom_embeddings);
+  EXPECT_EQ(restored->herb_embeddings, original.herb_embeddings);
+  EXPECT_EQ(restored->si_weight, original.si_weight);
+  EXPECT_EQ(restored->si_bias, original.si_bias);
+}
+
+TEST(ArtifactTest, ConverterMatchesTextCheckpoint) {
+  const InferenceCheckpoint original = MakeCheckpoint(true);
+  const std::string text_path = testing::TempDir() + "/smgcn_convert.ckpt";
+  const std::string artifact_path = testing::TempDir() + "/smgcn_convert.smga";
+  ASSERT_TRUE(SaveInferenceCheckpoint(original, text_path).ok());
+  ASSERT_TRUE(
+      ConvertCheckpointToArtifact(text_path, "v9", artifact_path).ok());
+
+  auto artifact = MappedArtifact::Open(artifact_path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  EXPECT_EQ(artifact->model_version(), "v9");
+  auto restored = artifact->ToCheckpoint();
+  ASSERT_TRUE(restored.ok());
+  // The text format stores %.17g which round-trips doubles exactly, so the
+  // artifact built from the text file is bit-identical to the original.
+  EXPECT_EQ(restored->symptom_embeddings, original.symptom_embeddings);
+  EXPECT_EQ(restored->herb_embeddings, original.herb_embeddings);
+}
+
+TEST(ArtifactTest, SaveRejectsInvalidInput) {
+  EXPECT_FALSE(SaveArtifact(InferenceCheckpoint{}, "v1",
+                            testing::TempDir() + "/smgcn_bad.smga")
+                   .ok());
+  EXPECT_EQ(SaveArtifact(MakeCheckpoint(), "",
+                         testing::TempDir() + "/smgcn_bad.smga")
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------------------
+// Corruption detection
+// --------------------------------------------------------------------------
+
+class ArtifactCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/smgcn_corrupt.smga";
+    ASSERT_TRUE(SaveArtifact(MakeCheckpoint(true), "v1", path_).ok());
+    bytes_ = ReadFile(path_);
+    ASSERT_GT(bytes_.size(), 256u);
+  }
+
+  Status OpenPatched(const std::string& bytes) {
+    WriteFile(path_, bytes);
+    return MappedArtifact::Open(path_).status();
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(ArtifactCorruptionTest, FlippedPayloadByteNamesTheSection) {
+  // Flip one bit inside the final (SI bias) payload. The section is 1 x 6
+  // doubles = 48 bytes, 64-byte aligned at the end of the file, so it
+  // occupies [size-64, size-16) with the remainder being padding.
+  std::string bad = bytes_;
+  const std::size_t target = bad.size() - 20;
+  bad[target] = static_cast<char>(bad[target] ^ 0x01);
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("si_bias"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+}
+
+TEST_F(ArtifactCorruptionTest, TruncationIsRejected) {
+  const Status status = OpenPatched(bytes_.substr(0, bytes_.size() / 2));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("truncated"), std::string::npos)
+      << status.message();
+  // Shorter than the fixed header.
+  EXPECT_EQ(OpenPatched(bytes_.substr(0, 10)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ArtifactCorruptionTest, BadMagicIsRejected) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
+}
+
+TEST_F(ArtifactCorruptionTest, NewerFormatVersionIsRejected) {
+  std::string bad = bytes_;
+  const std::uint32_t future = kArtifactFormatVersion + 1;
+  std::memcpy(bad.data() + 8, &future, sizeof(future));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("newer toolchain"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ArtifactCorruptionTest, OlderFormatVersionNamesTheConverter) {
+  std::string bad = bytes_;
+  const std::uint32_t ancient = 0;
+  std::memcpy(bad.data() + 8, &ancient, sizeof(ancient));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("converter"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ArtifactCorruptionTest, CorruptedModelNameFailsHeaderChecksum) {
+  std::string bad = bytes_;
+  bad[64] = static_cast<char>(bad[64] ^ 0x40);  // first model-name byte
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("header checksum"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ArtifactCorruptionTest, EmptyAndMissingFiles) {
+  EXPECT_EQ(OpenPatched(std::string()).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(MappedArtifact::Open("/no/such/artifact").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace smgcn

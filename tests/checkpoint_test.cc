@@ -162,6 +162,148 @@ TEST(InferenceCheckpointTest, LoadRejectsGarbage) {
             StatusCode::kIoError);
 }
 
+// --------------------------------------------------------------------------
+// Corrupted-fixture regressions: every damaged file must fail with an
+// InvalidArgument naming the offending section and line, never a generic
+// parse error or (worse) a silently truncated model.
+// --------------------------------------------------------------------------
+
+// A minimal, syntactically valid checkpoint fixture (no SI MLP):
+//   1: smgcn-inference-checkpoint v1
+//   2: tiny
+//   3: si 0
+//   4: smgcn-matrix v1     (symptom embeddings)
+//   5: 2 2
+//   6: 1 2
+//   7: 3 4
+//   8: smgcn-matrix v1     (herb embeddings)
+//   9: 3 2
+//  10..12: data rows
+std::string ValidFixture() {
+  return
+      "smgcn-inference-checkpoint v1\n"
+      "tiny\n"
+      "si 0\n"
+      "smgcn-matrix v1\n"
+      "2 2\n"
+      "1 2\n"
+      "3 4\n"
+      "smgcn-matrix v1\n"
+      "3 2\n"
+      "0.5 0.5\n"
+      "0.25 0.25\n"
+      "1 1\n";
+}
+
+Status LoadFixture(const std::string& content) {
+  const std::string path = testing::TempDir() + "/smgcn_fixture.ckpt";
+  std::ofstream out(path);
+  out << content;
+  out.close();
+  return LoadInferenceCheckpoint(path).status();
+}
+
+TEST(CheckpointCorruptionTest, ValidFixtureLoads) {
+  EXPECT_TRUE(LoadFixture(ValidFixture()).ok());
+}
+
+TEST(CheckpointCorruptionTest, TruncatedMatrixNamesSectionAndLine) {
+  // Drop the last data row of the herb matrix (line 12).
+  std::string text = ValidFixture();
+  text.erase(text.rfind("1 1\n"));
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("herb embeddings"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("truncated at line 11"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("2 of 3"), std::string::npos);
+}
+
+TEST(CheckpointCorruptionTest, BadShapeLineNamesSectionAndLine) {
+  std::string text = ValidFixture();
+  text.replace(text.find("2 2"), 3, "2 x");
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("symptom embeddings"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("line 5"), std::string::npos)
+      << status.message();
+}
+
+TEST(CheckpointCorruptionTest, AbsurdShapeIsRejectedBeforeAllocating) {
+  std::string text = ValidFixture();
+  text.replace(text.find("2 2"), 3, "999999999 999999999");
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("exceeds the supported size"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST(CheckpointCorruptionTest, NonNumericValueNamesRowAndColumn) {
+  std::string text = ValidFixture();
+  text.replace(text.find("3 4"), 3, "3 oops");
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("symptom embeddings"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("line 7"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("oops"), std::string::npos);
+}
+
+TEST(CheckpointCorruptionTest, WrongFieldCountNamesRow) {
+  std::string text = ValidFixture();
+  text.replace(text.find("3 4"), 3, "3 4 5");
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("has 3 fields, expected 2"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST(CheckpointCorruptionTest, MissingMatrixHeaderNamesSection) {
+  std::string text = ValidFixture();
+  const std::size_t second =
+      text.find("smgcn-matrix v1", text.find("smgcn-matrix v1") + 1);
+  text.replace(second, 15, "smgcn-matrix v9");
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("herb embeddings"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("line 8"), std::string::npos)
+      << status.message();
+}
+
+TEST(CheckpointCorruptionTest, BadSiFlagNamesLine) {
+  std::string text = ValidFixture();
+  text.replace(text.find("si 0"), 4, "si 2");
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("SI flag"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+}
+
+TEST(CheckpointCorruptionTest, EmptyModelNameIsRejected) {
+  std::string text = ValidFixture();
+  text.replace(text.find("tiny"), 4, "   ");
+  const Status status = LoadFixture(text);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("model name"), std::string::npos)
+      << status.message();
+}
+
+TEST(CheckpointCorruptionTest, TrailingGarbageIsRejected) {
+  const Status status = LoadFixture(ValidFixture() + "\nleftover bytes\n");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing garbage"), std::string::npos)
+      << status.message();
+  // Pure trailing whitespace stays legal (editors add final newlines).
+  EXPECT_TRUE(LoadFixture(ValidFixture() + "\n  \n").ok());
+}
+
 TEST(CheckpointRecommenderTest, ScoresMatchOriginatingModel) {
   const auto split = testutil::SmallSplit();
   SmgcnModel model(SmallModelConfig(), FastTrainConfig());

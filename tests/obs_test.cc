@@ -322,12 +322,18 @@ TEST(SpanTest, NameBasedSpanUsesConventionalHistogram) {
 
 Registry* GoldenRegistry() {
   // Static so the three golden tests share one instance; values are only
-  // written here, once.
+  // written here, once. The serve.modelmanager.* instruments mirror what a
+  // ModelManager registers (src/serve/model_manager.h) so the exporters'
+  // rendering of the model-lifecycle metrics is pinned here.
   static Registry* reg = [] {
     auto* r = new Registry();
     r->GetCounter("a.count")->Increment(5);
     r->GetGauge("b.gauge")->Set(2.5);
     r->GetHistogram("c.hist")->Record(0.001);
+    r->GetCounter("serve.modelmanager.publishes")->Increment(3);
+    r->GetCounter("serve.modelmanager.rollbacks")->Increment(1);
+    r->GetGauge("serve.modelmanager.active_versions")->Set(4);
+    r->GetHistogram("serve.modelmanager.artifact_open.seconds")->Record(0.001);
     return r;
   }();
   return reg;
@@ -336,31 +342,56 @@ Registry* GoldenRegistry() {
 TEST(ExporterTest, TextGolden) {
   EXPECT_EQ(GoldenRegistry()->ExportText(),
             "counter a.count 5\n"
+            "counter serve.modelmanager.publishes 3\n"
+            "counter serve.modelmanager.rollbacks 1\n"
             "gauge b.gauge 2.5\n"
+            "gauge serve.modelmanager.active_versions 4\n"
             "histogram c.hist count=1 mean=0.001 p50=0.001 p90=0.001 "
-            "p99=0.001 max=0.001\n");
+            "p99=0.001 max=0.001\n"
+            "histogram serve.modelmanager.artifact_open.seconds count=1 "
+            "mean=0.001 p50=0.001 p90=0.001 p99=0.001 max=0.001\n");
 }
 
 TEST(ExporterTest, PrometheusGolden) {
   EXPECT_EQ(GoldenRegistry()->ExportPrometheus(),
             "# TYPE smgcn_a_count counter\n"
             "smgcn_a_count 5\n"
+            "# TYPE smgcn_serve_modelmanager_publishes counter\n"
+            "smgcn_serve_modelmanager_publishes 3\n"
+            "# TYPE smgcn_serve_modelmanager_rollbacks counter\n"
+            "smgcn_serve_modelmanager_rollbacks 1\n"
             "# TYPE smgcn_b_gauge gauge\n"
             "smgcn_b_gauge 2.5\n"
+            "# TYPE smgcn_serve_modelmanager_active_versions gauge\n"
+            "smgcn_serve_modelmanager_active_versions 4\n"
             "# TYPE smgcn_c_hist summary\n"
             "smgcn_c_hist{quantile=\"0.5\"} 0.001\n"
             "smgcn_c_hist{quantile=\"0.9\"} 0.001\n"
             "smgcn_c_hist{quantile=\"0.99\"} 0.001\n"
             "smgcn_c_hist_sum 0.001\n"
-            "smgcn_c_hist_count 1\n");
+            "smgcn_c_hist_count 1\n"
+            "# TYPE smgcn_serve_modelmanager_artifact_open_seconds summary\n"
+            "smgcn_serve_modelmanager_artifact_open_seconds{quantile=\"0.5\"} "
+            "0.001\n"
+            "smgcn_serve_modelmanager_artifact_open_seconds{quantile=\"0.9\"} "
+            "0.001\n"
+            "smgcn_serve_modelmanager_artifact_open_seconds{quantile=\"0.99\"} "
+            "0.001\n"
+            "smgcn_serve_modelmanager_artifact_open_seconds_sum 0.001\n"
+            "smgcn_serve_modelmanager_artifact_open_seconds_count 1\n");
 }
 
 TEST(ExporterTest, CsvGolden) {
   EXPECT_EQ(GoldenRegistry()->ExportCsv(),
             "metric,type,value,count,mean,p50,p90,p99,max\n"
             "a.count,counter,5,,,,,,\n"
+            "serve.modelmanager.publishes,counter,3,,,,,,\n"
+            "serve.modelmanager.rollbacks,counter,1,,,,,,\n"
             "b.gauge,gauge,2.5,,,,,,\n"
-            "c.hist,histogram,0.001,1,0.001,0.001,0.001,0.001,0.001\n");
+            "serve.modelmanager.active_versions,gauge,4,,,,,,\n"
+            "c.hist,histogram,0.001,1,0.001,0.001,0.001,0.001,0.001\n"
+            "serve.modelmanager.artifact_open.seconds,histogram,0.001,1,"
+            "0.001,0.001,0.001,0.001,0.001\n");
 }
 
 TEST(ExporterTest, EmptyRegistryExportsHeaderOnly) {

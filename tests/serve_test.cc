@@ -731,6 +731,90 @@ TEST(ServingEngineTest, DeprecatedThreadKnobsWarnExactlyOncePerKnob) {
   EXPECT_EQ(kernel_threads_lines, 1u);
 }
 
+// --------------------------------------------------------------------------
+// Hot swap (ServingEngine::Publish)
+// --------------------------------------------------------------------------
+
+TEST(ServingEngineSwapTest, PublishSwapsScoresAndVersion) {
+  auto engine = MakeEngine();
+  EXPECT_EQ(engine->active_version(), "v1");
+  auto before = engine->Score({1, 2});
+  ASSERT_TRUE(before.ok());
+
+  // A different model: same shapes, shifted embeddings.
+  core::InferenceCheckpoint next = MakeCheckpoint();
+  for (std::size_t r = 0; r < next.herb_embeddings.rows(); ++r) {
+    for (std::size_t c = 0; c < next.herb_embeddings.cols(); ++c) {
+      next.herb_embeddings(r, c) += 1.0;
+    }
+  }
+  ASSERT_TRUE(engine->Publish(std::move(next), "v2").ok());
+  EXPECT_EQ(engine->active_version(), "v2");
+
+  auto after = engine->Score({1, 2});
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*before, *after);
+  EXPECT_EQ(engine->Snapshot()->version, "v2");
+}
+
+TEST(ServingEngineSwapTest, PublishRejectsBadInput) {
+  auto engine = MakeEngine();
+  EXPECT_EQ(engine->Publish(MakeCheckpoint(), "").code(),
+            StatusCode::kInvalidArgument);
+  core::InferenceCheckpoint bad;  // empty: fails validation
+  EXPECT_FALSE(engine->Publish(std::move(bad), "v2").ok());
+  // Failed publishes leave the active snapshot untouched.
+  EXPECT_EQ(engine->active_version(), "v1");
+}
+
+TEST(ServingEngineSwapTest, CacheEntriesAreScopedToTheirPublish) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->Recommend({1, 2, 3}, 10).ok());
+  ASSERT_TRUE(engine->Publish(MakeCheckpoint(12, 40, 8), "v2").ok());
+  // Same query, new snapshot: the v1 cache entry must not answer it.
+  ASSERT_TRUE(engine->Recommend({1, 2, 3}, 10).ok());
+  const ServingStatsSnapshot stats = engine->Stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+}
+
+TEST(ServingEngineSwapTest, PublishCountsInRegistry) {
+  auto engine = MakeEngine();
+  const std::string counter = engine->obs_prefix() + "publishes";
+  auto* publishes = obs::Registry::Global().GetCounter(counter);
+  EXPECT_EQ(publishes->value(), 0u);
+  ASSERT_TRUE(engine->Publish(MakeCheckpoint(), "v2").ok());
+  ASSERT_TRUE(engine->Publish(MakeCheckpoint(), "v3").ok());
+  EXPECT_EQ(publishes->value(), 2u);
+}
+
+TEST(ServingEngineSwapTest, InFlightSubmitsFinishOnTheirSnapshot) {
+  // Queries submitted before a swap must be answered by the snapshot they
+  // were accepted under, even when the batcher executes them after the
+  // publish landed.
+  ServingEngineOptions options;
+  options.max_wait_ms = 20.0;  // hold batches long enough to swap mid-flight
+  options.max_batch_size = 64;
+  options.cache_capacity = 0;
+  auto engine = MakeEngine(options);
+
+  auto expected = engine->Recommend({2, 4}, 5);
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(engine->Submit({2, 4}, 5));
+  ASSERT_TRUE(engine->Publish(MakeCheckpoint(12, 40, 8), "v2").ok());
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(*result, *expected);
+  }
+  // New queries see the new model's herb count (40 stays, but ids shrink
+  // to the 12-symptom vocabulary: symptom 20 is now out of range).
+  EXPECT_EQ(engine->Recommend({20}, 5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace smgcn
