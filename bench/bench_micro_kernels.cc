@@ -10,6 +10,7 @@
 #include "src/graph/graph_builder.h"
 #include "src/nn/loss.h"
 #include "src/nn/optimizer.h"
+#include "src/tensor/kernels.h"
 #include "src/util/random.h"
 
 namespace smgcn {
@@ -110,6 +111,57 @@ void BM_WeightedMseForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightedMseForwardBackward);
+
+// f32 scoring micro-kernels (tensor::kernels) at the serving shape: a
+// B x d query block against the transposed herb matrix (d x H, H = 753,
+// the real corpus herb count). Arg(0) selects the backend so one binary
+// reports scalar and SIMD side by side: 0 = scalar, 1 = dispatched.
+void BM_KernelGemmF32(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const std::size_t d = 64, h = 753;
+  const tensor::kernels::Backend& backend =
+      dispatched ? tensor::kernels::Active() : tensor::kernels::ScalarBackend();
+  Rng rng(8);
+  std::vector<float> a(batch * d), bt(d * h), out(batch * h);
+  for (auto& x : a) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  for (auto& x : bt) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  for (auto _ : state) {
+    backend.gemm_f32(a.data(), bt.data(), batch, d, h, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(backend.name);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * d * h));
+}
+BENCHMARK(BM_KernelGemmF32)
+    ->Args({0, 1})
+    ->Args({0, 32})
+    ->Args({0, 128})
+    ->Args({1, 1})
+    ->Args({1, 32})
+    ->Args({1, 128});
+
+void BM_KernelGemvF32(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  const std::size_t d = 64, h = 753;
+  const tensor::kernels::Backend& backend =
+      dispatched ? tensor::kernels::Active() : tensor::kernels::ScalarBackend();
+  Rng rng(9);
+  std::vector<float> x(d), bt(d * h), out(h);
+  for (auto& v : x) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  for (auto& v : bt) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  for (auto _ : state) {
+    backend.gemv_f32(x.data(), bt.data(), d, h, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(backend.name);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * h));
+}
+BENCHMARK(BM_KernelGemvF32)->Arg(0)->Arg(1);
 
 void BM_TopK(benchmark::State& state) {
   Rng rng(7);

@@ -4,14 +4,17 @@
 // width 64 per Table VII). No training involved — the checkpoint is
 // synthetic, which isolates pure serving cost.
 //
-// Acceptance bar (ISSUE 1): the batched GEMM must beat the per-query loop
-// on batches of >= 8 queries. Writes bench_results/serving_throughput.csv.
+// Acceptance bars: the batched GEMM must beat the per-query loop on batches
+// of >= 8 queries (ISSUE 1), and the f32 scoring path must deliver >= 1.5x
+// the f64 path's QPS at the widest batch (ISSUE 7; the boost_vs_f64 column
+// records the measured factors). Writes bench_results/serving_throughput.csv.
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/core/checkpoint.h"
 #include "src/serve/engine.h"
+#include "src/tensor/kernels.h"
 #include "src/util/csv.h"
 #include "src/util/random.h"
 #include "src/util/stopwatch.h"
@@ -72,6 +75,9 @@ struct Measurement {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// QPS relative to the f64 batched GEMM at the same batch size; 0 for
+  /// rows where the comparison is meaningless (the f64 rows themselves).
+  double boost_vs_f64 = 0.0;
 };
 
 /// Runs `queries` through `op` (which consumes one batch of the given size)
@@ -122,6 +128,11 @@ bool Run() {
   auto uncached_engine = serve::ServingEngine::Create(MakeCheckpoint(), uncached);
   SMGCN_CHECK_OK(uncached_engine.status());
 
+  serve::ServingEngineOptions f32_options = uncached;
+  f32_options.precision = tensor::Precision::kFloat32;
+  auto f32_engine = serve::ServingEngine::Create(MakeCheckpoint(), f32_options);
+  SMGCN_CHECK_OK(f32_engine.status());
+
   const std::vector<std::vector<int>> queries = MakeQueryStream();
   std::vector<Measurement> results;
 
@@ -140,6 +151,32 @@ bool Run() {
         }));
   }
 
+  // f32 scoring through the dispatched kernels, same widths; the boost
+  // column is QPS relative to the matching f64 row above.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t batch = results[1 + i].batch_size;
+    Measurement m = MeasureBatched(
+        StrFormat("f32_%s_gemm_b%zu", tensor::kernels::ActiveName(), batch),
+        batch, queries, [&](const std::vector<std::vector<int>>& b) {
+          SMGCN_CHECK_OK((*f32_engine)->ScoreBatch(b).status());
+        });
+    m.boost_vs_f64 = m.qps / results[1 + i].qps;
+    results.push_back(m);
+  }
+
+  // f32 on the forced-scalar fallback: isolates SIMD's share of the boost.
+  {
+    tensor::kernels::ForceScalar(true);
+    Measurement m = MeasureBatched(
+        "f32_scalar_gemm_b128", 128, queries,
+        [&](const std::vector<std::vector<int>>& b) {
+          SMGCN_CHECK_OK((*f32_engine)->ScoreBatch(b).status());
+        });
+    tensor::kernels::ForceScalar(false);
+    m.boost_vs_f64 = m.qps / results[3].qps;
+    results.push_back(m);
+  }
+
   // Cached top-k serving: first pass warms, second pass measures.
   SMGCN_CHECK_OK((*engine)->RecommendBatch(queries, kTopK).status());
   results.push_back(MeasureBatched(
@@ -148,17 +185,22 @@ bool Run() {
         SMGCN_CHECK_OK((*engine)->RecommendBatch(b, kTopK).status());
       }));
 
-  TablePrinter table({"mode", "batch", "total_ms", "qps", "p50_ms", "p99_ms"});
-  CsvWriter csv({"mode", "batch_size", "total_ms", "qps", "p50_ms", "p99_ms"});
+  TablePrinter table(
+      {"mode", "batch", "total_ms", "qps", "p50_ms", "p99_ms", "boost_vs_f64"});
+  CsvWriter csv({"mode", "batch_size", "total_ms", "qps", "p50_ms", "p99_ms",
+                 "boost_vs_f64"});
   for (const Measurement& m : results) {
+    const std::string boost =
+        m.boost_vs_f64 > 0.0 ? StrFormat("%.2f", m.boost_vs_f64) : "";
     table.AddRow({m.mode, std::to_string(m.batch_size),
                   StrFormat("%.1f", m.total_ms), StrFormat("%.0f", m.qps),
-                  StrFormat("%.4f", m.p50_ms), StrFormat("%.4f", m.p99_ms)});
+                  StrFormat("%.4f", m.p50_ms), StrFormat("%.4f", m.p99_ms),
+                  boost});
     SMGCN_CHECK_OK(csv.AddRow({m.mode, std::to_string(m.batch_size),
                                StrFormat("%.3f", m.total_ms),
                                StrFormat("%.1f", m.qps),
                                StrFormat("%.5f", m.p50_ms),
-                               StrFormat("%.5f", m.p99_ms)}));
+                               StrFormat("%.5f", m.p99_ms), boost}));
   }
   table.Print();
   WriteResultsCsv("serving_throughput", csv);
@@ -169,14 +211,18 @@ bool Run() {
               static_cast<unsigned long long>(cache_stats.misses),
               cache_stats.hit_rate() * 100.0);
 
-  std::printf("\nShape checks (ISSUE 1 acceptance):\n");
+  std::printf("\nShape checks (ISSUE 1 + ISSUE 7 acceptance):\n");
+  // Row map: 0 per_query, 1-3 f64 gemm b8/b32/b128, 4-6 f32 dispatched
+  // b8/b32/b128, 7 f32 forced-scalar b128, 8 cached.
   bool ok = true;
   ok &= ShapeCheck("batched GEMM (b=8) beats the per-query loop on QPS",
                    results[1].qps, results[0].qps);
   ok &= ShapeCheck("batched GEMM (b=128) beats the per-query loop on QPS",
                    results[3].qps, results[0].qps);
+  ok &= ShapeCheck("f32 scoring (b=128) is >= 1.5x the f64 path on QPS",
+                   results[6].qps, 1.5 * results[3].qps);
   ok &= ShapeCheck("cached serving beats the uncached batched path on QPS",
-                   results[4].qps, results[3].qps);
+                   results[8].qps, results[3].qps);
   return ok;
 }
 

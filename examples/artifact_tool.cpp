@@ -5,15 +5,19 @@
 // format version matches the one pinned in docs/ARTIFACT_FORMAT.md.
 //
 // Usage:
-//   artifact_tool make <out.smga> [model_version]
+//   artifact_tool make <out.smga> [model_version] [--f32]
 //       write a small deterministic synthetic model (for smoke tests / CI)
 //   artifact_tool info <artifact.smga>
 //       validate (headers + checksums) and print the artifact's identity
-//   artifact_tool convert <checkpoint.ckpt> <model_version> <out.smga>
+//   artifact_tool convert <checkpoint.ckpt> <model_version> <out.smga> [--f32]
 //       migrate a text inference checkpoint to the binary format
+//
+// `--f32` narrows embeddings to float32 at write time (format v2 dtype
+// word), halving the payload; omit it for the bit-exact f64 default.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/artifact.h"
 #include "src/core/checkpoint.h"
@@ -24,7 +28,8 @@ namespace {
 
 using namespace smgcn;
 
-int Make(const std::string& path, const std::string& version) {
+int Make(const std::string& path, const std::string& version,
+         tensor::Precision precision) {
   // Deterministic synthetic model: stable across runs so CI can diff.
   Rng rng(7);
   core::InferenceCheckpoint ckpt;
@@ -34,13 +39,14 @@ int Make(const std::string& path, const std::string& version) {
   ckpt.has_si_mlp = true;
   ckpt.si_weight = tensor::Matrix::RandomNormal(16, 16, 0.0, 0.5, &rng);
   ckpt.si_bias = tensor::Matrix::RandomNormal(1, 16, 0.0, 0.5, &rng);
-  const Status saved = core::SaveArtifact(ckpt, version, path);
+  const Status saved = core::SaveArtifact(ckpt, version, path, precision);
   if (!saved.ok()) {
     std::fprintf(stderr, "make failed: %s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s (model=%s version=%s)\n", path.c_str(),
-              ckpt.model_name.c_str(), version.c_str());
+  std::printf("wrote %s (model=%s version=%s dtype=%s)\n", path.c_str(),
+              ckpt.model_name.c_str(), version.c_str(),
+              tensor::PrecisionName(precision));
   return 0;
 }
 
@@ -54,12 +60,14 @@ int Info(const std::string& path) {
   std::printf("model_name:     %s\n", artifact->model_name().c_str());
   std::printf("model_version:  %s\n", artifact->model_version().c_str());
   std::printf("format_version: %u\n", artifact->format_version());
+  std::printf("dtype:          %s\n",
+              tensor::PrecisionName(artifact->precision()));
   std::printf("mmap:           %s\n",
               artifact->memory_mapped() ? "yes" : "no");
   std::printf("file_bytes:     %zu\n", artifact->file_bytes());
   const auto print_section = [](const char* name,
                                 core::MappedArtifact::SectionView view) {
-    if (view.data == nullptr) return;
+    if (view.data == nullptr && view.data_f32 == nullptr) return;
     std::printf("section %-18s %zu x %zu\n", name, view.rows, view.cols);
   };
   print_section("symptom_embeddings", artifact->symptom_embeddings());
@@ -78,41 +86,53 @@ int Info(const std::string& path) {
 }
 
 int Convert(const std::string& checkpoint_path, const std::string& version,
-            const std::string& artifact_path) {
+            const std::string& artifact_path, tensor::Precision precision) {
   const Status converted = core::ConvertCheckpointToArtifact(
-      checkpoint_path, version, artifact_path);
+      checkpoint_path, version, artifact_path, precision);
   if (!converted.ok()) {
     std::fprintf(stderr, "convert failed: %s\n", converted.ToString().c_str());
     return 1;
   }
-  std::printf("converted %s -> %s (version %s)\n", checkpoint_path.c_str(),
-              artifact_path.c_str(), version.c_str());
+  std::printf("converted %s -> %s (version %s, dtype %s)\n",
+              checkpoint_path.c_str(), artifact_path.c_str(), version.c_str(),
+              tensor::PrecisionName(precision));
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  artifact_tool make <out.smga> [model_version]\n"
+               "  artifact_tool make <out.smga> [model_version] [--f32]\n"
                "  artifact_tool info <artifact.smga>\n"
                "  artifact_tool convert <checkpoint.ckpt> <model_version> "
-               "<out.smga>\n");
+               "<out.smga> [--f32]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  if (command == "make" && (argc == 3 || argc == 4)) {
-    return Make(argv[2], argc == 4 ? argv[3] : "v1");
+  // Pull the optional --f32 switch out of argv so positional parsing below
+  // stays simple; it applies to `make` and `convert`.
+  tensor::Precision precision = tensor::Precision::kFloat64;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--f32") == 0) {
+      precision = tensor::Precision::kFloat32;
+    } else {
+      args.emplace_back(argv[i]);
+    }
   }
-  if (command == "info" && argc == 3) {
-    return Info(argv[2]);
+  if (args.empty()) return Usage();
+  const std::string& command = args[0];
+  if (command == "make" && (args.size() == 2 || args.size() == 3)) {
+    return Make(args[1], args.size() == 3 ? args[2] : "v1", precision);
   }
-  if (command == "convert" && argc == 5) {
-    return Convert(argv[2], argv[3], argv[4]);
+  if (command == "info" && args.size() == 2) {
+    return Info(args[1]);
+  }
+  if (command == "convert" && args.size() == 4) {
+    return Convert(args[1], args[2], args[3], precision);
   }
   return Usage();
 }

@@ -41,6 +41,13 @@ const char* SectionKindName(std::uint32_t kind) {
   }
 }
 
+/// On-disk dtype tags (format v2; the word was written as 0 by v1, which
+/// maps cleanly onto "f64").
+enum SectionDtype : std::uint32_t {
+  kDtypeFloat64 = 0,
+  kDtypeFloat32 = 1,
+};
+
 /// Fixed-size file header; mirrored byte-for-byte on disk.
 struct ArtifactHeader {
   char magic[8];
@@ -60,11 +67,11 @@ static_assert(sizeof(ArtifactHeader) == 64, "header must stay 64 bytes");
 
 struct SectionHeader {
   std::uint32_t kind;
-  std::uint32_t reserved;
+  std::uint32_t dtype;   // SectionDtype; pre-v2 files wrote 0 here (f64)
   std::uint64_t rows;
   std::uint64_t cols;
   std::uint64_t offset;  // payload offset from file start, 64-byte aligned
-  std::uint64_t bytes;   // rows * cols * sizeof(double)
+  std::uint64_t bytes;   // rows * cols * element size
   std::uint64_t checksum;
   char pad[16];
 };
@@ -107,13 +114,16 @@ std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes) {
 }
 
 Status SaveArtifact(const InferenceCheckpoint& checkpoint,
-                    const std::string& model_version, const std::string& path) {
+                    const std::string& model_version, const std::string& path,
+                    tensor::Precision precision) {
   RETURN_IF_ERROR(checkpoint.Validate());
   if (model_version.empty()) {
     return Status::InvalidArgument("artifact model_version must be non-empty");
   }
   const std::string name =
       checkpoint.model_name.empty() ? "unnamed" : checkpoint.model_name;
+  const bool f32 = precision == tensor::Precision::kFloat32;
+  const std::size_t elem_bytes = f32 ? sizeof(float) : sizeof(double);
 
   std::vector<PendingSection> sections = {
       {kSymptomEmbeddings, &checkpoint.symptom_embeddings},
@@ -123,6 +133,25 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
     sections.push_back({kSiWeight, &checkpoint.si_weight});
     sections.push_back({kSiBias, &checkpoint.si_bias});
   }
+
+  // For an f32 artifact the payloads are the checkpoint's doubles narrowed
+  // once here (static_cast<float> = round-to-nearest-even); checksums and
+  // byte counts describe the narrowed bytes that actually hit disk.
+  std::vector<std::vector<float>> narrowed(sections.size());
+  if (f32) {
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+      const tensor::Matrix& m = *sections[i].matrix;
+      narrowed[i].resize(m.size());
+      const double* src = m.data();
+      for (std::size_t e = 0; e < narrowed[i].size(); ++e) {
+        narrowed[i][e] = static_cast<float>(src[e]);
+      }
+    }
+  }
+  const auto payload_ptr = [&](std::size_t i) -> const void* {
+    return f32 ? static_cast<const void*>(narrowed[i].data())
+               : static_cast<const void*>(sections[i].matrix->data());
+  };
 
   ArtifactHeader header{};
   std::memcpy(header.magic, kArtifactMagic, sizeof(kArtifactMagic));
@@ -144,11 +173,12 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
     SectionHeader& s = table[i];
     s = SectionHeader{};
     s.kind = sections[i].kind;
+    s.dtype = f32 ? kDtypeFloat32 : kDtypeFloat64;
     s.rows = m.rows();
     s.cols = m.cols();
     s.offset = payload_offset;
-    s.bytes = m.size() * sizeof(double);
-    s.checksum = ArtifactChecksum(m.data(), s.bytes);
+    s.bytes = m.size() * elem_bytes;
+    s.checksum = ArtifactChecksum(payload_ptr(i), s.bytes);
     payload_offset = AlignUp(payload_offset + s.bytes);
   }
   header.file_bytes = payload_offset;
@@ -176,7 +206,7 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
   write(table.data(), table.size() * sizeof(SectionHeader));
   for (std::size_t i = 0; i < sections.size(); ++i) {
     pad_to(table[i].offset);
-    write(sections[i].matrix->data(), table[i].bytes);
+    write(payload_ptr(i), table[i].bytes);
   }
   pad_to(header.file_bytes);
   if (!file) return Status::IoError("write failed: " + path);
@@ -187,10 +217,11 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
 
 Status ConvertCheckpointToArtifact(const std::string& checkpoint_path,
                                    const std::string& model_version,
-                                   const std::string& artifact_path) {
+                                   const std::string& artifact_path,
+                                   tensor::Precision precision) {
   ASSIGN_OR_RETURN(const InferenceCheckpoint checkpoint,
                    LoadInferenceCheckpoint(checkpoint_path));
-  return SaveArtifact(checkpoint, model_version, artifact_path);
+  return SaveArtifact(checkpoint, model_version, artifact_path, precision);
 }
 
 MappedArtifact::MappedArtifact(MappedArtifact&& other) noexcept {
@@ -207,6 +238,7 @@ MappedArtifact& MappedArtifact::operator=(MappedArtifact&& other) noexcept {
   model_name_ = std::move(other.model_name_);
   model_version_ = std::move(other.model_version_);
   format_version_ = other.format_version_;
+  precision_ = other.precision_;
   symptoms_ = other.symptoms_;
   herbs_ = other.herbs_;
   si_weight_ = other.si_weight_;
@@ -337,6 +369,7 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
   }
   const std::uint32_t expected_kind[4] = {kSymptomEmbeddings, kHerbEmbeddings,
                                           kSiWeight, kSiBias};
+  std::uint32_t artifact_dtype = kDtypeFloat64;
   for (std::uint32_t i = 0; i < header.section_count; ++i) {
     SectionHeader s;
     std::memcpy(&s, data + table_offset + i * sizeof(SectionHeader), sizeof(s));
@@ -346,6 +379,23 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
           "artifact section %u has kind %u (%s), expected %u (%s)", i, s.kind,
           kind_name, expected_kind[i], SectionKindName(expected_kind[i])));
     }
+    if (s.dtype != kDtypeFloat64 && s.dtype != kDtypeFloat32) {
+      return Status::InvalidArgument(StrFormat(
+          "section %s has unknown dtype %u (0 = float64, 1 = float32)",
+          kind_name, s.dtype));
+    }
+    if (i == 0) {
+      artifact_dtype = s.dtype;
+    } else if (s.dtype != artifact_dtype) {
+      // One artifact, one dtype: a mixed table means a corrupted or
+      // hand-assembled file, not a supported layout.
+      return Status::InvalidArgument(StrFormat(
+          "section %s dtype %u differs from the artifact's dtype %u "
+          "(sections must share one dtype)",
+          kind_name, s.dtype, artifact_dtype));
+    }
+    const std::size_t elem_bytes =
+        s.dtype == kDtypeFloat32 ? sizeof(float) : sizeof(double);
     if (s.offset % kAlignment != 0) {
       return Status::InvalidArgument(StrFormat(
           "section %s payload offset %llu is not 64-byte aligned", kind_name,
@@ -356,7 +406,7 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
           StrFormat("section %s has empty shape", kind_name));
     }
     if (s.rows > size || s.cols > size ||
-        s.bytes != s.rows * s.cols * sizeof(double)) {
+        s.bytes != s.rows * s.cols * elem_bytes) {
       return Status::InvalidArgument(
           StrFormat("section %s shape/byte-count mismatch", kind_name));
     }
@@ -370,7 +420,11 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
           kind_name));
     }
     SectionView view;
-    view.data = reinterpret_cast<const double*>(data + s.offset);
+    if (s.dtype == kDtypeFloat32) {
+      view.data_f32 = reinterpret_cast<const float*>(data + s.offset);
+    } else {
+      view.data = reinterpret_cast<const double*>(data + s.offset);
+    }
     view.rows = s.rows;
     view.cols = s.cols;
     switch (s.kind) {
@@ -380,13 +434,24 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
       case kSiBias: artifact.si_bias_ = view; break;
     }
   }
+  artifact.precision_ = artifact_dtype == kDtypeFloat32
+                            ? tensor::Precision::kFloat32
+                            : tensor::Precision::kFloat64;
   return artifact;
 }
 
 Result<InferenceCheckpoint> MappedArtifact::ToCheckpoint() const {
   const auto copy_section = [](const SectionView& view) {
     tensor::Matrix m(view.rows, view.cols);
-    std::memcpy(m.data(), view.data, view.rows * view.cols * sizeof(double));
+    if (view.data != nullptr) {
+      std::memcpy(m.data(), view.data, view.rows * view.cols * sizeof(double));
+    } else {
+      // f32 section: widen exactly (every float is representable as double).
+      double* dst = m.data();
+      for (std::size_t i = 0; i < view.rows * view.cols; ++i) {
+        dst[i] = static_cast<double>(view.data_f32[i]);
+      }
+    }
     return m;
   };
   InferenceCheckpoint checkpoint;

@@ -15,15 +15,21 @@
 //   64          model name       name_len bytes (not NUL-terminated)
 //   ...         model version    version_len bytes
 //   pad to 64
-//   ...         SectionHeader[n] 64 B each: kind, rows, cols, payload
-//                                       offset/bytes, payload checksum
+//   ...         SectionHeader[n] 64 B each: kind, dtype, rows, cols,
+//                                       payload offset/bytes, payload
+//                                       checksum
 //   pad to 64
-//   ...         payloads         row-major double data, each section
+//   ...         payloads         row-major f64 or f32 data, each section
 //                                       64-byte aligned from file start
 //
 // Sections are the matrices of an InferenceCheckpoint (symptom/herb
-// embeddings, optional SI weight/bias). Checksums are FNV-1a 64 over the
-// raw payload bytes, so a flipped bit anywhere fails Open() with a message
+// embeddings, optional SI weight/bias). Since format v2 every section
+// carries a dtype (0 = float64, 1 = float32); all sections of one artifact
+// must share it. An f32 artifact holds the checkpoint's doubles narrowed
+// once at save time (round-to-nearest-even, IEEE-754 default) at half the
+// file size; reading widens exactly, so save-f32 → open → serve-f32 loses
+// nothing beyond the one narrowing. Checksums are FNV-1a 64 over the raw
+// payload bytes, so a flipped bit anywhere fails Open() with a message
 // naming the damaged section.
 //
 // Versioning semantics:
@@ -44,6 +50,7 @@
 #include <vector>
 
 #include "src/core/checkpoint.h"
+#include "src/tensor/kernels.h"
 #include "src/util/status.h"
 
 namespace smgcn {
@@ -52,7 +59,8 @@ namespace core {
 /// On-disk layout revision written into every artifact. Bump only together
 /// with a converter from the previous revision and a docs/ARTIFACT_FORMAT.md
 /// update (the artifact-compatibility CI job enforces the pairing).
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+/// v2: per-section dtype (f64/f32) in the previously-reserved word.
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /// FNV-1a 64-bit over a byte range; the per-section checksum function.
 std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes);
@@ -60,15 +68,20 @@ std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes);
 /// Serialises `checkpoint` (validated first) under the given semantic model
 /// version. The file is written to `path` atomically enough for local use
 /// (temp file + rename would be overkill here; partial writes fail Open's
-/// size check).
+/// size check). Precision::kFloat32 narrows every payload once
+/// (round-to-nearest-even) for a half-size artifact served natively by the
+/// f32 scoring path.
 Status SaveArtifact(const InferenceCheckpoint& checkpoint,
-                    const std::string& model_version, const std::string& path);
+                    const std::string& model_version, const std::string& path,
+                    tensor::Precision precision = tensor::Precision::kFloat64);
 
 /// Reads the text checkpoint at `checkpoint_path` and writes it back out as
 /// a binary artifact — the migration path for pre-artifact deployments.
-Status ConvertCheckpointToArtifact(const std::string& checkpoint_path,
-                                   const std::string& model_version,
-                                   const std::string& artifact_path);
+/// `precision` selects the artifact's storage dtype (see SaveArtifact).
+Status ConvertCheckpointToArtifact(
+    const std::string& checkpoint_path, const std::string& model_version,
+    const std::string& artifact_path,
+    tensor::Precision precision = tensor::Precision::kFloat64);
 
 /// A validated, read-only mapping of an artifact file. Open() mmaps the
 /// file (falling back to a buffered read where mmap is unavailable) and
@@ -88,15 +101,19 @@ class MappedArtifact {
   const std::string& model_name() const { return model_name_; }
   const std::string& model_version() const { return model_version_; }
   std::uint32_t format_version() const { return format_version_; }
-  bool has_si_mlp() const { return si_weight_.data != nullptr; }
+  /// Storage dtype shared by every section (Open rejects mixed artifacts).
+  tensor::Precision precision() const { return precision_; }
+  bool has_si_mlp() const { return si_weight_.rows > 0; }
   /// True when the file was mmap'd (false on the buffered-read fallback).
   bool memory_mapped() const { return map_base_ != nullptr; }
   std::size_t file_bytes() const { return size_; }
 
-  /// Zero-copy view of one matrix section; `data` points into the mapping
-  /// (64-byte aligned, row-major, rows x cols doubles).
+  /// Zero-copy view of one matrix section (64-byte aligned, row-major,
+  /// rows x cols elements). Exactly one of `data` (f64 artifacts) and
+  /// `data_f32` (f32 artifacts) is non-null, matching precision().
   struct SectionView {
     const double* data = nullptr;
+    const float* data_f32 = nullptr;
     std::size_t rows = 0;
     std::size_t cols = 0;
   };
@@ -107,8 +124,9 @@ class MappedArtifact {
   SectionView si_bias() const { return si_bias_; }
 
   /// Copies the sections into a heap-backed InferenceCheckpoint (one memcpy
-  /// per matrix — no parsing) and runs its full semantic validation,
-  /// including the non-finite scan the byte checksums cannot express.
+  /// per f64 matrix, an exact f32→f64 widening loop otherwise — no parsing)
+  /// and runs its full semantic validation, including the non-finite scan
+  /// the byte checksums cannot express.
   Result<InferenceCheckpoint> ToCheckpoint() const;
 
  private:
@@ -123,6 +141,7 @@ class MappedArtifact {
   std::string model_name_;
   std::string model_version_;
   std::uint32_t format_version_ = 0;
+  tensor::Precision precision_ = tensor::Precision::kFloat64;
   SectionView symptoms_;
   SectionView herbs_;
   SectionView si_weight_;

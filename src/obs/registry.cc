@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+// Header-inline on purpose: obs sits below util in the link order, so the
+// escaper must not pull in libsmgcn_util.
+#include "src/util/csv.h"
+
 namespace smgcn {
 namespace obs {
 
@@ -173,13 +177,15 @@ std::string Registry::ExportCsv() const {
   const auto header = CsvHeader();
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i > 0) out += ",";
-    out += header[i];
+    out += csv::EscapeField(header[i]);
   }
   out += "\n";
   for (const auto& row : CsvRows()) {
+    // Instrument names come from callers (often embedding a model or scope
+    // name), so commas/quotes/newlines DO reach here; escape every field.
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out += ",";
-      out += row[i];  // instrument names never contain CSV specials
+      out += csv::EscapeField(row[i]);
     }
     out += "\n";
   }

@@ -41,16 +41,45 @@ tensor::Matrix BlockedScoresGemm(const tensor::Matrix& pooled,
   }
   return out;
 }
+
+/// Narrows a matrix into a flat f32 vector (row-major, same layout).
+/// static_cast<float> rounds to nearest even — the IEEE-754 default — and
+/// is the documented artifact/store narrowing everywhere in this repo.
+std::vector<float> NarrowToF32(const tensor::Matrix& m) {
+  std::vector<float> out(m.size());
+  const double* src = m.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(src[i]);
+  }
+  return out;
+}
 }  // namespace
 
-Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoint) {
+Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoint,
+                                             tensor::Precision precision) {
   RETURN_IF_ERROR(checkpoint.Validate());
   EmbeddingStore store;
   store.model_name_ = std::move(checkpoint.model_name);
-  store.symptom_embeddings_ = std::move(checkpoint.symptom_embeddings);
-  // Serving layout: the GEMM wants herb-contiguous rows per embedding dim.
-  store.herb_embeddings_t_ = checkpoint.herb_embeddings.Transpose();
+  store.precision_ = precision;
+  store.num_symptoms_ = checkpoint.symptom_embeddings.rows();
+  store.num_herbs_ = checkpoint.herb_embeddings.rows();
+  store.dim_ = checkpoint.symptom_embeddings.cols();
   store.has_si_mlp_ = checkpoint.has_si_mlp;
+  // Serving layout: the GEMM wants herb-contiguous rows per embedding dim.
+  tensor::Matrix herbs_t = checkpoint.herb_embeddings.Transpose();
+  if (precision == tensor::Precision::kFloat32) {
+    // Narrow once at build time and drop the doubles: the f32 store is the
+    // half-footprint deployment artifact, not a cache over the f64 one.
+    store.symptom_f32_ = NarrowToF32(checkpoint.symptom_embeddings);
+    store.herbs_t_f32_ = NarrowToF32(herbs_t);
+    if (store.has_si_mlp_) {
+      store.si_weight_f32_ = NarrowToF32(checkpoint.si_weight);
+      store.si_bias_f32_ = NarrowToF32(checkpoint.si_bias);
+    }
+    return store;
+  }
+  store.symptom_embeddings_ = std::move(checkpoint.symptom_embeddings);
+  store.herb_embeddings_t_ = std::move(herbs_t);
   if (store.has_si_mlp_) {
     store.si_weight_ = std::move(checkpoint.si_weight);
     store.si_bias_ = std::move(checkpoint.si_bias);
@@ -58,8 +87,21 @@ Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoin
   return store;
 }
 
+std::size_t EmbeddingStore::payload_bytes() const {
+  if (precision_ == tensor::Precision::kFloat32) {
+    return (symptom_f32_.size() + herbs_t_f32_.size() + si_weight_f32_.size() +
+            si_bias_f32_.size()) *
+           sizeof(float);
+  }
+  return (symptom_embeddings_.size() + herb_embeddings_t_.size() +
+          si_weight_.size() + si_bias_.size()) *
+         sizeof(double);
+}
+
 tensor::Matrix EmbeddingStore::PoolSymptoms(
     const std::vector<CanonicalQuery>& batch) const {
+  SMGCN_CHECK(precision_ == tensor::Precision::kFloat64)
+      << "PoolSymptoms is the reference (f64) pooling path";
   const std::size_t d = dim();
   tensor::Matrix pooled(batch.size(), d, 0.0);
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -79,6 +121,12 @@ tensor::Matrix EmbeddingStore::PoolSymptoms(
 
 tensor::Matrix EmbeddingStore::ScoreBatch(
     const std::vector<CanonicalQuery>& batch) const {
+  return precision_ == tensor::Precision::kFloat32 ? ScoreBatchF32(batch)
+                                                   : ScoreBatchF64(batch);
+}
+
+tensor::Matrix EmbeddingStore::ScoreBatchF64(
+    const std::vector<CanonicalQuery>& batch) const {
   tensor::Matrix pooled = PoolSymptoms(batch);
   if (has_si_mlp_) {
     // ReLU(pooled W + b), eq. 12, applied to the whole batch at once. The
@@ -97,6 +145,56 @@ tensor::Matrix EmbeddingStore::ScoreBatch(
   }
   // One B x d * d x H GEMM scores the whole batch (eq. 13).
   return BlockedScoresGemm(pooled, herb_embeddings_t_);
+}
+
+tensor::Matrix EmbeddingStore::ScoreBatchF32(
+    const std::vector<CanonicalQuery>& batch) const {
+  const std::size_t d = dim();
+  const std::size_t h = num_herbs();
+  const tensor::kernels::Backend& kern = tensor::kernels::Active();
+
+  // Mean-pool in f32 (same sum-then-scale order as the reference).
+  std::vector<float> pooled(batch.size() * d, 0.0f);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<int>& ids = batch[i].symptom_ids;
+    SMGCN_CHECK(!ids.empty()) << "canonical query must be non-empty";
+    float* out = pooled.data() + i * d;
+    for (int s : ids) {
+      SMGCN_CHECK_LT(static_cast<std::size_t>(s), num_symptoms());
+      const float* row = symptom_f32_.data() + static_cast<std::size_t>(s) * d;
+      for (std::size_t c = 0; c < d; ++c) out[c] += row[c];
+    }
+    const float inv = 1.0f / static_cast<float>(ids.size());
+    for (std::size_t c = 0; c < d; ++c) out[c] *= inv;
+  }
+
+  if (has_si_mlp_) {
+    // ReLU(pooled W + b): the d x d weight is row-major, which is already
+    // the kernels' k-major "bt" layout for this product.
+    std::vector<float> hidden(batch.size() * d);
+    kern.gemm_f32(pooled.data(), si_weight_f32_.data(), batch.size(), d, d,
+                  hidden.data());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      float* row = hidden.data() + i * d;
+      for (std::size_t c = 0; c < d; ++c) {
+        row[c] += si_bias_f32_[c];
+        if (row[c] < 0.0f) row[c] = 0.0f;
+      }
+    }
+    pooled = std::move(hidden);
+  }
+
+  // One B x d * d x H f32 GEMM (eq. 13), widened on the way out — the
+  // engine's top-k and cache layers stay precision-agnostic.
+  std::vector<float> scores(batch.size() * h);
+  kern.gemm_f32(pooled.data(), herbs_t_f32_.data(), batch.size(), d, h,
+                scores.data());
+  tensor::Matrix out(batch.size(), h);
+  double* dst = out.data();
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    dst[i] = static_cast<double>(scores[i]);
+  }
+  return out;
 }
 
 std::vector<double> EmbeddingStore::ScoreOne(const CanonicalQuery& query) const {

@@ -13,6 +13,19 @@
 // result is bit-identical to scoring that query alone (the kernels process
 // rows independently in a fixed order), which is what makes the engine's
 // batched and per-query paths interchangeable.
+//
+// Precision: a store is built at one of two precisions.
+//   * Precision::kFloat64 (the default) is the bit-exact reference: plain
+//     double arithmetic, identical to CheckpointRecommender::Score.
+//   * Precision::kFloat32 halves the embedding footprint (the checkpoint's
+//     doubles are narrowed once at Build, round-to-nearest-even) and scores
+//     through the runtime-dispatched f32 kernels (tensor/kernels.h —
+//     AVX2 where the CPU has it, scalar otherwise). Scores are returned
+//     widened to double; accuracy versus the f64 reference is bounded by
+//     the top-k-agreement / NDCG-delta parity tests.
+// The row-independence contract holds at both precisions and for both f32
+// backends: batched rows are bit-identical to single-query runs within one
+// (store, backend) pair.
 #ifndef SMGCN_SERVE_EMBEDDING_STORE_H_
 #define SMGCN_SERVE_EMBEDDING_STORE_H_
 
@@ -21,6 +34,7 @@
 
 #include "src/core/checkpoint.h"
 #include "src/serve/query.h"
+#include "src/tensor/kernels.h"
 #include "src/tensor/matrix.h"
 #include "src/util/status.h"
 
@@ -30,22 +44,32 @@ namespace serve {
 /// Immutable, thread-safe (read-only after Build) scoring artifact.
 class EmbeddingStore {
  public:
-  /// Validates the checkpoint and takes ownership of its matrices.
-  static Result<EmbeddingStore> Build(core::InferenceCheckpoint checkpoint);
+  /// Validates the checkpoint and takes ownership of its matrices. At
+  /// Precision::kFloat32 the payloads are narrowed once here and the
+  /// doubles are dropped (half-footprint serving).
+  static Result<EmbeddingStore> Build(
+      core::InferenceCheckpoint checkpoint,
+      tensor::Precision precision = tensor::Precision::kFloat64);
 
   const std::string& model_name() const { return model_name_; }
-  std::size_t num_symptoms() const { return symptom_embeddings_.rows(); }
-  std::size_t num_herbs() const { return herb_embeddings_t_.cols(); }
-  std::size_t dim() const { return symptom_embeddings_.cols(); }
+  std::size_t num_symptoms() const { return num_symptoms_; }
+  std::size_t num_herbs() const { return num_herbs_; }
+  std::size_t dim() const { return dim_; }
   bool has_si_mlp() const { return has_si_mlp_; }
+  tensor::Precision precision() const { return precision_; }
+
+  /// Bytes held by the embedding/MLP payloads (the f32 build is half the
+  /// f64 build of the same checkpoint).
+  std::size_t payload_bytes() const;
 
   /// Mean-pools each query's symptom embeddings into one row (B x d).
   /// Queries must already be canonical (ids validated against
-  /// num_symptoms()).
+  /// num_symptoms()). Double-precision (reference-path) pooling.
   tensor::Matrix PoolSymptoms(const std::vector<CanonicalQuery>& batch) const;
 
   /// Scores every herb for every query in one fused pass (B x H). Row i is
-  /// bit-identical to ScoreOne(batch[i]).
+  /// bit-identical to ScoreOne(batch[i]). The f32 store computes in float
+  /// through the dispatched kernels and widens the result.
   tensor::Matrix ScoreBatch(const std::vector<CanonicalQuery>& batch) const;
 
   /// Herb scores for a single canonical query.
@@ -54,12 +78,27 @@ class EmbeddingStore {
  private:
   EmbeddingStore() = default;
 
+  tensor::Matrix ScoreBatchF64(const std::vector<CanonicalQuery>& batch) const;
+  tensor::Matrix ScoreBatchF32(const std::vector<CanonicalQuery>& batch) const;
+
   std::string model_name_;
+  tensor::Precision precision_ = tensor::Precision::kFloat64;
+  std::size_t num_symptoms_ = 0;
+  std::size_t num_herbs_ = 0;
+  std::size_t dim_ = 0;
+  bool has_si_mlp_ = false;
+
+  // f64 (reference) payloads; empty when precision_ == kFloat32.
   tensor::Matrix symptom_embeddings_;  // S x d
   tensor::Matrix herb_embeddings_t_;   // d x H, GEMM-friendly serving layout
-  bool has_si_mlp_ = false;
-  tensor::Matrix si_weight_;  // d x d
-  tensor::Matrix si_bias_;    // 1 x d
+  tensor::Matrix si_weight_;           // d x d
+  tensor::Matrix si_bias_;             // 1 x d
+
+  // f32 payloads (same layouts); empty when precision_ == kFloat64.
+  std::vector<float> symptom_f32_;   // S x d
+  std::vector<float> herbs_t_f32_;   // d x H
+  std::vector<float> si_weight_f32_; // d x d
+  std::vector<float> si_bias_f32_;   // d
 };
 
 }  // namespace serve

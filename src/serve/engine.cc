@@ -35,12 +35,13 @@ std::uint64_t NextSnapshotSalt() {
 }  // namespace
 
 Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
-    core::InferenceCheckpoint checkpoint, std::string version) {
+    core::InferenceCheckpoint checkpoint, std::string version,
+    tensor::Precision precision) {
   if (version.empty()) {
     return Status::InvalidArgument("model version must be non-empty");
   }
   ASSIGN_OR_RETURN(EmbeddingStore store,
-                   EmbeddingStore::Build(std::move(checkpoint)));
+                   EmbeddingStore::Build(std::move(checkpoint), precision));
   return std::make_shared<const ModelSnapshot>(
       std::move(store), std::move(version), NextSnapshotSalt());
 }
@@ -96,9 +97,9 @@ void ServingEngine::ParallelBlocks(
 
 Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
     core::InferenceCheckpoint checkpoint, ServingEngineOptions options) {
-  ASSIGN_OR_RETURN(
-      std::shared_ptr<const ModelSnapshot> snapshot,
-      MakeModelSnapshot(std::move(checkpoint), options.initial_version));
+  ASSIGN_OR_RETURN(std::shared_ptr<const ModelSnapshot> snapshot,
+                   MakeModelSnapshot(std::move(checkpoint),
+                                     options.initial_version, options.precision));
   return CreateFromSnapshot(std::move(snapshot), std::move(options));
 }
 
@@ -174,9 +175,9 @@ ServingEngine::~ServingEngine() { Shutdown(); }
 
 Status ServingEngine::Publish(core::InferenceCheckpoint checkpoint,
                               std::string version) {
-  ASSIGN_OR_RETURN(
-      std::shared_ptr<const ModelSnapshot> snapshot,
-      MakeModelSnapshot(std::move(checkpoint), std::move(version)));
+  ASSIGN_OR_RETURN(std::shared_ptr<const ModelSnapshot> snapshot,
+                   MakeModelSnapshot(std::move(checkpoint), std::move(version),
+                                     options_.precision));
   return PublishSnapshot(std::move(snapshot));
 }
 
@@ -253,6 +254,10 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
 std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
     const ModelSnapshot& snap, const std::vector<CanonicalQuery>& queries,
     std::size_t k, std::vector<QueryStages>* stages) const {
+  // Clamp BEFORE the cache: a k beyond the herb catalog means "rank every
+  // herb", and clamping here makes k=H, H+1, H+100... one cache entry (the
+  // cache requires an exact k match) instead of one fragment each.
+  k = std::min(k, snap.store.num_herbs());
   if (stages != nullptr) stages->assign(queries.size(), QueryStages{});
   std::vector<std::vector<std::size_t>> results(queries.size());
   std::vector<std::size_t> misses;  // indices still needing a GEMM
@@ -374,6 +379,9 @@ std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
   // Bind the request to the version active at admission; the batch executor
   // scores it on this snapshot even if a Publish lands first.
   request.snapshot = Snapshot();
+  // Clamp over-catalog ks at admission so they micro-batch into one
+  // (snapshot, k) group; RecommendCanonical clamps again for the sync path.
+  request.k = std::min(request.k, request.snapshot->store.num_herbs());
   auto query = Canonicalize(symptoms, request.snapshot->store.num_symptoms());
   if (!query.ok()) {
     request.promise.set_value(query.status());

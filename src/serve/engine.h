@@ -75,9 +75,13 @@ struct ModelSnapshot {
 };
 
 /// Validates `checkpoint` and freezes it into a snapshot under the given
-/// semantic version, assigning a fresh cache salt.
+/// semantic version, assigning a fresh cache salt. At Precision::kFloat32
+/// the store narrows the payloads once and serves through the dispatched
+/// f32 kernels (half the memory, vectorized scoring); kFloat64 is the
+/// bit-exact reference.
 Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
-    core::InferenceCheckpoint checkpoint, std::string version);
+    core::InferenceCheckpoint checkpoint, std::string version,
+    tensor::Precision precision = tensor::Precision::kFloat64);
 
 struct ServingEngineOptions {
   /// Upper bound on queries fused into one GEMM by the micro-batcher (and
@@ -113,6 +117,13 @@ struct ServingEngineOptions {
   /// Semantic version assigned to the checkpoint passed to Create() (the
   /// snapshot-based factory carries its own version).
   std::string initial_version = "v1";
+  /// Scoring precision for snapshots the engine builds itself (Create and
+  /// Publish from a checkpoint). kFloat64 is the bit-exact reference;
+  /// kFloat32 halves the store footprint and scores through the
+  /// runtime-dispatched SIMD kernels. Snapshot-based entry points
+  /// (CreateFromSnapshot / PublishSnapshot) keep the precision their
+  /// snapshot was built with.
+  tensor::Precision precision = tensor::Precision::kFloat64;
 };
 
 /// Concurrent batched inference engine over a trained checkpoint.
@@ -160,7 +171,9 @@ class ServingEngine {
   Result<std::vector<std::vector<double>>> ScoreBatch(
       const std::vector<std::vector<int>>& queries) const;
 
-  /// Top-k herb ids per query; consults the cache before scoring.
+  /// Top-k herb ids per query; consults the cache before scoring. A k
+  /// larger than the herb catalog is clamped to it (every herb, ranked),
+  /// and all over-catalog ks share one cache entry.
   Result<std::vector<std::vector<std::size_t>>> RecommendBatch(
       const std::vector<std::vector<int>>& queries, std::size_t k) const;
 

@@ -91,9 +91,13 @@ Result<PublishReceipt> ModelManager::PublishArtifact(const std::string& path) {
   ASSIGN_OR_RETURN(core::InferenceCheckpoint checkpoint,
                    artifact.ToCheckpoint());
   open_latency_->Record(open_clock.ElapsedSeconds());
-  ASSIGN_OR_RETURN(
-      std::shared_ptr<const ModelSnapshot> snapshot,
-      MakeModelSnapshot(std::move(checkpoint), artifact.model_version()));
+  // Serve at the artifact's storage precision: an f32 artifact round-trips
+  // through the f64 checkpoint exactly (widen then narrow back), so the
+  // store's floats are bit-identical to the file's.
+  ASSIGN_OR_RETURN(std::shared_ptr<const ModelSnapshot> snapshot,
+                   MakeModelSnapshot(std::move(checkpoint),
+                                     artifact.model_version(),
+                                     artifact.precision()));
   return Install(artifact.model_name(), std::move(snapshot));
 }
 

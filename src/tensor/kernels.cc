@@ -1,0 +1,116 @@
+#include "src/tensor/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace smgcn {
+namespace tensor {
+
+const char* PrecisionName(Precision precision) {
+  return precision == Precision::kFloat32 ? "f32" : "f64";
+}
+
+namespace kernels {
+
+namespace {
+
+float ScalarDotF32(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t k = 0; k < n; ++k) acc += a[k] * b[k];
+  return acc;
+}
+
+void ScalarGemvF32(const float* x, const float* bt, std::size_t d,
+                   std::size_t h, float* out) {
+  for (std::size_t j = 0; j < h; ++j) out[j] = 0.0f;
+  // Stream bt row by row (herb-contiguous) with independent accumulators
+  // per herb; each out[j] still sums its d terms in ascending-k order.
+  for (std::size_t k = 0; k < d; ++k) {
+    const float xk = x[k];
+    const float* bt_row = bt + k * h;
+    for (std::size_t j = 0; j < h; ++j) out[j] += xk * bt_row[j];
+  }
+}
+
+void ScalarGemmF32(const float* a, const float* bt, std::size_t b,
+                   std::size_t d, std::size_t h, float* out) {
+  // Same query-blocked shape as the f64 reference GEMM: a small query block
+  // reuses each streamed bt row while the block's output rows stay
+  // cache-resident.
+  constexpr std::size_t kQueryBlock = 4;
+  std::memset(out, 0, b * h * sizeof(float));
+  for (std::size_t i0 = 0; i0 < b; i0 += kQueryBlock) {
+    const std::size_t i1 = i0 + kQueryBlock < b ? i0 + kQueryBlock : b;
+    for (std::size_t k = 0; k < d; ++k) {
+      const float* bt_row = bt + k * h;
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float aik = a[i * d + k];
+        float* out_row = out + i * h;
+        for (std::size_t j = 0; j < h; ++j) out_row[j] += aik * bt_row[j];
+      }
+    }
+  }
+}
+
+constexpr Backend kScalarBackend = {
+    "scalar",
+    &ScalarDotF32,
+    &ScalarGemvF32,
+    &ScalarGemmF32,
+};
+
+std::atomic<bool> g_force_scalar{false};
+
+/// CPUID probe + environment override, run exactly once.
+const Backend* DetectSimdBackend() {
+  const char* env = std::getenv("SMGCN_FORCE_SCALAR_KERNELS");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    g_force_scalar.store(true, std::memory_order_relaxed);
+  }
+  const Backend* avx2 = Avx2Backend();
+  if (avx2 == nullptr) return nullptr;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return avx2;
+  }
+  return nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+const Backend* SimdBackend() {
+  static const Backend* backend = DetectSimdBackend();
+  return backend;
+}
+
+}  // namespace
+
+const Backend& ScalarBackend() { return kScalarBackend; }
+
+const Backend& Active() {
+  const Backend* simd = SimdBackend();  // also applies the env override
+  if (simd == nullptr || g_force_scalar.load(std::memory_order_relaxed)) {
+    return kScalarBackend;
+  }
+  return *simd;
+}
+
+const char* ActiveName() { return Active().name; }
+
+bool SimdAvailable() { return SimdBackend() != nullptr; }
+
+void ForceScalar(bool force) {
+  SimdBackend();  // settle the env override before explicit control
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool ScalarForced() {
+  SimdBackend();
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace smgcn

@@ -1,0 +1,104 @@
+// Runtime-dispatched float32 scoring micro-kernels.
+//
+// The serving hot loop (SMGCN eq. 13: fused symptom-set embedding dotted
+// against every herb embedding) is a GEMV/GEMM over the transposed-herb
+// layout (d x H, herb-contiguous rows per embedding dim). The double-
+// precision path stays the bit-exact reference in tensor::Matrix /
+// serve::EmbeddingStore; this header is the reduced-precision fast path:
+//
+//   * `Backend` is a table of f32 micro-kernels (dot, GEMV, batched GEMM)
+//     over that layout.
+//   * `Active()` picks the widest implementation the *running* CPU supports,
+//     decided once at startup: AVX2+FMA when the CPUID bits are set (the
+//     AVX2 kernels live in kernels_avx2.cc, compiled with -mavx2 -mfma in
+//     their own TU so the rest of the build never emits AVX2 on its own),
+//     otherwise the portable scalar fallback.
+//   * `ForceScalar(true)` — or the environment variable
+//     SMGCN_FORCE_SCALAR_KERNELS=1, read once before the first dispatch —
+//     pins the scalar fallback regardless of CPUID; CI runs the whole test
+//     suite both ways so both codepaths stay green.
+//
+// Accuracy contract: every kernel accumulates each output element's d terms
+// in ascending-k order starting from 0 (the same per-element summation
+// order as the double reference), so batched rows equal single-row runs
+// exactly within a backend, and f32 results differ from the f64 reference
+// only by float rounding — bounded by the top-k-agreement / NDCG-delta
+// parity tests in tests/kernels_test.cc. The AVX2 kernels use FMA, so they
+// are not bit-identical to the scalar f32 fallback (fewer roundings, i.e.
+// slightly *more* accurate); the parity bounds hold for both.
+#ifndef SMGCN_TENSOR_KERNELS_H_
+#define SMGCN_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+namespace smgcn {
+namespace tensor {
+
+/// Element precision of a scoring path or artifact payload. Conversions
+/// f64 -> f32 round to nearest even (the IEEE-754 default for
+/// static_cast<float>); f32 -> f64 is exact.
+enum class Precision {
+  kFloat64,
+  kFloat32,
+};
+
+/// Human-readable precision name ("f64" / "f32").
+const char* PrecisionName(Precision precision);
+
+namespace kernels {
+
+/// One f32 kernel implementation set. All pointers are non-null.
+struct Backend {
+  /// Implementation name for logs/benches: "scalar" or "avx2".
+  const char* name;
+
+  /// Plain dot product: sum_k a[k] * b[k].
+  float (*dot_f32)(const float* a, const float* b, std::size_t n);
+
+  /// GEMV over the transposed-herb layout:
+  ///   out[j] = sum_k x[k] * bt[k * h + j]        for j in [0, h)
+  /// `x` is one pooled query (d floats), `bt` is d x h row-major.
+  void (*gemv_f32)(const float* x, const float* bt, std::size_t d,
+                   std::size_t h, float* out);
+
+  /// Batched GEMM over the same layout:
+  ///   out[i * h + j] = sum_k a[i * d + k] * bt[k * h + j]
+  /// `a` is b x d row-major (pooled queries), `out` is b x h row-major.
+  void (*gemm_f32)(const float* a, const float* bt, std::size_t b,
+                   std::size_t d, std::size_t h, float* out);
+};
+
+/// The portable fallback; always available, never uses SIMD intrinsics.
+const Backend& ScalarBackend();
+
+/// The AVX2+FMA implementation, or nullptr when this build has no AVX2 TU
+/// (non-x86 target or a compiler without -mavx2). Availability of the TU
+/// does not imply the running CPU supports it — use Active().
+const Backend* Avx2Backend();
+
+/// The backend scoring should use: the widest implementation compiled in
+/// AND supported by the running CPU, unless scalar is forced. The CPUID
+/// probe runs once; Active() afterwards is a load.
+const Backend& Active();
+
+/// Name of Active()'s backend ("scalar" / "avx2").
+const char* ActiveName();
+
+/// True when an SIMD backend is compiled in and the CPU supports it
+/// (regardless of ForceScalar).
+bool SimdAvailable();
+
+/// Pins (or releases) the scalar fallback. Takes effect for subsequent
+/// Active() calls; intended for tests and the forced-scalar CI leg, not for
+/// flipping mid-query. Also settable via SMGCN_FORCE_SCALAR_KERNELS=1 in
+/// the environment (read once, before the first dispatch).
+void ForceScalar(bool force);
+
+/// True when the scalar fallback is currently pinned.
+bool ScalarForced();
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace smgcn
+
+#endif  // SMGCN_TENSOR_KERNELS_H_

@@ -1,0 +1,197 @@
+// AVX2+FMA implementations of the f32 scoring micro-kernels.
+//
+// This TU — and only this TU — is compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt), so the intrinsics below are legal here while the
+// rest of the build stays at its baseline ISA. Whether these kernels are
+// *used* is a separate, runtime decision made by kernels::Active() from
+// CPUID, so a binary built on an AVX2 machine still runs (on the scalar
+// fallback) on one without it.
+//
+// Summation order: each output element accumulates its d terms in
+// ascending-k order in a single lane, matching the scalar kernels' order;
+// the only difference is FMA (one rounding per term instead of two), which
+// the parity tests bound.
+#include "src/tensor/kernels.h"
+
+#if defined(SMGCN_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace smgcn {
+namespace tensor {
+namespace kernels {
+
+namespace {
+
+float Avx2DotF32(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + k), _mm256_loadu_ps(b + k), acc);
+  }
+  // Horizontal reduction of the 8 partial sums.
+  __m128 lo = _mm256_castps256_ps128(acc);
+  __m128 hi = _mm256_extractf128_ps(acc, 1);
+  __m128 sum4 = _mm_add_ps(lo, hi);
+  __m128 sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+  __m128 sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0x1));
+  float total = _mm_cvtss_f32(sum1);
+  for (; k < n; ++k) total += a[k] * b[k];
+  return total;
+}
+
+/// Computes out[j0, j0+count) for one query row — the ragged-edge helper
+/// shared by the GEMV and the blocked GEMM.
+void Avx2GemvTail(const float* x, const float* bt, std::size_t d,
+                  std::size_t h, std::size_t j0, std::size_t count,
+                  float* out) {
+  std::size_t j = j0;
+  const std::size_t j_end = j0 + count;
+  for (; j + 8 <= j_end; j += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < d; ++k) {
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(x[k]),
+                            _mm256_loadu_ps(bt + k * h + j), acc);
+    }
+    _mm256_storeu_ps(out + j, acc);
+  }
+  for (; j < j_end; ++j) {
+    float acc = 0.0f;
+    for (std::size_t k = 0; k < d; ++k) acc += x[k] * bt[k * h + j];
+    out[j] = acc;
+  }
+}
+
+/// One query against a j-tile of herbs: accumulators for [j0, j0+width)
+/// live in registers across the whole k loop, streaming bt column tiles.
+/// width is 32 herbs (4 ymm) in the main loop.
+void Avx2GemvF32(const float* x, const float* bt, std::size_t d,
+                 std::size_t h, float* out) {
+  std::size_t j = 0;
+  for (; j + 32 <= h; j += 32) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < d; ++k) {
+      const __m256 xk = _mm256_set1_ps(x[k]);
+      const float* row = bt + k * h + j;
+      acc0 = _mm256_fmadd_ps(xk, _mm256_loadu_ps(row), acc0);
+      acc1 = _mm256_fmadd_ps(xk, _mm256_loadu_ps(row + 8), acc1);
+      acc2 = _mm256_fmadd_ps(xk, _mm256_loadu_ps(row + 16), acc2);
+      acc3 = _mm256_fmadd_ps(xk, _mm256_loadu_ps(row + 24), acc3);
+    }
+    _mm256_storeu_ps(out + j, acc0);
+    _mm256_storeu_ps(out + j + 8, acc1);
+    _mm256_storeu_ps(out + j + 16, acc2);
+    _mm256_storeu_ps(out + j + 24, acc3);
+  }
+  for (; j + 8 <= h; j += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t k = 0; k < d; ++k) {
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(x[k]),
+                            _mm256_loadu_ps(bt + k * h + j), acc);
+    }
+    _mm256_storeu_ps(out + j, acc);
+  }
+  for (; j < h; ++j) {
+    float acc = 0.0f;
+    for (std::size_t k = 0; k < d; ++k) acc += x[k] * bt[k * h + j];
+    out[j] = acc;
+  }
+}
+
+/// Register-blocked batched GEMM: 4 queries x 16 herbs (8 ymm accumulators)
+/// per tile; each bt load is reused by all 4 queries in the block.
+void Avx2GemmF32(const float* a, const float* bt, std::size_t b,
+                 std::size_t d, std::size_t h, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= b; i += 4) {
+    const float* a0 = a + (i + 0) * d;
+    const float* a1 = a + (i + 1) * d;
+    const float* a2 = a + (i + 2) * d;
+    const float* a3 = a + (i + 3) * d;
+    float* o0 = out + (i + 0) * h;
+    float* o1 = out + (i + 1) * h;
+    float* o2 = out + (i + 2) * h;
+    float* o3 = out + (i + 3) * h;
+    std::size_t j = 0;
+    for (; j + 16 <= h; j += 16) {
+      __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+      __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+      __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+      __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+      for (std::size_t k = 0; k < d; ++k) {
+        const float* row = bt + k * h + j;
+        const __m256 b0 = _mm256_loadu_ps(row);
+        const __m256 b1 = _mm256_loadu_ps(row + 8);
+        const __m256 v0 = _mm256_set1_ps(a0[k]);
+        const __m256 v1 = _mm256_set1_ps(a1[k]);
+        const __m256 v2 = _mm256_set1_ps(a2[k]);
+        const __m256 v3 = _mm256_set1_ps(a3[k]);
+        c00 = _mm256_fmadd_ps(v0, b0, c00);
+        c01 = _mm256_fmadd_ps(v0, b1, c01);
+        c10 = _mm256_fmadd_ps(v1, b0, c10);
+        c11 = _mm256_fmadd_ps(v1, b1, c11);
+        c20 = _mm256_fmadd_ps(v2, b0, c20);
+        c21 = _mm256_fmadd_ps(v2, b1, c21);
+        c30 = _mm256_fmadd_ps(v3, b0, c30);
+        c31 = _mm256_fmadd_ps(v3, b1, c31);
+      }
+      _mm256_storeu_ps(o0 + j, c00);
+      _mm256_storeu_ps(o0 + j + 8, c01);
+      _mm256_storeu_ps(o1 + j, c10);
+      _mm256_storeu_ps(o1 + j + 8, c11);
+      _mm256_storeu_ps(o2 + j, c20);
+      _mm256_storeu_ps(o2 + j + 8, c21);
+      _mm256_storeu_ps(o3 + j, c30);
+      _mm256_storeu_ps(o3 + j + 8, c31);
+    }
+    if (j < h) {
+      // Ragged herb tail: fall back to the GEMV tile per query row.
+      const std::size_t tail = h - j;
+      Avx2GemvTail(a0, bt, d, h, j, tail, o0);
+      Avx2GemvTail(a1, bt, d, h, j, tail, o1);
+      Avx2GemvTail(a2, bt, d, h, j, tail, o2);
+      Avx2GemvTail(a3, bt, d, h, j, tail, o3);
+    }
+  }
+  // Ragged query tail: plain GEMV per remaining row.
+  for (; i < b; ++i) {
+    Avx2GemvF32(a + i * d, bt, d, h, out + i * h);
+  }
+}
+
+}  // namespace
+
+const Backend* Avx2Backend() {
+  static const Backend backend = {
+      "avx2",
+      &Avx2DotF32,
+      &Avx2GemvF32,
+      &Avx2GemmF32,
+  };
+  return &backend;
+}
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace smgcn
+
+#else  // !defined(SMGCN_KERNELS_AVX2)
+
+namespace smgcn {
+namespace tensor {
+namespace kernels {
+
+// This build carries no AVX2 TU (non-x86 target or a compiler without
+// -mavx2); dispatch falls through to the scalar backend.
+const Backend* Avx2Backend() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace smgcn
+
+#endif  // SMGCN_KERNELS_AVX2

@@ -5,24 +5,6 @@
 #include "src/util/string_util.h"
 
 namespace smgcn {
-namespace {
-
-bool NeedsQuoting(const std::string& field) {
-  return field.find_first_of(",\"\n\r") != std::string::npos;
-}
-
-std::string EscapeField(const std::string& field) {
-  if (!NeedsQuoting(field)) return field;
-  std::string out = "\"";
-  for (char c : field) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-}  // namespace
 
 CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
 
@@ -48,7 +30,7 @@ std::string CsvWriter::ToString() const {
   auto append_row = [&out](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out += ',';
-      out += EscapeField(row[i]);
+      out += csv::EscapeField(row[i]);
     }
     out += '\n';
   };

@@ -137,6 +137,67 @@ TEST(ArtifactTest, ConverterMatchesTextCheckpoint) {
   EXPECT_EQ(restored->herb_embeddings, original.herb_embeddings);
 }
 
+TEST(ArtifactTest, Float32RoundTripNarrowsOnceAndWidensExactly) {
+  const InferenceCheckpoint original = MakeCheckpoint(true);
+  const std::string f64_path = testing::TempDir() + "/smgcn_rt_f64.smga";
+  const std::string f32_path = testing::TempDir() + "/smgcn_rt_f32.smga";
+  ASSERT_TRUE(SaveArtifact(original, "v5", f64_path).ok());
+  ASSERT_TRUE(
+      SaveArtifact(original, "v5", f32_path, tensor::Precision::kFloat32).ok());
+
+  auto artifact = MappedArtifact::Open(f32_path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  EXPECT_EQ(artifact->precision(), tensor::Precision::kFloat32);
+  EXPECT_TRUE(artifact->has_si_mlp());
+  // f32 sections expose the float pointer; the double pointer stays null.
+  EXPECT_EQ(artifact->symptom_embeddings().data, nullptr);
+  ASSERT_NE(artifact->symptom_embeddings().data_f32, nullptr);
+
+  // Half-size payloads: the f32 file is strictly smaller than its f64 twin.
+  EXPECT_LT(artifact->file_bytes(),
+            MappedArtifact::Open(f64_path)->file_bytes());
+
+  auto restored = artifact->ToCheckpoint();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->model_name, original.model_name);
+  ASSERT_EQ(restored->symptom_embeddings.rows(),
+            original.symptom_embeddings.rows());
+  // Exactly one rounding step: each restored double is the round-to-nearest
+  // float of the original, widened exactly — never double-rounded.
+  const auto expect_narrowed_once = [](const Matrix& got, const Matrix& want) {
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got.data()[i],
+                static_cast<double>(static_cast<float>(want.data()[i])));
+    }
+  };
+  expect_narrowed_once(restored->symptom_embeddings,
+                       original.symptom_embeddings);
+  expect_narrowed_once(restored->herb_embeddings, original.herb_embeddings);
+  expect_narrowed_once(restored->si_weight, original.si_weight);
+  expect_narrowed_once(restored->si_bias, original.si_bias);
+}
+
+TEST(ArtifactTest, Float32ConverterMatchesInMemoryNarrowing) {
+  const InferenceCheckpoint original = MakeCheckpoint(true);
+  const std::string text_path = testing::TempDir() + "/smgcn_cvt32.ckpt";
+  const std::string artifact_path = testing::TempDir() + "/smgcn_cvt32.smga";
+  ASSERT_TRUE(SaveInferenceCheckpoint(original, text_path).ok());
+  ASSERT_TRUE(ConvertCheckpointToArtifact(text_path, "v9", artifact_path,
+                                          tensor::Precision::kFloat32)
+                  .ok());
+  auto artifact = MappedArtifact::Open(artifact_path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  EXPECT_EQ(artifact->precision(), tensor::Precision::kFloat32);
+  const MappedArtifact::SectionView view = artifact->herb_embeddings();
+  ASSERT_NE(view.data_f32, nullptr);
+  for (std::size_t i = 0; i < original.herb_embeddings.size(); ++i) {
+    EXPECT_EQ(view.data_f32[i],
+              static_cast<float>(original.herb_embeddings.data()[i]));
+  }
+}
+
 TEST(ArtifactTest, SaveRejectsInvalidInput) {
   EXPECT_FALSE(SaveArtifact(InferenceCheckpoint{}, "v1",
                             testing::TempDir() + "/smgcn_bad.smga")
@@ -227,6 +288,35 @@ TEST_F(ArtifactCorruptionTest, CorruptedModelNameFailsHeaderChecksum) {
   const Status status = OpenPatched(bad);
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(status.message().find("header checksum"), std::string::npos)
+      << status.message();
+}
+
+// The fixture's model name is 19 bytes and the version 2, so the section
+// table starts at AlignUp(64 + 19 + 2) = 128; each SectionHeader is 64
+// bytes with the dtype word at offset 4. The table is not covered by the
+// header checksum (only payloads are), so dtype corruption must be caught
+// by validation, not by a checksum mismatch.
+constexpr std::size_t kFixtureTableOffset = 128;
+
+TEST_F(ArtifactCorruptionTest, UnknownSectionDtypeIsRejected) {
+  std::string bad = bytes_;
+  const std::uint32_t bogus = 7;
+  std::memcpy(bad.data() + kFixtureTableOffset + 4, &bogus, sizeof(bogus));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown dtype"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(ArtifactCorruptionTest, MixedSectionDtypesAreRejected) {
+  // Flip only the second section (herb embeddings) to f32 in an otherwise
+  // f64 file: one artifact, one dtype.
+  std::string bad = bytes_;
+  const std::uint32_t f32 = 1;
+  std::memcpy(bad.data() + kFixtureTableOffset + 64 + 4, &f32, sizeof(f32));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("share one dtype"), std::string::npos)
       << status.message();
 }
 

@@ -1,0 +1,320 @@
+// Tests for src/tensor/kernels: scalar/AVX2 f32 micro-kernel correctness,
+// runtime dispatch control, and the f32-vs-f64 serving parity properties
+// (top-k agreement and NDCG delta) the float scoring path is shipped under.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/eval/metrics.h"
+#include "src/serve/embedding_store.h"
+#include "src/serve/engine.h"
+#include "src/serve/query.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/matrix.h"
+#include "src/util/parallel.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace tensor {
+namespace kernels {
+namespace {
+
+/// RAII scalar-kernel override so a failing assertion can't leave the
+/// process pinned to the wrong backend for later tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) : previous_(ScalarForced()) {
+    ForceScalar(force);
+  }
+  ~ScopedForceScalar() { ForceScalar(previous_); }
+
+ private:
+  bool previous_;
+};
+
+std::vector<float> RandomVec(std::size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng->Normal(0.0, 1.0));
+  return v;
+}
+
+/// Double-accumulated reference for one output element: the ground truth
+/// every f32 kernel is checked against (within float tolerance).
+double RefDot(const float* a, const float* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += static_cast<double>(a[k]) * static_cast<double>(b[k]);
+  }
+  return acc;
+}
+
+void ExpectGemmMatchesReference(const Backend& backend, std::size_t b,
+                                std::size_t d, std::size_t h, Rng* rng) {
+  const std::vector<float> a = RandomVec(b * d, rng);
+  const std::vector<float> bt = RandomVec(d * h, rng);
+  std::vector<float> out(b * h, -1.0f);
+  backend.gemm_f32(a.data(), bt.data(), b, d, h, out.data());
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < h; ++j) {
+      std::vector<float> col(d);
+      for (std::size_t k = 0; k < d; ++k) col[k] = bt[k * h + j];
+      const double ref = RefDot(a.data() + i * d, col.data(), d);
+      const double tol = 1e-5 * (1.0 + std::abs(ref)) * std::sqrt(double(d));
+      EXPECT_NEAR(out[i * h + j], ref, tol)
+          << backend.name << " b=" << b << " d=" << d << " h=" << h << " ("
+          << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(KernelsTest, ScalarDotMatchesReference) {
+  Rng rng(11);
+  for (std::size_t n : {1u, 7u, 8u, 9u, 64u, 257u}) {
+    const std::vector<float> a = RandomVec(n, &rng);
+    const std::vector<float> b = RandomVec(n, &rng);
+    const double ref = RefDot(a.data(), b.data(), n);
+    EXPECT_NEAR(ScalarBackend().dot_f32(a.data(), b.data(), n), ref,
+                1e-5 * (1.0 + std::abs(ref)))
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, ScalarGemvBitMatchesPerColumnScalarLoop) {
+  // The scalar GEMV streams bt row by row but still accumulates each
+  // out[j] in ascending-k order — bit-identical to the naive column loop.
+  Rng rng(12);
+  const std::size_t d = 16, h = 41;
+  const std::vector<float> x = RandomVec(d, &rng);
+  const std::vector<float> bt = RandomVec(d * h, &rng);
+  std::vector<float> out(h);
+  ScalarBackend().gemv_f32(x.data(), bt.data(), d, h, out.data());
+  for (std::size_t j = 0; j < h; ++j) {
+    float acc = 0.0f;
+    for (std::size_t k = 0; k < d; ++k) acc += x[k] * bt[k * h + j];
+    EXPECT_EQ(out[j], acc) << "j=" << j;
+  }
+}
+
+TEST(KernelsTest, GemmMatchesReferenceOnRaggedShapes) {
+  // Cover every tile/tail combination of both backends: query block (4) and
+  // herb tiles (32/16/8) plus their scalar remainders.
+  Rng rng(13);
+  std::vector<const Backend*> backends = {&ScalarBackend()};
+  if (SimdAvailable()) backends.push_back(Avx2Backend());
+  for (const Backend* backend : backends) {
+    for (std::size_t b : {1u, 3u, 4u, 5u, 9u}) {
+      for (std::size_t d : {1u, 8u, 33u}) {
+        for (std::size_t h : {1u, 7u, 16u, 31u, 40u, 100u}) {
+          ExpectGemmMatchesReference(*backend, b, d, h, &rng);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, GemmRowsBitIdenticalToGemv) {
+  // The row-independence contract: every row of a batched GEMM equals the
+  // single-query GEMV bit for bit, within one backend. This is what lets
+  // the engine mix batched and per-query paths freely.
+  Rng rng(14);
+  std::vector<const Backend*> backends = {&ScalarBackend()};
+  if (SimdAvailable()) backends.push_back(Avx2Backend());
+  for (const Backend* backend : backends) {
+    for (std::size_t b : {1u, 4u, 6u}) {
+      for (std::size_t d : {8u, 24u}) {
+        for (std::size_t h : {8u, 40u, 44u, 753u}) {
+          const std::vector<float> a = RandomVec(b * d, &rng);
+          const std::vector<float> bt = RandomVec(d * h, &rng);
+          std::vector<float> batched(b * h);
+          backend->gemm_f32(a.data(), bt.data(), b, d, h, batched.data());
+          std::vector<float> single(h);
+          for (std::size_t i = 0; i < b; ++i) {
+            backend->gemv_f32(a.data() + i * d, bt.data(), d, h, single.data());
+            for (std::size_t j = 0; j < h; ++j) {
+              EXPECT_EQ(batched[i * h + j], single[j])
+                  << backend->name << " row " << i << " j=" << j << " b=" << b
+                  << " d=" << d << " h=" << h;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, ForceScalarOverridesDispatch) {
+  {
+    ScopedForceScalar force(true);
+    EXPECT_STREQ(ActiveName(), "scalar");
+    EXPECT_TRUE(ScalarForced());
+  }
+  // Outside the override, the active backend is whatever dispatch picked.
+  if (SimdAvailable() && !ScalarForced()) {
+    EXPECT_STREQ(ActiveName(), "avx2");
+  } else {
+    EXPECT_STREQ(ActiveName(), "scalar");
+  }
+}
+
+TEST(KernelsTest, BackendsAgreeWithinFloatTolerance) {
+  if (!SimdAvailable()) GTEST_SKIP() << "no SIMD backend in this build";
+  Rng rng(15);
+  const std::size_t d = 64, h = 753;
+  const std::vector<float> x = RandomVec(d, &rng);
+  const std::vector<float> bt = RandomVec(d * h, &rng);
+  std::vector<float> scalar(h), simd(h);
+  ScalarBackend().gemv_f32(x.data(), bt.data(), d, h, scalar.data());
+  Avx2Backend()->gemv_f32(x.data(), bt.data(), d, h, simd.data());
+  for (std::size_t j = 0; j < h; ++j) {
+    EXPECT_NEAR(scalar[j], simd[j], 1e-4f * (1.0f + std::abs(scalar[j])))
+        << "j=" << j;
+  }
+}
+
+// --------------------------------------------------------------------------
+// f32 vs f64 serving parity: the acceptance properties the float path
+// ships under. Swept over embedding dims and herb-catalog sizes, at 1 and
+// 4 kernel threads, under both the dispatched and the forced-scalar f32
+// backend:
+//   * top-20 agreement >= 0.999 across all queries, and
+//   * |NDCG@20 delta| <= 1e-4 per query
+// against the bit-exact f64 reference ranking.
+// --------------------------------------------------------------------------
+
+core::InferenceCheckpoint ParityCheckpoint(std::size_t num_symptoms,
+                                           std::size_t num_herbs,
+                                           std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  core::InferenceCheckpoint ckpt;
+  ckpt.model_name = "parity";
+  ckpt.symptom_embeddings =
+      tensor::Matrix::RandomNormal(num_symptoms, dim, 0.0, 1.0, &rng);
+  ckpt.herb_embeddings =
+      tensor::Matrix::RandomNormal(num_herbs, dim, 0.0, 1.0, &rng);
+  ckpt.has_si_mlp = true;
+  ckpt.si_weight = tensor::Matrix::RandomNormal(dim, dim, 0.0, 0.5, &rng);
+  ckpt.si_bias = tensor::Matrix::RandomNormal(1, dim, 0.0, 0.5, &rng);
+  return ckpt;
+}
+
+std::vector<std::vector<int>> ParityQueries(std::size_t count,
+                                            std::size_t num_symptoms,
+                                            Rng* rng) {
+  std::vector<std::vector<int>> queries(count);
+  for (auto& q : queries) {
+    const std::size_t size = static_cast<std::size_t>(rng->UniformInt(1, 5));
+    std::set<int> ids;
+    while (ids.size() < size) {
+      ids.insert(static_cast<int>(
+          rng->UniformInt(0, static_cast<std::int64_t>(num_symptoms) - 1)));
+    }
+    q.assign(ids.begin(), ids.end());
+  }
+  return queries;
+}
+
+void RunParitySweep(bool force_scalar) {
+  constexpr std::size_t kTopK = 20;
+  constexpr std::size_t kQueries = 64;
+  ScopedForceScalar force(force_scalar);
+  struct Shape {
+    std::size_t dim, herbs;
+  };
+  // Paper-scale (d=64, H=753 for TCM) plus small/ragged shapes that stress
+  // the kernel tails.
+  const Shape shapes[] = {{8, 40}, {16, 257}, {64, 753}, {33, 100}};
+  const std::size_t original_threads = parallel::GetNumThreads();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    parallel::SetNumThreads(threads);
+    for (const Shape& shape : shapes) {
+      const std::size_t num_symptoms = 48;
+      core::InferenceCheckpoint ckpt =
+          ParityCheckpoint(num_symptoms, shape.herbs, shape.dim, 907);
+      auto f64_store = serve::EmbeddingStore::Build(ckpt);
+      auto f32_store =
+          serve::EmbeddingStore::Build(ckpt, Precision::kFloat32);
+      ASSERT_TRUE(f64_store.ok());
+      ASSERT_TRUE(f32_store.ok());
+
+      Rng rng(shape.dim * 1000 + shape.herbs);
+      std::size_t agree = 0, total = 0;
+      for (const auto& raw : ParityQueries(kQueries, num_symptoms, &rng)) {
+        const serve::CanonicalQuery q =
+            *serve::Canonicalize(raw, num_symptoms);
+        const std::size_t k = std::min(kTopK, f64_store->num_herbs());
+        const std::vector<std::size_t> ref =
+            eval::TopK(f64_store->ScoreOne(q), k);
+        const std::vector<std::size_t> got =
+            eval::TopK(f32_store->ScoreOne(q), k);
+        ASSERT_EQ(got.size(), ref.size());
+        const std::set<std::size_t> got_set(got.begin(), got.end());
+        for (std::size_t id : ref) agree += got_set.count(id);
+        total += ref.size();
+
+        // NDCG@20 of each ranking against the f64 top-k as the relevant
+        // set: the reference scores 1.0 by construction, so the delta is
+        // how much ranking quality the narrowing cost.
+        std::vector<int> relevant(ref.begin(), ref.end());
+        const double ndcg_ref = eval::NdcgAtK(ref, relevant, k);
+        const double ndcg_f32 = eval::NdcgAtK(got, relevant, k);
+        EXPECT_NEAR(ndcg_ref, 1.0, 1e-12);
+        EXPECT_LE(std::abs(ndcg_ref - ndcg_f32), 1e-4)
+            << "d=" << shape.dim << " H=" << shape.herbs
+            << " threads=" << threads << " scalar=" << force_scalar;
+      }
+      const double agreement =
+          static_cast<double>(agree) / static_cast<double>(total);
+      EXPECT_GE(agreement, 0.999)
+          << "d=" << shape.dim << " H=" << shape.herbs
+          << " threads=" << threads << " scalar=" << force_scalar;
+    }
+  }
+  parallel::SetNumThreads(original_threads);
+}
+
+TEST(PrecisionParityTest, DispatchedKernels) { RunParitySweep(false); }
+
+TEST(PrecisionParityTest, ForcedScalarKernels) { RunParitySweep(true); }
+
+TEST(PrecisionParityTest, EngineEndToEndTopKAgreement) {
+  // Same property through the full serving engine (canonicalize → cache →
+  // parallel GEMM → top-k), 1 and 4 threads.
+  constexpr std::size_t kTopK = 20;
+  const std::size_t original_threads = parallel::GetNumThreads();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    parallel::SetNumThreads(threads);
+    core::InferenceCheckpoint ckpt = ParityCheckpoint(48, 257, 16, 907);
+    serve::ServingEngineOptions options;
+    options.cache_capacity = 0;  // every request exercises the GEMM
+    auto f64_engine = serve::ServingEngine::Create(ckpt, options);
+    options.precision = Precision::kFloat32;
+    auto f32_engine = serve::ServingEngine::Create(ckpt, options);
+    ASSERT_TRUE(f64_engine.ok());
+    ASSERT_TRUE(f32_engine.ok());
+
+    Rng rng(31);
+    const auto queries = ParityQueries(64, 48, &rng);
+    auto ref = (*f64_engine)->RecommendBatch(queries, kTopK);
+    auto got = (*f32_engine)->RecommendBatch(queries, kTopK);
+    ASSERT_TRUE(ref.ok());
+    ASSERT_TRUE(got.ok());
+    std::size_t agree = 0, total = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const std::set<std::size_t> got_set((*got)[i].begin(), (*got)[i].end());
+      for (std::size_t id : (*ref)[i]) agree += got_set.count(id);
+      total += (*ref)[i].size();
+    }
+    EXPECT_GE(static_cast<double>(agree) / static_cast<double>(total), 0.999)
+        << "threads=" << threads;
+  }
+  parallel::SetNumThreads(original_threads);
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace smgcn

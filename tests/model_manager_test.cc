@@ -242,6 +242,31 @@ TEST(ModelManagerTest, PublishArtifactUsesEmbeddedIdentity) {
   EXPECT_EQ(*(*manager)->ActiveVersion("artifact-model"), "2026-08-08-b");
 }
 
+TEST(ModelManagerTest, PublishArtifactServesF32StoreAtF32Precision) {
+  const std::string path = testing::TempDir() + "/smgcn_mm_artifact_f32.smga";
+  ASSERT_TRUE(core::SaveArtifact(ConstantCheckpoint("f32-model", 1.5),
+                                 "2026-08-08-f32", path,
+                                 tensor::Precision::kFloat32)
+                  .ok());
+
+  auto manager = ModelManager::Create(QuietOptions());
+  ASSERT_TRUE(manager.ok());
+  auto receipt = (*manager)->PublishArtifact(path);
+  ASSERT_TRUE(receipt.ok()) << receipt.status();
+
+  // The file's dtype carries through publish: the serving store runs the
+  // f32 kernel path, not a widened f64 copy.
+  auto engine = (*manager)->Engine("f32-model");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->Snapshot()->store.precision(),
+            tensor::Precision::kFloat32);
+
+  // 1.5 and its products are exact in f32, so scores are still exact.
+  auto scores = (*manager)->Score("f32-model", {0});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[0], ExpectedScore(1.5));
+}
+
 TEST(ModelManagerTest, InstrumentsAreRegistered) {
   auto* publishes =
       obs::Registry::Global().GetCounter("serve.modelmanager.publishes");

@@ -401,6 +401,20 @@ TEST(ExporterTest, EmptyRegistryExportsHeaderOnly) {
   EXPECT_EQ(reg.ExportCsv(), "metric,type,value,count,mean,p50,p90,p99,max\n");
 }
 
+TEST(ExporterTest, CsvEscapesMetricNamesWithSpecials) {
+  // Instrument names flow in from callers (model names, scopes), so CSV
+  // specials do reach the exporter. A comma used to split the name across
+  // two columns and an embedded quote corrupted the row; both must come
+  // out RFC-4180 quoted, with quotes doubled.
+  Registry reg;
+  reg.GetCounter("model \"prod\",eu.publishes")->Increment(7);
+  reg.GetGauge("line\nbreak.gauge")->Set(1);
+  EXPECT_EQ(reg.ExportCsv(),
+            "metric,type,value,count,mean,p50,p90,p99,max\n"
+            "\"model \"\"prod\"\",eu.publishes\",counter,7,,,,,,\n"
+            "\"line\nbreak.gauge\",gauge,1,,,,,,\n");
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace smgcn

@@ -75,6 +75,21 @@ TEST(CanonicalizeTest, RejectsEmptyAndOutOfRange) {
   EXPECT_TRUE(Canonicalize({9}, 10).ok());
 }
 
+TEST(CanonicalizeTest, EdgeCaseInputs) {
+  // Duplicates in any order collapse to one canonical set and one key.
+  auto dup = Canonicalize({5, 5, 5, 5}, 10);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->symptom_ids, (std::vector<int>{5}));
+  EXPECT_EQ(dup->key, Canonicalize({5}, 10)->key);
+  // Empty set stays invalid regardless of vocabulary size.
+  EXPECT_EQ(Canonicalize({}, 0).status().code(), StatusCode::kInvalidArgument);
+  // One out-of-range id poisons an otherwise-valid set — no partial accept.
+  EXPECT_EQ(Canonicalize({1, 3, 10, 5}, 10).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Canonicalize({1, 3, -2, 5}, 10).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(CanonicalizeTest, KeysSeparateDistinctSets) {
   // Prefixes, permut-equivalent sets and near misses must hash apart.
   std::set<std::uint64_t> keys;
@@ -151,6 +166,51 @@ TEST(EmbeddingStoreTest, ScoreOneMatchesBatchRow) {
   for (std::size_t h = 0; h < store->num_herbs(); ++h) {
     EXPECT_EQ(one[h], batch(0, h));
     EXPECT_EQ(one[h], batch(1, h));
+  }
+}
+
+TEST(EmbeddingStoreTest, Float32BuildHalvesPayloadAndTracksReference) {
+  core::InferenceCheckpoint ckpt = MakeCheckpoint(24, 40, 8, true);
+  auto f64 = EmbeddingStore::Build(ckpt);
+  auto f32 = EmbeddingStore::Build(std::move(ckpt), tensor::Precision::kFloat32);
+  ASSERT_TRUE(f64.ok());
+  ASSERT_TRUE(f32.ok());
+  EXPECT_EQ(f64->precision(), tensor::Precision::kFloat64);
+  EXPECT_EQ(f32->precision(), tensor::Precision::kFloat32);
+  EXPECT_EQ(f32->payload_bytes() * 2, f64->payload_bytes());
+  EXPECT_EQ(f32->num_herbs(), f64->num_herbs());
+
+  // f32 scores track the f64 reference to single-precision accuracy; the
+  // strict ranking guarantees live in kernels_test's parity suite.
+  const CanonicalQuery q = *Canonicalize({2, 7, 11}, f64->num_symptoms());
+  const std::vector<double> ref = f64->ScoreOne(q);
+  const std::vector<double> got = f32->ScoreOne(q);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t h = 0; h < ref.size(); ++h) {
+    EXPECT_NEAR(got[h], ref[h], 1e-4) << "herb " << h;
+  }
+}
+
+TEST(EmbeddingStoreTest, Float32BatchRowsMatchSingleQueryRuns) {
+  // The row-independence contract holds at f32 too: batched rows are
+  // bit-identical to single-query runs within one backend.
+  for (bool with_mlp : {true, false}) {
+    auto store = EmbeddingStore::Build(MakeCheckpoint(24, 40, 8, with_mlp),
+                                       tensor::Precision::kFloat32);
+    ASSERT_TRUE(store.ok());
+    std::vector<CanonicalQuery> batch;
+    for (const auto& raw : std::vector<std::vector<int>>{
+             {0}, {1, 2, 3}, {5, 9, 13, 21}, {23}, {2, 4, 6, 8, 10, 12}}) {
+      batch.push_back(*Canonicalize(raw, store->num_symptoms()));
+    }
+    const tensor::Matrix scores = store->ScoreBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::vector<double> one = store->ScoreOne(batch[i]);
+      for (std::size_t h = 0; h < store->num_herbs(); ++h) {
+        EXPECT_EQ(scores(i, h), one[h])
+            << "query " << i << " herb " << h << " mlp=" << with_mlp;
+      }
+    }
   }
 }
 
@@ -343,6 +403,70 @@ TEST(ServingEngineTest, RepeatQueriesHitCache) {
   EXPECT_EQ(stats.cache.hits, 1u);
   // The second query must not have triggered another GEMM.
   EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(ServingEngineTest, TopKBeyondCatalogClampsAndSharesOneCacheEntry) {
+  // The checkpoint has 40 herbs. Any k >= 40 means "rank every herb": the
+  // result must be all 40 ids (no error, no over-read), and different
+  // over-catalog ks must unify into ONE cache entry. Before the clamp, each
+  // k cached separately (the cache requires an exact k match), so the
+  // second request below was a miss and a fresh GEMM.
+  auto engine = MakeEngine();
+  const std::size_t num_herbs = engine->store().num_herbs();
+  ASSERT_EQ(num_herbs, 40u);
+
+  auto exact = engine->Recommend({1, 2, 3}, num_herbs);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->size(), num_herbs);
+  std::set<std::size_t> distinct(exact->begin(), exact->end());
+  EXPECT_EQ(distinct.size(), num_herbs);  // every herb exactly once
+
+  auto over = engine->Recommend({1, 2, 3}, num_herbs + 1);
+  ASSERT_TRUE(over.ok());
+  EXPECT_EQ(*over, *exact);
+  auto way_over = engine->Recommend({1, 2, 3}, 1000000);
+  ASSERT_TRUE(way_over.ok());
+  EXPECT_EQ(*way_over, *exact);
+
+  const ServingStatsSnapshot stats = engine->Stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 2u);
+  EXPECT_EQ(stats.batches, 1u);  // one GEMM served all three ks
+}
+
+TEST(ServingEngineTest, SubmitClampsTopKBeyondCatalog) {
+  auto engine = MakeEngine();
+  const std::size_t num_herbs = engine->store().num_herbs();
+  auto expected = engine->Recommend({2, 4}, num_herbs);
+  ASSERT_TRUE(expected.ok());
+  auto future = engine->Submit({2, 4}, num_herbs + 25);
+  auto result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, *expected);
+}
+
+TEST(ServingEngineTest, Float32PrecisionOptionServes) {
+  ServingEngineOptions options;
+  options.precision = tensor::Precision::kFloat32;
+  auto f32_engine = MakeEngine(options);
+  EXPECT_EQ(f32_engine->store().precision(), tensor::Precision::kFloat32);
+  auto f64_engine = MakeEngine();
+
+  auto a = f32_engine->Recommend({1, 2, 3}, 10);
+  auto b = f64_engine->Recommend({1, 2, 3}, 10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), 10u);
+  // Narrowing can swap near-tied neighbours; membership should still be
+  // near-total (the strict thresholds live in kernels_test).
+  std::set<std::size_t> a_set(a->begin(), a->end());
+  std::size_t agree = 0;
+  for (std::size_t id : *b) agree += a_set.count(id);
+  EXPECT_GE(agree, 9u);
+
+  // Publish through the engine keeps the configured precision.
+  ASSERT_TRUE(f32_engine->Publish(MakeCheckpoint(), "v2").ok());
+  EXPECT_EQ(f32_engine->store().precision(), tensor::Precision::kFloat32);
 }
 
 TEST(ServingEngineTest, StatsCompatibilityViewMatchesRegistry) {
