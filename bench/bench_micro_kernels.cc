@@ -3,6 +3,9 @@
 // and graph construction.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/autograd/ops.h"
 #include "src/core/trainer.h"
 #include "src/data/tcm_generator.h"
@@ -162,6 +165,62 @@ void BM_KernelGemvF32(benchmark::State& state) {
                           static_cast<std::int64_t>(d * h));
 }
 BENCHMARK(BM_KernelGemvF32)->Arg(0)->Arg(1);
+
+// int8 scoring micro-kernels at the same serving shape: s8 activations
+// against the s8 transposed herb matrix with per-row f32 scales.
+void BM_KernelGemmS8(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const std::size_t d = 64, h = 753;
+  const tensor::kernels::Backend& backend =
+      dispatched ? tensor::kernels::Active() : tensor::kernels::ScalarBackend();
+  Rng rng(10);
+  std::vector<std::int8_t> a(batch * d), bt(d * h);
+  std::vector<float> a_scales(batch), col_scales(h), out(batch * h);
+  for (auto& x : a) x = static_cast<std::int8_t>(rng.UniformInt(-127, 127));
+  for (auto& x : bt) x = static_cast<std::int8_t>(rng.UniformInt(-127, 127));
+  for (auto& s : a_scales) s = static_cast<float>(rng.Uniform(0.001, 0.05));
+  for (auto& s : col_scales) s = static_cast<float>(rng.Uniform(0.001, 0.05));
+  for (auto _ : state) {
+    backend.gemm_s8(a.data(), bt.data(), batch, d, h, a_scales.data(),
+                    col_scales.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(backend.name);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch * d * h));
+}
+BENCHMARK(BM_KernelGemmS8)
+    ->Args({0, 1})
+    ->Args({0, 32})
+    ->Args({0, 128})
+    ->Args({1, 1})
+    ->Args({1, 32})
+    ->Args({1, 128});
+
+void BM_KernelGemvS8(benchmark::State& state) {
+  const bool dispatched = state.range(0) != 0;
+  const std::size_t d = 64, h = 753;
+  const tensor::kernels::Backend& backend =
+      dispatched ? tensor::kernels::Active() : tensor::kernels::ScalarBackend();
+  Rng rng(11);
+  std::vector<std::int8_t> x(d), bt(d * h);
+  std::vector<float> col_scales(h), out(h);
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.UniformInt(-127, 127));
+  for (auto& v : bt) v = static_cast<std::int8_t>(rng.UniformInt(-127, 127));
+  for (auto& s : col_scales) s = static_cast<float>(rng.Uniform(0.001, 0.05));
+  for (auto _ : state) {
+    backend.gemv_s8(x.data(), bt.data(), d, h, 0.013f, col_scales.data(),
+                    out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(backend.name);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * h));
+}
+BENCHMARK(BM_KernelGemvS8)->Arg(0)->Arg(1);
 
 void BM_TopK(benchmark::State& state) {
   Rng rng(7);

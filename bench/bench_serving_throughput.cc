@@ -5,10 +5,14 @@
 // synthetic, which isolates pure serving cost.
 //
 // Acceptance bars: the batched GEMM must beat the per-query loop on batches
-// of >= 8 queries (ISSUE 1), and the f32 scoring path must deliver >= 1.5x
-// the f64 path's QPS at the widest batch (ISSUE 7; the boost_vs_f64 column
-// records the measured factors). Writes bench_results/serving_throughput.csv.
+// of >= 8 queries (ISSUE 1), the f32 scoring path must deliver >= 1.5x the
+// f64 path's QPS at the widest batch (ISSUE 7), and the int8 path must be at
+// least as fast as f32 and >= 4x f64 at the widest batch (ISSUE 8; the
+// boost_vs_f64 column records the measured factors). Writes
+// bench_results/serving_throughput.csv.
 #include <cstdio>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -80,12 +84,19 @@ struct Measurement {
   double boost_vs_f64 = 0.0;
 };
 
-/// Runs `queries` through `op` (which consumes one batch of the given size)
-/// and derives QPS plus per-batch latency percentiles.
-template <typename Op>
-Measurement MeasureBatched(const std::string& mode, std::size_t batch_size,
-                           const std::vector<std::vector<int>>& queries,
-                           Op&& op) {
+/// Full passes per mode: the fastest pass is reported. On a shared host,
+/// one-shot timings swing by >10% from scheduler/frequency interference;
+/// the minimum over a few passes is the standard least-interference
+/// estimate, and it is what the acceptance checks below compare (the
+/// latency percentiles come from the same winning pass).
+constexpr int kPassesPerMode = 3;
+
+using BatchOp = std::function<void(const std::vector<std::vector<int>>&)>;
+
+/// One timed pass of `queries` through `op` at the given batch size.
+Measurement RunOnePass(const std::string& mode, std::size_t batch_size,
+                       const std::vector<std::vector<int>>& queries,
+                       const BatchOp& op) {
   serve::LatencyHistogram latency;
   Stopwatch total;
   std::size_t begin = 0;
@@ -106,6 +117,37 @@ Measurement MeasureBatched(const std::string& mode, std::size_t batch_size,
   m.p50_ms = latency.Percentile(0.50) * 1e3;
   m.p99_ms = latency.Percentile(0.99) * 1e3;
   return m;
+}
+
+/// Measures several modes at one batch size with PAIRED passes: pass k of
+/// every mode runs back-to-back before pass k+1 of any. The acceptance
+/// checks below are QPS *ratios* between modes; on a shared host the load
+/// drifts on a seconds scale, so measuring the modes minutes apart turns
+/// that drift straight into ratio error. Round-robin passes sample every
+/// mode under (nearly) the same interference, and the per-mode minimum
+/// still rejects one-off spikes.
+std::vector<Measurement> MeasureBatchedPaired(
+    const std::vector<std::string>& modes, std::size_t batch_size,
+    const std::vector<std::vector<int>>& queries,
+    const std::vector<BatchOp>& ops) {
+  std::vector<Measurement> best(ops.size());
+  for (int pass = 0; pass < kPassesPerMode; ++pass) {
+    for (std::size_t m = 0; m < ops.size(); ++m) {
+      Measurement cur = RunOnePass(modes[m], batch_size, queries, ops[m]);
+      if (pass == 0 || cur.total_ms < best[m].total_ms) best[m] = cur;
+    }
+  }
+  return best;
+}
+
+/// Runs `queries` through `op` (which consumes one batch of the given size)
+/// kPassesPerMode times and derives QPS plus per-batch latency percentiles
+/// from the fastest pass.
+template <typename Op>
+Measurement MeasureBatched(const std::string& mode, std::size_t batch_size,
+                           const std::vector<std::vector<int>>& queries,
+                           Op&& op) {
+  return MeasureBatchedPaired({mode}, batch_size, queries, {BatchOp(op)})[0];
 }
 
 bool Run() {
@@ -133,6 +175,11 @@ bool Run() {
   auto f32_engine = serve::ServingEngine::Create(MakeCheckpoint(), f32_options);
   SMGCN_CHECK_OK(f32_engine.status());
 
+  serve::ServingEngineOptions s8_options = uncached;
+  s8_options.precision = tensor::Precision::kInt8;
+  auto s8_engine = serve::ServingEngine::Create(MakeCheckpoint(), s8_options);
+  SMGCN_CHECK_OK(s8_engine.status());
+
   const std::vector<std::vector<int>> queries = MakeQueryStream();
   std::vector<Measurement> results;
 
@@ -142,27 +189,33 @@ bool Run() {
         for (const auto& q : b) SMGCN_CHECK_OK(recommender->Score(q).status());
       }));
 
-  // Batched GEMM at increasing fusion widths (cache off: pure GEMM).
+  // The f64 / f32 / int8 engines at each fusion width, with paired passes
+  // per width: the precision acceptance bars below are QPS ratios between
+  // these three modes, so each trio shares its slice of host load.
+  std::vector<Measurement> f64_rows, f32_rows, s8_rows;
   for (const std::size_t batch : {8u, 32u, 128u}) {
-    results.push_back(MeasureBatched(
-        StrFormat("batched_gemm_b%zu", batch), batch, queries,
-        [&](const std::vector<std::vector<int>>& b) {
-          SMGCN_CHECK_OK((*uncached_engine)->ScoreBatch(b).status());
-        }));
+    std::vector<Measurement> trio = MeasureBatchedPaired(
+        {StrFormat("batched_gemm_b%zu", batch),
+         StrFormat("f32_%s_gemm_b%zu", tensor::kernels::ActiveName(), batch),
+         StrFormat("int8_%s_gemm_b%zu", tensor::kernels::ActiveName(), batch)},
+        batch, queries,
+        {[&](const std::vector<std::vector<int>>& b) {
+           SMGCN_CHECK_OK((*uncached_engine)->ScoreBatch(b).status());
+         },
+         [&](const std::vector<std::vector<int>>& b) {
+           SMGCN_CHECK_OK((*f32_engine)->ScoreBatch(b).status());
+         },
+         [&](const std::vector<std::vector<int>>& b) {
+           SMGCN_CHECK_OK((*s8_engine)->ScoreBatch(b).status());
+         }});
+    trio[1].boost_vs_f64 = trio[1].qps / trio[0].qps;
+    trio[2].boost_vs_f64 = trio[2].qps / trio[0].qps;
+    f64_rows.push_back(trio[0]);
+    f32_rows.push_back(trio[1]);
+    s8_rows.push_back(trio[2]);
   }
-
-  // f32 scoring through the dispatched kernels, same widths; the boost
-  // column is QPS relative to the matching f64 row above.
-  for (std::size_t i = 0; i < 3; ++i) {
-    const std::size_t batch = results[1 + i].batch_size;
-    Measurement m = MeasureBatched(
-        StrFormat("f32_%s_gemm_b%zu", tensor::kernels::ActiveName(), batch),
-        batch, queries, [&](const std::vector<std::vector<int>>& b) {
-          SMGCN_CHECK_OK((*f32_engine)->ScoreBatch(b).status());
-        });
-    m.boost_vs_f64 = m.qps / results[1 + i].qps;
-    results.push_back(m);
-  }
+  for (const Measurement& m : f64_rows) results.push_back(m);
+  for (const Measurement& m : f32_rows) results.push_back(m);
 
   // f32 on the forced-scalar fallback: isolates SIMD's share of the boost.
   {
@@ -171,6 +224,23 @@ bool Run() {
         "f32_scalar_gemm_b128", 128, queries,
         [&](const std::vector<std::vector<int>>& b) {
           SMGCN_CHECK_OK((*f32_engine)->ScoreBatch(b).status());
+        });
+    tensor::kernels::ForceScalar(false);
+    m.boost_vs_f64 = m.qps / results[3].qps;
+    results.push_back(m);
+  }
+
+  // int8 dispatched rows (measured in the paired trios above).
+  for (const Measurement& m : s8_rows) results.push_back(m);
+
+  // int8 on the forced-scalar fallback: the i32-accumulating reference
+  // kernels, isolating SIMD's share of the int8 boost.
+  {
+    tensor::kernels::ForceScalar(true);
+    Measurement m = MeasureBatched(
+        "int8_scalar_gemm_b128", 128, queries,
+        [&](const std::vector<std::vector<int>>& b) {
+          SMGCN_CHECK_OK((*s8_engine)->ScoreBatch(b).status());
         });
     tensor::kernels::ForceScalar(false);
     m.boost_vs_f64 = m.qps / results[3].qps;
@@ -211,9 +281,10 @@ bool Run() {
               static_cast<unsigned long long>(cache_stats.misses),
               cache_stats.hit_rate() * 100.0);
 
-  std::printf("\nShape checks (ISSUE 1 + ISSUE 7 acceptance):\n");
+  std::printf("\nShape checks (ISSUE 1 + ISSUE 7 + ISSUE 8 acceptance):\n");
   // Row map: 0 per_query, 1-3 f64 gemm b8/b32/b128, 4-6 f32 dispatched
-  // b8/b32/b128, 7 f32 forced-scalar b128, 8 cached.
+  // b8/b32/b128, 7 f32 forced-scalar b128, 8-10 int8 dispatched b8/b32/b128,
+  // 11 int8 forced-scalar b128, 12 cached.
   bool ok = true;
   ok &= ShapeCheck("batched GEMM (b=8) beats the per-query loop on QPS",
                    results[1].qps, results[0].qps);
@@ -221,8 +292,12 @@ bool Run() {
                    results[3].qps, results[0].qps);
   ok &= ShapeCheck("f32 scoring (b=128) is >= 1.5x the f64 path on QPS",
                    results[6].qps, 1.5 * results[3].qps);
+  ok &= ShapeCheck("int8 scoring (b=128) is >= the f32 path on QPS",
+                   results[10].qps, results[6].qps);
+  ok &= ShapeCheck("int8 scoring (b=128) is >= 4x the f64 path on QPS",
+                   results[10].qps, 4.0 * results[3].qps);
   ok &= ShapeCheck("cached serving beats the uncached batched path on QPS",
-                   results[8].qps, results[3].qps);
+                   results[12].qps, results[3].qps);
   return ok;
 }
 

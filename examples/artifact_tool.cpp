@@ -5,15 +5,19 @@
 // format version matches the one pinned in docs/ARTIFACT_FORMAT.md.
 //
 // Usage:
-//   artifact_tool make <out.smga> [model_version] [--f32]
+//   artifact_tool make <out.smga> [model_version] [--dtype=f64|f32|int8]
 //       write a small deterministic synthetic model (for smoke tests / CI)
 //   artifact_tool info <artifact.smga>
-//       validate (headers + checksums) and print the artifact's identity
-//   artifact_tool convert <checkpoint.ckpt> <model_version> <out.smga> [--f32]
+//       validate (headers + checksums) and print the artifact's identity,
+//       including each section's dtype and on-disk payload bytes
+//   artifact_tool convert <checkpoint.ckpt> <model_version> <out.smga>
+//                 [--dtype=f64|f32|int8]
 //       migrate a text inference checkpoint to the binary format
 //
-// `--f32` narrows embeddings to float32 at write time (format v2 dtype
-// word), halving the payload; omit it for the bit-exact f64 default.
+// `--dtype` selects the storage dtype: f64 (bit-exact default), f32
+// (half-size, round-to-nearest-even), or int8 (~1/8 size, per-row symmetric
+// quantization with f32 scale vectors — format v3). `--f32` is kept as an
+// alias for `--dtype=f32`.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -65,10 +69,26 @@ int Info(const std::string& path) {
   std::printf("mmap:           %s\n",
               artifact->memory_mapped() ? "yes" : "no");
   std::printf("file_bytes:     %zu\n", artifact->file_bytes());
-  const auto print_section = [](const char* name,
-                                core::MappedArtifact::SectionView view) {
-    if (view.data == nullptr && view.data_f32 == nullptr) return;
-    std::printf("section %-18s %zu x %zu\n", name, view.rows, view.cols);
+  const tensor::Precision dtype = artifact->precision();
+  const auto print_section = [dtype](const char* name,
+                                     core::MappedArtifact::SectionView view) {
+    if (view.data == nullptr && view.data_f32 == nullptr &&
+        view.data_s8 == nullptr) {
+      return;
+    }
+    // Operators verifying a deployment need to see what precision a section
+    // actually stores, not just its shape; int8 sections also carry a
+    // per-row scale vector, reported separately from the value payload.
+    if (view.scale_bytes > 0) {
+      std::printf("section %-18s %4zu x %-4zu dtype=%-4s payload_bytes=%zu "
+                  "scale_bytes=%zu\n",
+                  name, view.rows, view.cols, tensor::PrecisionName(dtype),
+                  view.payload_bytes, view.scale_bytes);
+    } else {
+      std::printf("section %-18s %4zu x %-4zu dtype=%-4s payload_bytes=%zu\n",
+                  name, view.rows, view.cols, tensor::PrecisionName(dtype),
+                  view.payload_bytes);
+    }
   };
   print_section("symptom_embeddings", artifact->symptom_embeddings());
   print_section("herb_embeddings", artifact->herb_embeddings());
@@ -102,25 +122,36 @@ int Convert(const std::string& checkpoint_path, const std::string& version,
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  artifact_tool make <out.smga> [model_version] [--f32]\n"
+               "  artifact_tool make <out.smga> [model_version] "
+               "[--dtype=f64|f32|int8]\n"
                "  artifact_tool info <artifact.smga>\n"
                "  artifact_tool convert <checkpoint.ckpt> <model_version> "
-               "<out.smga> [--f32]\n");
+               "<out.smga> [--dtype=f64|f32|int8]\n"
+               "(--f32 is accepted as an alias for --dtype=f32)\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull the optional --f32 switch out of argv so positional parsing below
+  // Pull the optional dtype switch out of argv so positional parsing below
   // stays simple; it applies to `make` and `convert`.
   tensor::Precision precision = tensor::Precision::kFloat64;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--f32") == 0) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--f32") == 0 ||
+        std::strcmp(arg, "--dtype=f32") == 0) {
       precision = tensor::Precision::kFloat32;
+    } else if (std::strcmp(arg, "--dtype=f64") == 0) {
+      precision = tensor::Precision::kFloat64;
+    } else if (std::strcmp(arg, "--dtype=int8") == 0) {
+      precision = tensor::Precision::kInt8;
+    } else if (std::strncmp(arg, "--dtype=", 8) == 0) {
+      std::fprintf(stderr, "unknown dtype '%s' (f64, f32, int8)\n", arg + 8);
+      return 2;
     } else {
-      args.emplace_back(argv[i]);
+      args.emplace_back(arg);
     }
   }
   if (args.empty()) return Usage();

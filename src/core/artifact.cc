@@ -4,6 +4,7 @@
 #include <fstream>
 #include <utility>
 
+#include "src/tensor/quantize.h"
 #include "src/util/string_util.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -42,10 +43,11 @@ const char* SectionKindName(std::uint32_t kind) {
 }
 
 /// On-disk dtype tags (format v2; the word was written as 0 by v1, which
-/// maps cleanly onto "f64").
+/// maps cleanly onto "f64"; v3 adds int8).
 enum SectionDtype : std::uint32_t {
   kDtypeFloat64 = 0,
   kDtypeFloat32 = 1,
+  kDtypeInt8 = 2,
 };
 
 /// Fixed-size file header; mirrored byte-for-byte on disk.
@@ -73,7 +75,10 @@ struct SectionHeader {
   std::uint64_t offset;  // payload offset from file start, 64-byte aligned
   std::uint64_t bytes;   // rows * cols * element size
   std::uint64_t checksum;
-  char pad[16];
+  // v3: per-row f32 scale vector location for int8 sections; both 0 for
+  // f64/f32 sections (the same bytes were zero padding in v2).
+  std::uint64_t scale_offset;  // 64-byte aligned from file start
+  std::uint64_t scale_bytes;   // rows * sizeof(float)
 };
 static_assert(sizeof(SectionHeader) == 64, "section header must stay 64 bytes");
 
@@ -97,20 +102,39 @@ struct PendingSection {
   const tensor::Matrix* matrix = nullptr;
 };
 
-}  // namespace
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
 
-std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes) {
-  // FNV-1a 64 with a final avalanche mix, same family as the query hash.
+std::uint64_t Fnv1aRange(std::uint64_t h, const void* data, std::size_t bytes) {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 1469598103934665603ull;
   for (std::size_t i = 0; i < bytes; ++i) {
     h ^= p[i];
     h *= 1099511628211ull;
   }
+  return h;
+}
+
+std::uint64_t AvalancheMix(std::uint64_t h) {
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdull;
   h ^= h >> 33;
   return h;
+}
+
+/// Section checksum: one FNV-1a state chained over the payload bytes then
+/// the scale bytes. Identical to ArtifactChecksum(payload) when scale_bytes
+/// is 0, so pre-v3 f64/f32 checksums are unchanged.
+std::uint64_t SectionChecksum(const void* payload, std::size_t payload_bytes,
+                              const void* scales, std::size_t scale_bytes) {
+  std::uint64_t h = Fnv1aRange(kFnvOffsetBasis, payload, payload_bytes);
+  if (scale_bytes != 0) h = Fnv1aRange(h, scales, scale_bytes);
+  return AvalancheMix(h);
+}
+
+}  // namespace
+
+std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes) {
+  // FNV-1a 64 with a final avalanche mix, same family as the query hash.
+  return AvalancheMix(Fnv1aRange(kFnvOffsetBasis, data, bytes));
 }
 
 Status SaveArtifact(const InferenceCheckpoint& checkpoint,
@@ -123,7 +147,9 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
   const std::string name =
       checkpoint.model_name.empty() ? "unnamed" : checkpoint.model_name;
   const bool f32 = precision == tensor::Precision::kFloat32;
-  const std::size_t elem_bytes = f32 ? sizeof(float) : sizeof(double);
+  const bool s8 = precision == tensor::Precision::kInt8;
+  const std::size_t elem_bytes =
+      s8 ? sizeof(std::int8_t) : (f32 ? sizeof(float) : sizeof(double));
 
   std::vector<PendingSection> sections = {
       {kSymptomEmbeddings, &checkpoint.symptom_embeddings},
@@ -135,9 +161,11 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
   }
 
   // For an f32 artifact the payloads are the checkpoint's doubles narrowed
-  // once here (static_cast<float> = round-to-nearest-even); checksums and
-  // byte counts describe the narrowed bytes that actually hit disk.
+  // once here (static_cast<float> = round-to-nearest-even); for int8 they
+  // are quantized per row once here (tensor/quantize.h). Checksums and byte
+  // counts describe the converted bytes that actually hit disk.
   std::vector<std::vector<float>> narrowed(sections.size());
+  std::vector<tensor::quantize::QuantizedMatrix> quantized(sections.size());
   if (f32) {
     for (std::size_t i = 0; i < sections.size(); ++i) {
       const tensor::Matrix& m = *sections[i].matrix;
@@ -147,8 +175,13 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
         narrowed[i][e] = static_cast<float>(src[e]);
       }
     }
+  } else if (s8) {
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+      quantized[i] = tensor::quantize::QuantizeRows(*sections[i].matrix);
+    }
   }
   const auto payload_ptr = [&](std::size_t i) -> const void* {
+    if (s8) return quantized[i].values.data();
     return f32 ? static_cast<const void*>(narrowed[i].data())
                : static_cast<const void*>(sections[i].matrix->data());
   };
@@ -173,13 +206,23 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
     SectionHeader& s = table[i];
     s = SectionHeader{};
     s.kind = sections[i].kind;
-    s.dtype = f32 ? kDtypeFloat32 : kDtypeFloat64;
+    s.dtype = s8 ? kDtypeInt8 : (f32 ? kDtypeFloat32 : kDtypeFloat64);
     s.rows = m.rows();
     s.cols = m.cols();
     s.offset = payload_offset;
     s.bytes = m.size() * elem_bytes;
-    s.checksum = ArtifactChecksum(payload_ptr(i), s.bytes);
-    payload_offset = AlignUp(payload_offset + s.bytes);
+    if (s8) {
+      // The per-row scale vector rides in its own aligned range right after
+      // the payload; the next section starts after it.
+      s.scale_offset = AlignUp(payload_offset + s.bytes);
+      s.scale_bytes = m.rows() * sizeof(float);
+      s.checksum = SectionChecksum(payload_ptr(i), s.bytes,
+                                   quantized[i].scales.data(), s.scale_bytes);
+      payload_offset = AlignUp(s.scale_offset + s.scale_bytes);
+    } else {
+      s.checksum = ArtifactChecksum(payload_ptr(i), s.bytes);
+      payload_offset = AlignUp(payload_offset + s.bytes);
+    }
   }
   header.file_bytes = payload_offset;
   header.header_checksum = HeaderChecksum(header, name, model_version);
@@ -207,6 +250,10 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
   for (std::size_t i = 0; i < sections.size(); ++i) {
     pad_to(table[i].offset);
     write(payload_ptr(i), table[i].bytes);
+    if (s8) {
+      pad_to(table[i].scale_offset);
+      write(quantized[i].scales.data(), table[i].scale_bytes);
+    }
   }
   pad_to(header.file_bytes);
   if (!file) return Status::IoError("write failed: " + path);
@@ -379,9 +426,11 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
           "artifact section %u has kind %u (%s), expected %u (%s)", i, s.kind,
           kind_name, expected_kind[i], SectionKindName(expected_kind[i])));
     }
-    if (s.dtype != kDtypeFloat64 && s.dtype != kDtypeFloat32) {
+    if (s.dtype != kDtypeFloat64 && s.dtype != kDtypeFloat32 &&
+        s.dtype != kDtypeInt8) {
       return Status::InvalidArgument(StrFormat(
-          "section %s has unknown dtype %u (0 = float64, 1 = float32)",
+          "section %s has unknown dtype %u (0 = float64, 1 = float32, "
+          "2 = int8)",
           kind_name, s.dtype));
     }
     if (i == 0) {
@@ -395,7 +444,9 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
           kind_name, s.dtype, artifact_dtype));
     }
     const std::size_t elem_bytes =
-        s.dtype == kDtypeFloat32 ? sizeof(float) : sizeof(double);
+        s.dtype == kDtypeInt8
+            ? sizeof(std::int8_t)
+            : (s.dtype == kDtypeFloat32 ? sizeof(float) : sizeof(double));
     if (s.offset % kAlignment != 0) {
       return Status::InvalidArgument(StrFormat(
           "section %s payload offset %llu is not 64-byte aligned", kind_name,
@@ -414,19 +465,47 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
       return Status::InvalidArgument(
           StrFormat("section %s payload overruns file", kind_name));
     }
-    if (ArtifactChecksum(data + s.offset, s.bytes) != s.checksum) {
+    if (s.dtype == kDtypeInt8) {
+      if (s.scale_offset % kAlignment != 0) {
+        return Status::InvalidArgument(StrFormat(
+            "section %s scale offset %llu is not 64-byte aligned", kind_name,
+            static_cast<unsigned long long>(s.scale_offset)));
+      }
+      if (s.scale_bytes != s.rows * sizeof(float)) {
+        return Status::InvalidArgument(StrFormat(
+            "section %s scale vector is %llu bytes, expected rows * 4 = %llu",
+            kind_name, static_cast<unsigned long long>(s.scale_bytes),
+            static_cast<unsigned long long>(s.rows * sizeof(float))));
+      }
+      if (s.scale_offset > size || s.scale_bytes > size - s.scale_offset) {
+        return Status::InvalidArgument(
+            StrFormat("section %s scale vector overruns file", kind_name));
+      }
+    } else if (s.scale_offset != 0 || s.scale_bytes != 0) {
+      // Float sections have no scale vector; non-zero fields mean a
+      // corrupted or hand-assembled table.
+      return Status::InvalidArgument(StrFormat(
+          "section %s is not int8 but carries scale fields", kind_name));
+    }
+    if (SectionChecksum(data + s.offset, s.bytes, data + s.scale_offset,
+                        s.scale_bytes) != s.checksum) {
       return Status::InvalidArgument(StrFormat(
           "section %s payload checksum mismatch (corrupted artifact)",
           kind_name));
     }
     SectionView view;
-    if (s.dtype == kDtypeFloat32) {
+    if (s.dtype == kDtypeInt8) {
+      view.data_s8 = reinterpret_cast<const std::int8_t*>(data + s.offset);
+      view.scales = reinterpret_cast<const float*>(data + s.scale_offset);
+    } else if (s.dtype == kDtypeFloat32) {
       view.data_f32 = reinterpret_cast<const float*>(data + s.offset);
     } else {
       view.data = reinterpret_cast<const double*>(data + s.offset);
     }
     view.rows = s.rows;
     view.cols = s.cols;
+    view.payload_bytes = s.bytes;
+    view.scale_bytes = s.scale_bytes;
     switch (s.kind) {
       case kSymptomEmbeddings: artifact.symptoms_ = view; break;
       case kHerbEmbeddings: artifact.herbs_ = view; break;
@@ -434,14 +513,22 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
       case kSiBias: artifact.si_bias_ = view; break;
     }
   }
-  artifact.precision_ = artifact_dtype == kDtypeFloat32
-                            ? tensor::Precision::kFloat32
-                            : tensor::Precision::kFloat64;
+  artifact.precision_ =
+      artifact_dtype == kDtypeInt8
+          ? tensor::Precision::kInt8
+          : (artifact_dtype == kDtypeFloat32 ? tensor::Precision::kFloat32
+                                             : tensor::Precision::kFloat64);
   return artifact;
 }
 
 Result<InferenceCheckpoint> MappedArtifact::ToCheckpoint() const {
   const auto copy_section = [](const SectionView& view) {
+    if (view.data_s8 != nullptr) {
+      // int8 section: q * scale is exact in double, so this widening is the
+      // canonical value of the stored integers.
+      return tensor::quantize::DequantizeToMatrix(view.data_s8, view.scales,
+                                                  view.rows, view.cols);
+    }
     tensor::Matrix m(view.rows, view.cols);
     if (view.data != nullptr) {
       std::memcpy(m.data(), view.data, view.rows * view.cols * sizeof(double));

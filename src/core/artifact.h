@@ -16,21 +16,29 @@
 //   ...         model version    version_len bytes
 //   pad to 64
 //   ...         SectionHeader[n] 64 B each: kind, dtype, rows, cols,
-//                                       payload offset/bytes, payload
-//                                       checksum
+//                                       payload offset/bytes, checksum,
+//                                       scale offset/bytes (int8 only)
 //   pad to 64
-//   ...         payloads         row-major f64 or f32 data, each section
-//                                       64-byte aligned from file start
+//   ...         payloads         row-major f64 / f32 / int8 data, each
+//                                       section 64-byte aligned from file
+//                                       start; an int8 payload is followed
+//                                       by its 64-byte-aligned per-row f32
+//                                       scale vector
 //
 // Sections are the matrices of an InferenceCheckpoint (symptom/herb
 // embeddings, optional SI weight/bias). Since format v2 every section
-// carries a dtype (0 = float64, 1 = float32); all sections of one artifact
-// must share it. An f32 artifact holds the checkpoint's doubles narrowed
-// once at save time (round-to-nearest-even, IEEE-754 default) at half the
-// file size; reading widens exactly, so save-f32 → open → serve-f32 loses
-// nothing beyond the one narrowing. Checksums are FNV-1a 64 over the raw
-// payload bytes, so a flipped bit anywhere fails Open() with a message
-// naming the damaged section.
+// carries a dtype (0 = float64, 1 = float32, and since v3 2 = int8); all
+// sections of one artifact must share it. An f32 artifact holds the
+// checkpoint's doubles narrowed once at save time (round-to-nearest-even,
+// IEEE-754 default) at half the file size; reading widens exactly, so
+// save-f32 → open → serve-f32 loses nothing beyond the one narrowing. An
+// int8 artifact (v3) holds each matrix per-row symmetrically quantized
+// (tensor/quantize.h): a rows x cols s8 payload plus one f32 scale per row
+// at the section's scale_offset — ~1/8 the f64 footprint, served natively
+// by the int8 scoring path at exactly the stored integers. Checksums are
+// FNV-1a 64 chained over the raw payload bytes then the scale bytes (a
+// no-op for f64/f32, whose scale range is empty), so a flipped bit in
+// either range fails Open() with a message naming the damaged section.
 //
 // Versioning semantics:
 //   * `format_version` is the layout revision (kArtifactFormatVersion).
@@ -60,7 +68,9 @@ namespace core {
 /// with a converter from the previous revision and a docs/ARTIFACT_FORMAT.md
 /// update (the artifact-compatibility CI job enforces the pairing).
 /// v2: per-section dtype (f64/f32) in the previously-reserved word.
-inline constexpr std::uint32_t kArtifactFormatVersion = 2;
+/// v3: dtype 2 (int8) with per-row f32 scale vectors; the section header's
+///     previously-zero pad now holds scale_offset/scale_bytes.
+inline constexpr std::uint32_t kArtifactFormatVersion = 3;
 
 /// FNV-1a 64-bit over a byte range; the per-section checksum function.
 std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes);
@@ -70,7 +80,9 @@ std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes);
 /// (temp file + rename would be overkill here; partial writes fail Open's
 /// size check). Precision::kFloat32 narrows every payload once
 /// (round-to-nearest-even) for a half-size artifact served natively by the
-/// f32 scoring path.
+/// f32 scoring path; Precision::kInt8 quantizes every matrix per row
+/// (tensor/quantize.h) for a ~1/8-size artifact served natively by the int8
+/// scoring path.
 Status SaveArtifact(const InferenceCheckpoint& checkpoint,
                     const std::string& model_version, const std::string& path,
                     tensor::Precision precision = tensor::Precision::kFloat64);
@@ -109,13 +121,21 @@ class MappedArtifact {
   std::size_t file_bytes() const { return size_; }
 
   /// Zero-copy view of one matrix section (64-byte aligned, row-major,
-  /// rows x cols elements). Exactly one of `data` (f64 artifacts) and
-  /// `data_f32` (f32 artifacts) is non-null, matching precision().
+  /// rows x cols elements). Exactly one of `data` (f64 artifacts),
+  /// `data_f32` (f32) and `data_s8` (int8) is non-null, matching
+  /// precision(); `scales` points at the per-row f32 scale vector for int8
+  /// sections and is null otherwise.
   struct SectionView {
     const double* data = nullptr;
     const float* data_f32 = nullptr;
+    const std::int8_t* data_s8 = nullptr;
+    const float* scales = nullptr;
     std::size_t rows = 0;
     std::size_t cols = 0;
+    /// Bytes of the value payload on disk (excludes the scale vector).
+    std::size_t payload_bytes = 0;
+    /// Bytes of the scale vector (rows * sizeof(float) for int8, else 0).
+    std::size_t scale_bytes = 0;
   };
   SectionView symptom_embeddings() const { return symptoms_; }
   SectionView herb_embeddings() const { return herbs_; }
@@ -124,9 +144,12 @@ class MappedArtifact {
   SectionView si_bias() const { return si_bias_; }
 
   /// Copies the sections into a heap-backed InferenceCheckpoint (one memcpy
-  /// per f64 matrix, an exact f32→f64 widening loop otherwise — no parsing)
-  /// and runs its full semantic validation, including the non-finite scan
-  /// the byte checksums cannot express.
+  /// per f64 matrix, an exact f32→f64 widening loop for f32, an exact
+  /// q * scale dequantization for int8 — no parsing) and runs its full
+  /// semantic validation, including the non-finite scan the byte checksums
+  /// cannot express. Int8 dequantization is lossless with respect to the
+  /// stored integers: re-saving the result at kInt8 reproduces the same
+  /// payload and scales bit for bit.
   Result<InferenceCheckpoint> ToCheckpoint() const;
 
  private:

@@ -40,13 +40,17 @@ void AtomicMin(std::atomic<double>* target, double value) {
 std::size_t BucketFor(double value) {
   const double micros = value * 1e6;
   if (micros < 1.0) return 0;
-  const auto bucket = static_cast<std::size_t>(std::log2(micros));
+  const auto bucket = static_cast<std::size_t>(
+      std::log2(micros) *
+      static_cast<double>(Histogram::kSubBucketsPerOctave));
   return std::min(bucket, Histogram::kNumBuckets - 1);
 }
 
-/// Geometric midpoint of bucket [2^i, 2^(i+1)) millionths, in base units.
-double BucketMid(std::size_t bucket) {
-  return std::exp2(static_cast<double>(bucket) + 0.5) * 1e-6;
+/// Value at rank-fraction `f` in [0,1] along bucket i's geometric span
+/// [2^(i/s), 2^((i+1)/s)) millionths, in base units: 2^((i+f)/s) * 1e-6.
+double BucketValueAt(std::size_t bucket, double fraction) {
+  const double s = static_cast<double>(Histogram::kSubBucketsPerOctave);
+  return std::exp2((static_cast<double>(bucket) + fraction) / s) * 1e-6;
 }
 
 }  // namespace
@@ -57,11 +61,14 @@ void Gauge::SetToMax(double value) { AtomicMax(&value_, value); }
 
 Histogram::Histogram() : min_(std::numeric_limits<double>::infinity()) {}
 
-void Histogram::Record(double value) {
+void Histogram::Record(double value) { Record(value, 1); }
+
+void Histogram::Record(double value, std::uint64_t count) {
+  if (count == 0) return;
   if (value < 0.0) value = 0.0;
-  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  AtomicAdd(&sum_, value);
+  buckets_[BucketFor(value)].fetch_add(count, std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value * static_cast<double>(count));
   AtomicMax(&max_, value);
   AtomicMin(&min_, value);
 }
@@ -81,15 +88,24 @@ double Histogram::Percentile(double p) const {
   const double target = std::max(p * static_cast<double>(n), 1.0);
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    seen += in_bucket;
     if (static_cast<double>(seen) >= target) {
-      // The final bucket has no upper edge, so its midpoint says nothing
-      // about the samples in it; the recorded max is the only honest bound.
+      // The final bucket has no upper edge, so interpolating inside it says
+      // nothing about the samples there; the recorded max is the only
+      // honest bound.
       if (b == kNumBuckets - 1) return max();
-      // A midpoint can overshoot the largest value actually seen, or
-      // undershoot the smallest (e.g. a single sample near a bucket edge);
-      // never report a percentile outside the recorded [min, max].
-      return std::clamp(BucketMid(b), min(), max());
+      // Interpolate geometrically: place the target rank along the bucket's
+      // log2 span by its fraction of this bucket's population. in_bucket is
+      // >= 1 here (seen crossed target inside this bucket).
+      const double before = static_cast<double>(seen - in_bucket);
+      const double fraction =
+          (target - before) / static_cast<double>(in_bucket);
+      // Interpolation can still overshoot the largest value actually seen,
+      // or undershoot the smallest (e.g. a single sample near a bucket
+      // edge); never report a percentile outside the recorded [min, max].
+      return std::clamp(BucketValueAt(b, fraction), min(), max());
     }
   }
   return max();

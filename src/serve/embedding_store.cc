@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/tensor/quantize.h"
 #include "src/util/logging.h"
 
 namespace smgcn {
@@ -53,6 +54,47 @@ std::vector<float> NarrowToF32(const tensor::Matrix& m) {
   }
   return out;
 }
+
+/// Re-lays a row-major rows x cols s8 matrix out as its transpose
+/// (cols x rows) — the herb payload into the GEMM-friendly d x H layout.
+std::vector<std::int8_t> TransposeS8(const std::int8_t* values,
+                                     std::size_t rows, std::size_t cols) {
+  std::vector<std::int8_t> out(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c * rows + r] = values[r * cols + c];
+    }
+  }
+  return out;
+}
+
+/// Dequantizes a row-major s8 table into f32 ((float)q * scale per element)
+/// — the int8 store's build-time pooling cache, so the per-query pooling
+/// loop never re-multiplies scales. Each cached value is the exact f32 the
+/// on-the-fly dequantization would produce, so scores are unchanged bit
+/// for bit.
+std::vector<float> DequantizeTableF32(const std::vector<std::int8_t>& q,
+                                      const std::vector<float>& scales,
+                                      std::size_t cols) {
+  std::vector<float> out(q.size());
+  for (std::size_t r = 0; r < scales.size(); ++r) {
+    tensor::quantize::DequantizeRowF32(q.data() + r * cols, cols, scales[r],
+                                       out.data() + r * cols);
+  }
+  return out;
+}
+
+/// Pre-packs the transposed herb table into the active kernel backend's
+/// gemm_s8_packed layout, hoisting the GEMM's per-call bt widening to build
+/// time. Empty when the backend has no packed form (scalar) — ScoreBatchS8
+/// then passes nullptr and the kernel handles bt itself.
+std::vector<std::int32_t> PackHerbsS8(const std::vector<std::int8_t>& bt,
+                                      std::size_t d, std::size_t h) {
+  const tensor::kernels::Backend& kern = tensor::kernels::Active();
+  std::vector<std::int32_t> packed(kern.gemm_s8_pack_size(d, h));
+  if (!packed.empty()) kern.gemm_s8_pack(bt.data(), d, h, packed.data());
+  return packed;
+}
 }  // namespace
 
 Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoint,
@@ -65,6 +107,29 @@ Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoin
   store.num_herbs_ = checkpoint.herb_embeddings.rows();
   store.dim_ = checkpoint.symptom_embeddings.cols();
   store.has_si_mlp_ = checkpoint.has_si_mlp;
+  if (precision == tensor::Precision::kInt8) {
+    // Quantize per matrix row (symptom s, herb j) once at build time; herb
+    // values are then re-laid out into the transposed serving layout, where
+    // herb j's scale becomes column j's scale.
+    tensor::quantize::QuantizedMatrix symptoms =
+        tensor::quantize::QuantizeRows(checkpoint.symptom_embeddings);
+    tensor::quantize::QuantizedMatrix herbs =
+        tensor::quantize::QuantizeRows(checkpoint.herb_embeddings);
+    store.symptom_s8_ = std::move(symptoms.values);
+    store.symptom_scales_ = std::move(symptoms.scales);
+    store.symptom_f32_ =
+        DequantizeTableF32(store.symptom_s8_, store.symptom_scales_, store.dim_);
+    store.herbs_t_s8_ = TransposeS8(herbs.values.data(), herbs.rows, herbs.cols);
+    store.herb_scales_ = std::move(herbs.scales);
+    store.herb_packed_ =
+        PackHerbsS8(store.herbs_t_s8_, store.dim_, store.num_herbs_);
+    if (store.has_si_mlp_) {
+      // The SI MLP stays f32: only the embedding GEMM is quantized.
+      store.si_weight_f32_ = NarrowToF32(checkpoint.si_weight);
+      store.si_bias_f32_ = NarrowToF32(checkpoint.si_bias);
+    }
+    return store;
+  }
   // Serving layout: the GEMM wants herb-contiguous rows per embedding dim.
   tensor::Matrix herbs_t = checkpoint.herb_embeddings.Transpose();
   if (precision == tensor::Precision::kFloat32) {
@@ -87,7 +152,53 @@ Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoin
   return store;
 }
 
+Result<EmbeddingStore> EmbeddingStore::BuildFromArtifact(
+    const core::MappedArtifact& artifact) {
+  // ToCheckpoint runs the full semantic validation (shape consistency and
+  // the non-finite scan) for every dtype; the float builds also reuse its
+  // widened matrices directly.
+  ASSIGN_OR_RETURN(core::InferenceCheckpoint checkpoint, artifact.ToCheckpoint());
+  if (artifact.precision() != tensor::Precision::kInt8) {
+    return Build(std::move(checkpoint), artifact.precision());
+  }
+  // Int8: serve the stored integers verbatim. (Re-quantizing the validated
+  // checkpoint would reproduce the same bits — the round trip is exact —
+  // but copying the mapped payload makes "stored precision" literal and
+  // skips the quantization pass.)
+  EmbeddingStore store;
+  store.model_name_ = std::move(checkpoint.model_name);
+  store.precision_ = tensor::Precision::kInt8;
+  store.num_symptoms_ = checkpoint.symptom_embeddings.rows();
+  store.num_herbs_ = checkpoint.herb_embeddings.rows();
+  store.dim_ = checkpoint.symptom_embeddings.cols();
+  store.has_si_mlp_ = checkpoint.has_si_mlp;
+  const core::MappedArtifact::SectionView symptoms =
+      artifact.symptom_embeddings();
+  const core::MappedArtifact::SectionView herbs = artifact.herb_embeddings();
+  store.symptom_s8_.assign(symptoms.data_s8,
+                           symptoms.data_s8 + symptoms.rows * symptoms.cols);
+  store.symptom_scales_.assign(symptoms.scales,
+                               symptoms.scales + symptoms.rows);
+  store.symptom_f32_ =
+      DequantizeTableF32(store.symptom_s8_, store.symptom_scales_, store.dim_);
+  store.herbs_t_s8_ = TransposeS8(herbs.data_s8, herbs.rows, herbs.cols);
+  store.herb_scales_.assign(herbs.scales, herbs.scales + herbs.rows);
+  store.herb_packed_ =
+      PackHerbsS8(store.herbs_t_s8_, store.dim_, store.num_herbs_);
+  if (store.has_si_mlp_) {
+    store.si_weight_f32_ = NarrowToF32(checkpoint.si_weight);
+    store.si_bias_f32_ = NarrowToF32(checkpoint.si_bias);
+  }
+  return store;
+}
+
 std::size_t EmbeddingStore::payload_bytes() const {
+  if (precision_ == tensor::Precision::kInt8) {
+    return symptom_s8_.size() + herbs_t_s8_.size() +
+           (symptom_scales_.size() + herb_scales_.size() +
+            si_weight_f32_.size() + si_bias_f32_.size()) *
+               sizeof(float);
+  }
   if (precision_ == tensor::Precision::kFloat32) {
     return (symptom_f32_.size() + herbs_t_f32_.size() + si_weight_f32_.size() +
             si_bias_f32_.size()) *
@@ -121,8 +232,47 @@ tensor::Matrix EmbeddingStore::PoolSymptoms(
 
 tensor::Matrix EmbeddingStore::ScoreBatch(
     const std::vector<CanonicalQuery>& batch) const {
-  return precision_ == tensor::Precision::kFloat32 ? ScoreBatchF32(batch)
-                                                   : ScoreBatchF64(batch);
+  switch (precision_) {
+    case tensor::Precision::kFloat32:
+      return ScoreBatchF32(batch);
+    case tensor::Precision::kInt8:
+      return ScoreBatchS8(batch);
+    case tensor::Precision::kFloat64:
+      break;
+  }
+  return ScoreBatchF64(batch);
+}
+
+void EmbeddingStore::ScoreBatchInto(const std::vector<CanonicalQuery>& batch,
+                                    std::vector<double>* rows) const {
+  const std::size_t h = num_herbs();
+  const float* scores = nullptr;
+  switch (precision_) {
+    case tensor::Precision::kFloat32:
+      scores = ScoreBatchF32Raw(batch);
+      break;
+    case tensor::Precision::kInt8:
+      scores = ScoreBatchS8Raw(batch);
+      break;
+    case tensor::Precision::kFloat64:
+      break;
+  }
+  if (scores != nullptr) {
+    // Reduced-precision paths widen straight into the caller's rows — no
+    // intermediate b x H f64 Matrix (a fresh multi-hundred-KB allocation
+    // per batch) and no second row copy on the engine side. assign() is a
+    // single converting pass with no value-init sweep.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const float* row = scores + i * h;
+      rows[i].assign(row, row + h);
+    }
+    return;
+  }
+  const tensor::Matrix m = ScoreBatchF64(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double* row = m.row_data(i);
+    rows[i].assign(row, row + h);
+  }
 }
 
 tensor::Matrix EmbeddingStore::ScoreBatchF64(
@@ -147,14 +297,22 @@ tensor::Matrix EmbeddingStore::ScoreBatchF64(
   return BlockedScoresGemm(pooled, herb_embeddings_t_);
 }
 
-tensor::Matrix EmbeddingStore::ScoreBatchF32(
+const float* EmbeddingStore::ScoreBatchF32Raw(
     const std::vector<CanonicalQuery>& batch) const {
   const std::size_t d = dim();
   const std::size_t h = num_herbs();
   const tensor::kernels::Backend& kern = tensor::kernels::Active();
 
+  // Per-thread scratch persists across calls (the scores buffer alone is
+  // hundreds of KB at serving batch sizes; a per-call vector would re-mmap
+  // and page-fault through it every batch) and outlives the return — the
+  // caller reads the scores straight out of it.
+  static thread_local std::vector<float> pooled;
+  static thread_local std::vector<float> hidden;
+  static thread_local std::vector<float> scores;
+  pooled.assign(batch.size() * d, 0.0f);
+
   // Mean-pool in f32 (same sum-then-scale order as the reference).
-  std::vector<float> pooled(batch.size() * d, 0.0f);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const std::vector<int>& ids = batch[i].symptom_ids;
     SMGCN_CHECK(!ids.empty()) << "canonical query must be non-empty";
@@ -168,10 +326,11 @@ tensor::Matrix EmbeddingStore::ScoreBatchF32(
     for (std::size_t c = 0; c < d; ++c) out[c] *= inv;
   }
 
+  const float* activations = pooled.data();
   if (has_si_mlp_) {
     // ReLU(pooled W + b): the d x d weight is row-major, which is already
     // the kernels' k-major "bt" layout for this product.
-    std::vector<float> hidden(batch.size() * d);
+    hidden.resize(batch.size() * d);
     kern.gemm_f32(pooled.data(), si_weight_f32_.data(), batch.size(), d, d,
                   hidden.data());
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -181,19 +340,111 @@ tensor::Matrix EmbeddingStore::ScoreBatchF32(
         if (row[c] < 0.0f) row[c] = 0.0f;
       }
     }
-    pooled = std::move(hidden);
+    activations = hidden.data();
   }
 
-  // One B x d * d x H f32 GEMM (eq. 13), widened on the way out — the
-  // engine's top-k and cache layers stay precision-agnostic.
-  std::vector<float> scores(batch.size() * h);
-  kern.gemm_f32(pooled.data(), herbs_t_f32_.data(), batch.size(), d, h,
+  // One B x d * d x H f32 GEMM (eq. 13).
+  scores.resize(batch.size() * h);
+  kern.gemm_f32(activations, herbs_t_f32_.data(), batch.size(), d, h,
                 scores.data());
-  tensor::Matrix out(batch.size(), h);
+  return scores.data();
+}
+
+tensor::Matrix EmbeddingStore::ScoreBatchF32(
+    const std::vector<CanonicalQuery>& batch) const {
+  const std::size_t h = num_herbs();
+  const float* scores = ScoreBatchF32Raw(batch);
+  // Widened on the way out — the engine's top-k and cache layers stay
+  // precision-agnostic. Uninitialized: the widen loop writes every element,
+  // so the fill constructor's zero sweep over b x H doubles would be waste.
+  tensor::Matrix out = tensor::Matrix::Uninitialized(batch.size(), h);
   double* dst = out.data();
-  for (std::size_t i = 0; i < scores.size(); ++i) {
-    dst[i] = static_cast<double>(scores[i]);
+  const std::size_t n = batch.size() * h;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<double>(scores[i]);
+  return out;
+}
+
+const float* EmbeddingStore::ScoreBatchS8Raw(
+    const std::vector<CanonicalQuery>& batch) const {
+  const std::size_t d = dim();
+  const std::size_t h = num_herbs();
+  const tensor::kernels::Backend& kern = tensor::kernels::Active();
+
+  // Per-thread scratch persists across calls: at serving batch sizes the
+  // scores buffer alone is hundreds of KB, which a per-call std::vector
+  // would re-mmap (and page-fault through) every batch. Resizes are no-ops
+  // after warm-up; only `pooled` needs an explicit clear (it accumulates).
+  static thread_local std::vector<float> pooled;
+  static thread_local std::vector<float> hidden;
+  static thread_local std::vector<std::int8_t> act;
+  static thread_local std::vector<float> act_scales;
+  static thread_local std::vector<float> scores;
+  pooled.assign(batch.size() * d, 0.0f);
+
+  // Mean-pool in f32 against the build-time dequantized symptom cache.
+  // Each cached element is exactly (float)q * scale, so this is the same
+  // sum as dequantizing on the fly — minus a per-element multiply in the
+  // hot loop.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<int>& ids = batch[i].symptom_ids;
+    SMGCN_CHECK(!ids.empty()) << "canonical query must be non-empty";
+    float* out = pooled.data() + i * d;
+    for (int s : ids) {
+      SMGCN_CHECK_LT(static_cast<std::size_t>(s), num_symptoms());
+      const float* row = symptom_f32_.data() + static_cast<std::size_t>(s) * d;
+      for (std::size_t c = 0; c < d; ++c) out[c] += row[c];
+    }
+    const float inv = 1.0f / static_cast<float>(ids.size());
+    for (std::size_t c = 0; c < d; ++c) out[c] *= inv;
   }
+
+  const float* activations = pooled.data();
+  if (has_si_mlp_) {
+    // ReLU(pooled W + b) in f32 — the MLP is deliberately not quantized.
+    hidden.resize(batch.size() * d);
+    kern.gemm_f32(pooled.data(), si_weight_f32_.data(), batch.size(), d, d,
+                  hidden.data());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      float* row = hidden.data() + i * d;
+      for (std::size_t c = 0; c < d; ++c) {
+        row[c] += si_bias_f32_[c];
+        if (row[c] < 0.0f) row[c] = 0.0f;
+      }
+    }
+    activations = hidden.data();
+  }
+
+  // Quantize each activation row once, then one int8 B x d * d x H GEMM
+  // (eq. 13). Row-wise quantization + exact i32 accumulation keep every
+  // batch row bit-identical to the single-query path on any backend.
+  act.resize(batch.size() * d);
+  act_scales.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    act_scales[i] = tensor::quantize::QuantizeRowF32(activations + i * d, d,
+                                                     act.data() + i * d);
+  }
+  scores.resize(batch.size() * h);
+  // The herb table was pre-packed at build time (when the active backend
+  // has a packed form); a null pack is valid and packs inside the call —
+  // that covers a store built under one backend but scored under another
+  // (the forced-scalar toggle flips the dispatch mid-process in tests).
+  kern.gemm_s8_packed(act.data(), herbs_t_s8_.data(),
+                      herb_packed_.empty() ? nullptr : herb_packed_.data(),
+                      batch.size(), d, h, act_scales.data(),
+                      herb_scales_.data(), scores.data());
+  return scores.data();
+}
+
+tensor::Matrix EmbeddingStore::ScoreBatchS8(
+    const std::vector<CanonicalQuery>& batch) const {
+  const std::size_t h = num_herbs();
+  const float* scores = ScoreBatchS8Raw(batch);
+  // Uninitialized for the same reason as the f32 path: the widen writes
+  // every element.
+  tensor::Matrix out = tensor::Matrix::Uninitialized(batch.size(), h);
+  double* dst = out.data();
+  const std::size_t n = batch.size() * h;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<double>(scores[i]);
   return out;
 }
 

@@ -14,7 +14,7 @@
 // rows independently in a fixed order), which is what makes the engine's
 // batched and per-query paths interchangeable.
 //
-// Precision: a store is built at one of two precisions.
+// Precision: a store is built at one of three precisions.
 //   * Precision::kFloat64 (the default) is the bit-exact reference: plain
 //     double arithmetic, identical to CheckpointRecommender::Score.
 //   * Precision::kFloat32 halves the embedding footprint (the checkpoint's
@@ -23,15 +23,25 @@
 //     AVX2 where the CPU has it, scalar otherwise). Scores are returned
 //     widened to double; accuracy versus the f64 reference is bounded by
 //     the top-k-agreement / NDCG-delta parity tests.
-// The row-independence contract holds at both precisions and for both f32
-// backends: batched rows are bit-identical to single-query runs within one
-// (store, backend) pair.
+//   * Precision::kInt8 quantizes the symptom and herb embeddings per row
+//     (tensor/quantize.h) to ~1/8 the f64 embedding footprint and scores
+//     the final embedding GEMM through the dispatched int8 kernels. Only
+//     that GEMM is quantized: pooling dequantizes symptom rows on the fly
+//     in f32 and the SI MLP runs in f32, then each pooled/activated row is
+//     quantized once before the herb GEMM. Because the int8 kernels
+//     accumulate exactly, int8 scores are bit-identical across backends,
+//     not just within one.
+// The row-independence contract holds at every precision and backend:
+// batched rows are bit-identical to single-query runs within one
+// (store, backend) pair — and across backends for int8.
 #ifndef SMGCN_SERVE_EMBEDDING_STORE_H_
 #define SMGCN_SERVE_EMBEDDING_STORE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/core/artifact.h"
 #include "src/core/checkpoint.h"
 #include "src/serve/query.h"
 #include "src/tensor/kernels.h"
@@ -46,10 +56,20 @@ class EmbeddingStore {
  public:
   /// Validates the checkpoint and takes ownership of its matrices. At
   /// Precision::kFloat32 the payloads are narrowed once here and the
-  /// doubles are dropped (half-footprint serving).
+  /// doubles are dropped (half-footprint serving); at Precision::kInt8 the
+  /// embeddings are quantized per row and only the SI MLP stays f32.
   static Result<EmbeddingStore> Build(
       core::InferenceCheckpoint checkpoint,
       tensor::Precision precision = tensor::Precision::kFloat64);
+
+  /// Builds a store that serves the artifact at its stored precision. For
+  /// an int8 artifact the quantized payload and scale vectors are copied
+  /// bit-exactly into the serving layout — the integers scored are the
+  /// integers on disk, with no dequantize/requantize round trip on the
+  /// embedding sections (the SI MLP is dequantized to f32 once, matching
+  /// Build's f32-MLP policy).
+  static Result<EmbeddingStore> BuildFromArtifact(
+      const core::MappedArtifact& artifact);
 
   const std::string& model_name() const { return model_name_; }
   std::size_t num_symptoms() const { return num_symptoms_; }
@@ -59,7 +79,8 @@ class EmbeddingStore {
   tensor::Precision precision() const { return precision_; }
 
   /// Bytes held by the embedding/MLP payloads (the f32 build is half the
-  /// f64 build of the same checkpoint).
+  /// f64 build of the same checkpoint; the int8 build holds the embeddings
+  /// at 1/8 plus per-row f32 scales and the MLP at f32).
   std::size_t payload_bytes() const;
 
   /// Mean-pools each query's symptom embeddings into one row (B x d).
@@ -72,6 +93,14 @@ class EmbeddingStore {
   /// through the dispatched kernels and widens the result.
   tensor::Matrix ScoreBatch(const std::vector<CanonicalQuery>& batch) const;
 
+  /// Same scores as ScoreBatch, written into rows[0..batch.size()) (each
+  /// row is assigned H doubles). The serving hot path: reduced-precision
+  /// stores widen their f32 scores directly into the caller's buffers,
+  /// skipping the intermediate b x H f64 Matrix allocation and the second
+  /// per-row copy the Matrix return forces on the engine.
+  void ScoreBatchInto(const std::vector<CanonicalQuery>& batch,
+                      std::vector<double>* rows) const;
+
   /// Herb scores for a single canonical query.
   std::vector<double> ScoreOne(const CanonicalQuery& query) const;
 
@@ -80,6 +109,13 @@ class EmbeddingStore {
 
   tensor::Matrix ScoreBatchF64(const std::vector<CanonicalQuery>& batch) const;
   tensor::Matrix ScoreBatchF32(const std::vector<CanonicalQuery>& batch) const;
+  tensor::Matrix ScoreBatchS8(const std::vector<CanonicalQuery>& batch) const;
+  /// f32/int8 scoring guts: compute the b x H score block in f32 and return
+  /// a pointer into per-thread scratch (valid until the next call on this
+  /// thread). ScoreBatch* wrap these with the f64 widen; ScoreBatchInto
+  /// widens straight into caller rows.
+  const float* ScoreBatchF32Raw(const std::vector<CanonicalQuery>& batch) const;
+  const float* ScoreBatchS8Raw(const std::vector<CanonicalQuery>& batch) const;
 
   std::string model_name_;
   tensor::Precision precision_ = tensor::Precision::kFloat64;
@@ -94,11 +130,30 @@ class EmbeddingStore {
   tensor::Matrix si_weight_;           // d x d
   tensor::Matrix si_bias_;             // 1 x d
 
-  // f32 payloads (same layouts); empty when precision_ == kFloat64.
+  // f32 payloads (same layouts); empty when precision_ == kFloat64. The
+  // int8 store reuses si_weight_f32_/si_bias_f32_ for its f32 SI MLP and
+  // keeps a build-time dequantized copy of the symptom table in
+  // symptom_f32_ as its pooling cache (exactly (float)q * scale per
+  // element — a derived cache, not payload: symptom_s8_ stays the stored
+  // truth and payload_bytes() counts only that).
   std::vector<float> symptom_f32_;   // S x d
   std::vector<float> herbs_t_f32_;   // d x H
   std::vector<float> si_weight_f32_; // d x d
   std::vector<float> si_bias_f32_;   // d
+
+  // int8 payloads; empty unless precision_ == kInt8. Scales are per
+  // original matrix row: symptom_scales_[s] for symptom s's row,
+  // herb_scales_[j] for herb j — column j of the transposed layout.
+  std::vector<std::int8_t> symptom_s8_;  // S x d
+  std::vector<std::int8_t> herbs_t_s8_;  // d x H (transposed serving layout)
+  std::vector<float> symptom_scales_;    // S
+  std::vector<float> herb_scales_;       // H
+
+  // Build-time pre-pack of herbs_t_s8_ in the active kernel backend's
+  // gemm_s8_packed layout — another derived cache (herbs_t_s8_ stays the
+  // stored truth). Empty when the backend has no packed form (scalar);
+  // ScoreBatchS8 then passes nullptr and the kernel packs internally.
+  std::vector<std::int32_t> herb_packed_;
 };
 
 }  // namespace serve

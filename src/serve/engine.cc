@@ -46,6 +46,17 @@ Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
       std::move(store), std::move(version), NextSnapshotSalt());
 }
 
+Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshotFromArtifact(
+    const core::MappedArtifact& artifact, std::string version) {
+  if (version.empty()) {
+    return Status::InvalidArgument("model version must be non-empty");
+  }
+  ASSIGN_OR_RETURN(EmbeddingStore store,
+                   EmbeddingStore::BuildFromArtifact(artifact));
+  return std::make_shared<const ModelSnapshot>(
+      std::move(store), std::move(version), NextSnapshotSalt());
+}
+
 void ServingEngine::ParallelBlocks(
     std::size_t n, std::size_t block,
     const std::function<void(std::size_t, std::size_t)>& fn) const {
@@ -232,22 +243,20 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
       canonical.size(), kScoreBlockRows,
       [this, &snap, &canonical, &out](std::size_t begin, std::size_t end) {
         obs::ScopedSpan gemm_span(gemm_span_, gemm_trace_id_);
-        // Full-range runs (the single-worker path) skip the sub-vector copy.
-        const tensor::Matrix scores =
-            (begin == 0 && end == canonical.size())
-                ? snap->store.ScoreBatch(canonical)
-                : snap->store.ScoreBatch(std::vector<CanonicalQuery>(
-                      canonical.begin() + begin, canonical.begin() + end));
-        for (std::size_t i = begin; i < end; ++i) {
-          const double* row = scores.row_data(i - begin);
-          out[i].assign(row, row + scores.cols());
+        // ScoreBatchInto writes each query's scores straight into out[i] —
+        // no intermediate b x H matrix, no second row copy. Full-range runs
+        // (the single-worker path) skip the sub-vector copy.
+        if (begin == 0 && end == canonical.size()) {
+          snap->store.ScoreBatchInto(canonical, out.data());
+        } else {
+          snap->store.ScoreBatchInto(
+              std::vector<CanonicalQuery>(canonical.begin() + begin,
+                                          canonical.begin() + end),
+              out.data() + begin);
         }
       });
   stats_.RecordBatch(canonical.size());
-  const double latency = SecondsSince(start);
-  for (std::size_t i = 0; i < canonical.size(); ++i) {
-    stats_.RecordQuery(latency);
-  }
+  stats_.RecordQueries(canonical.size(), SecondsSince(start));
   return out;
 }
 
@@ -283,13 +292,12 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
           for (std::size_t m = begin; m < end; ++m) {
             to_score.push_back(queries[misses[m]]);
           }
-          const tensor::Matrix scores = snap.store.ScoreBatch(to_score);
+          std::vector<std::vector<double>> block_scores(end - begin);
+          snap.store.ScoreBatchInto(to_score, block_scores.data());
           const double gemm_seconds = gemm_span.Stop();
           const auto topk_start = std::chrono::steady_clock::now();
           for (std::size_t m = begin; m < end; ++m) {
-            const double* row = scores.row_data(m - begin);
-            std::vector<double> row_scores(row, row + scores.cols());
-            results[misses[m]] = eval::TopK(row_scores, k);
+            results[misses[m]] = eval::TopK(block_scores[m - begin], k);
             if (cache_enabled_) {
               const CanonicalQuery& q = queries[misses[m]];
               cache_.Insert(CombineKey(q.key, snap.salt), q.symptom_ids, k,
@@ -336,7 +344,7 @@ Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
   auto results = RecommendCanonical(*snap, canonical, k,
                                     slow_log_.enabled() ? &stages : nullptr);
   const double latency = SecondsSince(start);
-  for (std::size_t i = 0; i < results.size(); ++i) stats_.RecordQuery(latency);
+  stats_.RecordQueries(results.size(), latency);
   if (slow_log_.enabled() && latency >= slow_log_.threshold_seconds()) {
     // Synchronous queries share the batch's wall time; queue and coalesce
     // are async-only stages and stay zero.

@@ -83,6 +83,14 @@ Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
     core::InferenceCheckpoint checkpoint, std::string version,
     tensor::Precision precision = tensor::Precision::kFloat64);
 
+/// Freezes a mapped artifact into a snapshot served at its stored
+/// precision. For f64/f32 this equals MakeModelSnapshot on the widened
+/// checkpoint (the round trip is exact); for int8 the store copies the
+/// file's quantized payload and scale vectors verbatim, so the integers
+/// scored are the integers on disk.
+Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshotFromArtifact(
+    const core::MappedArtifact& artifact, std::string version);
+
 struct ServingEngineOptions {
   /// Upper bound on queries fused into one GEMM by the micro-batcher (and
   /// a validation bound for the synchronous batch API: 0 is invalid).
@@ -120,9 +128,10 @@ struct ServingEngineOptions {
   /// Scoring precision for snapshots the engine builds itself (Create and
   /// Publish from a checkpoint). kFloat64 is the bit-exact reference;
   /// kFloat32 halves the store footprint and scores through the
-  /// runtime-dispatched SIMD kernels. Snapshot-based entry points
-  /// (CreateFromSnapshot / PublishSnapshot) keep the precision their
-  /// snapshot was built with.
+  /// runtime-dispatched SIMD kernels; kInt8 quantizes the embeddings per
+  /// row for ~1/8 the footprint and scores through the int8 kernels.
+  /// Snapshot-based entry points (CreateFromSnapshot / PublishSnapshot)
+  /// keep the precision their snapshot was built with.
   tensor::Precision precision = tensor::Precision::kFloat64;
 };
 

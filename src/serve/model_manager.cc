@@ -88,16 +88,13 @@ Result<PublishReceipt> ModelManager::PublishArtifact(const std::string& path) {
   Stopwatch open_clock;
   ASSIGN_OR_RETURN(const core::MappedArtifact artifact,
                    core::MappedArtifact::Open(path));
-  ASSIGN_OR_RETURN(core::InferenceCheckpoint checkpoint,
-                   artifact.ToCheckpoint());
+  // Serve at the artifact's storage precision: f64/f32 round-trip through
+  // the checkpoint exactly, and an int8 artifact's quantized payload is
+  // copied into the store verbatim — the integers scored are the file's.
+  ASSIGN_OR_RETURN(
+      std::shared_ptr<const ModelSnapshot> snapshot,
+      MakeModelSnapshotFromArtifact(artifact, artifact.model_version()));
   open_latency_->Record(open_clock.ElapsedSeconds());
-  // Serve at the artifact's storage precision: an f32 artifact round-trips
-  // through the f64 checkpoint exactly (widen then narrow back), so the
-  // store's floats are bit-identical to the file's.
-  ASSIGN_OR_RETURN(std::shared_ptr<const ModelSnapshot> snapshot,
-                   MakeModelSnapshot(std::move(checkpoint),
-                                     artifact.model_version(),
-                                     artifact.precision()));
   return Install(artifact.model_name(), std::move(snapshot));
 }
 

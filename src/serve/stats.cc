@@ -62,6 +62,12 @@ void StatsRecorder::RecordQuery(double latency_seconds) {
   queries_->Increment();
 }
 
+void StatsRecorder::RecordQueries(std::size_t count, double latency_seconds) {
+  if (count == 0) return;
+  latency_->Record(latency_seconds, count);
+  queries_->Increment(count);
+}
+
 void StatsRecorder::RecordBatch(std::size_t batch_size) {
   batches_->Increment();
   batched_queries_->Increment(batch_size);

@@ -22,9 +22,10 @@ namespace smgcn {
 namespace serve {
 
 /// Log-bucketed latency histogram: a seconds-flavoured veneer over
-/// obs::Histogram (bucket i spans [2^i, 2^(i+1)) microseconds, 48 buckets,
-/// ~2x resolution from sub-microsecond to multi-day). Thread-safe; kept so
-/// existing serving callers retain the *_seconds vocabulary.
+/// obs::Histogram (4 sub-buckets per octave from 1 microsecond up, ~19%
+/// bucket width plus intra-bucket interpolation in Percentile — sub-ms p50
+/// and p99 stay distinguishable). Thread-safe; kept so existing serving
+/// callers retain the *_seconds vocabulary.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kNumBuckets = obs::Histogram::kNumBuckets;
@@ -37,9 +38,9 @@ class LatencyHistogram {
   double mean_seconds() const { return histogram_.mean(); }
 
   /// Latency (seconds) below which a fraction `p` in [0,1] of recorded
-  /// samples fall; reports the geometric midpoint of the matching bucket
-  /// clamped to the recorded [min, max] (0 when empty, the sample itself
-  /// when there is exactly one, the max for the final overflow bucket).
+  /// samples fall; interpolates inside the matching bucket and clamps to
+  /// the recorded [min, max] (0 when empty, the sample itself when there is
+  /// exactly one, the max for the final overflow bucket).
   double Percentile(double p) const { return histogram_.Percentile(p); }
 
  private:
@@ -92,6 +93,12 @@ class StatsRecorder {
 
   /// Records one answered query and its end-to-end latency.
   void RecordQuery(double latency_seconds);
+
+  /// Records `count` answered queries that share one end-to-end latency —
+  /// the batched-scoring case, where every query in a GEMM batch finishes
+  /// at the same wall-clock instant. Equivalent to `count` RecordQuery
+  /// calls but with one histogram and one counter update.
+  void RecordQueries(std::size_t count, double latency_seconds);
 
   /// Records one executed GEMM covering `batch_size` queries.
   void RecordBatch(std::size_t batch_size);

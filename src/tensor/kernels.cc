@@ -4,11 +4,21 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/util/logging.h"
+
 namespace smgcn {
 namespace tensor {
 
 const char* PrecisionName(Precision precision) {
-  return precision == Precision::kFloat32 ? "f32" : "f64";
+  switch (precision) {
+    case Precision::kFloat32:
+      return "f32";
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kFloat64:
+      break;
+  }
+  return "f64";
 }
 
 namespace kernels {
@@ -53,11 +63,77 @@ void ScalarGemmF32(const float* a, const float* bt, std::size_t b,
   }
 }
 
+std::int32_t ScalarDotS8(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n) {
+  std::int32_t acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += static_cast<std::int32_t>(a[k]) * static_cast<std::int32_t>(b[k]);
+  }
+  return acc;
+}
+
+void ScalarGemvS8(const std::int8_t* x, const std::int8_t* bt, std::size_t d,
+                  std::size_t h, float x_scale, const float* col_scales,
+                  float* out) {
+  // i32 accumulators streamed over bt rows; integer addition is associative,
+  // so the streaming order is irrelevant to the result — the accumulation is
+  // exact, and only the fixed-order f32 scale application rounds.
+  constexpr std::size_t kTile = 256;
+  std::int32_t acc[kTile];
+  for (std::size_t j0 = 0; j0 < h; j0 += kTile) {
+    const std::size_t width = h - j0 < kTile ? h - j0 : kTile;
+    for (std::size_t j = 0; j < width; ++j) acc[j] = 0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const std::int32_t xk = x[k];
+      const std::int8_t* bt_row = bt + k * h + j0;
+      for (std::size_t j = 0; j < width; ++j) {
+        acc[j] += xk * static_cast<std::int32_t>(bt_row[j]);
+      }
+    }
+    for (std::size_t j = 0; j < width; ++j) {
+      out[j0 + j] =
+          (static_cast<float>(acc[j]) * x_scale) * col_scales[j0 + j];
+    }
+  }
+}
+
+void ScalarGemmS8(const std::int8_t* a, const std::int8_t* bt, std::size_t b,
+                  std::size_t d, std::size_t h, const float* a_scales,
+                  const float* col_scales, float* out) {
+  // Per-row GEMV: exact i32 accumulation makes any blocking bit-identical,
+  // so the simplest shape is also the canonical one.
+  for (std::size_t i = 0; i < b; ++i) {
+    ScalarGemvS8(a + i * d, bt, d, h, a_scales[i], col_scales, out + i * h);
+  }
+}
+
+// The scalar backend has no packed bt form: its per-row GEMV streams bt
+// directly, so gemm_s8_packed ignores `packed` and forwards to gemm_s8.
+std::size_t ScalarGemmS8PackSize(std::size_t /*d*/, std::size_t /*h*/) {
+  return 0;
+}
+
+void ScalarGemmS8Pack(const std::int8_t* /*bt*/, std::size_t /*d*/,
+                      std::size_t /*h*/, std::int32_t* /*packed*/) {}
+
+void ScalarGemmS8Packed(const std::int8_t* a, const std::int8_t* bt,
+                        const std::int32_t* /*packed*/, std::size_t b,
+                        std::size_t d, std::size_t h, const float* a_scales,
+                        const float* col_scales, float* out) {
+  ScalarGemmS8(a, bt, b, d, h, a_scales, col_scales, out);
+}
+
 constexpr Backend kScalarBackend = {
     "scalar",
     &ScalarDotF32,
     &ScalarGemvF32,
     &ScalarGemmF32,
+    &ScalarDotS8,
+    &ScalarGemvS8,
+    &ScalarGemmS8,
+    &ScalarGemmS8PackSize,
+    &ScalarGemmS8Pack,
+    &ScalarGemmS8Packed,
 };
 
 std::atomic<bool> g_force_scalar{false};
@@ -85,16 +161,39 @@ const Backend* SimdBackend() {
   return backend;
 }
 
+/// Logs "kernel backend selected: <name> (<reason>)" when the effective
+/// backend differs from the last one logged — once per process in steady
+/// state, once more per effective ForceScalar() flip. The compare-exchange
+/// keeps concurrent first callers down to a single line.
+std::atomic<const Backend*> g_logged_backend{nullptr};
+
+void LogSelectionIfChanged(const Backend* chosen, bool simd_compiled_in,
+                           bool forced) {
+  const Backend* last = g_logged_backend.load(std::memory_order_relaxed);
+  if (last == chosen) return;
+  if (!g_logged_backend.compare_exchange_strong(last, chosen,
+                                                std::memory_order_relaxed)) {
+    return;  // another thread logged this resolution first
+  }
+  const char* reason = forced ? "scalar forced"
+                      : simd_compiled_in
+                          ? "cpuid dispatch"
+                          : "no SIMD backend compiled in or CPU lacks AVX2";
+  LOG_INFO << "kernel backend selected: " << chosen->name << " (" << reason
+           << ")";
+}
+
 }  // namespace
 
 const Backend& ScalarBackend() { return kScalarBackend; }
 
 const Backend& Active() {
   const Backend* simd = SimdBackend();  // also applies the env override
-  if (simd == nullptr || g_force_scalar.load(std::memory_order_relaxed)) {
-    return kScalarBackend;
-  }
-  return *simd;
+  const bool forced = g_force_scalar.load(std::memory_order_relaxed);
+  const Backend* chosen =
+      (simd == nullptr || forced) ? &kScalarBackend : simd;
+  LogSelectionIfChanged(chosen, simd != nullptr, forced);
+  return *chosen;
 }
 
 const char* ActiveName() { return Active().name; }

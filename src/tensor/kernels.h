@@ -1,4 +1,4 @@
-// Runtime-dispatched float32 scoring micro-kernels.
+// Runtime-dispatched reduced-precision scoring micro-kernels (f32 + int8).
 //
 // The serving hot loop (SMGCN eq. 13: fused symptom-set embedding dotted
 // against every herb embedding) is a GEMV/GEMM over the transposed-herb
@@ -7,7 +7,9 @@
 // serve::EmbeddingStore; this header is the reduced-precision fast path:
 //
 //   * `Backend` is a table of f32 micro-kernels (dot, GEMV, batched GEMM)
-//     over that layout.
+//     and int8 micro-kernels (s8 activations x s8 weights, exact i32
+//     accumulation, f32 per-row/per-column scale application on the way
+//     out) over that layout.
 //   * `Active()` picks the widest implementation the *running* CPU supports,
 //     decided once at startup: AVX2+FMA when the CPUID bits are set (the
 //     AVX2 kernels live in kernels_avx2.cc, compiled with -mavx2 -mfma in
@@ -18,36 +20,49 @@
 //     pins the scalar fallback regardless of CPUID; CI runs the whole test
 //     suite both ways so both codepaths stay green.
 //
-// Accuracy contract: every kernel accumulates each output element's d terms
-// in ascending-k order starting from 0 (the same per-element summation
-// order as the double reference), so batched rows equal single-row runs
-// exactly within a backend, and f32 results differ from the f64 reference
-// only by float rounding — bounded by the top-k-agreement / NDCG-delta
-// parity tests in tests/kernels_test.cc. The AVX2 kernels use FMA, so they
-// are not bit-identical to the scalar f32 fallback (fewer roundings, i.e.
-// slightly *more* accurate); the parity bounds hold for both.
+// Accuracy contract: every f32 kernel accumulates each output element's d
+// terms in ascending-k order starting from 0 (the same per-element
+// summation order as the double reference), so batched rows equal
+// single-row runs exactly within a backend, and f32 results differ from
+// the f64 reference only by float rounding — bounded by the
+// top-k-agreement / NDCG-delta parity tests in tests/kernels_test.cc. The
+// AVX2 f32 kernels use FMA, so they are not bit-identical to the scalar
+// f32 fallback (fewer roundings, i.e. slightly *more* accurate); the
+// parity bounds hold for both.
+//
+// The int8 kernels have a stronger contract: the i32 accumulation is
+// EXACT (integer addition is associative, and the worst-case magnitude
+// d * 127 * 127 stays far below 2^31 for any d this system serves), and
+// the f32 scale application multiplies in one fixed order
+// ((float)acc * x_scale) * col_scale. Int8 results are therefore
+// bit-identical across backends AND across GEMV/GEMM — not merely within
+// one backend.
 #ifndef SMGCN_TENSOR_KERNELS_H_
 #define SMGCN_TENSOR_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace smgcn {
 namespace tensor {
 
 /// Element precision of a scoring path or artifact payload. Conversions
 /// f64 -> f32 round to nearest even (the IEEE-754 default for
-/// static_cast<float>); f32 -> f64 is exact.
+/// static_cast<float>); f32 -> f64 is exact. kInt8 is per-row symmetric
+/// quantization (tensor/quantize.h): signed 8-bit values in [-127, 127]
+/// plus one f32 scale per matrix row.
 enum class Precision {
   kFloat64,
   kFloat32,
+  kInt8,
 };
 
-/// Human-readable precision name ("f64" / "f32").
+/// Human-readable precision name ("f64" / "f32" / "int8").
 const char* PrecisionName(Precision precision);
 
 namespace kernels {
 
-/// One f32 kernel implementation set. All pointers are non-null.
+/// One kernel implementation set (f32 + int8). All pointers are non-null.
 struct Backend {
   /// Implementation name for logs/benches: "scalar" or "avx2".
   const char* name;
@@ -66,6 +81,57 @@ struct Backend {
   /// `a` is b x d row-major (pooled queries), `out` is b x h row-major.
   void (*gemm_f32)(const float* a, const float* bt, std::size_t b,
                    std::size_t d, std::size_t h, float* out);
+
+  /// Exact signed-8-bit dot product with i32 accumulation:
+  ///   sum_k (i32)a[k] * (i32)b[k]
+  /// Never overflows for n <= 2^31 / 127^2 (~133k), far above any
+  /// embedding width this system serves.
+  std::int32_t (*dot_s8)(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n);
+
+  /// Quantized GEMV over the transposed-herb layout:
+  ///   acc    = sum_k (i32)x[k] * (i32)bt[k * h + j]
+  ///   out[j] = ((float)acc * x_scale) * col_scales[j]
+  /// `x` is one quantized activation row (scale x_scale), column j of `bt`
+  /// is herb j's quantized embedding (scale col_scales[j]). The i32
+  /// accumulation is exact and the scale application order is fixed, so
+  /// results are bit-identical across backends.
+  void (*gemv_s8)(const std::int8_t* x, const std::int8_t* bt, std::size_t d,
+                  std::size_t h, float x_scale, const float* col_scales,
+                  float* out);
+
+  /// Quantized batched GEMM over the same layout; row i uses a_scales[i]:
+  ///   out[i * h + j] = ((float)acc_ij * a_scales[i]) * col_scales[j]
+  /// Every output row is bit-identical to gemv_s8 on that row (and to the
+  /// other backend — integer accumulation has no rounding to diverge on).
+  void (*gemm_s8)(const std::int8_t* a, const std::int8_t* bt, std::size_t b,
+                  std::size_t d, std::size_t h, const float* a_scales,
+                  const float* col_scales, float* out);
+
+  /// Size in i32 lanes (alignment slack included) of this backend's
+  /// pre-packed form of a d x h `bt` for gemm_s8_packed, or 0 when the
+  /// backend has no packed form (scalar, or shapes too small to tile).
+  /// Pre-packing hoists gemm_s8's per-call widening of bt out of the hot
+  /// path: a long-lived weight matrix (the serving herb table) is packed
+  /// once at build time instead of on every batch.
+  std::size_t (*gemm_s8_pack_size)(std::size_t d, std::size_t h);
+
+  /// Writes this backend's packed form of `bt` into `packed`, which must
+  /// hold gemm_s8_pack_size(d, h) lanes. No-op when that size is 0. The
+  /// packed bytes are backend-private: only the same backend's
+  /// gemm_s8_packed may consume them.
+  void (*gemm_s8_pack)(const std::int8_t* bt, std::size_t d, std::size_t h,
+                       std::int32_t* packed);
+
+  /// gemm_s8 with the bt packing hoisted out: `packed` must come from this
+  /// backend's gemm_s8_pack over the same bt/d/h, or be nullptr to pack
+  /// internally (then exactly gemm_s8). Raw `bt` is still required — ragged
+  /// edges and small batches read it directly. Bit-identical to gemm_s8 for
+  /// any packed/null combination.
+  void (*gemm_s8_packed)(const std::int8_t* a, const std::int8_t* bt,
+                         const std::int32_t* packed, std::size_t b,
+                         std::size_t d, std::size_t h, const float* a_scales,
+                         const float* col_scales, float* out);
 };
 
 /// The portable fallback; always available, never uses SIMD intrinsics.
@@ -78,7 +144,11 @@ const Backend* Avx2Backend();
 
 /// The backend scoring should use: the widest implementation compiled in
 /// AND supported by the running CPU, unless scalar is forced. The CPUID
-/// probe runs once; Active() afterwards is a load.
+/// probe runs once; Active() afterwards is a load. For auditability the
+/// resolved choice is logged exactly once per process as a
+/// "kernel backend selected: <name> (<reason>)" INFO line — and once more
+/// per effective change if ForceScalar() later flips the resolution (tests
+/// and the forced-scalar CI leg), never per call.
 const Backend& Active();
 
 /// Name of Active()'s backend ("scalar" / "avx2").

@@ -1,0 +1,149 @@
+#include "src/tensor/quantize.h"
+
+#include <cmath>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace smgcn {
+namespace tensor {
+namespace quantize {
+
+namespace {
+
+/// Quantizes one double row: scale from the row absmax (computed in f64,
+/// narrowed once to the stored f32), values via round-to-nearest with the
+/// final clamp guarding the absmax element against a scale that rounded
+/// down (so the extreme entry always lands exactly on +/-127).
+float QuantizeRowF64(const double* v, std::size_t n, std::int8_t* q) {
+  double absmax = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double a = std::fabs(v[k]);
+    if (a > absmax) absmax = a;
+  }
+  if (absmax == 0.0) {
+    for (std::size_t k = 0; k < n; ++k) q[k] = 0;
+    return 1.0f;
+  }
+  const float scale = static_cast<float>(absmax / kQmax);
+  const double inv = 1.0 / static_cast<double>(scale);
+  for (std::size_t k = 0; k < n; ++k) {
+    long r = std::lrint(v[k] * inv);
+    if (r > kQmax) r = kQmax;
+    if (r < -kQmax) r = -kQmax;
+    q[k] = static_cast<std::int8_t>(r);
+  }
+  return scale;
+}
+
+}  // namespace
+
+QuantizedMatrix QuantizeRows(const Matrix& m) {
+  QuantizedMatrix out;
+  out.rows = m.rows();
+  out.cols = m.cols();
+  out.values.resize(out.rows * out.cols);
+  out.scales.resize(out.rows);
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    out.scales[r] =
+        QuantizeRowF64(m.row_data(r), out.cols, out.values.data() + r * out.cols);
+  }
+  return out;
+}
+
+float QuantizeRowF32(const float* v, std::size_t n, std::int8_t* q) {
+  // Same algorithm as the f64 path, with the f32 source widened per element:
+  // quantizing a narrowed row equals quantizing the f32 row directly.
+  //
+  // This is the serving hot path (one call per activation row per batch),
+  // so both loops carry an SSE2 body — baseline ISA on x86-64, no dispatch
+  // needed — that is bit-identical to the scalar tail: fabs is a sign-bit
+  // clear, CVTPD2DQ rounds to nearest-even exactly like lrint under the
+  // (default) rounding mode both obey, the double multiply is the same
+  // IEEE operation, and the pack saturation [-128, 127] followed by the
+  // -128 -> -127 bump equals the scalar +/-127 clamp for every reachable
+  // magnitude.
+  float absmax = 0.0f;
+  std::size_t k = 0;
+#if defined(__SSE2__)
+  if (n >= 4) {
+    const __m128 sign_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+    __m128 vmax = _mm_setzero_ps();
+    for (; k + 4 <= n; k += 4) {
+      vmax = _mm_max_ps(vmax, _mm_and_ps(_mm_loadu_ps(v + k), sign_mask));
+    }
+    vmax = _mm_max_ps(vmax, _mm_movehl_ps(vmax, vmax));
+    vmax = _mm_max_ss(vmax, _mm_shuffle_ps(vmax, vmax, 0x1));
+    absmax = _mm_cvtss_f32(vmax);
+  }
+#endif
+  for (; k < n; ++k) {
+    const float a = std::fabs(v[k]);
+    if (a > absmax) absmax = a;
+  }
+  if (absmax == 0.0f) {
+    for (std::size_t j = 0; j < n; ++j) q[j] = 0;
+    return 1.0f;
+  }
+  const float scale =
+      static_cast<float>(static_cast<double>(absmax) / kQmax);
+  const double inv = 1.0 / static_cast<double>(scale);
+  k = 0;
+#if defined(__SSE2__)
+  {
+    const __m128d vinv = _mm_set1_pd(inv);
+    const __m128i neg128 = _mm_set1_epi8(static_cast<char>(-128));
+    for (; k + 16 <= n; k += 16) {
+      __m128i i32[4];
+      for (int t = 0; t < 4; ++t) {
+        const __m128 f = _mm_loadu_ps(v + k + static_cast<std::size_t>(t) * 4);
+        const __m128d lo = _mm_mul_pd(_mm_cvtps_pd(f), vinv);
+        const __m128d hi =
+            _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(f, f)), vinv);
+        i32[t] = _mm_unpacklo_epi64(_mm_cvtpd_epi32(lo), _mm_cvtpd_epi32(hi));
+      }
+      const __m128i s16a = _mm_packs_epi32(i32[0], i32[1]);
+      const __m128i s16b = _mm_packs_epi32(i32[2], i32[3]);
+      __m128i s8 = _mm_packs_epi16(s16a, s16b);
+      // packs floors at -128; the scheme's floor is -127 and -128 is the
+      // only reachable sub-floor code (|v*inv| <= 127*(1+2^-24)), so bump
+      // exactly the -128 lanes (cmpeq mask is -1 there, 0 elsewhere).
+      s8 = _mm_sub_epi8(s8, _mm_cmpeq_epi8(s8, neg128));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(q + k), s8);
+    }
+  }
+#endif
+  for (; k < n; ++k) {
+    long r = std::lrint(static_cast<double>(v[k]) * inv);
+    if (r > kQmax) r = kQmax;
+    if (r < -kQmax) r = -kQmax;
+    q[k] = static_cast<std::int8_t>(r);
+  }
+  return scale;
+}
+
+void DequantizeRowF32(const std::int8_t* q, std::size_t n, float scale,
+                      float* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = static_cast<float>(q[k]) * scale;
+  }
+}
+
+Matrix DequantizeToMatrix(const std::int8_t* values, const float* scales,
+                          std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double scale = static_cast<double>(scales[r]);
+    const std::int8_t* q = values + r * cols;
+    double* out = m.row_data(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c] = static_cast<double>(q[c]) * scale;  // exact: 7+24 bits < 53
+    }
+  }
+  return m;
+}
+
+}  // namespace quantize
+}  // namespace tensor
+}  // namespace smgcn

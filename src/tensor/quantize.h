@@ -1,0 +1,71 @@
+// Per-row symmetric int8 quantization — the one quantizer every int8
+// surface in this repo shares.
+//
+// A matrix row (a herb/symptom embedding, an SI-MLP weight row, or a
+// pooled activation) is mapped to signed 8-bit values in [-127, 127] with
+// one f32 scale per row:
+//
+//   scale  = (float)(absmax(row) / 127.0)     (1.0f for an all-zero row)
+//   q[i]   = clamp(round_nearest_even(v[i] / scale), -127, 127)
+//   v~[i]  = q[i] * scale                     (dequantization)
+//
+// Properties the serving and artifact layers rely on:
+//   * The absmax element always quantizes to +/-127, so re-quantizing a
+//     dequantized row reproduces the same (q, scale) pair bit for bit —
+//     an int8 artifact round-trips through an InferenceCheckpoint exactly.
+//   * q * scale is exact in double (7 + 24 significand bits < 53), so the
+//     f64 dequantized view of an int8 payload carries no extra rounding.
+//   * Quantization is per row and elementwise, so quantizing the rows of a
+//     batch one by one equals quantizing them together — the GEMV/GEMM
+//     bit-identity contract starts here.
+//
+// The same scheme is used by SaveArtifact(Precision::kInt8) (storage),
+// EmbeddingStore (serving), and the activation quantization inside the
+// int8 scoring hot path, so "serve at stored precision" means the served
+// integers ARE the file's integers.
+#ifndef SMGCN_TENSOR_QUANTIZE_H_
+#define SMGCN_TENSOR_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace smgcn {
+namespace tensor {
+namespace quantize {
+
+/// Quantized magnitude bound: symmetric range [-127, 127] (the -128 code
+/// is unused so negation can never overflow and the range stays symmetric).
+inline constexpr int kQmax = 127;
+
+/// A per-row symmetrically quantized matrix (row-major, rows x cols
+/// values, one f32 scale per row).
+struct QuantizedMatrix {
+  std::vector<std::int8_t> values;
+  std::vector<float> scales;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+/// Quantizes every row of `m` (double source: checkpoints, artifacts).
+QuantizedMatrix QuantizeRows(const Matrix& m);
+
+/// Quantizes one f32 row (the serving-time activation path) into `q`
+/// (n values, caller-allocated) and returns the row's scale.
+float QuantizeRowF32(const float* v, std::size_t n, std::int8_t* q);
+
+/// Exact dequantization of one row into f32 (q * scale, one rounding).
+void DequantizeRowF32(const std::int8_t* q, std::size_t n, float scale,
+                      float* out);
+
+/// Widens a quantized matrix to the exact f64 values q * scale (no
+/// rounding at all) — the artifact ToCheckpoint path.
+Matrix DequantizeToMatrix(const std::int8_t* values, const float* scales,
+                          std::size_t rows, std::size_t cols);
+
+}  // namespace quantize
+}  // namespace tensor
+}  // namespace smgcn
+
+#endif  // SMGCN_TENSOR_QUANTIZE_H_

@@ -4,6 +4,7 @@
 // what is damaged, never yield a silently wrong model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -198,6 +199,75 @@ TEST(ArtifactTest, Float32ConverterMatchesInMemoryNarrowing) {
   }
 }
 
+TEST(ArtifactTest, Int8RoundTripServesStoredIntegersAndResavesBitExact) {
+  const InferenceCheckpoint original = MakeCheckpoint(true);
+  const std::string f32_path = testing::TempDir() + "/smgcn_rt8_f32.smga";
+  const std::string s8_path = testing::TempDir() + "/smgcn_rt8_s8.smga";
+  ASSERT_TRUE(
+      SaveArtifact(original, "v8", f32_path, tensor::Precision::kFloat32).ok());
+  ASSERT_TRUE(
+      SaveArtifact(original, "v8", s8_path, tensor::Precision::kInt8).ok());
+
+  auto artifact = MappedArtifact::Open(s8_path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  EXPECT_EQ(artifact->precision(), tensor::Precision::kInt8);
+  EXPECT_EQ(artifact->format_version(), kArtifactFormatVersion);
+
+  // int8 sections expose the quantized pointer plus a per-row scale vector;
+  // the float pointers stay null.
+  const MappedArtifact::SectionView herbs = artifact->herb_embeddings();
+  EXPECT_EQ(herbs.data, nullptr);
+  EXPECT_EQ(herbs.data_f32, nullptr);
+  ASSERT_NE(herbs.data_s8, nullptr);
+  ASSERT_NE(herbs.scales, nullptr);
+  EXPECT_EQ(herbs.payload_bytes, herbs.rows * herbs.cols);
+  EXPECT_EQ(herbs.scale_bytes, herbs.rows * sizeof(float));
+  // Per-row symmetric quantization puts each row's absmax element at ±127.
+  for (std::size_t i = 0; i < herbs.rows; ++i) {
+    std::int8_t row_absmax = 0;
+    for (std::size_t c = 0; c < herbs.cols; ++c) {
+      const std::int8_t q = herbs.data_s8[i * herbs.cols + c];
+      row_absmax = std::max(row_absmax,
+                            static_cast<std::int8_t>(q < 0 ? -q : q));
+    }
+    EXPECT_EQ(row_absmax, 127) << "row " << i;
+    EXPECT_GT(herbs.scales[i], 0.0f);
+  }
+
+  // ~1/8 payload: strictly smaller than the f32 twin of the same model.
+  EXPECT_LT(artifact->file_bytes(),
+            MappedArtifact::Open(f32_path)->file_bytes());
+
+  // ToCheckpoint dequantizes losslessly w.r.t. the stored integers: saving
+  // the restored checkpoint at int8 again reproduces the file bit for bit.
+  auto restored = artifact->ToCheckpoint();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const std::string resaved_path = testing::TempDir() + "/smgcn_rt8_again.smga";
+  ASSERT_TRUE(SaveArtifact(*restored, "v8", resaved_path,
+                           tensor::Precision::kInt8)
+                  .ok());
+  EXPECT_EQ(ReadFile(s8_path), ReadFile(resaved_path));
+}
+
+TEST(ArtifactTest, Int8ConverterMatchesInMemoryQuantization) {
+  const InferenceCheckpoint original = MakeCheckpoint(true);
+  const std::string text_path = testing::TempDir() + "/smgcn_cvt8.ckpt";
+  const std::string converted_path = testing::TempDir() + "/smgcn_cvt8.smga";
+  const std::string direct_path = testing::TempDir() + "/smgcn_direct8.smga";
+  ASSERT_TRUE(SaveInferenceCheckpoint(original, text_path).ok());
+  ASSERT_TRUE(ConvertCheckpointToArtifact(text_path, "v9", converted_path,
+                                          tensor::Precision::kInt8)
+                  .ok());
+  ASSERT_TRUE(
+      SaveArtifact(original, "v9", direct_path, tensor::Precision::kInt8).ok());
+  // The text checkpoint round-trips doubles exactly, so converting it must
+  // quantize to the same bytes as quantizing the in-memory checkpoint.
+  EXPECT_EQ(ReadFile(converted_path), ReadFile(direct_path));
+  auto artifact = MappedArtifact::Open(converted_path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  EXPECT_EQ(artifact->precision(), tensor::Precision::kInt8);
+}
+
 TEST(ArtifactTest, SaveRejectsInvalidInput) {
   EXPECT_FALSE(SaveArtifact(InferenceCheckpoint{}, "v1",
                             testing::TempDir() + "/smgcn_bad.smga")
@@ -320,10 +390,115 @@ TEST_F(ArtifactCorruptionTest, MixedSectionDtypesAreRejected) {
       << status.message();
 }
 
+TEST_F(ArtifactCorruptionTest, FloatSectionWithScaleFieldsIsRejected) {
+  // A v3 float section must keep the scale words zero (they were padding in
+  // v2); a nonzero value means a corrupted or mis-writing producer.
+  std::string bad = bytes_;
+  const std::uint64_t bogus_offset = 192;
+  std::memcpy(bad.data() + kFixtureTableOffset + 48, &bogus_offset,
+              sizeof(bogus_offset));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("not int8 but carries scale fields"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST_F(ArtifactCorruptionTest, Int8AmongFloatSectionsIsRejected) {
+  // Same one-dtype rule as f64/f32 mixing: flip the second section to int8.
+  std::string bad = bytes_;
+  const std::uint32_t s8 = 2;
+  std::memcpy(bad.data() + kFixtureTableOffset + 64 + 4, &s8, sizeof(s8));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("share one dtype"), std::string::npos)
+      << status.message();
+}
+
 TEST_F(ArtifactCorruptionTest, EmptyAndMissingFiles) {
   EXPECT_EQ(OpenPatched(std::string()).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(MappedArtifact::Open("/no/such/artifact").status().code(),
             StatusCode::kIoError);
+}
+
+// --------------------------------------------------------------------------
+// int8 corruption detection: the scale vector is part of the section's
+// integrity domain — damage to it must fail Open() just like payload damage.
+// --------------------------------------------------------------------------
+
+class Int8ArtifactCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/smgcn_corrupt8.smga";
+    ASSERT_TRUE(SaveArtifact(MakeCheckpoint(true), "v1", path_,
+                             tensor::Precision::kInt8)
+                    .ok());
+    bytes_ = ReadFile(path_);
+    ASSERT_GT(bytes_.size(), 256u);
+  }
+
+  Status OpenPatched(const std::string& bytes) {
+    WriteFile(path_, bytes);
+    return MappedArtifact::Open(path_).status();
+  }
+
+  // Reads a section-header word; same fixture geometry as the f64 fixture
+  // (19-byte model name + 2-byte version -> table at 128).
+  std::uint64_t HeaderWord(std::size_t section, std::size_t offset) const {
+    std::uint64_t value = 0;
+    std::memcpy(&value,
+                bytes_.data() + kFixtureTableOffset + section * 64 + offset,
+                sizeof(value));
+    return value;
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(Int8ArtifactCorruptionTest, ScaleVectorCorruptionNamesTheSection) {
+  const std::uint64_t scale_offset = HeaderWord(0, 48);
+  const std::uint64_t scale_bytes = HeaderWord(0, 56);
+  ASSERT_GT(scale_bytes, 0u);
+  ASSERT_LE(scale_offset + scale_bytes, bytes_.size());
+  std::string bad = bytes_;
+  bad[scale_offset] = static_cast<char>(bad[scale_offset] ^ 0x01);
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("symptom_embeddings"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("checksum"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(Int8ArtifactCorruptionTest, QuantizedPayloadCorruptionIsDetected) {
+  const std::uint64_t offset = HeaderWord(0, 24);
+  std::string bad = bytes_;
+  bad[offset] = static_cast<char>(bad[offset] ^ 0x01);
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(Int8ArtifactCorruptionTest, WrongScaleVectorSizeIsRejected) {
+  std::string bad = bytes_;
+  const std::uint64_t wrong = HeaderWord(0, 56) + 4;  // one extra row's worth
+  std::memcpy(bad.data() + kFixtureTableOffset + 56, &wrong, sizeof(wrong));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("scale vector"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(Int8ArtifactCorruptionTest, MisalignedScaleOffsetIsRejected) {
+  std::string bad = bytes_;
+  const std::uint64_t wrong = HeaderWord(0, 48) + 1;
+  std::memcpy(bad.data() + kFixtureTableOffset + 48, &wrong, sizeof(wrong));
+  const Status status = OpenPatched(bad);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("aligned"), std::string::npos)
+      << status.message();
 }
 
 }  // namespace

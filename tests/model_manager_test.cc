@@ -267,6 +267,35 @@ TEST(ModelManagerTest, PublishArtifactServesF32StoreAtF32Precision) {
   EXPECT_DOUBLE_EQ((*scores)[0], ExpectedScore(1.5));
 }
 
+TEST(ModelManagerTest, PublishArtifactServesInt8StoreAtStoredPrecision) {
+  const std::string path = testing::TempDir() + "/smgcn_mm_artifact_s8.smga";
+  ASSERT_TRUE(core::SaveArtifact(ConstantCheckpoint("int8-model", 2.0),
+                                 "2026-08-08-s8", path,
+                                 tensor::Precision::kInt8)
+                  .ok());
+
+  auto manager = ModelManager::Create(QuietOptions());
+  ASSERT_TRUE(manager.ok());
+  auto receipt = (*manager)->PublishArtifact(path);
+  ASSERT_TRUE(receipt.ok()) << receipt.status();
+  EXPECT_EQ(receipt->model, "int8-model");
+  EXPECT_EQ(receipt->version, "2026-08-08-s8");
+
+  // The file's dtype carries through publish: the engine serves the
+  // artifact's quantized integers through the int8 kernel path, not a
+  // dequantized f64 copy.
+  auto engine = (*manager)->Engine("int8-model");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->Snapshot()->store.precision(),
+            tensor::Precision::kInt8);
+
+  // Constant rows quantize to 127 * (value/127): scores land within f32
+  // scale rounding of the exact kDim * value^2.
+  auto scores = (*manager)->Score("int8-model", {0});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR((*scores)[0], ExpectedScore(2.0), 1e-4 * ExpectedScore(2.0));
+}
+
 TEST(ModelManagerTest, InstrumentsAreRegistered) {
   auto* publishes =
       obs::Registry::Global().GetCounter("serve.modelmanager.publishes");

@@ -146,6 +146,39 @@ TEST(HistogramTest, PercentilesBracketMixedSamples) {
   EXPECT_EQ(h.count(), 100u);
 }
 
+TEST(HistogramTest, SubMillisecondPercentilesResolveDistinctTails) {
+  // Regression: with whole-octave buckets, 600us and 900us land in the same
+  // bucket and a 90/10 mix reported p50 == p99 (the serving bench's
+  // sub-millisecond rows all collapsed to one value). Quarter-octave
+  // buckets plus intra-bucket interpolation must keep the tail distinct
+  // and place each percentile within ~19% of the true sample.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(600e-6);
+  for (int i = 0; i < 10; ++i) h.Record(900e-6);
+  const double p50 = h.Percentile(0.50);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LT(p50 * 1.2, p99) << "p50=" << p50 << " p99=" << p99;
+  EXPECT_GT(p50, 500e-6);
+  EXPECT_LT(p50, 720e-6);
+  EXPECT_GT(p99, 750e-6);
+  EXPECT_LE(p99, 900e-6);  // clamped to the recorded max
+}
+
+TEST(HistogramTest, InterpolationIsMonotoneAcrossQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i) * 1e-6);
+  double previous = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = h.Percentile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    // Quarter-octave buckets: within ~19% + interpolation error of truth.
+    const double truth = q * 1000e-6;
+    EXPECT_GT(value, truth * 0.8) << "q=" << q;
+    EXPECT_LT(value, truth * 1.25) << "q=" << q;
+    previous = value;
+  }
+}
+
 TEST(HistogramTest, ConcurrentRecordsAreExact) {
   constexpr int kThreads = 4;
   constexpr int kPerThread = 5000;

@@ -4,12 +4,16 @@
 // shutdown behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/core/artifact.h"
 #include "src/core/checkpoint.h"
 #include "src/obs/registry.h"
 #include "src/serve/cache.h"
@@ -212,6 +216,122 @@ TEST(EmbeddingStoreTest, Float32BatchRowsMatchSingleQueryRuns) {
       }
     }
   }
+}
+
+TEST(EmbeddingStoreTest, Int8BuildShrinksPayloadAndTracksReference) {
+  // Embedding payload drops 8x (one int8 per f64 element plus one f32 scale
+  // per row); the f32 SI-MLP copy keeps the total nearer 1/5 at this small
+  // shape and approaches 1/8 as the catalog grows.
+  core::InferenceCheckpoint ckpt = MakeCheckpoint(64, 256, 32, true);
+  auto f64 = EmbeddingStore::Build(ckpt);
+  auto s8 = EmbeddingStore::Build(std::move(ckpt), tensor::Precision::kInt8);
+  ASSERT_TRUE(f64.ok());
+  ASSERT_TRUE(s8.ok());
+  EXPECT_EQ(s8->precision(), tensor::Precision::kInt8);
+  EXPECT_EQ(s8->num_herbs(), f64->num_herbs());
+  EXPECT_LT(s8->payload_bytes() * 5, f64->payload_bytes());
+
+  core::InferenceCheckpoint no_mlp = MakeCheckpoint(64, 256, 32, false);
+  auto f64_plain = EmbeddingStore::Build(no_mlp);
+  auto s8_plain =
+      EmbeddingStore::Build(std::move(no_mlp), tensor::Precision::kInt8);
+  ASSERT_TRUE(f64_plain.ok());
+  ASSERT_TRUE(s8_plain.ok());
+  EXPECT_LT(s8_plain->payload_bytes() * 6, f64_plain->payload_bytes());
+
+  // Quantized scores track the f64 reference to 8-bit accuracy — a few
+  // percent of the catalog's score magnitude (two quantized operands, each
+  // within 1/254 of its row absmax). The strict ranking guarantees live in
+  // kernels_test's int8 parity suite.
+  const CanonicalQuery q = *Canonicalize({2, 7, 11}, f64->num_symptoms());
+  const std::vector<double> ref = f64->ScoreOne(q);
+  const std::vector<double> got = s8->ScoreOne(q);
+  ASSERT_EQ(got.size(), ref.size());
+  double magnitude = 0.0;
+  for (const double r : ref) magnitude = std::max(magnitude, std::abs(r));
+  for (std::size_t h = 0; h < ref.size(); ++h) {
+    EXPECT_NEAR(got[h], ref[h], 0.05 * magnitude) << "herb " << h;
+  }
+}
+
+TEST(EmbeddingStoreTest, Int8BatchRowsMatchSingleQueryRuns) {
+  // Same row-independence contract as f64/f32: within one backend, batched
+  // int8 rows are bit-identical to single-query runs (with and without the
+  // SI-MLP stage).
+  for (bool with_mlp : {true, false}) {
+    auto store = EmbeddingStore::Build(MakeCheckpoint(24, 40, 8, with_mlp),
+                                       tensor::Precision::kInt8);
+    ASSERT_TRUE(store.ok());
+    std::vector<CanonicalQuery> batch;
+    for (const auto& raw : std::vector<std::vector<int>>{
+             {0}, {1, 2, 3}, {5, 9, 13, 21}, {23}, {2, 4, 6, 8, 10, 12}}) {
+      batch.push_back(*Canonicalize(raw, store->num_symptoms()));
+    }
+    const tensor::Matrix scores = store->ScoreBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::vector<double> one = store->ScoreOne(batch[i]);
+      for (std::size_t h = 0; h < store->num_herbs(); ++h) {
+        EXPECT_EQ(scores(i, h), one[h])
+            << "query " << i << " herb " << h << " mlp=" << with_mlp;
+      }
+    }
+  }
+}
+
+TEST(EmbeddingStoreTest, ScoreBatchIntoMatchesScoreBatchAllPrecisions) {
+  // The engine's zero-copy entry point must produce exactly the rows the
+  // Matrix-returning path does, at every stored precision.
+  for (const auto precision :
+       {tensor::Precision::kFloat64, tensor::Precision::kFloat32,
+        tensor::Precision::kInt8}) {
+    auto store = EmbeddingStore::Build(MakeCheckpoint(24, 40, 8, true),
+                                       precision);
+    ASSERT_TRUE(store.ok());
+    std::vector<CanonicalQuery> batch;
+    for (const auto& raw : std::vector<std::vector<int>>{
+             {0}, {1, 2, 3}, {5, 9, 13, 21}, {23}}) {
+      batch.push_back(*Canonicalize(raw, store->num_symptoms()));
+    }
+    const tensor::Matrix expected = store->ScoreBatch(batch);
+    std::vector<std::vector<double>> rows(batch.size());
+    store->ScoreBatchInto(batch, rows.data());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(rows[i].size(), store->num_herbs());
+      for (std::size_t h = 0; h < store->num_herbs(); ++h) {
+        EXPECT_EQ(rows[i][h], expected(i, h))
+            << "precision " << static_cast<int>(precision) << " query " << i
+            << " herb " << h;
+      }
+    }
+  }
+}
+
+TEST(EmbeddingStoreTest, Int8BuildFromArtifactServesStoredIntegers) {
+  // BuildFromArtifact must serve the artifact's quantized payload verbatim:
+  // scores from the artifact-backed store match a store built by
+  // re-quantizing the dequantized checkpoint (bit for bit, because
+  // dequantize -> requantize reproduces the stored integers exactly).
+  core::InferenceCheckpoint ckpt = MakeCheckpoint(24, 40, 8, true);
+  const std::string path = testing::TempDir() + "/smgcn_store8.smga";
+  ASSERT_TRUE(
+      core::SaveArtifact(ckpt, "v1", path, tensor::Precision::kInt8).ok());
+  auto artifact = core::MappedArtifact::Open(path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  auto from_artifact = EmbeddingStore::BuildFromArtifact(*artifact);
+  ASSERT_TRUE(from_artifact.ok()) << from_artifact.status();
+  EXPECT_EQ(from_artifact->precision(), tensor::Precision::kInt8);
+
+  auto restored = artifact->ToCheckpoint();
+  ASSERT_TRUE(restored.ok());
+  auto rebuilt =
+      EmbeddingStore::Build(std::move(*restored), tensor::Precision::kInt8);
+  ASSERT_TRUE(rebuilt.ok());
+
+  const CanonicalQuery q = *Canonicalize({2, 7, 11}, 24);
+  const std::vector<double> a = from_artifact->ScoreOne(q);
+  const std::vector<double> b = rebuilt->ScoreOne(q);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t h = 0; h < a.size(); ++h) EXPECT_EQ(a[h], b[h]);
 }
 
 // --------------------------------------------------------------------------
