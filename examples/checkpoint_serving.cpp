@@ -112,15 +112,18 @@ int main() {
   // recommender's per-query scores exactly.
   auto direct = core::CheckpointRecommender::FromCheckpoint(*checkpoint);
   SMGCN_CHECK_OK(direct.status());
-  const data::Prescription& probe = split->test.at(0);
-  auto engine_top = (*engine)->Recommend(probe.symptoms, 10);
-  auto direct_top = direct->Recommend(probe.symptoms, 10);
-  SMGCN_CHECK_OK(engine_top.status());
+  serve::Request probe_request;
+  probe_request.symptoms = split->test.at(0).symptoms;
+  probe_request.top_k = 10;
+  const serve::Response probe_response = (*engine)->Handle(probe_request);
+  SMGCN_CHECK(probe_response.ok()) << probe_response.message;
+  auto direct_top = direct->Recommend(probe_request.symptoms, 10);
   SMGCN_CHECK_OK(direct_top.status());
-  SMGCN_CHECK(*engine_top == *direct_top)
+  SMGCN_CHECK(probe_response.herb_ids == *direct_top)
       << "engine and per-query paths disagree";
   std::printf("probe query agrees with the per-query path; top herb: %s\n\n",
-              corpus->herb_vocab().Name(static_cast<int>(engine_top->front()))
+              corpus->herb_vocab()
+                  .Name(static_cast<int>(probe_response.herb_ids.front()))
                   .c_str());
 
   // --- Load generation with a mid-flight hot swap --------------------------
@@ -135,17 +138,21 @@ int main() {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([live, &split, c] {
       Rng client_rng(100 + c);
-      std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+      std::vector<std::future<serve::Response>> futures;
       for (int i = 0; i < kQueriesPerClient; ++i) {
         // Skewed sampling: a small hot set dominates, like real traffic.
         const auto pick = static_cast<std::size_t>(client_rng.UniformInt(
             0, client_rng.Bernoulli(0.7)
                    ? static_cast<int>(split->test.size()) / 10
                    : static_cast<int>(split->test.size()) - 1));
-        futures.push_back(live->Submit(split->test.at(pick).symptoms, 10));
+        serve::Request request;
+        request.symptoms = split->test.at(pick).symptoms;
+        request.top_k = 10;
+        futures.push_back(live->SubmitRequest(std::move(request)));
       }
       for (auto& future : futures) {
-        SMGCN_CHECK_OK(future.get().status());
+        const serve::Response response = future.get();
+        SMGCN_CHECK(response.ok()) << response.message;
       }
     });
   }

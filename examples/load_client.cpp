@@ -1,0 +1,125 @@
+// Closed-loop load client for smgcn_server: N connections issue skewed
+// random symptom queries over the binary wire protocol for a fixed
+// duration, then print a per-status breakdown and throughput. The CI smoke
+// job runs this against a freshly started server and asserts a nonzero OK
+// count (exit status 1 when nothing succeeded).
+//
+//   ./build/examples/smgcn_server --port 7070 &
+//   ./build/examples/load_client --port 7070 --connections 4 --duration-s 5
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/serve/request.h"
+#include "src/serve/status.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace smgcn;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  int connections = 2;
+  int duration_s = 5;
+  int max_symptom_id = 23;  // matches smgcn_server's demo model
+  std::size_t top_k = 10;
+  double deadline_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      SMGCN_CHECK(i + 1 < argc) << arg << " needs a value";
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--connections") {
+      connections = std::atoi(next());
+    } else if (arg == "--duration-s") {
+      duration_s = std::atoi(next());
+    } else if (arg == "--max-symptom-id") {
+      max_symptom_id = std::atoi(next());
+    } else if (arg == "--k") {
+      top_k = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host H] [--port N] [--connections N] "
+                   "[--duration-s N] [--max-symptom-id N] [--k N] "
+                   "[--deadline-ms D]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::atomic<std::uint64_t> counts[serve::kMaxWireStatusByte + 1] = {};
+  std::atomic<std::uint64_t> transport_errors{0};
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(duration_s);
+
+  std::vector<std::thread> workers;
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      net::ClientOptions options;
+      options.host = host;
+      options.port = port;
+      while (std::chrono::steady_clock::now() < stop_at) {
+        auto client = net::Client::Connect(options);
+        if (!client.ok()) {
+          transport_errors.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          continue;
+        }
+        while (std::chrono::steady_clock::now() < stop_at) {
+          serve::Request request;
+          // Skewed traffic: most queries hit a small hot symptom set.
+          const int span =
+              rng.Bernoulli(0.7) ? max_symptom_id / 4 : max_symptom_id;
+          const int n = 2 + static_cast<int>(rng.UniformInt(0, 2));
+          for (int s = 0; s < n; ++s) {
+            request.symptoms.push_back(
+                static_cast<int>(rng.UniformInt(0, span)));
+          }
+          request.top_k = top_k;
+          request.deadline_ms = deadline_ms;
+          auto response = (*client)->Call(request);
+          if (!response.ok()) {
+            transport_errors.fetch_add(1, std::memory_order_relaxed);
+            break;  // reconnect
+          }
+          counts[serve::ToWireByte(response->status)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  std::uint64_t total = 0;
+  for (std::uint8_t b = 0; b <= serve::kMaxWireStatusByte; ++b) {
+    total += counts[b].load();
+  }
+  std::printf("%llu responses in %ds (%.0f QPS over %d connections)\n",
+              static_cast<unsigned long long>(total), duration_s,
+              static_cast<double>(total) / duration_s, connections);
+  for (std::uint8_t b = 0; b <= serve::kMaxWireStatusByte; ++b) {
+    std::printf("  %-18s %llu\n",
+                serve::StatusCodeName(static_cast<serve::StatusCode>(b)),
+                static_cast<unsigned long long>(counts[b].load()));
+  }
+  std::printf("  %-18s %llu\n", "transport errors",
+              static_cast<unsigned long long>(transport_errors.load()));
+
+  const std::uint64_t ok = counts[serve::ToWireByte(serve::StatusCode::kOk)]
+                               .load();
+  return ok > 0 ? 0 : 1;
+}

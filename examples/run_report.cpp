@@ -94,15 +94,16 @@ int main(int argc, char** argv) {
   SMGCN_CHECK_OK(engine.status());
 
   Rng query_rng(13);
-  std::vector<std::future<Result<std::vector<std::size_t>>>> futures;
+  std::vector<std::future<serve::Response>> futures;
   for (int q = 0; q < 64; ++q) {
-    std::vector<int> symptoms;
+    serve::Request request;
     const int n = 2 + static_cast<int>(query_rng.UniformInt(0, 3));
     for (int s = 0; s < n; ++s) {
-      symptoms.push_back(static_cast<int>(query_rng.UniformInt(
+      request.symptoms.push_back(static_cast<int>(query_rng.UniformInt(
           0, static_cast<std::int64_t>(gen_config.num_symptoms) - 1)));
     }
-    futures.push_back((*engine)->Submit(std::move(symptoms), 10));
+    request.top_k = 10;
+    futures.push_back((*engine)->SubmitRequest(std::move(request)));
   }
   std::size_t answered = 0;
   for (auto& future : futures) {

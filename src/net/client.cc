@@ -1,0 +1,93 @@
+#include "src/net/client.h"
+
+#include <sys/socket.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace net {
+
+Result<std::unique_ptr<Client>> Client::Connect(ClientOptions options) {
+  ASSIGN_OR_RETURN(OwnedFd fd,
+                   ConnectTcp(options.host, options.port, options.timeout_ms,
+                              options.send_buffer_bytes));
+  return std::unique_ptr<Client>(new Client(std::move(fd), std::move(options)));
+}
+
+Status Client::Send(const serve::Request& request) {
+  ASSIGN_OR_RETURN(const std::vector<std::uint8_t> frame,
+                   wire::EncodeRequest(request));
+  return WriteAll(fd_.get(), frame.data(), frame.size(), options_.timeout_ms);
+}
+
+Result<bool> Client::Poll(int timeout_ms) {
+  const Status readable = WaitReadable(fd_.get(), timeout_ms);
+  if (readable.ok()) return true;
+  if (readable.code() == StatusCode::kDeadlineExceeded) return false;
+  return readable;
+}
+
+Result<serve::Response> Client::Receive() {
+  std::uint8_t header[wire::kHeaderBytes];
+  RETURN_IF_ERROR(
+      ReadExact(fd_.get(), header, sizeof(header), options_.timeout_ms));
+  std::uint32_t payload_len = 0;
+  RETURN_IF_ERROR(
+      wire::DecodeHeader(header, wire::kResponseMagic, &payload_len));
+  std::vector<std::uint8_t> payload(payload_len);
+  if (payload_len > 0) {
+    RETURN_IF_ERROR(ReadExact(fd_.get(), payload.data(), payload.size(),
+                              options_.timeout_ms));
+  }
+  return wire::DecodeResponsePayload(payload.data(), payload.size());
+}
+
+Result<serve::Response> Client::Call(const serve::Request& request) {
+  RETURN_IF_ERROR(Send(request));
+  return Receive();
+}
+
+Result<HttpResult> HttpGet(const std::string& host, std::uint16_t port,
+                           const std::string& target, int timeout_ms) {
+  ASSIGN_OR_RETURN(OwnedFd fd, ConnectTcp(host, port, timeout_ms));
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  RETURN_IF_ERROR(
+      WriteAll(fd.get(), request.data(), request.size(), timeout_ms));
+  // Connection: close — read until EOF, then split head from body.
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const Status readable = WaitReadable(fd.get(), timeout_ms);
+    if (!readable.ok()) {
+      if (readable.code() == StatusCode::kDeadlineExceeded) {
+        return readable;
+      }
+      break;
+    }
+    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) return Status::IoError("recv failed");
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("malformed HTTP response");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return Status::InvalidArgument("malformed HTTP status line");
+  }
+  HttpResult result;
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  result.body = raw.substr(head_end + 4);
+  return result;
+}
+
+}  // namespace net
+}  // namespace smgcn

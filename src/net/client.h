@@ -1,0 +1,76 @@
+// Binary-protocol client plus a tiny HTTP GET helper — everything tests,
+// examples and the load generator need to talk to net::Server without an
+// external dependency.
+#ifndef SMGCN_NET_CLIENT_H_
+#define SMGCN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/net/socket.h"
+#include "src/serve/request.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Applies to connect, each read and each write individually.
+  int timeout_ms = 5000;
+  /// SO_SNDBUF cap (0 = OS default). Pair with the server's
+  /// recv_buffer_bytes to make an overloaded server backpressure Send()
+  /// promptly instead of letting requests age in kernel buffers.
+  int send_buffer_bytes = 0;
+};
+
+/// One persistent binary-protocol connection. NOT thread-safe — use one
+/// Client per thread (the protocol is connection-oriented anyway).
+///
+/// Two usage styles:
+///   * Call()          — one synchronous round trip.
+///   * Send()/Receive() — explicit pipelining: up to the server's
+///     max_pipeline requests may be in flight; responses come back in
+///     send order.
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(ClientOptions options);
+
+  /// Sends one request frame (does not wait for the response).
+  Status Send(const serve::Request& request);
+
+  /// Receives the next response frame, in send order.
+  Result<serve::Response> Receive();
+
+  /// True when response bytes are already readable: with pipelined
+  /// requests outstanding, a Receive() after Poll() == true will not sit
+  /// on an idle socket (it may still block briefly mid-frame). An error
+  /// means the connection is gone.
+  Result<bool> Poll(int timeout_ms = 0);
+
+  /// Send + Receive. With no other requests in flight this is one full
+  /// round trip.
+  Result<serve::Response> Call(const serve::Request& request);
+
+ private:
+  explicit Client(OwnedFd fd, ClientOptions options)
+      : fd_(std::move(fd)), options_(std::move(options)) {}
+
+  OwnedFd fd_;
+  ClientOptions options_;
+};
+
+/// A one-shot HTTP GET (new connection per call; Connection: close).
+struct HttpResult {
+  int status = 0;
+  std::string body;
+};
+Result<HttpResult> HttpGet(const std::string& host, std::uint16_t port,
+                           const std::string& target, int timeout_ms = 5000);
+
+}  // namespace net
+}  // namespace smgcn
+
+#endif  // SMGCN_NET_CLIENT_H_

@@ -1,0 +1,185 @@
+#include "src/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace net {
+namespace http {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& head) {
+  if (head.size() > kMaxHeadBytes) {
+    return Status::InvalidArgument(StrFormat(
+        "request head of %zu bytes exceeds the cap of %zu", head.size(),
+        kMaxHeadBytes));
+  }
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) {
+    return Status::InvalidArgument("request head has no CRLF-terminated line");
+  }
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return Status::InvalidArgument(
+        StrFormat("malformed request line '%s'", line.c_str()));
+  }
+  Request request;
+  request.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string protocol = line.substr(sp2 + 1);
+  if (protocol.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported protocol '%s'", protocol.c_str()));
+  }
+  if (target.empty() || target[0] != '/') {
+    return Status::InvalidArgument(
+        StrFormat("request target '%s' is not origin-form", target.c_str()));
+  }
+  // Split target into path + query parameters.
+  const std::size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    std::string qs = target.substr(qmark + 1);
+    std::size_t start = 0;
+    while (start <= qs.size()) {
+      std::size_t amp = qs.find('&', start);
+      if (amp == std::string::npos) amp = qs.size();
+      const std::string pair = qs.substr(start, amp - start);
+      if (!pair.empty()) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          request.query[pair] = "";
+        } else {
+          request.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+        }
+      }
+      start = amp + 1;
+    }
+  }
+  // Headers: only Connection matters to this server.
+  std::size_t cursor = line_end + 2;
+  while (cursor < head.size()) {
+    std::size_t next = head.find("\r\n", cursor);
+    if (next == std::string::npos) next = head.size();
+    const std::string header = head.substr(cursor, next - cursor);
+    cursor = next + 2;
+    if (header.empty()) break;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = ToLower(header.substr(0, colon));
+    std::string value = header.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+    if (name == "connection" && ToLower(value) == "close") {
+      request.keep_alive = false;
+    }
+  }
+  return request;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 429:
+      return "Too Many Requests";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+  }
+  return "Unknown";
+}
+
+std::string FormatResponse(int status, const std::string& content_type,
+                           const std::string& body, bool keep_alive) {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", status,
+                              ReasonPhrase(status));
+  out += "Content-Type: " + content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+Result<std::vector<int>> ParseIntList(const std::string& csv) {
+  if (csv.empty()) {
+    return Status::InvalidArgument("expected a comma-separated id list");
+  }
+  std::vector<int> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string part = csv.substr(start, comma - start);
+    if (part.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("empty element in id list '%s'", csv.c_str()));
+    }
+    char* end = nullptr;
+    const long value = std::strtol(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("'%s' is not an integer", part.c_str()));
+    }
+    out.push_back(static_cast<int>(value));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace http
+}  // namespace net
+}  // namespace smgcn

@@ -1,0 +1,56 @@
+// Minimal HTTP/1.1: exactly enough to serve GET endpoints (/healthz,
+// /metrics, /v1/recommend, ...) to curl, Prometheus scrapers and load
+// balancer health checks — no external dependency, no chunked encoding, no
+// request bodies. The binary protocol (wire.h) is the data plane; HTTP is
+// the human/ops plane.
+#ifndef SMGCN_NET_HTTP_H_
+#define SMGCN_NET_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace net {
+namespace http {
+
+/// Longest accepted request head (request line + headers). Anything
+/// larger is answered 400 and the connection closed.
+inline constexpr std::size_t kMaxHeadBytes = 8192;
+
+struct Request {
+  std::string method;  // "GET"
+  std::string path;    // "/v1/recommend" (query string stripped)
+  /// Decoded query parameters, last-wins on duplicates. Values are taken
+  /// verbatim (no percent-decoding) except '+' meaning space is NOT
+  /// applied — ids and numbers, the only values used, need neither.
+  std::map<std::string, std::string> query;
+  bool keep_alive = true;  // HTTP/1.1 default, "Connection: close" honoured
+};
+
+/// Parses a request head: everything up to and including the blank line.
+/// InvalidArgument on malformed request lines or oversized heads.
+Result<Request> ParseRequest(const std::string& head);
+
+/// Renders a full response (status line + Content-Length + body).
+/// `keep_alive` emits the matching Connection header.
+std::string FormatResponse(int status, const std::string& content_type,
+                           const std::string& body, bool keep_alive);
+
+/// The reason phrase for the status codes this server emits.
+const char* ReasonPhrase(int status);
+
+/// Parses "1,4,9" into ints; InvalidArgument on empty or non-numeric parts.
+Result<std::vector<int>> ParseIntList(const std::string& csv);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace http
+}  // namespace net
+}  // namespace smgcn
+
+#endif  // SMGCN_NET_HTTP_H_

@@ -1,0 +1,237 @@
+#include "src/net/wire.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/serve/status.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace net {
+namespace wire {
+
+namespace {
+
+// All integers little-endian, serialized byte by byte so the codec is
+// endianness- and alignment-agnostic.
+void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void PutHeader(std::vector<std::uint8_t>* out, std::uint8_t magic) {
+  out->push_back(magic);
+  out->push_back(kWireVersion);
+  PutU32(out, 0);  // patched by SealFrame
+}
+
+void SealFrame(std::vector<std::uint8_t>* frame) {
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(frame->size() - kHeaderBytes);
+  (*frame)[2] = static_cast<std::uint8_t>(payload & 0xFF);
+  (*frame)[3] = static_cast<std::uint8_t>((payload >> 8) & 0xFF);
+  (*frame)[4] = static_cast<std::uint8_t>((payload >> 16) & 0xFF);
+  (*frame)[5] = static_cast<std::uint8_t>((payload >> 24) & 0xFF);
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> EncodeRequest(const serve::Request& request) {
+  if (request.top_k == 0 || request.top_k > 0xFFFF) {
+    return Status::InvalidArgument(StrFormat(
+        "top_k %zu is not representable on the wire (1..65535)",
+        request.top_k));
+  }
+  if (request.symptoms.size() > kMaxWireSymptoms) {
+    return Status::InvalidArgument(
+        StrFormat("symptom set of %zu exceeds the wire cap of %zu",
+                  request.symptoms.size(), kMaxWireSymptoms));
+  }
+  if (request.model.size() > 0xFF || request.version.size() > 0xFF) {
+    return Status::InvalidArgument(
+        "model/version names are capped at 255 bytes on the wire");
+  }
+  std::uint32_t deadline_micros = 0;
+  if (request.deadline_ms > 0.0) {
+    const double micros = std::ceil(request.deadline_ms * 1e3);
+    deadline_micros = micros >= 4294967295.0
+                          ? 4294967295u
+                          : static_cast<std::uint32_t>(micros);
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + 10 + 4 * request.symptoms.size() +
+                request.model.size() + request.version.size());
+  PutHeader(&frame, kRequestMagic);
+  PutU16(&frame, static_cast<std::uint16_t>(request.top_k));
+  PutU32(&frame, deadline_micros);
+  PutU16(&frame, static_cast<std::uint16_t>(request.symptoms.size()));
+  frame.push_back(static_cast<std::uint8_t>(request.model.size()));
+  frame.push_back(static_cast<std::uint8_t>(request.version.size()));
+  for (const int symptom : request.symptoms) {
+    PutU32(&frame, static_cast<std::uint32_t>(symptom));
+  }
+  frame.insert(frame.end(), request.model.begin(), request.model.end());
+  frame.insert(frame.end(), request.version.begin(), request.version.end());
+  SealFrame(&frame);
+  return frame;
+}
+
+Result<std::vector<std::uint8_t>> EncodeResponse(
+    const serve::Response& response) {
+  if (response.herb_ids.size() > 0xFFFF) {
+    return Status::InvalidArgument(
+        StrFormat("%zu herb ids exceed the wire cap of 65535",
+                  response.herb_ids.size()));
+  }
+  if (response.message.size() > 0xFFFF) {
+    return Status::InvalidArgument("message exceeds 65535 bytes");
+  }
+  if (response.model.size() > 0xFF || response.version.size() > 0xFF) {
+    return Status::InvalidArgument(
+        "model/version names are capped at 255 bytes on the wire");
+  }
+  for (const std::size_t id : response.herb_ids) {
+    if (id > std::numeric_limits<std::uint32_t>::max()) {
+      return Status::InvalidArgument("herb id exceeds u32 range");
+    }
+  }
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + 8 + 4 * response.herb_ids.size() +
+                response.message.size() + response.model.size() +
+                response.version.size());
+  PutHeader(&frame, kResponseMagic);
+  frame.push_back(serve::ToWireByte(response.status));
+  frame.push_back(0);  // reserved
+  PutU16(&frame, static_cast<std::uint16_t>(response.herb_ids.size()));
+  PutU16(&frame, static_cast<std::uint16_t>(response.message.size()));
+  frame.push_back(static_cast<std::uint8_t>(response.model.size()));
+  frame.push_back(static_cast<std::uint8_t>(response.version.size()));
+  for (const std::size_t id : response.herb_ids) {
+    PutU32(&frame, static_cast<std::uint32_t>(id));
+  }
+  frame.insert(frame.end(), response.message.begin(), response.message.end());
+  frame.insert(frame.end(), response.model.begin(), response.model.end());
+  frame.insert(frame.end(), response.version.begin(), response.version.end());
+  SealFrame(&frame);
+  return frame;
+}
+
+Status DecodeHeader(const std::uint8_t* header, std::uint8_t expect_magic,
+                    std::uint32_t* length_out) {
+  if (header[0] != expect_magic) {
+    return Status::InvalidArgument(StrFormat(
+        "bad frame magic 0x%02X (expected 0x%02X)", header[0], expect_magic));
+  }
+  if (header[1] != kWireVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported wire version %u (this build speaks %u)", header[1],
+        kWireVersion));
+  }
+  const std::uint32_t length = GetU32(header + 2);
+  if (length > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload of %u bytes exceeds the cap of %zu", length,
+                  kMaxPayloadBytes));
+  }
+  *length_out = length;
+  return Status::OK();
+}
+
+Result<serve::Request> DecodeRequestPayload(const std::uint8_t* payload,
+                                            std::size_t size) {
+  constexpr std::size_t kFixed = 10;
+  if (size < kFixed) {
+    return Status::InvalidArgument(
+        StrFormat("request payload of %zu bytes is shorter than the %zu-byte "
+                  "fixed section",
+                  size, kFixed));
+  }
+  serve::Request request;
+  request.top_k = GetU16(payload);
+  if (request.top_k == 0) {
+    return Status::InvalidArgument("wire requests must have top_k >= 1");
+  }
+  const std::uint32_t deadline_micros = GetU32(payload + 2);
+  request.deadline_ms = deadline_micros / 1e3;
+  const std::size_t num_symptoms = GetU16(payload + 6);
+  const std::size_t model_len = payload[8];
+  const std::size_t version_len = payload[9];
+  if (num_symptoms > kMaxWireSymptoms) {
+    return Status::InvalidArgument(
+        StrFormat("symptom count %zu exceeds the wire cap of %zu",
+                  num_symptoms, kMaxWireSymptoms));
+  }
+  const std::size_t expected =
+      kFixed + 4 * num_symptoms + model_len + version_len;
+  if (size != expected) {
+    return Status::InvalidArgument(
+        StrFormat("request payload is %zu bytes but its counts require %zu",
+                  size, expected));
+  }
+  const std::uint8_t* cursor = payload + kFixed;
+  request.symptoms.reserve(num_symptoms);
+  for (std::size_t i = 0; i < num_symptoms; ++i, cursor += 4) {
+    request.symptoms.push_back(static_cast<int>(GetU32(cursor)));
+  }
+  request.model.assign(cursor, cursor + model_len);
+  cursor += model_len;
+  request.version.assign(cursor, cursor + version_len);
+  return request;
+}
+
+Result<serve::Response> DecodeResponsePayload(const std::uint8_t* payload,
+                                              std::size_t size) {
+  constexpr std::size_t kFixed = 8;
+  if (size < kFixed) {
+    return Status::InvalidArgument(
+        StrFormat("response payload of %zu bytes is shorter than the %zu-byte "
+                  "fixed section",
+                  size, kFixed));
+  }
+  serve::Response response;
+  ASSIGN_OR_RETURN(response.status, serve::FromWireByte(payload[0]));
+  const std::size_t num_herbs = GetU16(payload + 2);
+  const std::size_t message_len = GetU16(payload + 4);
+  const std::size_t model_len = payload[6];
+  const std::size_t version_len = payload[7];
+  const std::size_t expected =
+      kFixed + 4 * num_herbs + message_len + model_len + version_len;
+  if (size != expected) {
+    return Status::InvalidArgument(
+        StrFormat("response payload is %zu bytes but its counts require %zu",
+                  size, expected));
+  }
+  const std::uint8_t* cursor = payload + kFixed;
+  response.herb_ids.reserve(num_herbs);
+  for (std::size_t i = 0; i < num_herbs; ++i, cursor += 4) {
+    response.herb_ids.push_back(GetU32(cursor));
+  }
+  response.message.assign(cursor, cursor + message_len);
+  cursor += message_len;
+  response.model.assign(cursor, cursor + model_len);
+  cursor += model_len;
+  response.version.assign(cursor, cursor + version_len);
+  return response;
+}
+
+}  // namespace wire
+}  // namespace net
+}  // namespace smgcn

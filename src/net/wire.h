@@ -1,0 +1,91 @@
+// The length-prefixed binary protocol: serve::Request / serve::Response as
+// fixed-layout little-endian frames. docs/PROTOCOL.md pins the layout; this
+// header is its executable form — change either only with a version bump.
+//
+// Frame = 6-byte header + payload:
+//
+//   u8  magic      0xA7 request / 0xA8 response
+//   u8  version    kWireVersion (1)
+//   u32 length     payload bytes (little-endian), <= kMaxPayloadBytes
+//
+// Request payload:
+//   u16 top_k            (>= 1 on the wire; dense mode is in-process only)
+//   u32 deadline_micros  0 = no deadline
+//   u16 num_symptoms     <= kMaxWireSymptoms
+//   u8  model_len, u8 version_len
+//   i32 symptoms[num_symptoms]
+//   bytes model[model_len], version[version_len]
+//
+// Response payload:
+//   u8  status           serve::StatusCode wire byte
+//   u8  reserved         0
+//   u16 num_herbs
+//   u16 message_len
+//   u8  model_len, u8 version_len
+//   u32 herb_ids[num_herbs]
+//   bytes message[message_len]
+//   bytes model[model_len], version[version_len]
+//
+// The magic byte doubles as the server's protocol sniff: every HTTP method
+// starts with an ASCII letter (0x41..0x5A), so a first byte of 0xA7 can
+// only be a binary client.
+//
+// Decoders are total: any malformed buffer (bad magic, wrong version,
+// truncated, length mismatch, oversized counts) is an InvalidArgument,
+// never UB. Responses to malformed requests still use the protocol — an
+// error frame — so clients always get a parseable answer before the server
+// closes the stream.
+#ifndef SMGCN_NET_WIRE_H_
+#define SMGCN_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/request.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace net {
+namespace wire {
+
+inline constexpr std::uint8_t kRequestMagic = 0xA7;
+inline constexpr std::uint8_t kResponseMagic = 0xA8;
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 6;
+/// Hard payload cap, enforced before any allocation: a frame declaring
+/// more is answered with kInvalidArgument and the connection is closed.
+inline constexpr std::size_t kMaxPayloadBytes = 1 << 16;
+/// Symptom-set cap on the wire (far above any real prescription).
+inline constexpr std::size_t kMaxWireSymptoms = 4096;
+
+/// Serializes a request into one frame (header + payload).
+/// InvalidArgument when it cannot be represented on the wire (top_k == 0
+/// or > 65535, too many symptoms, names longer than 255 bytes).
+Result<std::vector<std::uint8_t>> EncodeRequest(const serve::Request& request);
+
+/// Serializes a response into one frame. Herb ids above u32 range or
+/// messages longer than 65535 bytes are InvalidArgument (the server
+/// truncates messages defensively before encoding).
+Result<std::vector<std::uint8_t>> EncodeResponse(
+    const serve::Response& response);
+
+/// Parses and validates a frame header. `length_out` receives the payload
+/// length. `expect_magic` is kRequestMagic or kResponseMagic.
+Status DecodeHeader(const std::uint8_t* header, std::uint8_t expect_magic,
+                    std::uint32_t* length_out);
+
+/// Decodes a request payload (the bytes after the header).
+Result<serve::Request> DecodeRequestPayload(const std::uint8_t* payload,
+                                            std::size_t size);
+
+/// Decodes a response payload.
+Result<serve::Response> DecodeResponsePayload(const std::uint8_t* payload,
+                                              std::size_t size);
+
+}  // namespace wire
+}  // namespace net
+}  // namespace smgcn
+
+#endif  // SMGCN_NET_WIRE_H_

@@ -1,7 +1,11 @@
 #include "src/serve/engine.h"
 
+#include <errno.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <utility>
 
 #include "src/eval/metrics.h"
@@ -129,6 +133,10 @@ Result<std::unique_ptr<ServingEngine>> ServingEngine::CreateFromSnapshot(
   if (options.slow_query_threshold_ms < 0.0) {
     return Status::InvalidArgument("slow_query_threshold_ms must be non-negative");
   }
+  if (options.batcher_nice < 0) {
+    return Status::InvalidArgument(
+        "batcher_nice must be non-negative (raising priority is privileged)");
+  }
   if (options.num_threads == 0) {
     // The unified parallel configuration story: pool sizing follows the
     // process-wide smgcn::parallel worker count unless explicitly
@@ -165,6 +173,9 @@ ServingEngine::ServingEngine(std::shared_ptr<const ModelSnapshot> snapshot,
                 obs_prefix_),
       submitted_(obs::Registry::Global().GetCounter("serve.submitted")),
       publishes_(obs::Registry::Global().GetCounter(obs_prefix_ + "publishes")),
+      shed_(obs::Registry::Global().GetCounter(obs_prefix_ + "shed")),
+      deadline_exceeded_(
+          obs::Registry::Global().GetCounter(obs_prefix_ + "deadline_exceeded")),
       coalesce_span_(obs::Registry::Global().GetHistogram(
           obs::SpanHistogramName("serve.coalesce"))),
       gemm_span_(obs::Registry::Global().GetHistogram(
@@ -176,7 +187,8 @@ ServingEngine::ServingEngine(std::shared_ptr<const ModelSnapshot> snapshot,
           obs::trace::TraceBuffer::Global().InternName("serve.execute_batch")),
       publish_trace_id_(
           obs::trace::TraceBuffer::Global().InternName("serve.publish")),
-      pool_(std::make_unique<ThreadPool>(options.num_threads, "serve.worker")) {
+      pool_(std::make_unique<ThreadPool>(options.num_threads, "serve.worker",
+                                         options.batcher_nice)) {
   // Started in the body so the queue, mutex and condvar the loop touches are
   // fully constructed first.
   batcher_ = std::thread([this] { BatcherLoop(); });
@@ -220,8 +232,35 @@ const EmbeddingStore& ServingEngine::store() const {
   return snapshot_->store;
 }
 
+std::vector<std::vector<double>> ServingEngine::ScoreCanonical(
+    const ModelSnapshot& snap,
+    const std::vector<CanonicalQuery>& queries) const {
+  std::vector<std::vector<double>> out(queries.size());
+  if (queries.empty()) return out;
+  ParallelBlocks(
+      queries.size(), kScoreBlockRows,
+      [this, &snap, &queries, &out](std::size_t begin, std::size_t end) {
+        obs::ScopedSpan gemm_span(gemm_span_, gemm_trace_id_);
+        // ScoreBatchInto writes each query's scores straight into out[i] —
+        // no intermediate b x H matrix, no second row copy. Full-range runs
+        // (the single-worker path) skip the sub-vector copy.
+        if (begin == 0 && end == queries.size()) {
+          snap.store.ScoreBatchInto(queries, out.data());
+        } else {
+          snap.store.ScoreBatchInto(
+              std::vector<CanonicalQuery>(queries.begin() + begin,
+                                          queries.begin() + end),
+              out.data() + begin);
+        }
+      });
+  return out;
+}
+
 Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
     const std::vector<std::vector<int>>& queries) const {
+  LogWarningOnce("ServingEngine.ScoreBatch",
+                 "ServingEngine::ScoreBatch is deprecated; build serve::Request "
+                 "with top_k == 0 and call HandleBatch");
   const auto start = std::chrono::steady_clock::now();
   // One snapshot per call: the whole batch scores on a single version even
   // if a Publish lands mid-flight.
@@ -238,23 +277,7 @@ Result<std::vector<std::vector<double>>> ServingEngine::ScoreBatch(
   }
   if (canonical.empty()) return std::vector<std::vector<double>>{};
 
-  std::vector<std::vector<double>> out(canonical.size());
-  ParallelBlocks(
-      canonical.size(), kScoreBlockRows,
-      [this, &snap, &canonical, &out](std::size_t begin, std::size_t end) {
-        obs::ScopedSpan gemm_span(gemm_span_, gemm_trace_id_);
-        // ScoreBatchInto writes each query's scores straight into out[i] —
-        // no intermediate b x H matrix, no second row copy. Full-range runs
-        // (the single-worker path) skip the sub-vector copy.
-        if (begin == 0 && end == canonical.size()) {
-          snap->store.ScoreBatchInto(canonical, out.data());
-        } else {
-          snap->store.ScoreBatchInto(
-              std::vector<CanonicalQuery>(canonical.begin() + begin,
-                                          canonical.begin() + end),
-              out.data() + begin);
-        }
-      });
+  auto out = ScoreCanonical(*snap, canonical);
   stats_.RecordBatch(canonical.size());
   stats_.RecordQueries(canonical.size(), SecondsSince(start));
   return out;
@@ -326,8 +349,139 @@ std::vector<std::vector<std::size_t>> ServingEngine::RecommendCanonical(
   return results;
 }
 
+Status ServingEngine::CheckPins(
+    const Request& request,
+    const std::shared_ptr<const ModelSnapshot>& snap) const {
+  if (!request.model.empty() && request.model != snap->store.model_name()) {
+    return Status::NotFound(StrFormat(
+        "model '%s' is not served by this engine (hosting '%s')",
+        request.model.c_str(), snap->store.model_name().c_str()));
+  }
+  if (!request.version.empty() && request.version != snap->version) {
+    return Status::Unavailable(StrFormat(
+        "version '%s' is not active (active version is '%s')",
+        request.version.c_str(), snap->version.c_str()));
+  }
+  return Status::OK();
+}
+
+Response ServingEngine::Handle(const Request& request) const {
+  return HandleBatch({request}).front();
+}
+
+std::vector<Response> ServingEngine::HandleBatch(
+    const std::vector<Request>& requests) const {
+  const auto start = std::chrono::steady_clock::now();
+  // One snapshot per call: every request in the batch is answered on a
+  // single version even if a Publish lands mid-flight.
+  const std::shared_ptr<const ModelSnapshot> snap = Snapshot();
+  std::vector<Response> out(requests.size());
+  std::vector<CanonicalQuery> canonical(requests.size());
+  std::vector<char> runnable(requests.size(), 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Response& resp = out[i];
+    resp.model = snap->store.model_name();
+    resp.version = snap->version;
+    const Status pins = CheckPins(requests[i], snap);
+    if (!pins.ok()) {
+      resp.status = FromInternalStatus(pins);
+      resp.message = pins.message();
+      continue;
+    }
+    auto query = Canonicalize(requests[i].symptoms, snap->store.num_symptoms());
+    if (!query.ok()) {
+      // The raw canonicalize message, unprefixed: per-request errors are
+      // already index-aligned, and shims that need the legacy "query %zu:"
+      // prefix reconstruct it from their own loop index.
+      resp.status = StatusCode::kInvalidArgument;
+      resp.message = query.status().message();
+      continue;
+    }
+    canonical[i] = *std::move(query);
+    runnable[i] = 1;
+  }
+
+  // Group what survived validation: every dense request shares one fused
+  // GEMM; ranked requests share one GEMM + cache pass per distinct k.
+  std::vector<std::size_t> dense;
+  std::map<std::size_t, std::vector<std::size_t>> ranked;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!runnable[i]) continue;
+    if (requests[i].top_k == 0) {
+      dense.push_back(i);
+    } else {
+      ranked[requests[i].top_k].push_back(i);
+    }
+  }
+
+  std::size_t answered = 0;
+  if (!dense.empty()) {
+    std::vector<CanonicalQuery> queries;
+    queries.reserve(dense.size());
+    for (const std::size_t i : dense) queries.push_back(canonical[i]);
+    auto rows = ScoreCanonical(*snap, queries);
+    for (std::size_t j = 0; j < dense.size(); ++j) {
+      out[dense[j]].scores = std::move(rows[j]);
+    }
+    stats_.RecordBatch(dense.size());
+    answered += dense.size();
+  }
+  // (request index, stages) pairs deferred until total latency is known —
+  // the slow-query threshold applies to wall time, not per-stage time.
+  std::vector<std::pair<std::size_t, QueryStages>> slow_candidates;
+  for (auto& group : ranked) {
+    const std::vector<std::size_t>& idx = group.second;
+    std::vector<CanonicalQuery> queries;
+    queries.reserve(idx.size());
+    for (const std::size_t i : idx) queries.push_back(canonical[i]);
+    std::vector<QueryStages> stages;
+    auto results = RecommendCanonical(*snap, queries, group.first,
+                                      slow_log_.enabled() ? &stages : nullptr);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      out[idx[j]].herb_ids = std::move(results[j]);
+      if (slow_log_.enabled()) slow_candidates.emplace_back(idx[j], stages[j]);
+    }
+    answered += idx.size();
+  }
+  const double latency = SecondsSince(start);
+  stats_.RecordQueries(answered, latency);
+  if (slow_log_.enabled() && latency >= slow_log_.threshold_seconds()) {
+    for (const auto& candidate : slow_candidates) {
+      SlowQueryRecord record;
+      record.symptom_ids = canonical[candidate.first].symptom_ids;
+      record.key = canonical[candidate.first].key;
+      record.k = requests[candidate.first].top_k;
+      record.total_seconds = latency;
+      record.gemm_seconds = candidate.second.gemm_seconds;
+      record.topk_seconds = candidate.second.topk_seconds;
+      record.cache_hit = candidate.second.cache_hit;
+      record.batch_size = candidate.second.batch_size;
+      slow_log_.Record(std::move(record));
+    }
+  }
+  // Deadline post-check: never return kOk after the request's budget. The
+  // payload is dropped too — a late answer must not look usable.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].deadline_ms <= 0.0 || !out[i].ok()) continue;
+    const double elapsed_ms = SecondsSince(start) * 1e3;
+    if (elapsed_ms > requests[i].deadline_ms) {
+      deadline_exceeded_->Increment();
+      out[i].status = StatusCode::kDeadlineExceeded;
+      out[i].message =
+          StrFormat("deadline of %.3f ms exceeded (answered after %.3f ms)",
+                    requests[i].deadline_ms, elapsed_ms);
+      out[i].herb_ids.clear();
+      out[i].scores.clear();
+    }
+  }
+  return out;
+}
+
 Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
     const std::vector<std::vector<int>>& queries, std::size_t k) const {
+  LogWarningOnce("ServingEngine.RecommendBatch",
+                 "ServingEngine::RecommendBatch is deprecated; build "
+                 "serve::Request with top_k >= 1 and call HandleBatch");
   const auto start = std::chrono::steady_clock::now();
   const std::shared_ptr<const ModelSnapshot> snap = Snapshot();
   std::vector<CanonicalQuery> canonical;
@@ -366,52 +520,160 @@ Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
 
 Result<std::vector<double>> ServingEngine::Score(
     const std::vector<int>& symptoms) const {
+  LogWarningOnce("ServingEngine.Score",
+                 "ServingEngine::Score is deprecated; build serve::Request "
+                 "with top_k == 0 and call Handle");
   ASSIGN_OR_RETURN(auto batch, ScoreBatch({symptoms}));
   return std::move(batch.front());
 }
 
 Result<std::vector<std::size_t>> ServingEngine::Recommend(
     const std::vector<int>& symptoms, std::size_t k) const {
+  LogWarningOnce("ServingEngine.Recommend",
+                 "ServingEngine::Recommend is deprecated; build serve::Request "
+                 "with top_k >= 1 and call Handle");
   ASSIGN_OR_RETURN(auto batch, RecommendBatch({symptoms}, k));
   return std::move(batch.front());
 }
 
-std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
-    std::vector<int> symptoms, std::size_t k) {
+void ServingEngine::SubmitInternal(std::vector<int> symptoms, std::size_t k,
+                                   double deadline_ms, std::string model_pin,
+                                   std::string version_pin, DeliverFn deliver) {
   submitted_->Increment();
   PendingRequest request;
-  request.k = k;
   request.enqueue_time = std::chrono::steady_clock::now();
-  auto future = request.promise.get_future();
-
   // Bind the request to the version active at admission; the batch executor
-  // scores it on this snapshot even if a Publish lands first.
+  // scores it on this snapshot even if a Publish lands first. Pins are
+  // checked against this same snapshot — no gap for a swap to slip into.
   request.snapshot = Snapshot();
+  if (!model_pin.empty() || !version_pin.empty()) {
+    Request pins;
+    pins.model = std::move(model_pin);
+    pins.version = std::move(version_pin);
+    const Status pin_status = CheckPins(pins, request.snapshot);
+    if (!pin_status.ok()) {
+      deliver(pin_status, {}, request.snapshot);
+      return;
+    }
+  }
   // Clamp over-catalog ks at admission so they micro-batch into one
   // (snapshot, k) group; RecommendCanonical clamps again for the sync path.
-  request.k = std::min(request.k, request.snapshot->store.num_herbs());
+  request.k = std::min(k, request.snapshot->store.num_herbs());
   auto query = Canonicalize(symptoms, request.snapshot->store.num_symptoms());
   if (!query.ok()) {
-    request.promise.set_value(query.status());
-    return future;
+    deliver(query.status(), {}, request.snapshot);
+    return;
   }
   request.query = *std::move(query);
+  if (deadline_ms > 0.0) {
+    const auto budget =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+    request.deadline = request.enqueue_time + budget;
+    // Flush at 80% of the budget: the batcher stops waiting for stragglers
+    // early enough to leave the GEMM headroom to finish in time.
+    request.flush_by = request.enqueue_time + (budget / 5) * 4;
+  } else {
+    request.deadline = std::chrono::steady_clock::time_point::max();
+    request.flush_by = request.deadline;
+  }
+  request.deliver = std::move(deliver);
 
+  bool shut_down = false;
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (shutting_down_) {
-      request.promise.set_value(Status::FailedPrecondition(
-          "ServingEngine is shut down; no new queries accepted"));
-      return future;
+      shut_down = true;
+    } else if (options_.max_queue_depth > 0 &&
+               queue_.size() >= options_.max_queue_depth) {
+      shed = true;
+    } else {
+      queue_.push_back(std::move(request));
     }
-    queue_.push_back(std::move(request));
+  }
+  // Deliver rejections outside queue_mu_: the callback resolves a caller's
+  // future and must never run under the engine's queue lock.
+  if (shut_down) {
+    request.deliver(Status::FailedPrecondition(
+                        "ServingEngine is shut down; no new queries accepted"),
+                    {}, request.snapshot);
+    return;
+  }
+  if (shed) {
+    shed_->Increment();
+    request.deliver(
+        Status::ResourceExhausted(StrFormat(
+            "admission queue full (max_queue_depth=%zu); load-shedding",
+            options_.max_queue_depth)),
+        {}, request.snapshot);
+    return;
   }
   queue_cv_.notify_one();
+}
+
+std::future<Response> ServingEngine::SubmitRequest(Request request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  if (request.top_k == 0) {
+    Response resp;
+    resp.status = StatusCode::kInvalidArgument;
+    resp.message =
+        "dense-score mode (top_k == 0) is synchronous-only; use Handle";
+    promise->set_value(std::move(resp));
+    return future;
+  }
+  SubmitInternal(
+      std::move(request.symptoms), request.top_k, request.deadline_ms,
+      std::move(request.model), std::move(request.version),
+      [promise](const Status& status, std::vector<std::size_t> ids,
+                const std::shared_ptr<const ModelSnapshot>& snap) {
+        Response resp;
+        resp.status = FromInternalStatus(status);
+        if (!status.ok()) resp.message = status.message();
+        resp.herb_ids = std::move(ids);
+        if (snap != nullptr) {
+          resp.model = snap->store.model_name();
+          resp.version = snap->version;
+        }
+        promise->set_value(std::move(resp));
+      });
+  return future;
+}
+
+std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
+    std::vector<int> symptoms, std::size_t k) {
+  LogWarningOnce("ServingEngine.Submit",
+                 "ServingEngine::Submit is deprecated; use "
+                 "SubmitRequest(serve::Request)");
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<std::size_t>>>>();
+  auto future = promise->get_future();
+  SubmitInternal(
+      std::move(symptoms), k, /*deadline_ms=*/0.0, /*model_pin=*/{},
+      /*version_pin=*/{},
+      [promise](const Status& status, std::vector<std::size_t> ids,
+                const std::shared_ptr<const ModelSnapshot>&) {
+        // The internal Status flows through verbatim, so error codes and
+        // messages match the pre-Request contract bit for bit.
+        if (status.ok()) {
+          promise->set_value(std::move(ids));
+        } else {
+          promise->set_value(status);
+        }
+      });
   return future;
 }
 
 void ServingEngine::BatcherLoop() {
   obs::trace::SetCurrentThreadName(obs_prefix_ + "batcher");
+  if (options_.batcher_nice > 0) {
+    // glibc nice() maps to setpriority(PRIO_PROCESS, 0, ...), which on
+    // Linux/NPTL adjusts only the calling thread — exactly what we want:
+    // scoring defers to the I/O and admission threads under saturation.
+    errno = 0;
+    (void)::nice(options_.batcher_nice);
+  }
   const auto max_wait = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double, std::milli>(options_.max_wait_ms));
@@ -423,13 +685,31 @@ void ServingEngine::BatcherLoop() {
       continue;
     }
     // Hold an incomplete batch briefly so concurrent Submits coalesce; a
-    // full batch (or shutdown drain) flushes immediately.
-    const auto deadline = queue_.front().enqueue_time + max_wait;
+    // full batch (or shutdown drain) flushes immediately. A queued request
+    // with a deadline tightens the wait to its flush_by point (80% of its
+    // budget), so feasible deadlines are met instead of spent coalescing.
     while (queue_.size() < options_.max_batch_size && !shutting_down_) {
-      if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      auto wake = queue_.front().enqueue_time + max_wait;
+      const std::size_t scan =
+          std::min(queue_.size(), options_.max_batch_size);
+      for (std::size_t i = 0; i < scan; ++i) {
+        wake = std::min(wake, queue_[i].flush_by);
+      }
+      if (wake <= std::chrono::steady_clock::now()) break;
+      if (queue_cv_.wait_until(lock, wake) == std::cv_status::timeout) {
         break;
       }
     }
+    // One batch scoring, one staged: enough to keep the pool busy without
+    // racing ahead of it. Waiting here (instead of Submitting unboundedly)
+    // leaves excess arrivals in queue_, where the max_queue_depth admission
+    // bound can see and shed them — and lets the next batch grow to match
+    // the arrival rate while this one runs. Shutdown skips the wait: the
+    // drain path flushes everything through pool_->Wait().
+    constexpr std::size_t kMaxBatchesInFlight = 2;
+    queue_cv_.wait(lock, [this] {
+      return shutting_down_ || batches_in_flight_ < kMaxBatchesInFlight;
+    });
     std::vector<PendingRequest> batch;
     const std::size_t take = std::min(queue_.size(), options_.max_batch_size);
     batch.reserve(take);
@@ -437,6 +717,7 @@ void ServingEngine::BatcherLoop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    ++batches_in_flight_;
     // Coalescing time: how long the oldest request waited for the batch to
     // form (bounded by max_wait_ms plus scheduling noise).
     const double coalesce_seconds = SecondsSince(batch.front().enqueue_time);
@@ -447,6 +728,11 @@ void ServingEngine::BatcherLoop() {
     auto shared = std::make_shared<std::vector<PendingRequest>>(std::move(batch));
     pool_->Submit([this, shared, coalesce_seconds] {
       ExecuteBatch(std::move(*shared), coalesce_seconds);
+      {
+        std::lock_guard<std::mutex> guard(queue_mu_);
+        --batches_in_flight_;
+      }
+      queue_cv_.notify_all();
     });
     lock.lock();
   }
@@ -456,6 +742,31 @@ void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch,
                                  double coalesce_seconds) const {
   obs::ScopedSpan execute_span(execute_span_, execute_trace_id_);
   const auto execute_start = std::chrono::steady_clock::now();
+  // Sweep requests whose budget already expired: scoring them would burn
+  // GEMM time on answers nobody can use. They are answered (promptly) with
+  // DeadlineExceeded instead of being dropped on the floor.
+  {
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PendingRequest& request = batch[i];
+      if (request.deadline != std::chrono::steady_clock::time_point::max() &&
+          execute_start >= request.deadline) {
+        deadline_exceeded_->Increment();
+        request.deliver(
+            Status::DeadlineExceeded(StrFormat(
+                "deadline expired before scoring (queued %.3f ms)",
+                std::chrono::duration<double, std::milli>(
+                    execute_start - request.enqueue_time)
+                    .count())),
+            {}, request.snapshot);
+        continue;
+      }
+      if (live != i) batch[live] = std::move(batch[i]);
+      ++live;
+    }
+    batch.resize(live);
+  }
+  if (batch.empty()) return;
   // Requests in one micro-batch may ask for different k or — across a hot
   // swap — be bound to different snapshots; group by (snapshot, k) so each
   // group shares one GEMM + cache pass on its own version.
@@ -508,7 +819,21 @@ void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch,
         record.batch_size = s.batch_size;
         slow_log_.Record(std::move(record));
       }
-      request.promise.set_value(std::move(results[i - begin]));
+      // Deadline post-check at delivery: a request that was feasible at
+      // sweep time may still have blown its budget inside the GEMM; it
+      // must never resolve kOk after its deadline.
+      if (request.deadline != std::chrono::steady_clock::time_point::max() &&
+          std::chrono::steady_clock::now() >= request.deadline) {
+        deadline_exceeded_->Increment();
+        request.deliver(
+            Status::DeadlineExceeded(StrFormat(
+                "deadline exceeded (answered after %.3f ms)",
+                total_seconds * 1e3)),
+            {}, request.snapshot);
+      } else {
+        request.deliver(Status::OK(), std::move(results[i - begin]),
+                        request.snapshot);
+      }
     }
     begin = end;
   }
@@ -547,12 +872,32 @@ Status EngineRecommender::Fit(const data::Corpus&) {
 
 Result<std::vector<double>> EngineRecommender::Score(
     const std::vector<int>& symptom_set) const {
-  return engine_->Score(symptom_set);
+  ASSIGN_OR_RETURN(auto batch, ScoreBatch({symptom_set}));
+  return std::move(batch.front());
 }
 
 Result<std::vector<std::vector<double>>> EngineRecommender::ScoreBatch(
     const std::vector<std::vector<int>>& symptom_sets) const {
-  return engine_->ScoreBatch(symptom_sets);
+  // Rides the unified Request surface in dense-score mode; the legacy
+  // Result contract (first invalid query wins, "query %zu:" prefix) is
+  // reconstructed here so evaluator-facing behaviour is unchanged.
+  std::vector<Request> requests(symptom_sets.size());
+  for (std::size_t i = 0; i < symptom_sets.size(); ++i) {
+    requests[i].symptoms = symptom_sets[i];
+    requests[i].top_k = 0;
+  }
+  std::vector<Response> responses = engine_->HandleBatch(requests);
+  std::vector<std::vector<double>> out;
+  out.reserve(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok()) {
+      return ToInternalStatus(
+          responses[i].status,
+          StrFormat("query %zu: %s", i, responses[i].message.c_str()));
+    }
+    out.push_back(std::move(responses[i].scores));
+  }
+  return out;
 }
 
 }  // namespace serve

@@ -1,13 +1,28 @@
 // ServingEngine: high-throughput serving on top of an InferenceCheckpoint.
 //
-// Three ways in, one scoring pipeline:
-//   * ScoreBatch / RecommendBatch — synchronous: canonicalize every query,
-//     serve cache hits, score the rest as ONE batched GEMM.
-//   * Score / Recommend — single-query conveniences over the batch path.
-//   * Submit — asynchronous: returns a std::future immediately; a
-//     micro-batcher coalesces queued queries (up to max_batch_size, waiting
-//     at most max_wait_ms for stragglers) into one GEMM executed on the
-//     shared ThreadPool, so concurrent callers amortise the matrix work.
+// The serving surface is the serve::Request / serve::Response pair
+// (src/serve/request.h), shared verbatim with the wire protocol:
+//   * Handle / HandleBatch — synchronous: canonicalize every request,
+//     serve cache hits, score the rest as ONE batched GEMM. top_k >= 1
+//     returns ranked herb ids; top_k == 0 returns dense scores.
+//   * SubmitRequest — asynchronous (ranked mode only): returns a
+//     std::future<Response> immediately; a micro-batcher coalesces queued
+//     requests (up to max_batch_size, waiting at most max_wait_ms for
+//     stragglers — or less when a request's deadline demands it) into one
+//     GEMM executed on the shared ThreadPool. Admission is bounded: with
+//     max_queue_depth > 0 a full queue load-sheds new requests with
+//     kShedding instead of queueing unboundedly.
+//
+// Deadlines: a request with deadline_ms > 0 is answered kOk only if
+// scoring finished within its budget. The batcher flushes a pending batch
+// early (at ~80% of the tightest queued budget) so feasible deadlines are
+// met; requests whose budget expired before scoring began are answered
+// kDeadlineExceeded without being scored.
+//
+// The pre-Request entry points — Score / ScoreBatch / Recommend /
+// RecommendBatch / Submit — remain as deprecated-but-honoured shims over
+// the same internals (one LogWarningOnce per entry point): bit-identical
+// results, unchanged Status contracts.
 //
 // Batched, async and per-query results are bit-identical for a given
 // canonical query: the kernels process batch rows independently in a fixed
@@ -42,6 +57,7 @@
 #include "src/serve/cache.h"
 #include "src/serve/embedding_store.h"
 #include "src/serve/query.h"
+#include "src/serve/request.h"
 #include "src/serve/slow_log.h"
 #include "src/serve/stats.h"
 #include "src/util/status.h"
@@ -122,6 +138,22 @@ struct ServingEngineOptions {
   /// Retained slow-query entries (bounded ring, oldest evicted); the
   /// eviction-independent count lives in `<obs_prefix>slow_queries`.
   std::size_t slow_query_log_capacity = 128;
+  /// Admission bound for the async queue (SubmitRequest / Submit): when
+  /// > 0, a request arriving while this many are already queued is
+  /// load-shed immediately with kShedding (`<prefix>shed` counts them)
+  /// instead of queueing unboundedly. 0 — the in-process default —
+  /// disables shedding; network front-ends should set it (net::Server
+  /// defaults it to 256).
+  std::size_t max_queue_depth = 0;
+  /// When > 0, the batcher thread and its scoring workers lower their own
+  /// CPU priority by this many nice levels (Linux: per-thread). With
+  /// scoring saturating the host,
+  /// this keeps I/O and admission threads responsive, so overload shows up
+  /// at the bounded admission queue (kShedding, visible and immediate)
+  /// rather than as requests aging in kernel socket buffers that admission
+  /// control cannot see. 0 leaves scheduling alone. Raising priority is a
+  /// privileged operation, so negative values are invalid.
+  int batcher_nice = 0;
   /// Semantic version assigned to the checkpoint passed to Create() (the
   /// snapshot-based factory carries its own version).
   std::string initial_version = "v1";
@@ -173,29 +205,56 @@ class ServingEngine {
   /// Semantic version of the active snapshot.
   std::string active_version() const;
 
-  /// Scores every herb for every query in one fused GEMM. Fails with
-  /// InvalidArgument when any query is empty or holds out-of-range ids
-  /// (the message names the offending query index). Duplicate ids within a
-  /// query are deduplicated (set semantics).
+  /// Answers one request synchronously. Ranked mode (top_k >= 1) consults
+  /// the cache then scores; dense mode (top_k == 0) returns every herb's
+  /// score in catalog order. Per-request failures land in the Response
+  /// (never a C++ error): kInvalidArgument for malformed symptom sets,
+  /// kUnavailable for a model/version pin that doesn't match the active
+  /// snapshot, kDeadlineExceeded when deadline_ms elapsed before the
+  /// answer was ready.
+  Response Handle(const Request& request) const;
+
+  /// Answers a batch synchronously: valid same-shaped requests are fused
+  /// into shared GEMMs (grouped by top_k), invalid ones get their own
+  /// error Response. Responses align with `requests` by index.
+  std::vector<Response> HandleBatch(const std::vector<Request>& requests) const;
+
+  /// Enqueues a ranked request (top_k >= 1; dense mode is sync-only) for
+  /// micro-batched execution. The future always resolves with a Response —
+  /// kShedding when the admission queue is full (max_queue_depth > 0),
+  /// kUnavailable once the engine is shut down, kDeadlineExceeded when the
+  /// budget expired before scoring. The request is bound to the snapshot
+  /// active at submit time and answered from it even if a Publish lands
+  /// before the batch executes.
+  std::future<Response> SubmitRequest(Request request);
+
+  /// DEPRECATED: use HandleBatch with top_k == 0. Scores every herb for
+  /// every query in one fused GEMM. Fails with InvalidArgument when any
+  /// query is empty or holds out-of-range ids (the message names the
+  /// offending query index). Duplicate ids within a query are deduplicated
+  /// (set semantics).
   Result<std::vector<std::vector<double>>> ScoreBatch(
       const std::vector<std::vector<int>>& queries) const;
 
-  /// Top-k herb ids per query; consults the cache before scoring. A k
-  /// larger than the herb catalog is clamped to it (every herb, ranked),
-  /// and all over-catalog ks share one cache entry.
+  /// DEPRECATED: use HandleBatch. Top-k herb ids per query; consults the
+  /// cache before scoring. A k larger than the herb catalog is clamped to
+  /// it (every herb, ranked), and all over-catalog ks share one cache
+  /// entry.
   Result<std::vector<std::vector<std::size_t>>> RecommendBatch(
       const std::vector<std::vector<int>>& queries, std::size_t k) const;
 
-  /// Single-query conveniences over the batch path.
+  /// DEPRECATED: use Handle. Single-query conveniences over the batch path.
   Result<std::vector<double>> Score(const std::vector<int>& symptoms) const;
   Result<std::vector<std::size_t>> Recommend(const std::vector<int>& symptoms,
                                              std::size_t k) const;
 
-  /// Enqueues a query for micro-batched execution. The future resolves with
-  /// the top-k herb ids, an InvalidArgument for malformed queries, or
-  /// FailedPrecondition when the engine is already shut down. The query is
-  /// bound to the snapshot active at Submit time and is answered from it
-  /// even if a Publish lands before the batch executes.
+  /// DEPRECATED: use SubmitRequest. Enqueues a query for micro-batched
+  /// execution. The future resolves with the top-k herb ids, an
+  /// InvalidArgument for malformed queries, or FailedPrecondition when the
+  /// engine is already shut down. Rides the same bounded queue as
+  /// SubmitRequest: with max_queue_depth > 0 a full queue resolves the
+  /// future with ResourceExhausted (at the default 0 — every pre-existing
+  /// call site — behaviour is unchanged).
   std::future<Result<std::vector<std::size_t>>> Submit(
       std::vector<int> symptoms, std::size_t k);
 
@@ -224,14 +283,33 @@ class ServingEngine {
   const ServingEngineOptions& options() const { return options_; }
 
  private:
+  /// Fulfils an async caller's future. Both async surfaces funnel through
+  /// this: SubmitRequest wraps a promise<Response> (mapping the internal
+  /// Status onto serve::StatusCode), the legacy Submit shim wraps
+  /// promise<Result<ids>> and forwards the internal Status verbatim —
+  /// which is why the callback carries smgcn::Status, not the wire enum:
+  /// the shim stays bit-identical to the pre-Request contract. Called
+  /// exactly once, never under queue_mu_. `snap` is the snapshot the
+  /// request was bound to (for Response attribution).
+  using DeliverFn =
+      std::function<void(const Status&, std::vector<std::size_t>,
+                         const std::shared_ptr<const ModelSnapshot>&)>;
+
   struct PendingRequest {
     CanonicalQuery query;
     std::size_t k = 0;
     /// The version this request was admitted under; ExecuteBatch scores it
     /// there, so async responses are attributable to exactly one publish.
     std::shared_ptr<const ModelSnapshot> snapshot;
-    std::promise<Result<std::vector<std::size_t>>> promise;
+    DeliverFn deliver;
     std::chrono::steady_clock::time_point enqueue_time;
+    /// Absolute deadline (computed from Request::deadline_ms at
+    /// admission); time_point::max() when the request has none.
+    std::chrono::steady_clock::time_point deadline;
+    /// When the batcher should flush this request's batch even if it is
+    /// not full yet: enqueue_time + 80% of the budget, reserving headroom
+    /// for the GEMM itself. == deadline when there is no deadline.
+    std::chrono::steady_clock::time_point flush_by;
   };
 
   ServingEngine(std::shared_ptr<const ModelSnapshot> snapshot,
@@ -264,6 +342,28 @@ class ServingEngine {
       const ModelSnapshot& snap, const std::vector<CanonicalQuery>& queries,
       std::size_t k, std::vector<QueryStages>* stages = nullptr) const;
 
+  /// Dense scores for pre-canonicalized queries against one pinned
+  /// snapshot: one fused GEMM, rows in query order. The dense half of what
+  /// RecommendCanonical is to ranked mode.
+  std::vector<std::vector<double>> ScoreCanonical(
+      const ModelSnapshot& snap,
+      const std::vector<CanonicalQuery>& queries) const;
+
+  /// Routing guard shared by every Request entry point: non-empty
+  /// request.model / request.version must match the active snapshot.
+  /// Returns OK and sets `snap` when the request may be served.
+  Status CheckPins(const Request& request,
+                   const std::shared_ptr<const ModelSnapshot>& snap) const;
+
+  /// The one async admission path (SubmitRequest and the Submit shim).
+  /// Canonicalizes, applies the queue bound (shed → ResourceExhausted),
+  /// stamps deadline/flush_by, and enqueues. `deliver` is called exactly
+  /// once, possibly before this returns (validation errors, shedding,
+  /// shutdown).
+  void SubmitInternal(std::vector<int> symptoms, std::size_t k,
+                      double deadline_ms, std::string model_pin,
+                      std::string version_pin, DeliverFn deliver);
+
   void BatcherLoop();
   /// Scores one coalesced batch and fulfils its promises. Requests are
   /// grouped by (snapshot, k); each group shares one GEMM + cache pass.
@@ -287,6 +387,8 @@ class ServingEngine {
   // (process-wide histograms; resolved once here so spans are cheap).
   obs::Counter* submitted_;        // serve.submitted
   obs::Counter* publishes_;        // <prefix>publishes
+  obs::Counter* shed_;             // <prefix>shed — queue-full rejections
+  obs::Counter* deadline_exceeded_;  // <prefix>deadline_exceeded
   obs::Histogram* coalesce_span_;  // span.serve.coalesce.seconds
   obs::Histogram* gemm_span_;      // span.serve.gemm.seconds
   obs::Histogram* execute_span_;   // span.serve.execute_batch.seconds
@@ -300,6 +402,12 @@ class ServingEngine {
   std::condition_variable queue_cv_;
   std::deque<PendingRequest> queue_;
   bool shutting_down_ = false;  // guarded by queue_mu_
+  /// Batches handed to the pool and not yet finished (guarded by
+  /// queue_mu_). The batcher stops popping past kMaxBatchesInFlight so
+  /// backlog builds in queue_ — where max_queue_depth can shed it —
+  /// instead of in the pool's unbounded task queue, where it would be
+  /// invisible to admission control.
+  std::size_t batches_in_flight_ = 0;
   std::mutex shutdown_mu_;      // serialises Shutdown callers
   std::thread batcher_;         // started last (ctor body); joined in Shutdown
 };

@@ -190,6 +190,44 @@ std::vector<ModelInfo> ModelManager::ListModels() const {
   return out;
 }
 
+Result<ServingEngine*> ModelManager::Route(const std::string& model) const {
+  if (!model.empty()) return Engine(model);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.empty()) {
+    return Status::Unavailable("no models are published yet");
+  }
+  if (models_.size() > 1) {
+    return Status::InvalidArgument(StrFormat(
+        "request names no model but %zu are hosted; set Request::model",
+        models_.size()));
+  }
+  return models_.begin()->second.engine.get();
+}
+
+Response ModelManager::Handle(const Request& request) const {
+  auto engine = Route(request.model);
+  if (!engine.ok()) {
+    Response resp;
+    resp.status = FromInternalStatus(engine.status());
+    resp.message = engine.status().message();
+    return resp;
+  }
+  return (*engine)->Handle(request);
+}
+
+std::future<Response> ModelManager::SubmitRequest(Request request) const {
+  auto engine = Route(request.model);
+  if (!engine.ok()) {
+    Response resp;
+    resp.status = FromInternalStatus(engine.status());
+    resp.message = engine.status().message();
+    std::promise<Response> promise;
+    promise.set_value(std::move(resp));
+    return promise.get_future();
+  }
+  return (*engine)->SubmitRequest(std::move(request));
+}
+
 Result<std::vector<double>> ModelManager::Score(
     const std::string& model, const std::vector<int>& symptoms) const {
   ASSIGN_OR_RETURN(ServingEngine * engine, Engine(model));

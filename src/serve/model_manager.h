@@ -126,7 +126,20 @@ class ModelManager {
   /// Hosted models with their retained versions, sorted by name.
   std::vector<ModelInfo> ListModels() const;
 
-  /// Conveniences routing to the model's engine.
+  /// Routes `request` to the engine hosting request.model and answers it
+  /// synchronously. An empty model name resolves to the sole hosted model
+  /// (kInvalidArgument when several are hosted, kUnavailable when none
+  /// are). Routing failures land in the Response, never a C++ error —
+  /// this is the entry point the network front-end calls.
+  Response Handle(const Request& request) const;
+
+  /// Async counterpart of Handle: routes to the model's engine and
+  /// enqueues on its micro-batcher (ranked mode only; see
+  /// ServingEngine::SubmitRequest for shedding/deadline semantics).
+  std::future<Response> SubmitRequest(Request request) const;
+
+  /// DEPRECATED conveniences routing to the model's engine; use Handle
+  /// with a serve::Request instead.
   Result<std::vector<double>> Score(const std::string& model,
                                     const std::vector<int>& symptoms) const;
   Result<std::vector<std::size_t>> Recommend(const std::string& model,
@@ -153,6 +166,11 @@ class ModelManager {
   /// engine on first publish). Caller must NOT hold mu_.
   Result<PublishReceipt> Install(const std::string& model,
                                  std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// Request routing: a named model resolves like Engine(); an empty name
+  /// resolves to the sole hosted model (InvalidArgument when ambiguous,
+  /// Unavailable when nothing is published yet).
+  Result<ServingEngine*> Route(const std::string& model) const;
 
   /// Refreshes the models / active_versions gauges. Caller holds mu_.
   void UpdateGauges() const;

@@ -24,6 +24,14 @@ enum class StatusCode : std::uint8_t {
   kIoError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// A bounded resource (admission queue, connection slot) is full and the
+  /// operation was load-shed rather than queued unboundedly.
+  kResourceExhausted = 9,
+  /// The caller's deadline passed before the operation could complete.
+  kDeadlineExceeded = 10,
+  /// The service cannot answer right now (shutting down, model not
+  /// published); retrying later may succeed.
+  kUnavailable = 11,
 };
 
 /// Returns the canonical lowercase name for a status code ("ok",
@@ -65,6 +73,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

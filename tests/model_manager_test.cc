@@ -56,11 +56,11 @@ TEST(ModelManagerTest, CreateRejectsBadOptions) {
   ModelManagerOptions options;
   options.retain_versions = 0;
   EXPECT_EQ(ModelManager::Create(options).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
   options = ModelManagerOptions{};
   options.engine_options.max_batch_size = 0;
   EXPECT_EQ(ModelManager::Create(options).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
 }
 
 TEST(ModelManagerTest, PublishRouteAndList) {
@@ -94,7 +94,7 @@ TEST(ModelManagerTest, PublishRouteAndList) {
   EXPECT_EQ(models[0].versions[0].num_herbs, kHerbs);
 
   EXPECT_EQ((*manager)->Score("nope", {0}).status().code(),
-            StatusCode::kNotFound);
+            smgcn::StatusCode::kNotFound);
 }
 
 TEST(ModelManagerTest, PublishSwapsScoresAtomically) {
@@ -120,7 +120,7 @@ TEST(ModelManagerTest, DuplicateVersionIsRejected) {
   ASSERT_TRUE((*manager)->Publish(ConstantCheckpoint("m", 1.0), "v1").ok());
   EXPECT_EQ(
       (*manager)->Publish(ConstantCheckpoint("m", 2.0), "v1").status().code(),
-      StatusCode::kAlreadyExists);
+      smgcn::StatusCode::kAlreadyExists);
   // The active version is untouched by the failed publish.
   EXPECT_EQ(*(*manager)->ActiveVersion("m"), "v1");
   auto scores = (*manager)->Score("m", {0});
@@ -134,7 +134,7 @@ TEST(ModelManagerTest, FailedFirstPublishLeavesNoModelBehind) {
   core::InferenceCheckpoint bad;  // empty: fails validation
   bad.model_name = "ghost";
   EXPECT_FALSE((*manager)->Publish(std::move(bad), "v1").ok());
-  EXPECT_EQ((*manager)->Engine("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*manager)->Engine("ghost").status().code(), smgcn::StatusCode::kNotFound);
   EXPECT_TRUE((*manager)->ListModels().empty());
 }
 
@@ -155,8 +155,8 @@ TEST(ModelManagerTest, RollbackReactivatesPredecessor) {
   EXPECT_EQ(*(*manager)->ActiveVersion("m"), "v1");
   // Only one version left: nothing to roll back to.
   EXPECT_EQ((*manager)->Rollback("m").code(),
-            StatusCode::kFailedPrecondition);
-  EXPECT_EQ((*manager)->Rollback("nope").code(), StatusCode::kNotFound);
+            smgcn::StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*manager)->Rollback("nope").code(), smgcn::StatusCode::kNotFound);
 }
 
 TEST(ModelManagerTest, RetireDropsOnlyInactiveVersions) {
@@ -166,9 +166,9 @@ TEST(ModelManagerTest, RetireDropsOnlyInactiveVersions) {
   ASSERT_TRUE((*manager)->Publish(ConstantCheckpoint("m", 2.0), "v2").ok());
 
   EXPECT_EQ((*manager)->Retire("m", "v2").code(),
-            StatusCode::kFailedPrecondition);  // active
-  EXPECT_EQ((*manager)->Retire("m", "v9").code(), StatusCode::kNotFound);
-  EXPECT_EQ((*manager)->Retire("nope", "v1").code(), StatusCode::kNotFound);
+            smgcn::StatusCode::kFailedPrecondition);  // active
+  EXPECT_EQ((*manager)->Retire("m", "v9").code(), smgcn::StatusCode::kNotFound);
+  EXPECT_EQ((*manager)->Retire("nope", "v1").code(), smgcn::StatusCode::kNotFound);
   ASSERT_TRUE((*manager)->Retire("m", "v1").ok());
 
   const auto models = (*manager)->ListModels();
@@ -236,7 +236,7 @@ TEST(ModelManagerTest, PublishArtifactUsesEmbeddedIdentity) {
 
   // Same version again: rejected, identity comes from the file.
   EXPECT_EQ((*manager)->PublishArtifact(path).status().code(),
-            StatusCode::kAlreadyExists);
+            smgcn::StatusCode::kAlreadyExists);
   // A damaged file never touches serving state.
   EXPECT_FALSE((*manager)->PublishArtifact("/no/such.smga").ok());
   EXPECT_EQ(*(*manager)->ActiveVersion("artifact-model"), "2026-08-08-b");
@@ -407,6 +407,67 @@ TEST(ModelManagerHammerTest, ConcurrentPublishAndQuery) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(responses.load(), kMinResponses);
   EXPECT_GT(publish_count, kVersions);
+}
+
+// --------------------------------------------------------------------------
+// Request routing (Handle / SubmitRequest)
+// --------------------------------------------------------------------------
+
+TEST(ModelManagerRoutingTest, EmptyModelResolvesToSoleHostedModel) {
+  auto manager = ModelManager::Create(QuietOptions());
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->Publish(ConstantCheckpoint("only", 1.0), "v1").ok());
+
+  Request request;
+  request.symptoms = {0, 2};
+  request.top_k = 3;
+  const Response response = (*manager)->Handle(request);
+  ASSERT_TRUE(response.ok()) << response.message;
+  EXPECT_EQ(response.model, "only");
+  EXPECT_EQ(response.version, "v1");
+  EXPECT_EQ(response.herb_ids.size(), 3u);
+
+  const Response async = (*manager)->SubmitRequest(request).get();
+  ASSERT_TRUE(async.ok()) << async.message;
+  EXPECT_EQ(async.herb_ids, response.herb_ids);
+}
+
+TEST(ModelManagerRoutingTest, EmptyModelIsAmbiguousWithSeveralHosted) {
+  auto manager = ModelManager::Create(QuietOptions());
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->Publish(ConstantCheckpoint("a", 1.0), "v1").ok());
+  ASSERT_TRUE((*manager)->Publish(ConstantCheckpoint("b", 2.0), "v1").ok());
+
+  Request request;
+  request.symptoms = {0};
+  request.top_k = 3;
+  EXPECT_EQ((*manager)->Handle(request).status,
+            serve::StatusCode::kInvalidArgument);
+  EXPECT_EQ((*manager)->SubmitRequest(request).get().status,
+            serve::StatusCode::kInvalidArgument);
+
+  // Naming the model disambiguates.
+  request.model = "b";
+  const Response response = (*manager)->Handle(request);
+  ASSERT_TRUE(response.ok()) << response.message;
+  EXPECT_EQ(response.model, "b");
+}
+
+TEST(ModelManagerRoutingTest, NoModelsMeansUnavailable) {
+  auto manager = ModelManager::Create(QuietOptions());
+  ASSERT_TRUE(manager.ok());
+  Request request;
+  request.symptoms = {0};
+  request.top_k = 3;
+  EXPECT_EQ((*manager)->Handle(request).status,
+            serve::StatusCode::kUnavailable);
+  EXPECT_EQ((*manager)->SubmitRequest(request).get().status,
+            serve::StatusCode::kUnavailable);
+
+  // Unknown names route like Engine(): kUnavailable on the Response.
+  request.model = "nope";
+  EXPECT_EQ((*manager)->Handle(request).status,
+            serve::StatusCode::kUnavailable);
 }
 
 }  // namespace

@@ -1,0 +1,516 @@
+// Tests for src/net: wire codec totality, HTTP parsing, and the server
+// end-to-end — protocol sniffing, binary round trips bit-identical to
+// in-process Handle, pipelining order, malformed-input behaviour,
+// admission-control shedding over the wire, graceful drain, and a
+// TSan-targeted concurrent connect/publish/query hammer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/net/client.h"
+#include "src/net/http.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/obs/registry.h"
+#include "src/serve/model_manager.h"
+#include "src/serve/request.h"
+#include "src/serve/status.h"
+#include "src/tensor/matrix.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace net {
+namespace {
+
+core::InferenceCheckpoint MakeCheckpoint(std::size_t num_symptoms = 24,
+                                         std::size_t num_herbs = 40,
+                                         std::size_t dim = 8) {
+  Rng rng(907);
+  core::InferenceCheckpoint ckpt;
+  ckpt.model_name = "test-ckpt";
+  ckpt.symptom_embeddings =
+      tensor::Matrix::RandomNormal(num_symptoms, dim, 0.0, 1.0, &rng);
+  ckpt.herb_embeddings =
+      tensor::Matrix::RandomNormal(num_herbs, dim, 0.0, 1.0, &rng);
+  ckpt.has_si_mlp = true;
+  ckpt.si_weight = tensor::Matrix::RandomNormal(dim, dim, 0.0, 0.5, &rng);
+  ckpt.si_bias = tensor::Matrix::RandomNormal(1, dim, 0.0, 0.5, &rng);
+  return ckpt;
+}
+
+std::unique_ptr<serve::ModelManager> MakeManager(
+    serve::ModelManagerOptions options = {}) {
+  auto manager = serve::ModelManager::Create(options);
+  SMGCN_CHECK(manager.ok());
+  SMGCN_CHECK((*manager)->Publish(MakeCheckpoint(), "v1").ok());
+  return std::move(*manager);
+}
+
+// --------------------------------------------------------------------------
+// Wire codec
+// --------------------------------------------------------------------------
+
+TEST(WireTest, RequestRoundTrip) {
+  serve::Request request;
+  request.symptoms = {4, 1, 9, 1};
+  request.top_k = 12;
+  request.deadline_ms = 7.5;
+  request.model = "test-ckpt";
+  request.version = "v1";
+  auto frame = wire::EncodeRequest(request);
+  ASSERT_TRUE(frame.ok());
+  std::uint32_t payload_len = 0;
+  ASSERT_TRUE(
+      wire::DecodeHeader(frame->data(), wire::kRequestMagic, &payload_len)
+          .ok());
+  ASSERT_EQ(frame->size(), wire::kHeaderBytes + payload_len);
+  auto decoded = wire::DecodeRequestPayload(frame->data() + wire::kHeaderBytes,
+                                            payload_len);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->symptoms, request.symptoms);
+  EXPECT_EQ(decoded->top_k, request.top_k);
+  EXPECT_DOUBLE_EQ(decoded->deadline_ms, 7.5);  // micros resolution: exact
+  EXPECT_EQ(decoded->model, "test-ckpt");
+  EXPECT_EQ(decoded->version, "v1");
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  serve::Response response;
+  response.status = serve::StatusCode::kShedding;
+  response.message = "admission queue full";
+  response.herb_ids = {7, 0, 39};
+  response.model = "test-ckpt";
+  response.version = "v2";
+  auto frame = wire::EncodeResponse(response);
+  ASSERT_TRUE(frame.ok());
+  std::uint32_t payload_len = 0;
+  ASSERT_TRUE(
+      wire::DecodeHeader(frame->data(), wire::kResponseMagic, &payload_len)
+          .ok());
+  auto decoded = wire::DecodeResponsePayload(
+      frame->data() + wire::kHeaderBytes, payload_len);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status, serve::StatusCode::kShedding);
+  EXPECT_EQ(decoded->message, "admission queue full");
+  EXPECT_EQ(decoded->herb_ids, response.herb_ids);
+  EXPECT_EQ(decoded->model, "test-ckpt");
+  EXPECT_EQ(decoded->version, "v2");
+}
+
+TEST(WireTest, EncodeRejectsUnrepresentableRequests) {
+  serve::Request dense;
+  dense.symptoms = {1};
+  dense.top_k = 0;  // dense mode is in-process only
+  EXPECT_FALSE(wire::EncodeRequest(dense).ok());
+
+  serve::Request huge;
+  huge.top_k = 5;
+  huge.symptoms.assign(wire::kMaxWireSymptoms + 1, 1);
+  EXPECT_FALSE(wire::EncodeRequest(huge).ok());
+
+  serve::Request long_name;
+  long_name.symptoms = {1};
+  long_name.top_k = 5;
+  long_name.model.assign(256, 'm');
+  EXPECT_FALSE(wire::EncodeRequest(long_name).ok());
+}
+
+TEST(WireTest, DecoderRejectsMalformedFrames) {
+  serve::Request request;
+  request.symptoms = {1, 2};
+  request.top_k = 5;
+  auto frame = wire::EncodeRequest(request);
+  ASSERT_TRUE(frame.ok());
+
+  std::uint32_t len = 0;
+  // Wrong magic.
+  std::vector<std::uint8_t> bad = *frame;
+  bad[0] = 0x00;
+  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+  // Response magic where a request is expected.
+  bad = *frame;
+  bad[0] = wire::kResponseMagic;
+  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+  // Unknown version.
+  bad = *frame;
+  bad[1] = 99;
+  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+  // Oversized declared length.
+  bad = *frame;
+  const std::uint32_t oversized = wire::kMaxPayloadBytes + 1;
+  bad[2] = static_cast<std::uint8_t>(oversized & 0xFF);
+  bad[3] = static_cast<std::uint8_t>((oversized >> 8) & 0xFF);
+  bad[4] = static_cast<std::uint8_t>((oversized >> 16) & 0xFF);
+  bad[5] = static_cast<std::uint8_t>((oversized >> 24) & 0xFF);
+  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+
+  // Truncated payload (every prefix must decode to an error, never UB).
+  const std::uint8_t* payload = frame->data() + wire::kHeaderBytes;
+  const std::size_t payload_len = frame->size() - wire::kHeaderBytes;
+  for (std::size_t cut = 0; cut < payload_len; ++cut) {
+    EXPECT_FALSE(wire::DecodeRequestPayload(payload, cut).ok()) << cut;
+  }
+  // Trailing garbage: exact-size match is required.
+  std::vector<std::uint8_t> padded(payload, payload + payload_len);
+  padded.push_back(0);
+  EXPECT_FALSE(
+      wire::DecodeRequestPayload(padded.data(), padded.size()).ok());
+  // A count field pointing past the buffer.
+  std::vector<std::uint8_t> lying(payload, payload + payload_len);
+  lying[6] = 0xFF;  // num_symptoms low byte
+  lying[7] = 0xFF;
+  EXPECT_FALSE(wire::DecodeRequestPayload(lying.data(), lying.size()).ok());
+}
+
+// --------------------------------------------------------------------------
+// HTTP parsing
+// --------------------------------------------------------------------------
+
+TEST(HttpTest, ParsesRequestLineAndQuery) {
+  auto request = http::ParseRequest(
+      "GET /v1/recommend?symptoms=1,4,9&k=10&model=m HTTP/1.1\r\n"
+      "Host: localhost\r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/v1/recommend");
+  EXPECT_EQ(request->query.at("symptoms"), "1,4,9");
+  EXPECT_EQ(request->query.at("k"), "10");
+  EXPECT_EQ(request->query.at("model"), "m");
+  EXPECT_TRUE(request->keep_alive);
+}
+
+TEST(HttpTest, HonoursConnectionClose) {
+  auto request = http::ParseRequest(
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_FALSE(request->keep_alive);
+}
+
+TEST(HttpTest, RejectsMalformedHeads) {
+  EXPECT_FALSE(http::ParseRequest("garbage\r\n\r\n").ok());
+  EXPECT_FALSE(http::ParseRequest("GET /x SMTP/1.0\r\n\r\n").ok());
+  EXPECT_FALSE(http::ParseRequest("GET relative HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(HttpTest, ParseIntList) {
+  auto ids = http::ParseIntList("1,4,9");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<int>{1, 4, 9}));
+  EXPECT_FALSE(http::ParseIntList("").ok());
+  EXPECT_FALSE(http::ParseIntList("1,,3").ok());
+  EXPECT_FALSE(http::ParseIntList("1,x").ok());
+}
+
+// --------------------------------------------------------------------------
+// Server end-to-end
+// --------------------------------------------------------------------------
+
+TEST(ServerTest, BinaryRoundTripMatchesInProcessHandle) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+
+  ClientOptions copts;
+  copts.port = (*server)->port();
+  auto client = Client::Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  serve::Request request;
+  request.symptoms = {2, 4, 6};
+  request.top_k = 7;
+  const serve::Response local = manager->Handle(request);
+  ASSERT_TRUE(local.ok());
+
+  auto remote = (*client)->Call(request);
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote->status, serve::StatusCode::kOk);
+  EXPECT_EQ(remote->herb_ids, local.herb_ids);
+  EXPECT_EQ(remote->model, "test-ckpt");
+  EXPECT_EQ(remote->version, "v1");
+}
+
+TEST(ServerTest, PipelinedResponsesComeBackInOrder) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  ClientOptions copts;
+  copts.port = (*server)->port();
+  auto client = Client::Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  // Distinct top_k per request tags each response with its request.
+  constexpr int kDepth = 8;
+  for (int i = 0; i < kDepth; ++i) {
+    serve::Request request;
+    request.symptoms = {1, 2, 3};
+    request.top_k = static_cast<std::size_t>(i + 1);
+    ASSERT_TRUE((*client)->Send(request).ok());
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    auto response = (*client)->Receive();
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->ok()) << response->message;
+    EXPECT_EQ(response->herb_ids.size(), static_cast<std::size_t>(i + 1));
+  }
+}
+
+TEST(ServerTest, InvalidRequestGetsErrorResponseAndConnectionSurvives) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  ClientOptions copts;
+  copts.port = (*server)->port();
+  auto client = Client::Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  // Framing-valid but semantically invalid: out-of-range symptom.
+  serve::Request bad;
+  bad.symptoms = {9999};
+  bad.top_k = 5;
+  auto response = (*client)->Call(bad);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, serve::StatusCode::kInvalidArgument);
+
+  // The stream is intact: a good request on the same connection works.
+  serve::Request good;
+  good.symptoms = {1, 2};
+  good.top_k = 5;
+  auto next = (*client)->Call(good);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->ok());
+}
+
+TEST(ServerTest, MalformedHeaderGetsErrorFrameThenClose) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+
+  auto fd = ConnectTcp("127.0.0.1", (*server)->port(), 2000);
+  ASSERT_TRUE(fd.ok());
+  // Valid request magic (so the connection sniffs as binary), then a frame
+  // declaring an oversized payload.
+  std::uint8_t evil[wire::kHeaderBytes] = {wire::kRequestMagic,
+                                           wire::kWireVersion, 0, 0, 0, 0};
+  const std::uint32_t oversized = wire::kMaxPayloadBytes + 1;
+  evil[2] = static_cast<std::uint8_t>(oversized & 0xFF);
+  evil[3] = static_cast<std::uint8_t>((oversized >> 8) & 0xFF);
+  evil[4] = static_cast<std::uint8_t>((oversized >> 16) & 0xFF);
+  evil[5] = static_cast<std::uint8_t>((oversized >> 24) & 0xFF);
+  ASSERT_TRUE(WriteAll(fd->get(), evil, sizeof(evil), 2000).ok());
+
+  // The server answers with one parseable error frame...
+  std::uint8_t header[wire::kHeaderBytes];
+  ASSERT_TRUE(ReadExact(fd->get(), header, sizeof(header), 2000).ok());
+  std::uint32_t payload_len = 0;
+  ASSERT_TRUE(
+      wire::DecodeHeader(header, wire::kResponseMagic, &payload_len).ok());
+  std::vector<std::uint8_t> payload(payload_len);
+  ASSERT_TRUE(
+      ReadExact(fd->get(), payload.data(), payload.size(), 2000).ok());
+  auto response = wire::DecodeResponsePayload(payload.data(), payload.size());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, serve::StatusCode::kInvalidArgument);
+
+  // ...then closes the stream.
+  std::uint8_t byte = 0;
+  const Status eof = ReadExact(fd->get(), &byte, 1, 2000);
+  EXPECT_EQ(eof.code(), smgcn::StatusCode::kUnavailable) << eof.ToString();
+}
+
+TEST(ServerTest, HttpEndpoints) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  const std::uint16_t port = (*server)->port();
+
+  auto health = HttpGet("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  auto recommend =
+      HttpGet("127.0.0.1", port, "/v1/recommend?symptoms=2,4,6&k=7");
+  ASSERT_TRUE(recommend.ok());
+  EXPECT_EQ(recommend->status, 200);
+  EXPECT_NE(recommend->body.find("\"status\":\"OK\""), std::string::npos)
+      << recommend->body;
+  EXPECT_NE(recommend->body.find("\"herb_ids\":["), std::string::npos);
+
+  auto bad = HttpGet("127.0.0.1", port, "/v1/recommend?symptoms=&k=7");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+
+  auto models = HttpGet("127.0.0.1", port, "/v1/models");
+  ASSERT_TRUE(models.ok());
+  EXPECT_EQ(models->status, 200);
+  EXPECT_NE(models->body.find("\"test-ckpt\""), std::string::npos);
+  EXPECT_NE(models->body.find("\"v1\""), std::string::npos);
+
+  auto metrics = HttpGet("127.0.0.1", port, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  // Prometheus text exposition: TYPE comments plus this server's counters.
+  EXPECT_NE(metrics->body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics->body.find("smgcn_"), std::string::npos);
+
+  auto slowlog = HttpGet("127.0.0.1", port, "/slowlog");
+  ASSERT_TRUE(slowlog.ok());
+  EXPECT_EQ(slowlog->status, 200);
+
+  auto missing = HttpGet("127.0.0.1", port, "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(ServerTest, WireSheddingWhenQueueIsFull) {
+  serve::ModelManagerOptions mopts;
+  mopts.engine_options.max_batch_size = 64;
+  mopts.engine_options.max_wait_ms = 400.0;  // hold the queue
+  mopts.engine_options.max_queue_depth = 2;
+  mopts.engine_options.cache_capacity = 0;
+  auto manager = MakeManager(mopts);
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  ClientOptions copts;
+  copts.port = (*server)->port();
+  auto client = Client::Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kBurst = 10;
+  for (int i = 0; i < kBurst; ++i) {
+    serve::Request request;
+    request.symptoms = {1, 2};
+    request.top_k = 5;
+    ASSERT_TRUE((*client)->Send(request).ok());
+  }
+  int ok = 0;
+  int shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto response = (*client)->Receive();
+    ASSERT_TRUE(response.ok());
+    if (response->ok()) {
+      ++ok;
+    } else {
+      // RESOURCE_EXHAUSTED on the wire — distinguishable from a timeout.
+      ASSERT_EQ(response->status, serve::StatusCode::kShedding)
+          << response->message;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, kBurst - 2);
+}
+
+TEST(ServerTest, GracefulDrainAnswersAcceptedRequests) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  const std::uint16_t port = (*server)->port();
+
+  ClientOptions copts;
+  copts.port = port;
+  auto client = Client::Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kInflight = 6;
+  for (int i = 0; i < kInflight; ++i) {
+    serve::Request request;
+    request.symptoms = {1, 2, 3};
+    request.top_k = 5;
+    ASSERT_TRUE((*client)->Send(request).ok());
+  }
+  // Drain guarantees answers for *admitted* requests, so wait until the
+  // server has read all six off the socket before stopping.
+  const auto* admitted = obs::Registry::Global().GetCounter(
+      (*server)->obs_prefix() + "binary_requests");
+  for (int spin = 0; spin < 2000 && admitted->value() < kInflight; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(admitted->value(), static_cast<std::uint64_t>(kInflight));
+  // Stop from another thread while responses are outstanding: the drain
+  // must flush every admitted request before the connection closes.
+  std::thread stopper([&server] { (*server)->Stop(); });
+  int answered = 0;
+  for (int i = 0; i < kInflight; ++i) {
+    auto response = (*client)->Receive();
+    if (!response.ok()) break;  // closed after the flush
+    EXPECT_TRUE(response->ok()) << response->message;
+    ++answered;
+  }
+  stopper.join();
+  EXPECT_EQ(answered, kInflight);
+
+  // After Stop: no new connections...
+  EXPECT_FALSE(Client::Connect(copts).ok());
+  // ...but the manager itself still serves in-process callers.
+  serve::Request request;
+  request.symptoms = {1};
+  request.top_k = 5;
+  EXPECT_TRUE(manager->Handle(request).ok());
+}
+
+TEST(ServerTest, ConcurrentConnectPublishQueryHammer) {
+  // TSan target: clients connecting/querying over both protocols while
+  // versions publish and /metrics is scraped. Correctness bar: no data
+  // races, no crashes, and every wire response is parseable.
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  const std::uint16_t port = (*server)->port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> wire_ok{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([port, &stop, &wire_ok] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ClientOptions copts;
+        copts.port = port;
+        auto client = Client::Connect(copts);
+        if (!client.ok()) continue;
+        for (int i = 0; i < 5; ++i) {
+          serve::Request request;
+          request.symptoms = {1 + i, 7};
+          request.top_k = 5;
+          auto response = (*client)->Call(request);
+          if (response.ok() && response->ok()) {
+            wire_ok.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([port, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)HttpGet("127.0.0.1", port, "/metrics", 2000);
+      (void)HttpGet("127.0.0.1", port, "/v1/recommend?symptoms=1,2&k=5",
+                    2000);
+    }
+  });
+  threads.emplace_back([&manager, &stop] {
+    int v = 2;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)manager->Publish(MakeCheckpoint(), "v" + std::to_string(v++));
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+  EXPECT_GT(wire_ok.load(), 0);
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace smgcn

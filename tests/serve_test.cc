@@ -71,11 +71,11 @@ TEST(CanonicalizeTest, EquivalentQueriesShareKey) {
 }
 
 TEST(CanonicalizeTest, RejectsEmptyAndOutOfRange) {
-  EXPECT_EQ(Canonicalize({}, 10).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Canonicalize({}, 10).status().code(), smgcn::StatusCode::kInvalidArgument);
   EXPECT_EQ(Canonicalize({-1}, 10).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
   EXPECT_EQ(Canonicalize({10}, 10).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
   EXPECT_TRUE(Canonicalize({9}, 10).ok());
 }
 
@@ -86,12 +86,12 @@ TEST(CanonicalizeTest, EdgeCaseInputs) {
   EXPECT_EQ(dup->symptom_ids, (std::vector<int>{5}));
   EXPECT_EQ(dup->key, Canonicalize({5}, 10)->key);
   // Empty set stays invalid regardless of vocabulary size.
-  EXPECT_EQ(Canonicalize({}, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Canonicalize({}, 0).status().code(), smgcn::StatusCode::kInvalidArgument);
   // One out-of-range id poisons an otherwise-valid set — no partial accept.
   EXPECT_EQ(Canonicalize({1, 3, 10, 5}, 10).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
   EXPECT_EQ(Canonicalize({1, 3, -2, 5}, 10).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
 }
 
 TEST(CanonicalizeTest, KeysSeparateDistinctSets) {
@@ -469,7 +469,7 @@ TEST(ServingEngineTest, CreateRejectsBadOptions) {
   ServingEngineOptions options;
   options.max_batch_size = 0;
   EXPECT_EQ(ServingEngine::Create(MakeCheckpoint(), options).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
 }
 
 TEST(ServingEngineTest, ScoreBatchBitIdenticalToCheckpointRecommender) {
@@ -509,7 +509,7 @@ TEST(ServingEngineTest, RecommendMatchesRecommendBatchAndIsCanonical) {
 TEST(ServingEngineTest, MalformedQueryNamesIndex) {
   auto engine = MakeEngine();
   auto result = engine->ScoreBatch({{1}, {999}});
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().code(), smgcn::StatusCode::kInvalidArgument);
   EXPECT_NE(result.status().message().find("query 1"), std::string::npos);
   EXPECT_TRUE(engine->ScoreBatch({}).ok());  // empty batch is fine
 }
@@ -659,9 +659,9 @@ TEST(ServingEngineTest, SubmitMatchesSyncRecommend) {
 TEST(ServingEngineTest, SubmitRejectsMalformedImmediately) {
   auto engine = MakeEngine();
   EXPECT_EQ(engine->Submit({}, 5).get().status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
   EXPECT_EQ(engine->Submit({-3}, 5).get().status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
 }
 
 TEST(ServingEngineTest, ConcurrentSubmitsFromManyThreads) {
@@ -807,7 +807,7 @@ TEST(ServingEngineTest, ShutdownDrainsQueuedQueries) {
   for (auto& f : futures) EXPECT_TRUE(f.get().ok());
   // After shutdown, new queries fail fast.
   EXPECT_EQ(engine->Submit({1}, 5).get().status().code(),
-            StatusCode::kFailedPrecondition);
+            smgcn::StatusCode::kFailedPrecondition);
 }
 
 TEST(ServingEngineTest, DestructorDrainsImplicitly) {
@@ -833,7 +833,7 @@ TEST(EngineRecommenderTest, OverridesBatchPathAndMatchesBase) {
 
   EXPECT_EQ(recommender.name(), "test-ckpt");
   EXPECT_EQ(recommender.Fit(data::Corpus()).code(),
-            StatusCode::kFailedPrecondition);
+            smgcn::StatusCode::kFailedPrecondition);
 
   const std::vector<std::vector<int>> queries = {{1, 2}, {5, 9, 13}};
   // The base-class default loops Score; the adapter fuses one GEMM. Both
@@ -866,7 +866,7 @@ TEST(SlowQueryLogTest, NegativeThresholdIsRejected) {
   ServingEngineOptions options;
   options.slow_query_threshold_ms = -1.0;
   EXPECT_EQ(ServingEngine::Create(MakeCheckpoint(), options).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
 }
 
 TEST(SlowQueryLogTest, SyncQueriesRecordStageBreakdown) {
@@ -1004,7 +1004,7 @@ TEST(ServingEngineSwapTest, PublishSwapsScoresAndVersion) {
 TEST(ServingEngineSwapTest, PublishRejectsBadInput) {
   auto engine = MakeEngine();
   EXPECT_EQ(engine->Publish(MakeCheckpoint(), "").code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
   core::InferenceCheckpoint bad;  // empty: fails validation
   EXPECT_FALSE(engine->Publish(std::move(bad), "v2").ok());
   // Failed publishes leave the active snapshot untouched.
@@ -1056,7 +1056,353 @@ TEST(ServingEngineSwapTest, InFlightSubmitsFinishOnTheirSnapshot) {
   // New queries see the new model's herb count (40 stays, but ids shrink
   // to the 12-symptom vocabulary: symptom 20 is now out of range).
   EXPECT_EQ(engine->Recommend({20}, 5).status().code(),
-            StatusCode::kInvalidArgument);
+            smgcn::StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------------------
+// Serving status vocabulary (serve::StatusCode) and the mapping table
+// --------------------------------------------------------------------------
+
+TEST(ServeStatusTest, WireBytesArePinned) {
+  // The numeric values ARE the wire protocol; this test is the tripwire
+  // against reordering the enum.
+  EXPECT_EQ(ToWireByte(StatusCode::kOk), 0);
+  EXPECT_EQ(ToWireByte(StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(ToWireByte(StatusCode::kDeadlineExceeded), 2);
+  EXPECT_EQ(ToWireByte(StatusCode::kShedding), 3);
+  EXPECT_EQ(ToWireByte(StatusCode::kUnavailable), 4);
+  EXPECT_EQ(kMaxWireStatusByte, 4);
+  EXPECT_FALSE(FromWireByte(5).ok());
+}
+
+TEST(ServeStatusTest, NamesRoundTrip) {
+  for (std::uint8_t b = 0; b <= kMaxWireStatusByte; ++b) {
+    const auto code = static_cast<StatusCode>(b);
+    auto back = StatusCodeFromName(StatusCodeName(code));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, code);
+    auto byte_back = FromWireByte(ToWireByte(code));
+    ASSERT_TRUE(byte_back.ok());
+    EXPECT_EQ(*byte_back, code);
+  }
+  EXPECT_FALSE(StatusCodeFromName("NOT_A_STATUS").ok());
+}
+
+TEST(ServeStatusTest, EveryInternalCodeMapsAndRoundTrips) {
+  // The mapping table is total: every internal code lands on exactly one
+  // serving status, and mapping back yields an internal status that maps
+  // to the same serving status (the round trip the wire relies on).
+  const smgcn::StatusCode internal_codes[] = {
+      smgcn::StatusCode::kOk,
+      smgcn::StatusCode::kInvalidArgument,
+      smgcn::StatusCode::kNotFound,
+      smgcn::StatusCode::kAlreadyExists,
+      smgcn::StatusCode::kOutOfRange,
+      smgcn::StatusCode::kFailedPrecondition,
+      smgcn::StatusCode::kIoError,
+      smgcn::StatusCode::kNotImplemented,
+      smgcn::StatusCode::kInternal,
+      smgcn::StatusCode::kResourceExhausted,
+      smgcn::StatusCode::kDeadlineExceeded,
+      smgcn::StatusCode::kUnavailable,
+  };
+  for (const auto internal : internal_codes) {
+    const StatusCode serving = FromInternalCode(internal);
+    EXPECT_LE(ToWireByte(serving), kMaxWireStatusByte);
+    const Status back = ToInternalStatus(serving, "msg");
+    EXPECT_EQ(FromInternalCode(back.code()), serving)
+        << "round trip broke for " << StatusCodeToString(internal);
+  }
+  // Spot-check the semantically load-bearing rows.
+  EXPECT_EQ(FromInternalCode(smgcn::StatusCode::kOk), StatusCode::kOk);
+  EXPECT_EQ(FromInternalCode(smgcn::StatusCode::kResourceExhausted),
+            StatusCode::kShedding);
+  EXPECT_EQ(FromInternalCode(smgcn::StatusCode::kDeadlineExceeded),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(FromInternalCode(smgcn::StatusCode::kFailedPrecondition),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(ToInternalStatus(StatusCode::kShedding, "m").code(),
+            smgcn::StatusCode::kResourceExhausted);
+  // ToInternalStatus carries the message through (except kOk).
+  EXPECT_EQ(ToInternalStatus(StatusCode::kUnavailable, "why").message(),
+            "why");
+  EXPECT_TRUE(ToInternalStatus(StatusCode::kOk, "ignored").ok());
+}
+
+TEST(ServeStatusTest, HttpStatusMapping) {
+  EXPECT_EQ(HttpStatusFor(StatusCode::kOk), 200);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kInvalidArgument), 400);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kDeadlineExceeded), 504);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kShedding), 429);
+  EXPECT_EQ(HttpStatusFor(StatusCode::kUnavailable), 503);
+}
+
+// --------------------------------------------------------------------------
+// The unified Request/Response surface (Handle / HandleBatch /
+// SubmitRequest) and the deprecated-but-honoured shims
+// --------------------------------------------------------------------------
+
+TEST(RequestSurfaceTest, DenseModeMatchesScoreBatchBitForBit) {
+  auto engine = MakeEngine();
+  const std::vector<std::vector<int>> queries = {{1, 2, 3}, {5}, {0, 23}};
+  auto legacy = engine->ScoreBatch(queries);
+  ASSERT_TRUE(legacy.ok());
+
+  std::vector<Request> requests(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    requests[i].symptoms = queries[i];
+    requests[i].top_k = 0;  // dense mode
+  }
+  const std::vector<Response> responses = engine->HandleBatch(requests);
+  ASSERT_EQ(responses.size(), queries.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok()) << responses[i].message;
+    EXPECT_EQ(responses[i].model, "test-ckpt");
+    EXPECT_EQ(responses[i].version, "v1");
+    ASSERT_EQ(responses[i].scores.size(), (*legacy)[i].size());
+    for (std::size_t h = 0; h < responses[i].scores.size(); ++h) {
+      // Bit-identical, not approximately equal: both paths run the same
+      // fixed-order kernels on the same snapshot.
+      EXPECT_EQ(responses[i].scores[h], (*legacy)[i][h]);
+    }
+  }
+}
+
+TEST(RequestSurfaceTest, RankedModeMatchesRecommend) {
+  auto engine = MakeEngine();
+  auto legacy = engine->Recommend({2, 4, 6}, 7);
+  ASSERT_TRUE(legacy.ok());
+
+  Request request;
+  request.symptoms = {2, 4, 6};
+  request.top_k = 7;
+  const Response response = engine->Handle(request);
+  ASSERT_TRUE(response.ok()) << response.message;
+  EXPECT_EQ(response.herb_ids, *legacy);
+  EXPECT_TRUE(response.scores.empty());
+}
+
+TEST(RequestSurfaceTest, SubmitShimMatchesSubmitRequest) {
+  auto engine = MakeEngine();
+  auto legacy = engine->Submit({3, 9}, 5).get();
+  ASSERT_TRUE(legacy.ok());
+
+  Request request;
+  request.symptoms = {3, 9};
+  request.top_k = 5;
+  const Response response = engine->SubmitRequest(std::move(request)).get();
+  ASSERT_TRUE(response.ok()) << response.message;
+  EXPECT_EQ(response.herb_ids, *legacy);
+  EXPECT_EQ(response.version, "v1");
+}
+
+TEST(RequestSurfaceTest, InvalidRequestsGetPerRequestErrors) {
+  auto engine = MakeEngine();
+  std::vector<Request> requests(3);
+  requests[0].symptoms = {1, 2};
+  requests[0].top_k = 5;
+  requests[1].symptoms = {};  // empty: invalid
+  requests[1].top_k = 5;
+  requests[2].symptoms = {999};  // out of range
+  requests[2].top_k = 5;
+  const auto responses = engine->HandleBatch(requests);
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[1].status, StatusCode::kInvalidArgument);
+  EXPECT_EQ(responses[2].status, StatusCode::kInvalidArgument);
+  EXPECT_FALSE(responses[2].message.empty());
+  // Errors are attributable: routing succeeded, so model/version are set.
+  EXPECT_EQ(responses[1].model, "test-ckpt");
+}
+
+TEST(RequestSurfaceTest, VersionPinGuardsAcrossSwaps) {
+  auto engine = MakeEngine();
+  Request pinned;
+  pinned.symptoms = {1, 2};
+  pinned.top_k = 5;
+  pinned.version = "v1";
+  EXPECT_TRUE(engine->Handle(pinned).ok());
+
+  ASSERT_TRUE(engine->Publish(MakeCheckpoint(), "v2").ok());
+  const Response stale = engine->Handle(pinned);
+  EXPECT_EQ(stale.status, StatusCode::kUnavailable);
+  EXPECT_NE(stale.message.find("v1"), std::string::npos);
+
+  pinned.version = "v2";
+  EXPECT_TRUE(engine->Handle(pinned).ok());
+
+  // Async path enforces the same guard.
+  pinned.version = "v1";
+  EXPECT_EQ(engine->SubmitRequest(pinned).get().status,
+            StatusCode::kUnavailable);
+
+  Request wrong_model = pinned;
+  wrong_model.version.clear();
+  wrong_model.model = "other-model";
+  EXPECT_EQ(engine->Handle(wrong_model).status, StatusCode::kUnavailable);
+}
+
+TEST(RequestSurfaceTest, AsyncRejectsDenseMode) {
+  auto engine = MakeEngine();
+  Request request;
+  request.symptoms = {1};
+  request.top_k = 0;
+  const Response response = engine->SubmitRequest(std::move(request)).get();
+  EXPECT_EQ(response.status, StatusCode::kInvalidArgument);
+  EXPECT_NE(response.message.find("synchronous"), std::string::npos);
+}
+
+TEST(RequestSurfaceTest, SyncDeadlineNeverReturnsLateOk) {
+  auto engine = MakeEngine();
+  Request request;
+  request.symptoms = {1, 2};
+  request.top_k = 5;
+  request.deadline_ms = 1e-7;  // sub-nanosecond budget: always exceeded
+  const Response response = engine->Handle(request);
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.herb_ids.empty());
+}
+
+TEST(RequestSurfaceTest, AsyncDeadlineExpiredBeforeBatchingIsSwept) {
+  ServingEngineOptions options;
+  options.max_wait_ms = 50.0;  // would hold the batch well past the budget
+  auto engine = MakeEngine(options);
+  Request request;
+  request.symptoms = {1, 2};
+  request.top_k = 5;
+  request.deadline_ms = 1e-7;
+  const Response response = engine->SubmitRequest(std::move(request)).get();
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.herb_ids.empty());
+}
+
+TEST(RequestSurfaceTest, FeasibleDeadlineIsServedNotShed) {
+  ServingEngineOptions options;
+  options.max_wait_ms = 5000.0;  // batcher would idle far past the budget...
+  auto engine = MakeEngine(options);
+  Request request;
+  request.symptoms = {1, 2};
+  request.top_k = 5;
+  request.deadline_ms = 500.0;  // ...but the deadline flushes it early
+  const auto start = std::chrono::steady_clock::now();
+  const Response response = engine->SubmitRequest(std::move(request)).get();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_TRUE(response.ok()) << response.message;
+  EXPECT_LT(waited, 2.0);  // answered within the budget, not max_wait
+}
+
+TEST(RequestSurfaceTest, FullQueueShedsWithSheddingStatus) {
+  ServingEngineOptions options;
+  options.max_batch_size = 64;
+  options.max_wait_ms = 400.0;  // hold the queue so the burst backs up
+  options.max_queue_depth = 2;
+  options.cache_capacity = 0;
+  auto engine = MakeEngine(options);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) {
+    Request request;
+    request.symptoms = {1, 2};
+    request.top_k = 5;
+    futures.push_back(engine->SubmitRequest(std::move(request)));
+  }
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (auto& f : futures) {
+    const Response response = f.get();
+    if (response.ok()) {
+      ++ok;
+    } else {
+      // Shedding, not a timeout and not a generic failure: clients must be
+      // able to tell "back off" from "broken".
+      ASSERT_EQ(response.status, StatusCode::kShedding) << response.message;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(shed, 8u);
+
+  // The legacy Submit shim rides the same bounded queue and reports the
+  // internal spelling of the same status.
+  auto legacy = engine->Submit({1, 2}, 5);
+  auto result = legacy.get();
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), smgcn::StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(RequestSurfaceTest, ShedRequestsCountInObsRegistry) {
+  ServingEngineOptions options;
+  options.max_batch_size = 64;
+  options.max_wait_ms = 300.0;
+  options.max_queue_depth = 1;
+  auto engine = MakeEngine(options);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    Request request;
+    request.symptoms = {1};
+    request.top_k = 3;
+    futures.push_back(engine->SubmitRequest(std::move(request)));
+  }
+  for (auto& f : futures) f.get();
+  const auto* shed = obs::Registry::Global().GetCounter(
+      engine->obs_prefix() + "shed");
+  EXPECT_EQ(shed->value(), 3u);
+}
+
+TEST(RequestSurfaceTest, DeprecatedShimsWarnAtMostOncePerEntryPoint) {
+  // LogWarningOnce keys are process-global, so earlier tests may already
+  // have consumed the single warning; what this asserts is the dedup: many
+  // calls never produce a second line per entry point.
+  std::vector<std::string> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& line) {
+    if (level == LogLevel::kWarning) captured.push_back(line);
+  });
+  auto engine = MakeEngine();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine->ScoreBatch({{1, 2}}).ok());
+    ASSERT_TRUE(engine->RecommendBatch({{1, 2}}, 5).ok());
+    ASSERT_TRUE(engine->Score({1, 2}).ok());
+    ASSERT_TRUE(engine->Recommend({1, 2}, 5).ok());
+    ASSERT_TRUE(engine->Submit({1, 2}, 5).get().ok());
+  }
+  SetLogSink(nullptr);
+  for (const char* key :
+       {"ServingEngine::ScoreBatch is deprecated",
+        "ServingEngine::RecommendBatch is deprecated",
+        "ServingEngine::Score is deprecated",
+        "ServingEngine::Recommend is deprecated",
+        "ServingEngine::Submit is deprecated"}) {
+    std::size_t count = 0;
+    for (const std::string& line : captured) {
+      if (line.find(key) != std::string::npos) ++count;
+    }
+    EXPECT_LE(count, 1u) << key;
+  }
+}
+
+TEST(RequestSurfaceTest, ShutdownDrainAnswersQueuedRequests) {
+  ServingEngineOptions options;
+  options.max_wait_ms = 200.0;
+  options.max_batch_size = 64;
+  auto engine = MakeEngine(options);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) {
+    Request request;
+    request.symptoms = {1, 2, 3};
+    request.top_k = 5;
+    futures.push_back(engine->SubmitRequest(std::move(request)));
+  }
+  engine->Shutdown();  // drain: everything admitted is answered
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  Request late;
+  late.symptoms = {1};
+  late.top_k = 5;
+  EXPECT_EQ(engine->SubmitRequest(std::move(late)).get().status,
+            StatusCode::kUnavailable);
 }
 
 }  // namespace
