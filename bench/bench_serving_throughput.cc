@@ -35,7 +35,7 @@ constexpr std::size_t kNumQueries = 4096;
 constexpr std::size_t kDistinctQueries = 512;  // repeats make cache hits
 constexpr std::size_t kTopK = 20;
 
-core::InferenceCheckpoint MakeCheckpoint() {
+core::InferenceCheckpoint MakeCheckpoint(bool with_herb_bipar = false) {
   Rng rng(20260806);
   core::InferenceCheckpoint ckpt;
   ckpt.model_name = "bench-smgcn";
@@ -46,6 +46,11 @@ core::InferenceCheckpoint MakeCheckpoint() {
   ckpt.has_si_mlp = true;
   ckpt.si_weight = tensor::Matrix::RandomNormal(kDim, kDim, 0.0, 0.3, &rng);
   ckpt.si_bias = tensor::Matrix::RandomNormal(1, kDim, 0.0, 0.3, &rng);
+  if (with_herb_bipar) {
+    ckpt.has_herb_bipar = true;
+    ckpt.herb_bipar =
+        tensor::Matrix::RandomNormal(kNumHerbs, kDim, 0.0, 0.3, &rng);
+  }
   return ckpt;
 }
 
@@ -255,6 +260,41 @@ bool Run() {
         SMGCN_CHECK_OK((*engine)->RecommendBatch(b, kTopK).status());
       }));
 
+  // Attribution overhead: the audit decomposition (src/audit) is opt-in per
+  // request, so the flag-off Request path is the number the pre-feature
+  // baseline is held against (within 2% at b=128; tracked in
+  // EXPERIMENTS.md), while the flag-on path pays the extra bipar split,
+  // per-symptom linearization and residual anchoring for every served herb.
+  // Measured as a paired pair on a bipar-carrying model so attribution does
+  // its full work.
+  {
+    auto attr_engine = serve::ServingEngine::Create(
+        MakeCheckpoint(/*with_herb_bipar=*/true), uncached);
+    SMGCN_CHECK_OK(attr_engine.status());
+    const auto handle_topk = [&](const std::vector<std::vector<int>>& b,
+                                 bool attribution) {
+      std::vector<serve::Request> reqs;
+      reqs.reserve(b.size());
+      for (const auto& q : b) {
+        serve::Request req;
+        req.symptoms = q;
+        req.top_k = kTopK;
+        req.attribution = attribution;
+        reqs.push_back(std::move(req));
+      }
+      for (const serve::Response& res : (*attr_engine)->HandleBatch(reqs)) {
+        SMGCN_CHECK(res.ok());
+        SMGCN_CHECK(!attribution || res.attribution.has_value());
+      }
+    };
+    std::vector<Measurement> pair = MeasureBatchedPaired(
+        {"topk_b128_attr_off", "topk_b128_attr_on"}, 128, queries,
+        {[&](const std::vector<std::vector<int>>& b) { handle_topk(b, false); },
+         [&](const std::vector<std::vector<int>>& b) { handle_topk(b, true); }});
+    results.push_back(pair[0]);
+    results.push_back(pair[1]);
+  }
+
   TablePrinter table(
       {"mode", "batch", "total_ms", "qps", "p50_ms", "p99_ms", "boost_vs_f64"});
   CsvWriter csv({"mode", "batch_size", "total_ms", "qps", "p50_ms", "p99_ms",
@@ -281,10 +321,15 @@ bool Run() {
               static_cast<unsigned long long>(cache_stats.misses),
               cache_stats.hit_rate() * 100.0);
 
+  std::printf("\nattribution overhead (b=128 top-k): off %.0f qps, on %.0f "
+              "qps (opt-in cost %.1f%%)\n",
+              results[13].qps, results[14].qps,
+              (results[13].qps / results[14].qps - 1.0) * 100.0);
+
   std::printf("\nShape checks (ISSUE 1 + ISSUE 7 + ISSUE 8 acceptance):\n");
   // Row map: 0 per_query, 1-3 f64 gemm b8/b32/b128, 4-6 f32 dispatched
   // b8/b32/b128, 7 f32 forced-scalar b128, 8-10 int8 dispatched b8/b32/b128,
-  // 11 int8 forced-scalar b128, 12 cached.
+  // 11 int8 forced-scalar b128, 12 cached, 13-14 top-k attribution off/on.
   bool ok = true;
   ok &= ShapeCheck("batched GEMM (b=8) beats the per-query loop on QPS",
                    results[1].qps, results[0].qps);
@@ -298,6 +343,15 @@ bool Run() {
                    results[10].qps, 4.0 * results[3].qps);
   ok &= ShapeCheck("cached serving beats the uncached batched path on QPS",
                    results[12].qps, results[3].qps);
+  // Attribution must stay pay-for-what-you-use: requests that don't ask for
+  // it ride the batched path at full speed (the flag-off number is held
+  // against the pre-feature baseline in EXPERIMENTS.md, within 2% at
+  // b=128). The flag-on path pays the per-herb linearization deliberately
+  // — it is an audit surface, priced per request — so it is reported above
+  // but not gated.
+  ok &= ShapeCheck("attribution-off top-k (b=128) beats the per-query loop "
+                   "on QPS",
+                   results[13].qps, results[0].qps);
   return ok;
 }
 

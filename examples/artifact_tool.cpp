@@ -43,6 +43,10 @@ int Make(const std::string& path, const std::string& version,
   ckpt.has_si_mlp = true;
   ckpt.si_weight = tensor::Matrix::RandomNormal(16, 16, 0.0, 0.5, &rng);
   ckpt.si_bias = tensor::Matrix::RandomNormal(1, 16, 0.0, 0.5, &rng);
+  // Pre-fusion Bipar-GCN herb component (format v4) so serving smoke tests
+  // can exercise score attribution against a tool-made artifact.
+  ckpt.has_herb_bipar = true;
+  ckpt.herb_bipar = tensor::Matrix::RandomNormal(40, 16, 0.0, 0.5, &rng);
   const Status saved = core::SaveArtifact(ckpt, version, path, precision);
   if (!saved.ok()) {
     std::fprintf(stderr, "make failed: %s\n", saved.ToString().c_str());
@@ -94,6 +98,7 @@ int Info(const std::string& path) {
   print_section("herb_embeddings", artifact->herb_embeddings());
   print_section("si_weight", artifact->si_weight());
   print_section("si_bias", artifact->si_bias());
+  print_section("herb_bipar", artifact->herb_bipar());
   // Full semantic validation (finite values etc.), not just checksums.
   auto checkpoint = artifact->ToCheckpoint();
   if (!checkpoint.ok()) {

@@ -3,17 +3,23 @@
 //
 // Usage:
 //   herb_recommender_cli [--model NAME] [--corpus FILE] [--topk K]
-//                        [--epochs N] [symptom names...]
+//                        [--epochs N] [--attribution] [symptom names...]
 //
 // Without symptom names, a few test prescriptions are scored instead.
+// --attribution prints each recommended herb's score decomposition
+// (Bipar-GCN vs. SGE synergy, and per-member-symptom contributions).
 // Examples:
 //   ./build/examples/herb_recommender_cli --model SMGCN symptom_3 symptom_17
 //   ./build/examples/herb_recommender_cli --model PinSage --topk 5
+//   ./build/examples/herb_recommender_cli --attribution symptom_3 symptom_17
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "src/audit/audit.h"
+#include "src/core/gnn_base.h"
 #include "src/core/registry.h"
 #include "src/data/corpus_io.h"
 #include "src/data/split.h"
@@ -29,6 +35,7 @@ struct Args {
   std::string corpus_path;  // empty = generate synthetic
   std::size_t topk = 10;
   std::size_t epochs = 25;
+  bool attribution = false;
   std::vector<std::string> symptoms;
 };
 
@@ -51,10 +58,13 @@ Args ParseArgs(int argc, char** argv) {
       args.topk = static_cast<std::size_t>(std::atoi(next().c_str()));
     } else if (arg == "--epochs") {
       args.epochs = static_cast<std::size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--attribution") {
+      args.attribution = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: herb_recommender_cli [--model NAME] [--corpus FILE]\n"
-          "                            [--topk K] [--epochs N] [symptoms...]\n"
+          "                            [--topk K] [--epochs N] "
+          "[--attribution] [symptoms...]\n"
           "models:");
       for (const auto& name : smgcn::core::RegisteredModelNames()) {
         std::printf(" '%s'", name.c_str());
@@ -131,6 +141,29 @@ int main(int argc, char** argv) {
   std::printf("test metrics: %s\n\n", report->ToString().c_str());
 
   // --- Query ---------------------------------------------------------------
+  // Attribution needs the model's inference checkpoint; only GNN-family
+  // models export one.
+  core::InferenceCheckpoint audit_ckpt;
+  bool have_audit_ckpt = false;
+  if (args.attribution) {
+    if (const auto* gnn =
+            dynamic_cast<const core::GnnRecommenderBase*>(model->get())) {
+      auto exported = gnn->ExportCheckpoint();
+      if (exported.ok()) {
+        audit_ckpt = *std::move(exported);
+        have_audit_ckpt = true;
+      } else {
+        std::fprintf(stderr, "attribution unavailable: %s\n",
+                     exported.status().ToString().c_str());
+      }
+    } else {
+      std::fprintf(stderr,
+                   "attribution unavailable: model '%s' exports no "
+                   "inference checkpoint\n",
+                   args.model.c_str());
+    }
+  }
+
   auto print_recommendation = [&](const std::vector<int>& symptom_ids) {
     auto top = (*model)->Recommend(symptom_ids, args.topk);
     SMGCN_CHECK_OK(top.status());
@@ -143,6 +176,37 @@ int main(int argc, char** argv) {
       std::printf(" %s", corpus.herb_vocab().Name(static_cast<int>(h)).c_str());
     }
     std::printf("\n");
+    if (!have_audit_ckpt) return;
+    // Canonical member list: sorted + deduplicated, same as serving.
+    std::vector<int> canonical = symptom_ids;
+    std::sort(canonical.begin(), canonical.end());
+    canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                    canonical.end());
+    auto attributed =
+        audit::AttributeFromCheckpoint(audit_ckpt, canonical, *top);
+    if (!attributed.ok()) {
+      std::fprintf(stderr, "  attribution failed: %s\n",
+                   attributed.status().ToString().c_str());
+      return;
+    }
+    std::printf("  attribution (score = bipar + synergy):\n");
+    for (const audit::HerbAttribution& herb : attributed->herbs) {
+      std::printf("    %-16s score=%+.5f", corpus.herb_vocab()
+                      .Name(static_cast<int>(herb.herb_id))
+                      .c_str(),
+                  herb.score);
+      if (herb.has_components) {
+        std::printf("  bipar=%+.5f synergy=%+.5f", herb.bipar, herb.synergy);
+      }
+      std::printf("\n      per-symptom:");
+      for (std::size_t i = 0; i < herb.per_symptom.size(); ++i) {
+        std::printf(
+            " %s=%+.4f",
+            corpus.symptom_vocab().Name(attributed->symptom_ids[i]).c_str(),
+            herb.per_symptom[i]);
+      }
+      std::printf(" bias=%+.4f\n", herb.pool_bias);
+    }
   };
 
   if (!args.symptoms.empty()) {

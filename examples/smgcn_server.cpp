@@ -45,6 +45,10 @@ smgcn::core::InferenceCheckpoint DemoCheckpoint() {
   ckpt.has_si_mlp = true;
   ckpt.si_weight = Matrix::RandomNormal(8, 8, 0.0, 0.5, &rng);
   ckpt.si_bias = Matrix::RandomNormal(1, 8, 0.0, 0.5, &rng);
+  // Pre-fusion Bipar-GCN herb table so /v1/recommend?attribution=1 returns
+  // real bipar/synergy components on the demo model.
+  ckpt.has_herb_bipar = true;
+  ckpt.herb_bipar = Matrix::RandomNormal(40, 8, 0.0, 0.5, &rng);
   return ckpt;
 }
 

@@ -1,0 +1,164 @@
+#include "src/audit/audit.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/tensor/matrix.h"
+#include "src/util/string_util.h"
+
+namespace smgcn {
+namespace audit {
+
+double ExactResidual(double target, double partial, bool* exact) {
+  if (exact != nullptr) *exact = true;
+  const double r = target - partial;
+  if (partial + r == target) return r;
+  // fl(target - partial) missed by at most a few ulps of r; walk candidates
+  // outward until partial + candidate rounds onto the target. The walk
+  // fails when no exact residual exists at all: either ulp(r) exceeds the
+  // target's rounding interval (cancellation put |target| binades below
+  // |r|, so candidates step over it), or the exact sums carry a half-ulp
+  // sub-residue and ties-to-even pins every candidate on the even neighbor
+  // of an odd-mantissa target.
+  double up = r;
+  double down = r;
+  constexpr int kMaxNudges = 16;
+  for (int i = 0; i < kMaxNudges; ++i) {
+    up = std::nextafter(up, std::numeric_limits<double>::infinity());
+    if (partial + up == target) return up;
+    down = std::nextafter(down, -std::numeric_limits<double>::infinity());
+    if (partial + down == target) return down;
+  }
+  if (exact != nullptr) *exact = false;
+  return r;
+}
+
+double ReconstructPooled(const HerbAttribution& herb) {
+  double sum = 0.0;
+  for (double contribution : herb.per_symptom) sum += contribution;
+  sum += herb.pool_bias;
+  return sum + herb.pool_residual;
+}
+
+Result<QueryAttribution> AttributeFromCheckpoint(
+    const core::InferenceCheckpoint& checkpoint,
+    const std::vector<int>& symptom_ids,
+    const std::vector<std::size_t>& herb_ids) {
+  RETURN_IF_ERROR(checkpoint.Validate());
+  if (symptom_ids.empty()) {
+    return Status::InvalidArgument("symptom set must be non-empty");
+  }
+  const tensor::Matrix& es = checkpoint.symptom_embeddings;
+  const tensor::Matrix& eh = checkpoint.herb_embeddings;
+  const std::size_t d = es.cols();
+  for (int s : symptom_ids) {
+    if (s < 0 || static_cast<std::size_t>(s) >= es.rows()) {
+      return Status::InvalidArgument(
+          StrFormat("symptom id %d outside checkpoint", s));
+    }
+  }
+  for (std::size_t j : herb_ids) {
+    if (j >= eh.rows()) {
+      return Status::InvalidArgument(
+          StrFormat("herb id %zu outside checkpoint", j));
+    }
+  }
+
+  // Pool exactly as the reference scorer does: sum the member rows, then
+  // scale elementwise (sum-then-scale, ascending member order).
+  std::vector<double> pooled(d, 0.0);
+  for (int s : symptom_ids) {
+    const double* row = es.row_data(static_cast<std::size_t>(s));
+    for (std::size_t c = 0; c < d; ++c) pooled[c] += row[c];
+  }
+  const double inv = 1.0 / static_cast<double>(symptom_ids.size());
+  for (std::size_t c = 0; c < d; ++c) pooled[c] *= inv;
+
+  // act = ReLU(pooled W + b) (eq. 12); ascending-k accumulation from zero
+  // per element, the same per-element sum as Matrix::MatMul.
+  std::vector<double> act = pooled;
+  if (checkpoint.has_si_mlp) {
+    const tensor::Matrix& w = checkpoint.si_weight;
+    const double* bias = checkpoint.si_bias.row_data(0);
+    std::vector<double> hidden(d, 0.0);
+    const bool skip_zeros = w.AllFinite();  // mirror Matrix::MatMul exactly
+    for (std::size_t k = 0; k < d; ++k) {
+      const double a = pooled[k];
+      if (a == 0.0 && skip_zeros) continue;
+      const double* w_row = w.row_data(k);
+      for (std::size_t c = 0; c < d; ++c) hidden[c] += a * w_row[c];
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      hidden[c] += bias[c];
+      if (hidden[c] < 0.0) hidden[c] = 0.0;
+    }
+    act = std::move(hidden);
+  }
+
+  QueryAttribution attribution;
+  attribution.symptom_ids = symptom_ids;
+  attribution.herbs.reserve(herb_ids.size());
+  std::vector<double> gated(d);  // v_c = g_c * e*_h[c], reused per herb
+  std::vector<double> w_vec(d);  // W v (or v itself without the MLP)
+  for (std::size_t j : herb_ids) {
+    HerbAttribution herb;
+    herb.herb_id = j;
+    const double* h_row = eh.row_data(j);
+    double score = 0.0;
+    for (std::size_t c = 0; c < d; ++c) score += act[c] * h_row[c];
+    herb.score = score;
+
+    herb.has_components = checkpoint.has_herb_bipar;
+    if (herb.has_components) {
+      const double* b_row = checkpoint.herb_bipar.row_data(j);
+      double bipar = 0.0;
+      for (std::size_t c = 0; c < d; ++c) bipar += act[c] * b_row[c];
+      herb.bipar = bipar;
+      herb.synergy = ExactResidual(score, bipar, &herb.exact);
+    } else {
+      herb.bipar = score;
+      herb.synergy = 0.0;
+    }
+
+    // Pooling axis: with the served gates frozen, the score is linear in
+    // the pooled vector — score = pooled . (W v) + b . v with
+    // v_c = g_c e*_h[c] — and the mean pool distributes that dot over the
+    // member symptoms.
+    double pool_bias = 0.0;
+    if (checkpoint.has_si_mlp) {
+      for (std::size_t c = 0; c < d; ++c) {
+        gated[c] = act[c] > 0.0 ? h_row[c] : 0.0;
+      }
+      const tensor::Matrix& w = checkpoint.si_weight;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double* w_row = w.row_data(k);
+        double acc = 0.0;
+        for (std::size_t c = 0; c < d; ++c) acc += w_row[c] * gated[c];
+        w_vec[k] = acc;
+      }
+      const double* bias = checkpoint.si_bias.row_data(0);
+      for (std::size_t c = 0; c < d; ++c) pool_bias += bias[c] * gated[c];
+    } else {
+      for (std::size_t c = 0; c < d; ++c) w_vec[c] = h_row[c];
+    }
+    herb.pool_bias = pool_bias;
+    herb.per_symptom.reserve(symptom_ids.size());
+    for (int s : symptom_ids) {
+      const double* s_row = es.row_data(static_cast<std::size_t>(s));
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += s_row[k] * w_vec[k];
+      herb.per_symptom.push_back(inv * dot);
+    }
+    double fold = 0.0;
+    for (double contribution : herb.per_symptom) fold += contribution;
+    fold += pool_bias;
+    bool pool_exact = true;
+    herb.pool_residual = ExactResidual(score, fold, &pool_exact);
+    herb.exact = herb.exact && pool_exact;
+    attribution.herbs.push_back(std::move(herb));
+  }
+  return attribution;
+}
+
+}  // namespace audit
+}  // namespace smgcn

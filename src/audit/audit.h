@@ -1,0 +1,113 @@
+// Per-query score attribution: why did this query score this herb this much?
+//
+// The paper's prediction layer makes every served score exactly
+// decomposable along two independent axes:
+//
+//   * Fusion axis (eq. 11): the fused herb embedding is additive,
+//     e*_h = b_h + r_h (Bipar-GCN + SGE synergy), so
+//     score = act . e*_h = act . b_h + act . r_h splits into a `bipar`
+//     and a `synergy` term.
+//   * Pooling axis (eq. 12): the syndrome representation is a mean over
+//     the query's symptom rows, and ReLU is linear on its active units.
+//     Freezing the activation gates g_c = [act_c > 0] of the *served*
+//     activation turns the MLP into an exact linear map for this query,
+//     so the score splits into one contribution per member symptom plus
+//     a bias term routed through the same gates.
+//
+// Both decompositions are anchored to the double that was actually served:
+// the secondary term of each split is defined as an *exact residual*
+// against the served score (ExactResidual below), so
+//
+//   score == bipar + synergy                        (bit-exact)
+//   score == fold(per_symptom) + pool_bias + pool_residual   (bit-exact)
+//
+// hold at every serving precision whenever the per-herb `exact` flag is
+// true — the overwhelming majority; when double arithmetic admits no exact
+// residual at all (see ExactResidual) the flag is false and both
+// reconstructions are within 1 ulp of the served score. At f64 the residuals are the genuine
+// algebraic terms (synergy == act . r_h up to one rounding); at f32/int8
+// the attribution terms are computed in double over the reduced-precision
+// tables and the residuals additionally absorb the quantization error —
+// their magnitude is the documented tolerance (docs/API_TOUR.md).
+//
+// This header is serving-layer-agnostic: AttributeFromCheckpoint is the
+// f64 reference implementation over an InferenceCheckpoint (bit-identical
+// to the f64 serving path — both accumulate ascending-k from zero);
+// serve::EmbeddingStore::Attribute is the production implementation for
+// all three precisions.
+#ifndef SMGCN_AUDIT_AUDIT_H_
+#define SMGCN_AUDIT_AUDIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/checkpoint.h"
+#include "src/util/status.h"
+
+namespace smgcn {
+namespace audit {
+
+/// One recommended herb's score, decomposed.
+struct HerbAttribution {
+  std::size_t herb_id = 0;
+  /// The served score (the exact double the ranking saw).
+  double score = 0.0;
+  /// Bipar-GCN term: act . b_h when the model exported its pre-fusion herb
+  /// component; the whole score when it did not (has_components == false).
+  double bipar = 0.0;
+  /// SGE synergy term, defined as ExactResidual(score, bipar) so
+  /// bipar + synergy == score bit-exactly; 0 when has_components is false.
+  double synergy = 0.0;
+  /// True when the model carries the pre-fusion Bipar-GCN herb table
+  /// (checkpoint herb_bipar / artifact section 5).
+  bool has_components = false;
+  /// False only when ExactResidual could not land on the served score
+  /// within its nudge budget (pathological magnitude gap); the residuals
+  /// are then the nearest representable values.
+  bool exact = true;
+  /// Per-member-symptom contributions through the gated SI mean-pool,
+  /// parallel to QueryAttribution::symptom_ids.
+  std::vector<double> per_symptom;
+  /// SI bias routed through this herb's activation gates (0 without MLP).
+  double pool_bias = 0.0;
+  /// ExactResidual(score, fold(per_symptom) + pool_bias): rounding (f64)
+  /// plus quantization error (f32/int8) of the pooling decomposition.
+  double pool_residual = 0.0;
+};
+
+/// Attribution for one query: the canonical symptom set and one
+/// HerbAttribution per recommended herb, in served rank order.
+struct QueryAttribution {
+  std::vector<int> symptom_ids;
+  std::vector<HerbAttribution> herbs;
+};
+
+/// Returns r such that `partial + r == target` in double arithmetic,
+/// starting from fl(target - partial) and nudging a bounded number of ulps
+/// in either direction. Sets *exact (when non-null) to false when no such
+/// r exists — under cancellation (|target| binades below |partial|, so the
+/// residual's ulp grid steps over it) or when a half-ulp sub-residue makes
+/// round-ties-to-even land every candidate on the even neighbor of an
+/// odd-mantissa target — and then returns the nearest candidate, off by at
+/// most 1 ulp of the larger operand. Decomposition-shaped pairs land
+/// exactly in the overwhelming majority; consumers must honor the flag.
+double ExactResidual(double target, double partial, bool* exact);
+
+/// The pooling-axis reconstruction fold: per_symptom summed in index
+/// order, then pool_bias, then pool_residual. Equals `score` bit-exactly
+/// whenever `exact` is true.
+double ReconstructPooled(const HerbAttribution& herb);
+
+/// f64 reference attribution over a checkpoint. `symptom_ids` must be the
+/// canonical (validated) member list — its order defines per_symptom — and
+/// `herb_ids` the herbs to decompose (typically the served top-k, in rank
+/// order). Scores reproduce CheckpointRecommender::Score bit-exactly.
+Result<QueryAttribution> AttributeFromCheckpoint(
+    const core::InferenceCheckpoint& checkpoint,
+    const std::vector<int>& symptom_ids,
+    const std::vector<std::size_t>& herb_ids);
+
+}  // namespace audit
+}  // namespace smgcn
+
+#endif  // SMGCN_AUDIT_AUDIT_H_

@@ -30,6 +30,7 @@ enum SectionKind : std::uint32_t {
   kHerbEmbeddings = 2,
   kSiWeight = 3,
   kSiBias = 4,
+  kHerbBipar = 5,  // v4: pre-fusion Bipar-GCN herb component (attribution)
 };
 
 const char* SectionKindName(std::uint32_t kind) {
@@ -38,6 +39,7 @@ const char* SectionKindName(std::uint32_t kind) {
     case kHerbEmbeddings: return "herb_embeddings";
     case kSiWeight: return "si_weight";
     case kSiBias: return "si_bias";
+    case kHerbBipar: return "herb_bipar";
     default: return "unknown";
   }
 }
@@ -55,7 +57,7 @@ struct ArtifactHeader {
   char magic[8];
   std::uint32_t format_version;
   std::uint32_t endian_tag;
-  std::uint32_t flags;  // bit 0: has SI MLP
+  std::uint32_t flags;  // bit 0: has SI MLP; bit 1 (v4): has herb bipar
   std::uint32_t section_count;
   std::uint32_t name_len;
   std::uint32_t version_len;
@@ -159,6 +161,9 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
     sections.push_back({kSiWeight, &checkpoint.si_weight});
     sections.push_back({kSiBias, &checkpoint.si_bias});
   }
+  if (checkpoint.has_herb_bipar) {
+    sections.push_back({kHerbBipar, &checkpoint.herb_bipar});
+  }
 
   // For an f32 artifact the payloads are the checkpoint's doubles narrowed
   // once here (static_cast<float> = round-to-nearest-even); for int8 they
@@ -190,7 +195,8 @@ Status SaveArtifact(const InferenceCheckpoint& checkpoint,
   std::memcpy(header.magic, kArtifactMagic, sizeof(kArtifactMagic));
   header.format_version = kArtifactFormatVersion;
   header.endian_tag = kEndianTag;
-  header.flags = checkpoint.has_si_mlp ? 1u : 0u;
+  header.flags = (checkpoint.has_si_mlp ? 1u : 0u) |
+                 (checkpoint.has_herb_bipar ? 2u : 0u);
   header.section_count = static_cast<std::uint32_t>(sections.size());
   header.name_len = static_cast<std::uint32_t>(name.size());
   header.version_len = static_cast<std::uint32_t>(model_version.size());
@@ -290,6 +296,7 @@ MappedArtifact& MappedArtifact::operator=(MappedArtifact&& other) noexcept {
   herbs_ = other.herbs_;
   si_weight_ = other.si_weight_;
   si_bias_ = other.si_bias_;
+  herb_bipar_ = other.herb_bipar_;
   other.map_base_ = nullptr;
   other.data_ = nullptr;
   other.size_ = 0;
@@ -402,20 +409,30 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
       header.header_checksum) {
     return Status::InvalidArgument("artifact header checksum mismatch: " + path);
   }
-  const bool has_si = (header.flags & 1u) != 0;
-  const std::uint32_t expected_sections = has_si ? 4 : 2;
-  if (header.section_count != expected_sections) {
+  if ((header.flags & ~3u) != 0) {
     return Status::InvalidArgument(StrFormat(
-        "artifact section count %u does not match SI flag (expected %u)",
-        header.section_count, expected_sections));
+        "artifact header carries unknown flag bits 0x%x", header.flags));
+  }
+  const bool has_si = (header.flags & 1u) != 0;
+  const bool has_bipar = (header.flags & 2u) != 0;
+  // The section sequence is fully determined by the flag bits.
+  std::vector<std::uint32_t> expected_kind = {kSymptomEmbeddings,
+                                              kHerbEmbeddings};
+  if (has_si) {
+    expected_kind.push_back(kSiWeight);
+    expected_kind.push_back(kSiBias);
+  }
+  if (has_bipar) expected_kind.push_back(kHerbBipar);
+  if (header.section_count != expected_kind.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "artifact section count %u does not match header flags (expected %zu)",
+        header.section_count, expected_kind.size()));
   }
 
   const std::size_t table_offset = AlignUp(strings_end);
   if (table_offset + header.section_count * sizeof(SectionHeader) > size) {
     return Status::InvalidArgument("artifact section table overruns file");
   }
-  const std::uint32_t expected_kind[4] = {kSymptomEmbeddings, kHerbEmbeddings,
-                                          kSiWeight, kSiBias};
   std::uint32_t artifact_dtype = kDtypeFloat64;
   for (std::uint32_t i = 0; i < header.section_count; ++i) {
     SectionHeader s;
@@ -511,6 +528,7 @@ Result<MappedArtifact> MappedArtifact::Open(const std::string& path) {
       case kHerbEmbeddings: artifact.herbs_ = view; break;
       case kSiWeight: artifact.si_weight_ = view; break;
       case kSiBias: artifact.si_bias_ = view; break;
+      case kHerbBipar: artifact.herb_bipar_ = view; break;
     }
   }
   artifact.precision_ =
@@ -549,6 +567,10 @@ Result<InferenceCheckpoint> MappedArtifact::ToCheckpoint() const {
   if (checkpoint.has_si_mlp) {
     checkpoint.si_weight = copy_section(si_weight_);
     checkpoint.si_bias = copy_section(si_bias_);
+  }
+  checkpoint.has_herb_bipar = has_herb_bipar();
+  if (checkpoint.has_herb_bipar) {
+    checkpoint.herb_bipar = copy_section(herb_bipar_);
   }
   RETURN_IF_ERROR(checkpoint.Validate());
   return checkpoint;

@@ -70,7 +70,9 @@ namespace core {
 /// v2: per-section dtype (f64/f32) in the previously-reserved word.
 /// v3: dtype 2 (int8) with per-row f32 scale vectors; the section header's
 ///     previously-zero pad now holds scale_offset/scale_bytes.
-inline constexpr std::uint32_t kArtifactFormatVersion = 3;
+/// v4: optional herb Bipar-GCN component section (kind 5, header flags
+///     bit 1) carrying the pre-fusion b_h matrix for score attribution.
+inline constexpr std::uint32_t kArtifactFormatVersion = 4;
 
 /// FNV-1a 64-bit over a byte range; the per-section checksum function.
 std::uint64_t ArtifactChecksum(const void* data, std::size_t bytes);
@@ -116,6 +118,9 @@ class MappedArtifact {
   /// Storage dtype shared by every section (Open rejects mixed artifacts).
   tensor::Precision precision() const { return precision_; }
   bool has_si_mlp() const { return si_weight_.rows > 0; }
+  /// True when the artifact carries the pre-fusion herb Bipar-GCN
+  /// component (header flags bit 1), enabling score attribution.
+  bool has_herb_bipar() const { return herb_bipar_.rows > 0; }
   /// True when the file was mmap'd (false on the buffered-read fallback).
   bool memory_mapped() const { return map_base_ != nullptr; }
   std::size_t file_bytes() const { return size_; }
@@ -142,6 +147,8 @@ class MappedArtifact {
   /// Zero-size views when the model has no SI MLP.
   SectionView si_weight() const { return si_weight_; }
   SectionView si_bias() const { return si_bias_; }
+  /// Zero-size view when the artifact has no herb Bipar-GCN component.
+  SectionView herb_bipar() const { return herb_bipar_; }
 
   /// Copies the sections into a heap-backed InferenceCheckpoint (one memcpy
   /// per f64 matrix, an exact f32→f64 widening loop for f32, an exact
@@ -169,6 +176,7 @@ class MappedArtifact {
   SectionView herbs_;
   SectionView si_weight_;
   SectionView si_bias_;
+  SectionView herb_bipar_;
 };
 
 }  // namespace core

@@ -12,6 +12,10 @@ namespace core {
 namespace {
 constexpr char kStoreMagic[] = "smgcn-parameter-store v1";
 constexpr char kCheckpointMagic[] = "smgcn-inference-checkpoint v1";
+// v2 adds an optional pre-fusion herb component section. The writer only
+// emits the v2 header when the component is present, so checkpoints without
+// it keep loading under pre-v2 readers.
+constexpr char kCheckpointMagicV2[] = "smgcn-inference-checkpoint v2";
 
 Result<std::string> ReadFileToString(const std::string& path) {
   std::ifstream file(path);
@@ -131,6 +135,17 @@ Status InferenceCheckpoint::Validate() const {
       return Status::InvalidArgument("SI bias must be 1 x d");
     }
   }
+  if (has_herb_bipar) {
+    if (herb_bipar.rows() != herb_embeddings.rows() ||
+        herb_bipar.cols() != herb_embeddings.cols()) {
+      return Status::InvalidArgument(
+          "herb bipar component must match the herb embedding shape");
+    }
+    if (!herb_bipar.AllFinite()) {
+      return Status::InvalidArgument(
+          "herb bipar component contains non-finite values");
+    }
+  }
   if (!symptom_embeddings.AllFinite() || !herb_embeddings.AllFinite()) {
     return Status::InvalidArgument("checkpoint contains non-finite values");
   }
@@ -140,16 +155,23 @@ Status InferenceCheckpoint::Validate() const {
 Status SaveInferenceCheckpoint(const InferenceCheckpoint& checkpoint,
                                const std::string& path) {
   RETURN_IF_ERROR(checkpoint.Validate());
-  std::string out(kCheckpointMagic);
+  // v1 layout unless the optional herb-bipar section forces the v2 header;
+  // a component-free checkpoint stays readable by pre-v2 loaders.
+  std::string out(checkpoint.has_herb_bipar ? kCheckpointMagicV2
+                                            : kCheckpointMagic);
   out += '\n';
   out += checkpoint.model_name.empty() ? "unnamed" : checkpoint.model_name;
   out += '\n';
   out += checkpoint.has_si_mlp ? "si 1\n" : "si 0\n";
+  if (checkpoint.has_herb_bipar) out += "herb_bipar 1\n";
   out += tensor::SerializeMatrix(checkpoint.symptom_embeddings);
   out += tensor::SerializeMatrix(checkpoint.herb_embeddings);
   if (checkpoint.has_si_mlp) {
     out += tensor::SerializeMatrix(checkpoint.si_weight);
     out += tensor::SerializeMatrix(checkpoint.si_bias);
+  }
+  if (checkpoint.has_herb_bipar) {
+    out += tensor::SerializeMatrix(checkpoint.herb_bipar);
   }
   return WriteStringToFile(out, path);
 }
@@ -261,11 +283,13 @@ Result<InferenceCheckpoint> LoadInferenceCheckpoint(const std::string& path) {
   ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
   LineReader reader(content);
   std::string line;
-  if (!reader.Next(&line) || line != kCheckpointMagic) {
+  if (!reader.Next(&line) ||
+      (line != kCheckpointMagic && line != kCheckpointMagicV2)) {
     return Status::InvalidArgument(StrFormat(
-        "%s: line 1 is not the inference-checkpoint header '%s'",
-        path.c_str(), kCheckpointMagic));
+        "%s: line 1 is not the inference-checkpoint header '%s' (or '%s')",
+        path.c_str(), kCheckpointMagic, kCheckpointMagicV2));
   }
+  const bool v2 = line == kCheckpointMagicV2;
   InferenceCheckpoint checkpoint;
   if (!reader.Next(&checkpoint.model_name) ||
       StripAsciiWhitespace(checkpoint.model_name).empty()) {
@@ -278,6 +302,16 @@ Result<InferenceCheckpoint> LoadInferenceCheckpoint(const std::string& path) {
         reader.line_number(), line.c_str()));
   }
   checkpoint.has_si_mlp = line == "si 1";
+  if (v2) {
+    if (!reader.Next(&line) ||
+        (line != "herb_bipar 0" && line != "herb_bipar 1")) {
+      return Status::InvalidArgument(StrFormat(
+          "line %zu: expected component flag line 'herb_bipar 0' or "
+          "'herb_bipar 1', found '%.60s'",
+          reader.line_number(), line.c_str()));
+    }
+    checkpoint.has_herb_bipar = line == "herb_bipar 1";
+  }
 
   ASSIGN_OR_RETURN(checkpoint.symptom_embeddings,
                    ReadMatrixSection(&reader, "symptom embeddings"));
@@ -290,6 +324,11 @@ Result<InferenceCheckpoint> LoadInferenceCheckpoint(const std::string& path) {
     ASSIGN_OR_RETURN(checkpoint.si_bias,
                      ReadMatrixSection(&reader, "SI bias"));
     last_section = "SI bias";
+  }
+  if (checkpoint.has_herb_bipar) {
+    ASSIGN_OR_RETURN(checkpoint.herb_bipar,
+                     ReadMatrixSection(&reader, "herb bipar component"));
+    last_section = "herb bipar component";
   }
   while (reader.Next(&line)) {
     if (!StripAsciiWhitespace(line).empty()) {

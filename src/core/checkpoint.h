@@ -41,6 +41,14 @@ struct InferenceCheckpoint {
   bool has_si_mlp = false;
   tensor::Matrix si_weight;  // d x d
   tensor::Matrix si_bias;    // 1 x d
+  /// Optional pre-fusion Bipar-GCN herb component b_h (num_herbs x d).
+  /// Additive-fusion models (e*_h = b_h + r_h, eq. 11) export it so serving
+  /// can attribute each score into Bipar vs SGE-synergy terms
+  /// (src/audit/audit.h); absent for models without SGE or with
+  /// non-additive fusion. Text checkpoints carrying it use the v2 header;
+  /// without it the v1 layout is written unchanged.
+  bool has_herb_bipar = false;
+  tensor::Matrix herb_bipar;  // num_herbs x d
 
   /// Shape consistency check.
   Status Validate() const;

@@ -149,6 +149,11 @@ Result<InferenceCheckpoint> GnnRecommenderBase::ExportCheckpoint() const {
     checkpoint.si_weight = weight->value();
     checkpoint.si_bias = bias->value();
   }
+  if (std::optional<tensor::Matrix> bipar = HerbBiparComponent();
+      bipar.has_value()) {
+    checkpoint.has_herb_bipar = true;
+    checkpoint.herb_bipar = *std::move(bipar);
+  }
   RETURN_IF_ERROR(checkpoint.Validate());
   return checkpoint;
 }

@@ -64,6 +64,14 @@ class GnnRecommenderBase : public HerbRecommender {
   /// average pooling. Defaults to model_config().use_si_mlp.
   virtual bool UsesSiMlp() const { return model_config_.use_si_mlp; }
 
+  /// Optional pre-fusion Bipar-GCN herb component b_h matching the final
+  /// herb embeddings (e*_h = b_h + r_h). Additive-fusion subclasses capture
+  /// it on their final inference pass so ExportCheckpoint can ship it for
+  /// score attribution (src/audit/audit.h). Default: none.
+  virtual std::optional<tensor::Matrix> HerbBiparComponent() const {
+    return std::nullopt;
+  }
+
   // --- State available to subclasses -------------------------------------
   nn::ParameterStore& store() { return store_; }
   Rng* dropout_rng() { return &dropout_rng_; }

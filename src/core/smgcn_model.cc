@@ -114,8 +114,23 @@ std::pair<Variable, Variable> SmgcnModel::ComputeEmbeddings(bool training) {
   const graph::CsrMatrix& hh = sum_agg ? hh_adj() : hh_norm();
   Variable rs = autograd::Tanh(autograd::SpMM(ss, autograd::MatMul(symptom_emb_, v_s_)));
   Variable rh = autograd::Tanh(autograd::SpMM(hh, autograd::MatMul(herb_emb_, v_h_)));
+  if (!training && cfg.fusion == FusionKind::kAdd) {
+    // Capture the pre-fusion herb component on inference passes; Fit's
+    // final full-graph pass runs last, so the retained copy matches the
+    // exported embeddings (e*_h = b_h + r_h) exactly.
+    herb_bipar_capture_ = bh->value();
+  }
   // Fusion (eq. 11: addition; attention is the future-work extension).
   return {Fuse(bs, rs, att_w_s_, att_z_s_), Fuse(bh, rh, att_w_h_, att_z_h_)};
+}
+
+std::optional<tensor::Matrix> SmgcnModel::HerbBiparComponent() const {
+  const ModelConfig& cfg = model_config();
+  if (!trained() || !cfg.use_sge || cfg.fusion != FusionKind::kAdd ||
+      herb_bipar_capture_.empty()) {
+    return std::nullopt;
+  }
+  return herb_bipar_capture_;
 }
 
 }  // namespace core

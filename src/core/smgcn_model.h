@@ -41,6 +41,11 @@ class SmgcnModel : public GnnRecommenderBase {
   Status BuildParameters(Rng* rng) override;
   std::pair<autograd::Variable, autograd::Variable> ComputeEmbeddings(
       bool training) override;
+  /// The pre-fusion Bipar-GCN herb output of the final inference pass,
+  /// exported for score attribution. Present only for additive fusion
+  /// (e*_h = b_h + r_h holds exactly); attention fusion mixes channels
+  /// per node, so its components are not additive and stay unexported.
+  std::optional<tensor::Matrix> HerbBiparComponent() const override;
 
  private:
   /// Merges b (Bipar-GCN) and r (SGE) per the configured FusionKind, using
@@ -56,6 +61,10 @@ class SmgcnModel : public GnnRecommenderBase {
   autograd::Variable v_s_, v_h_;               // SGE transforms
   autograd::Variable att_w_s_, att_z_s_;       // attention fusion (symptom)
   autograd::Variable att_w_h_, att_z_h_;       // attention fusion (herb)
+  /// Pre-fusion b_h of the most recent inference pass (additive fusion
+  /// only). Fit's final full-graph pass runs last, so after training this
+  /// matches herb_embeddings() == b_h + r_h.
+  tensor::Matrix herb_bipar_capture_;
 };
 
 }  // namespace core

@@ -36,14 +36,15 @@ Result<serve::Response> Client::Receive() {
   RETURN_IF_ERROR(
       ReadExact(fd_.get(), header, sizeof(header), options_.timeout_ms));
   std::uint32_t payload_len = 0;
+  std::uint8_t version = 0;
   RETURN_IF_ERROR(
-      wire::DecodeHeader(header, wire::kResponseMagic, &payload_len));
+      wire::DecodeHeader(header, wire::kResponseMagic, &payload_len, &version));
   std::vector<std::uint8_t> payload(payload_len);
   if (payload_len > 0) {
     RETURN_IF_ERROR(ReadExact(fd_.get(), payload.data(), payload.size(),
                               options_.timeout_ms));
   }
-  return wire::DecodeResponsePayload(payload.data(), payload.size());
+  return wire::DecodeResponsePayload(payload.data(), payload.size(), version);
 }
 
 Result<serve::Response> Client::Call(const serve::Request& request) {
@@ -85,6 +86,7 @@ Result<HttpResult> HttpGet(const std::string& host, std::uint16_t port,
   }
   HttpResult result;
   result.status = std::atoi(raw.c_str() + sp + 1);
+  result.head = raw.substr(0, head_end);
   result.body = raw.substr(head_end + 4);
   return result;
 }

@@ -65,6 +65,7 @@ class Client {
 /// A one-shot HTTP GET (new connection per call; Connection: close).
 struct HttpResult {
   int status = 0;
+  std::string head;  // raw status line + response headers
   std::string body;
 };
 Result<HttpResult> HttpGet(const std::string& host, std::uint16_t port,

@@ -71,7 +71,8 @@ Result<Request> ParseRequest(const std::string& head) {
       start = amp + 1;
     }
   }
-  // Headers: only Connection matters to this server.
+  // Headers are retained (lowercased names) so endpoints can read e.g.
+  // X-Request-Id; Connection is interpreted here.
   std::size_t cursor = line_end + 2;
   while (cursor < head.size()) {
     std::size_t next = head.find("\r\n", cursor);
@@ -87,6 +88,7 @@ Result<Request> ParseRequest(const std::string& head) {
     if (name == "connection" && ToLower(value) == "close") {
       request.keep_alive = false;
     }
+    request.headers[name] = std::move(value);
   }
   return request;
 }
@@ -113,11 +115,21 @@ const char* ReasonPhrase(int status) {
 
 std::string FormatResponse(int status, const std::string& content_type,
                            const std::string& body, bool keep_alive) {
+  return FormatResponse(status, content_type, body, keep_alive, {});
+}
+
+std::string FormatResponse(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out = StrFormat("HTTP/1.1 %d %s\r\n", status,
                               ReasonPhrase(status));
   out += "Content-Type: " + content_type + "\r\n";
   out += StrFormat("Content-Length: %zu\r\n", body.size());
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& header : extra_headers) {
+    out += header.first + ": " + header.second + "\r\n";
+  }
   out += "\r\n";
   out += body;
   return out;

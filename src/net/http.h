@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/status.h"
@@ -28,6 +29,9 @@ struct Request {
   /// verbatim (no percent-decoding) except '+' meaning space is NOT
   /// applied — ids and numbers, the only values used, need neither.
   std::map<std::string, std::string> query;
+  /// Request headers, names lowercased, values with leading spaces
+  /// stripped; last-wins on duplicates.
+  std::map<std::string, std::string> headers;
   bool keep_alive = true;  // HTTP/1.1 default, "Connection: close" honoured
 };
 
@@ -39,6 +43,13 @@ Result<Request> ParseRequest(const std::string& head);
 /// `keep_alive` emits the matching Connection header.
 std::string FormatResponse(int status, const std::string& content_type,
                            const std::string& body, bool keep_alive);
+
+/// As above, with extra response headers appended verbatim (each pair
+/// rendered as "name: value"). Used to echo X-Request-Id.
+std::string FormatResponse(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers);
 
 /// The reason phrase for the status codes this server emits.
 const char* ReasonPhrase(int status);

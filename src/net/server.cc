@@ -10,6 +10,7 @@
 #include <future>
 #include <utility>
 
+#include "src/audit/audit.h"
 #include "src/net/wire.h"
 #include "src/serve/status.h"
 #include "src/util/logging.h"
@@ -209,8 +210,10 @@ void Server::ServeBinary(int fd) {
       return;
     }
     std::uint32_t payload_len = 0;
+    std::uint8_t wire_version = 0;
     const Status head_status =
-        wire::DecodeHeader(header, wire::kRequestMagic, &payload_len);
+        wire::DecodeHeader(header, wire::kRequestMagic, &payload_len,
+                           &wire_version);
     if (!head_status.ok()) {
       // Malformed or oversized frame: the stream cannot be resynced, so
       // answer with one well-formed error frame and close.
@@ -235,7 +238,8 @@ void Server::ServeBinary(int fd) {
       return;
     }
     binary_requests_->Increment();
-    auto request = wire::DecodeRequestPayload(payload.data(), payload.size());
+    auto request = wire::DecodeRequestPayload(payload.data(), payload.size(),
+                                              wire_version);
     if (!request.ok()) {
       // Framing held but the payload is malformed: answer in-stream (in
       // order) and keep the connection — the next frame is parseable.
@@ -263,8 +267,46 @@ void Server::ServeBinary(int fd) {
   }
 }
 
+namespace {
+
+/// Doubles in attribution JSON use %.17g so every f64 term round-trips
+/// exactly — the bit-exact reconstruction must survive the JSON hop.
+std::string JsonF64(double v) { return StrFormat("%.17g", v); }
+
+std::string AttributionJson(const audit::QueryAttribution& attr) {
+  std::string out = "{\"symptom_ids\":[";
+  for (std::size_t i = 0; i < attr.symptom_ids.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%d", attr.symptom_ids[i]);
+  }
+  out += "],\"herbs\":[";
+  for (std::size_t i = 0; i < attr.herbs.size(); ++i) {
+    const audit::HerbAttribution& herb = attr.herbs[i];
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "{\"herb_id\":%zu,\"score\":%s,\"bipar\":%s,\"synergy\":%s,"
+        "\"pool_bias\":%s,\"pool_residual\":%s,\"has_components\":%s,"
+        "\"exact\":%s,\"per_symptom\":[",
+        herb.herb_id, JsonF64(herb.score).c_str(),
+        JsonF64(herb.bipar).c_str(), JsonF64(herb.synergy).c_str(),
+        JsonF64(herb.pool_bias).c_str(), JsonF64(herb.pool_residual).c_str(),
+        herb.has_components ? "true" : "false",
+        herb.exact ? "true" : "false");
+    for (std::size_t s = 0; s < herb.per_symptom.size(); ++s) {
+      if (s > 0) out += ",";
+      out += JsonF64(herb.per_symptom[s]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
 std::string Server::RecommendJson(const http::Request& request,
-                                  int* http_status) {
+                                  int* http_status,
+                                  std::string* request_id_out) {
   serve::Request serving;
   const auto symptoms = request.query.find("symptoms");
   serve::Response response;
@@ -295,6 +337,19 @@ std::string Server::RecommendJson(const http::Request& request,
           v != request.query.end()) {
         serving.version = v->second;
       }
+      if (const auto a = request.query.find("attribution");
+          a != request.query.end()) {
+        serving.attribution = a->second == "1" || a->second == "true";
+      }
+      // Correlation id: the query parameter wins over the X-Request-Id
+      // header; both are optional (the engine mints one when absent).
+      if (const auto r = request.query.find("request_id");
+          r != request.query.end()) {
+        serving.request_id = r->second;
+      } else if (const auto h = request.headers.find("x-request-id");
+                 h != request.headers.end()) {
+        serving.request_id = h->second;
+      }
       if (serving.top_k == 0) {
         response.status = serve::StatusCode::kInvalidArgument;
         response.message = "k must be >= 1";
@@ -306,19 +361,26 @@ std::string Server::RecommendJson(const http::Request& request,
     }
   }
   *http_status = serve::HttpStatusFor(response.status);
+  *request_id_out = response.request_id;
   CountResponse(response.status);
   std::string ids_json;
   for (std::size_t i = 0; i < response.herb_ids.size(); ++i) {
     if (i > 0) ids_json += ",";
     ids_json += StrFormat("%zu", response.herb_ids[i]);
   }
+  std::string attribution_json;
+  if (response.attribution.has_value()) {
+    attribution_json =
+        ",\"attribution\":" + AttributionJson(*response.attribution);
+  }
   return StrFormat(
       "{\"status\":\"%s\",\"model\":\"%s\",\"version\":\"%s\","
-      "\"herb_ids\":[%s],\"message\":\"%s\"}\n",
+      "\"request_id\":\"%s\",\"herb_ids\":[%s],\"message\":\"%s\"%s}\n",
       serve::StatusCodeName(response.status),
       http::JsonEscape(response.model).c_str(),
-      http::JsonEscape(response.version).c_str(), ids_json.c_str(),
-      http::JsonEscape(response.message).c_str());
+      http::JsonEscape(response.version).c_str(),
+      http::JsonEscape(response.request_id).c_str(), ids_json.c_str(),
+      http::JsonEscape(response.message).c_str(), attribution_json.c_str());
 }
 
 std::string Server::HandleHttp(const http::Request& request,
@@ -377,9 +439,12 @@ std::string Server::HandleHttp(const http::Request& request,
   }
   if (request.path == "/v1/recommend") {
     int status = 200;
-    const std::string body = RecommendJson(request, &status);
+    std::string request_id;
+    const std::string body = RecommendJson(request, &status, &request_id);
+    std::vector<std::pair<std::string, std::string>> extra;
+    if (!request_id.empty()) extra.emplace_back("X-Request-Id", request_id);
     return http::FormatResponse(status, "application/json", body,
-                                *keep_alive);
+                                *keep_alive, extra);
   }
   return http::FormatResponse(404, "text/plain",
                               "unknown path; try /healthz /metrics /slowlog "

@@ -109,7 +109,11 @@ class Server {
   void ServeHttp(int fd, std::uint8_t first_byte);
   /// Routes one parsed HTTP request; returns the full response bytes.
   std::string HandleHttp(const http::Request& request, bool* keep_alive);
-  std::string RecommendJson(const http::Request& request, int* http_status);
+  /// Renders the /v1/recommend JSON body. `request_id_out` receives the
+  /// response's correlation id (for the X-Request-Id response header);
+  /// empty when the request never reached an engine.
+  std::string RecommendJson(const http::Request& request, int* http_status,
+                            std::string* request_id_out);
   void CountResponse(serve::StatusCode status);
 
   serve::ModelManager* manager_;

@@ -37,9 +37,52 @@ std::uint32_t GetU32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
-void PutHeader(std::vector<std::uint8_t>* out, std::uint8_t magic) {
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<std::uint64_t>(*p++) << shift;
+  }
+  return v;
+}
+
+// Doubles travel as their IEEE-754 bit pattern, so attribution terms
+// round-trip bit-exactly — the whole point of the residual-anchored split.
+void PutF64(std::vector<std::uint8_t>* out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+double GetF64(const std::uint8_t* p) {
+  const std::uint64_t bits = GetU64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool ValidRequestId(const std::string& id) {
+  if (id.size() > kMaxWireRequestId) return false;
+  for (const char c : id) {
+    if (c < 0x21 || c > 0x7E) return false;  // printable ASCII, no spaces
+  }
+  return true;
+}
+
+// Bytes the v2 attribution block adds to a response payload.
+std::size_t AttributionBlockBytes(std::size_t num_herbs, std::size_t n_sym) {
+  return 2 + 4 * n_sym + num_herbs * (5 * 8 + 1 + 8 * n_sym);
+}
+
+void PutHeader(std::vector<std::uint8_t>* out, std::uint8_t magic,
+               std::uint8_t version) {
   out->push_back(magic);
-  out->push_back(kWireVersion);
+  out->push_back(version);
   PutU32(out, 0);  // patched by SealFrame
 }
 
@@ -69,6 +112,11 @@ Result<std::vector<std::uint8_t>> EncodeRequest(const serve::Request& request) {
     return Status::InvalidArgument(
         "model/version names are capped at 255 bytes on the wire");
   }
+  if (!ValidRequestId(request.request_id)) {
+    return Status::InvalidArgument(StrFormat(
+        "request ids are capped at %zu printable-ASCII bytes on the wire",
+        kMaxWireRequestId));
+  }
   std::uint32_t deadline_micros = 0;
   if (request.deadline_ms > 0.0) {
     const double micros = std::ceil(request.deadline_ms * 1e3);
@@ -76,20 +124,32 @@ Result<std::vector<std::uint8_t>> EncodeRequest(const serve::Request& request) {
                           ? 4294967295u
                           : static_cast<std::uint32_t>(micros);
   }
+  // A request that uses no v2 field travels as v1, so opted-out clients
+  // and old servers are byte-for-byte unaffected by the protocol bump.
+  const bool v2 = request.attribution || !request.request_id.empty();
   std::vector<std::uint8_t> frame;
-  frame.reserve(kHeaderBytes + 10 + 4 * request.symptoms.size() +
-                request.model.size() + request.version.size());
-  PutHeader(&frame, kRequestMagic);
+  frame.reserve(kHeaderBytes + (v2 ? 12 : 10) + 4 * request.symptoms.size() +
+                request.model.size() + request.version.size() +
+                request.request_id.size());
+  PutHeader(&frame, kRequestMagic, v2 ? 2 : kWireVersion);
   PutU16(&frame, static_cast<std::uint16_t>(request.top_k));
   PutU32(&frame, deadline_micros);
   PutU16(&frame, static_cast<std::uint16_t>(request.symptoms.size()));
   frame.push_back(static_cast<std::uint8_t>(request.model.size()));
   frame.push_back(static_cast<std::uint8_t>(request.version.size()));
+  if (v2) {
+    frame.push_back(request.attribution ? 1 : 0);
+    frame.push_back(static_cast<std::uint8_t>(request.request_id.size()));
+  }
   for (const int symptom : request.symptoms) {
     PutU32(&frame, static_cast<std::uint32_t>(symptom));
   }
   frame.insert(frame.end(), request.model.begin(), request.model.end());
   frame.insert(frame.end(), request.version.begin(), request.version.end());
+  if (v2) {
+    frame.insert(frame.end(), request.request_id.begin(),
+                 request.request_id.end());
+  }
   SealFrame(&frame);
   return frame;
 }
@@ -113,38 +173,106 @@ Result<std::vector<std::uint8_t>> EncodeResponse(
       return Status::InvalidArgument("herb id exceeds u32 range");
     }
   }
+  if (!ValidRequestId(response.request_id)) {
+    return Status::InvalidArgument(StrFormat(
+        "request ids are capped at %zu printable-ASCII bytes on the wire",
+        kMaxWireRequestId));
+  }
+  // The attribution block must describe exactly the herbs being returned;
+  // a mismatched block is a server bug, not an encodable frame.
+  bool attach_attribution = false;
+  if (response.attribution.has_value()) {
+    const audit::QueryAttribution& attr = *response.attribution;
+    if (attr.herbs.size() != response.herb_ids.size()) {
+      return Status::InvalidArgument(
+          "attribution herb count does not match herb_ids");
+    }
+    if (attr.symptom_ids.size() > kMaxWireSymptoms) {
+      return Status::InvalidArgument(
+          "attribution symptom count exceeds the wire cap");
+    }
+    for (const audit::HerbAttribution& herb : attr.herbs) {
+      if (herb.per_symptom.size() != attr.symptom_ids.size()) {
+        return Status::InvalidArgument(
+            "attribution per_symptom length does not match symptom_ids");
+      }
+    }
+    attach_attribution = true;
+  }
+  const std::size_t base_bytes = 10 + 4 * response.herb_ids.size() +
+                                 response.message.size() +
+                                 response.model.size() +
+                                 response.version.size() +
+                                 response.request_id.size();
+  // Best-effort attribution: a block that would blow the frame cap is
+  // dropped so the ranking itself always fits; clients detect the drop via
+  // the cleared flag.
+  if (attach_attribution &&
+      base_bytes + AttributionBlockBytes(response.herb_ids.size(),
+                                         response.attribution->symptom_ids
+                                             .size()) >
+          kMaxPayloadBytes) {
+    attach_attribution = false;
+  }
+  const bool v2 = attach_attribution || !response.request_id.empty();
   std::vector<std::uint8_t> frame;
-  frame.reserve(kHeaderBytes + 8 + 4 * response.herb_ids.size() +
-                response.message.size() + response.model.size() +
-                response.version.size());
-  PutHeader(&frame, kResponseMagic);
+  frame.reserve(kHeaderBytes + (v2 ? base_bytes : base_bytes - 2));
+  PutHeader(&frame, kResponseMagic, v2 ? 2 : kWireVersion);
   frame.push_back(serve::ToWireByte(response.status));
   frame.push_back(0);  // reserved
   PutU16(&frame, static_cast<std::uint16_t>(response.herb_ids.size()));
   PutU16(&frame, static_cast<std::uint16_t>(response.message.size()));
   frame.push_back(static_cast<std::uint8_t>(response.model.size()));
   frame.push_back(static_cast<std::uint8_t>(response.version.size()));
+  if (v2) {
+    frame.push_back(attach_attribution ? 1 : 0);
+    frame.push_back(static_cast<std::uint8_t>(response.request_id.size()));
+  }
   for (const std::size_t id : response.herb_ids) {
     PutU32(&frame, static_cast<std::uint32_t>(id));
   }
   frame.insert(frame.end(), response.message.begin(), response.message.end());
   frame.insert(frame.end(), response.model.begin(), response.model.end());
   frame.insert(frame.end(), response.version.begin(), response.version.end());
+  if (v2) {
+    frame.insert(frame.end(), response.request_id.begin(),
+                 response.request_id.end());
+    if (attach_attribution) {
+      const audit::QueryAttribution& attr = *response.attribution;
+      PutU16(&frame, static_cast<std::uint16_t>(attr.symptom_ids.size()));
+      for (const int id : attr.symptom_ids) {
+        PutU32(&frame, static_cast<std::uint32_t>(id));
+      }
+      for (const audit::HerbAttribution& herb : attr.herbs) {
+        PutF64(&frame, herb.score);
+        PutF64(&frame, herb.bipar);
+        PutF64(&frame, herb.synergy);
+        PutF64(&frame, herb.pool_bias);
+        PutF64(&frame, herb.pool_residual);
+        frame.push_back(static_cast<std::uint8_t>(
+            (herb.has_components ? 1u : 0u) | (herb.exact ? 2u : 0u)));
+        for (const double contribution : herb.per_symptom) {
+          PutF64(&frame, contribution);
+        }
+      }
+    }
+  }
   SealFrame(&frame);
   return frame;
 }
 
 Status DecodeHeader(const std::uint8_t* header, std::uint8_t expect_magic,
-                    std::uint32_t* length_out) {
+                    std::uint32_t* length_out, std::uint8_t* version_out) {
   if (header[0] != expect_magic) {
     return Status::InvalidArgument(StrFormat(
         "bad frame magic 0x%02X (expected 0x%02X)", header[0], expect_magic));
   }
-  if (header[1] != kWireVersion) {
+  if (header[1] < kWireVersion || header[1] > kWireVersionMax) {
     return Status::InvalidArgument(StrFormat(
-        "unsupported wire version %u (this build speaks %u)", header[1],
-        kWireVersion));
+        "unsupported wire version %u (this build speaks %u..%u)", header[1],
+        kWireVersion, kWireVersionMax));
   }
+  *version_out = header[1];
   const std::uint32_t length = GetU32(header + 2);
   if (length > kMaxPayloadBytes) {
     return Status::InvalidArgument(
@@ -156,8 +284,9 @@ Status DecodeHeader(const std::uint8_t* header, std::uint8_t expect_magic,
 }
 
 Result<serve::Request> DecodeRequestPayload(const std::uint8_t* payload,
-                                            std::size_t size) {
-  constexpr std::size_t kFixed = 10;
+                                            std::size_t size,
+                                            std::uint8_t version) {
+  const std::size_t kFixed = version >= 2 ? 12 : 10;
   if (size < kFixed) {
     return Status::InvalidArgument(
         StrFormat("request payload of %zu bytes is shorter than the %zu-byte "
@@ -174,13 +303,28 @@ Result<serve::Request> DecodeRequestPayload(const std::uint8_t* payload,
   const std::size_t num_symptoms = GetU16(payload + 6);
   const std::size_t model_len = payload[8];
   const std::size_t version_len = payload[9];
+  std::size_t request_id_len = 0;
+  if (version >= 2) {
+    const std::uint8_t flags = payload[10];
+    if ((flags & ~1u) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("request carries unknown flag bits 0x%02X", flags));
+    }
+    request.attribution = (flags & 1u) != 0;
+    request_id_len = payload[11];
+    if (request_id_len > kMaxWireRequestId) {
+      return Status::InvalidArgument(
+          StrFormat("request id of %zu bytes exceeds the cap of %zu",
+                    request_id_len, kMaxWireRequestId));
+    }
+  }
   if (num_symptoms > kMaxWireSymptoms) {
     return Status::InvalidArgument(
         StrFormat("symptom count %zu exceeds the wire cap of %zu",
                   num_symptoms, kMaxWireSymptoms));
   }
   const std::size_t expected =
-      kFixed + 4 * num_symptoms + model_len + version_len;
+      kFixed + 4 * num_symptoms + model_len + version_len + request_id_len;
   if (size != expected) {
     return Status::InvalidArgument(
         StrFormat("request payload is %zu bytes but its counts require %zu",
@@ -194,12 +338,19 @@ Result<serve::Request> DecodeRequestPayload(const std::uint8_t* payload,
   request.model.assign(cursor, cursor + model_len);
   cursor += model_len;
   request.version.assign(cursor, cursor + version_len);
+  cursor += version_len;
+  request.request_id.assign(cursor, cursor + request_id_len);
+  if (!ValidRequestId(request.request_id)) {
+    return Status::InvalidArgument(
+        "request id contains non-printable bytes");
+  }
   return request;
 }
 
 Result<serve::Response> DecodeResponsePayload(const std::uint8_t* payload,
-                                              std::size_t size) {
-  constexpr std::size_t kFixed = 8;
+                                              std::size_t size,
+                                              std::uint8_t version) {
+  const std::size_t kFixed = version >= 2 ? 10 : 8;
   if (size < kFixed) {
     return Status::InvalidArgument(
         StrFormat("response payload of %zu bytes is shorter than the %zu-byte "
@@ -212,8 +363,42 @@ Result<serve::Response> DecodeResponsePayload(const std::uint8_t* payload,
   const std::size_t message_len = GetU16(payload + 4);
   const std::size_t model_len = payload[6];
   const std::size_t version_len = payload[7];
-  const std::size_t expected =
-      kFixed + 4 * num_herbs + message_len + model_len + version_len;
+  bool has_attribution = false;
+  std::size_t request_id_len = 0;
+  if (version >= 2) {
+    const std::uint8_t flags = payload[8];
+    if ((flags & ~1u) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("response carries unknown flag bits 0x%02X", flags));
+    }
+    has_attribution = (flags & 1u) != 0;
+    request_id_len = payload[9];
+    if (request_id_len > kMaxWireRequestId) {
+      return Status::InvalidArgument(
+          StrFormat("request id of %zu bytes exceeds the cap of %zu",
+                    request_id_len, kMaxWireRequestId));
+    }
+  }
+  std::size_t expected =
+      kFixed + 4 * num_herbs + message_len + model_len + version_len +
+      request_id_len;
+  std::size_t n_sym = 0;
+  if (has_attribution) {
+    // The block's own symptom count lives right after the request id; its
+    // offset is fully determined by the counts already validated above.
+    if (size < expected + 2) {
+      return Status::InvalidArgument(
+          "response payload truncated before its attribution block");
+    }
+    n_sym = GetU16(payload + expected);
+    if (n_sym > kMaxWireSymptoms) {
+      return Status::InvalidArgument(
+          StrFormat("attribution symptom count %zu exceeds the wire cap of "
+                    "%zu",
+                    n_sym, kMaxWireSymptoms));
+    }
+    expected += AttributionBlockBytes(num_herbs, n_sym);
+  }
   if (size != expected) {
     return Status::InvalidArgument(
         StrFormat("response payload is %zu bytes but its counts require %zu",
@@ -229,6 +414,36 @@ Result<serve::Response> DecodeResponsePayload(const std::uint8_t* payload,
   response.model.assign(cursor, cursor + model_len);
   cursor += model_len;
   response.version.assign(cursor, cursor + version_len);
+  cursor += version_len;
+  response.request_id.assign(cursor, cursor + request_id_len);
+  cursor += request_id_len;
+  if (has_attribution) {
+    audit::QueryAttribution attr;
+    cursor += 2;  // n_sym, already read for the length check
+    attr.symptom_ids.reserve(n_sym);
+    for (std::size_t i = 0; i < n_sym; ++i, cursor += 4) {
+      attr.symptom_ids.push_back(static_cast<int>(GetU32(cursor)));
+    }
+    attr.herbs.resize(num_herbs);
+    for (std::size_t i = 0; i < num_herbs; ++i) {
+      audit::HerbAttribution& herb = attr.herbs[i];
+      herb.herb_id = response.herb_ids[i];
+      herb.score = GetF64(cursor);
+      herb.bipar = GetF64(cursor + 8);
+      herb.synergy = GetF64(cursor + 16);
+      herb.pool_bias = GetF64(cursor + 24);
+      herb.pool_residual = GetF64(cursor + 32);
+      const std::uint8_t herb_flags = cursor[40];
+      herb.has_components = (herb_flags & 1u) != 0;
+      herb.exact = (herb_flags & 2u) != 0;
+      cursor += 41;
+      herb.per_symptom.reserve(n_sym);
+      for (std::size_t s = 0; s < n_sym; ++s, cursor += 8) {
+        herb.per_symptom.push_back(GetF64(cursor));
+      }
+    }
+    response.attribution = std::move(attr);
+  }
   return response;
 }
 

@@ -5,10 +5,10 @@
 // Frame = 6-byte header + payload:
 //
 //   u8  magic      0xA7 request / 0xA8 response
-//   u8  version    kWireVersion (1)
+//   u8  version    1 or 2 (see below)
 //   u32 length     payload bytes (little-endian), <= kMaxPayloadBytes
 //
-// Request payload:
+// Request payload (v1):
 //   u16 top_k            (>= 1 on the wire; dense mode is in-process only)
 //   u32 deadline_micros  0 = no deadline
 //   u16 num_symptoms     <= kMaxWireSymptoms
@@ -16,7 +16,12 @@
 //   i32 symptoms[num_symptoms]
 //   bytes model[model_len], version[version_len]
 //
-// Response payload:
+// Request payload (v2) extends the fixed section by two trailing bytes —
+//   u8  flags            bit 0: request attribution
+//   u8  request_id_len   <= 64 (printable ASCII)
+// — and appends `bytes request_id[request_id_len]` after the version name.
+//
+// Response payload (v1):
 //   u8  status           serve::StatusCode wire byte
 //   u8  reserved         0
 //   u16 num_herbs
@@ -25,6 +30,25 @@
 //   u32 herb_ids[num_herbs]
 //   bytes message[message_len]
 //   bytes model[model_len], version[version_len]
+//
+// Response payload (v2) extends the fixed section by two trailing bytes —
+//   u8  flags            bit 0: attribution block present
+//   u8  request_id_len   <= 64
+// — appends `bytes request_id[request_id_len]` after the version name, and
+// when flags bit 0 is set, an attribution block:
+//   u16 n_sym                      canonical symptom count
+//   i32 symptom_ids[n_sym]
+//   per herb (num_herbs entries, parallel to herb_ids):
+//     f64 score, bipar, synergy, pool_bias, pool_residual   (LE bit patterns)
+//     u8  herb_flags               bit 0: has_components, bit 1: exact
+//     f64 per_symptom[n_sym]
+//
+// Version negotiation is encoder-driven: a frame that uses no v2 field is
+// emitted as v1, so old servers/clients keep round-tripping unchanged and
+// v2 costs nothing until a request opts in. Decoders accept both versions.
+// A response whose attribution block would push the payload past
+// kMaxPayloadBytes drops the attribution (flag cleared) rather than fail —
+// the ranking is the contract, the attribution is best-effort detail.
 //
 // The magic byte doubles as the server's protocol sniff: every HTTP method
 // starts with an ASCII letter (0x41..0x5A), so a first byte of 0xA7 can
@@ -53,36 +77,49 @@ namespace wire {
 inline constexpr std::uint8_t kRequestMagic = 0xA7;
 inline constexpr std::uint8_t kResponseMagic = 0xA8;
 inline constexpr std::uint8_t kWireVersion = 1;
+/// Highest version this build speaks; frames carry 1 or 2.
+inline constexpr std::uint8_t kWireVersionMax = 2;
 inline constexpr std::size_t kHeaderBytes = 6;
+/// Request-id cap on the wire (printable ASCII, fits one u8 length).
+inline constexpr std::size_t kMaxWireRequestId = 64;
 /// Hard payload cap, enforced before any allocation: a frame declaring
 /// more is answered with kInvalidArgument and the connection is closed.
 inline constexpr std::size_t kMaxPayloadBytes = 1 << 16;
 /// Symptom-set cap on the wire (far above any real prescription).
 inline constexpr std::size_t kMaxWireSymptoms = 4096;
 
-/// Serializes a request into one frame (header + payload).
+/// Serializes a request into one frame (header + payload). Emits a v1
+/// frame when no v2 field is used (request_id empty, attribution unset).
 /// InvalidArgument when it cannot be represented on the wire (top_k == 0
-/// or > 65535, too many symptoms, names longer than 255 bytes).
+/// or > 65535, too many symptoms, names longer than 255 bytes, request ids
+/// longer than kMaxWireRequestId or with non-printable bytes).
 Result<std::vector<std::uint8_t>> EncodeRequest(const serve::Request& request);
 
-/// Serializes a response into one frame. Herb ids above u32 range or
-/// messages longer than 65535 bytes are InvalidArgument (the server
-/// truncates messages defensively before encoding).
+/// Serializes a response into one frame; v1 when no v2 field is used.
+/// Herb ids above u32 range or messages longer than 65535 bytes are
+/// InvalidArgument (the server truncates messages defensively before
+/// encoding). An attribution block that would exceed kMaxPayloadBytes is
+/// dropped, not an error.
 Result<std::vector<std::uint8_t>> EncodeResponse(
     const serve::Response& response);
 
 /// Parses and validates a frame header. `length_out` receives the payload
-/// length. `expect_magic` is kRequestMagic or kResponseMagic.
+/// length, `version_out` the frame version (1 or 2; pass it to the payload
+/// decoder). `expect_magic` is kRequestMagic or kResponseMagic.
 Status DecodeHeader(const std::uint8_t* header, std::uint8_t expect_magic,
-                    std::uint32_t* length_out);
+                    std::uint32_t* length_out, std::uint8_t* version_out);
 
-/// Decodes a request payload (the bytes after the header).
+/// Decodes a request payload (the bytes after the header). `version` is
+/// the frame version from DecodeHeader.
 Result<serve::Request> DecodeRequestPayload(const std::uint8_t* payload,
-                                            std::size_t size);
+                                            std::size_t size,
+                                            std::uint8_t version);
 
-/// Decodes a response payload.
+/// Decodes a response payload. `version` is the frame version from
+/// DecodeHeader.
 Result<serve::Response> DecodeResponsePayload(const std::uint8_t* payload,
-                                              std::size_t size);
+                                              std::size_t size,
+                                              std::uint8_t version);
 
 }  // namespace wire
 }  // namespace net

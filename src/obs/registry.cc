@@ -36,6 +36,68 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// Curated # HELP text for well-known instrument families. Scoped names
+/// carry a `<scope><N>.` prefix (e.g. "serve.engine0.submitted"), so match
+/// on the trailing segment after the last '.'.
+const char* HelpForFamily(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  const std::string tail = dot == std::string::npos ? name
+                                                    : name.substr(dot + 1);
+  if (tail == "submitted") return "Requests admitted to the serving queue.";
+  if (tail == "shed") return "Requests rejected by admission control.";
+  if (tail == "deadline_exceeded") {
+    return "Requests answered with DEADLINE_EXCEEDED.";
+  }
+  if (tail == "slow_queries") {
+    return "Queries over the slow-query-log latency threshold.";
+  }
+  if (tail == "connections") return "TCP connections accepted.";
+  if (tail == "rejected_connections") {
+    return "TCP connections refused at the connection cap.";
+  }
+  if (tail == "http_requests") return "HTTP requests parsed.";
+  if (tail == "binary_requests") return "Binary protocol frames admitted.";
+  if (tail == "protocol_errors") {
+    return "Malformed frames or HTTP heads rejected.";
+  }
+  if (tail == "cache_hits") return "Top-k cache hits.";
+  if (tail == "cache_misses") return "Top-k cache misses.";
+  if (tail == "queries") return "Queries scored.";
+  if (tail == "batches") return "Micro-batches executed.";
+  if (tail == "swaps") return "Model snapshot hot-swaps published.";
+  if (tail == "publishes") return "Model versions published.";
+  if (tail == "rollbacks") return "Model version rollbacks.";
+  if (tail == "active_versions") {
+    return "Model versions currently resident.";
+  }
+  if (tail == "latency_seconds" || tail == "latency") {
+    return "End-to-end request latency in seconds.";
+  }
+  return nullptr;
+}
+
+/// One # HELP line per family: curated text when the family is known, a
+/// generic derived-from-the-name line otherwise (Prometheus requires HELP
+/// before TYPE for tools that validate exposition strictly).
+std::string HelpLine(const std::string& raw_name, const std::string& prom) {
+  const char* help = HelpForFamily(raw_name);
+  std::string text =
+      help != nullptr ? help : "Instrument '" + raw_name + "'.";
+  // Escape per exposition format: backslash and newline.
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      escaped += "\\\\";
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  return "# HELP " + prom + " " + escaped + "\n";
+}
+
 }  // namespace
 
 Registry& Registry::Global() {
@@ -120,16 +182,19 @@ std::string Registry::ExportPrometheus() const {
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = PrometheusName(name);
+    out += HelpLine(name, prom);
     out += "# TYPE " + prom + " counter\n";
     out += prom + " " + FormatUint(counter->value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
     const std::string prom = PrometheusName(name);
+    out += HelpLine(name, prom);
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " " + FormatDouble(gauge->value()) + "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     const std::string prom = PrometheusName(name);
+    out += HelpLine(name, prom);
     out += "# TYPE " + prom + " summary\n";
     out += prom + "{quantile=\"0.5\"} " + FormatDouble(hist->Percentile(0.50)) +
            "\n";

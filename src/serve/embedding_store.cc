@@ -4,6 +4,7 @@
 
 #include "src/tensor/quantize.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace smgcn {
 namespace serve {
@@ -128,6 +129,15 @@ Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoin
       store.si_weight_f32_ = NarrowToF32(checkpoint.si_weight);
       store.si_bias_f32_ = NarrowToF32(checkpoint.si_bias);
     }
+    if (checkpoint.has_herb_bipar) {
+      // Attribution component at the store's own precision; row-major (it
+      // is read one herb row at a time, never GEMMed, so no transpose).
+      tensor::quantize::QuantizedMatrix bipar =
+          tensor::quantize::QuantizeRows(checkpoint.herb_bipar);
+      store.herb_bipar_s8_ = std::move(bipar.values);
+      store.herb_bipar_scales_ = std::move(bipar.scales);
+      store.has_herb_bipar_ = true;
+    }
     return store;
   }
   // Serving layout: the GEMM wants herb-contiguous rows per embedding dim.
@@ -141,6 +151,10 @@ Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoin
       store.si_weight_f32_ = NarrowToF32(checkpoint.si_weight);
       store.si_bias_f32_ = NarrowToF32(checkpoint.si_bias);
     }
+    if (checkpoint.has_herb_bipar) {
+      store.herb_bipar_f32_ = NarrowToF32(checkpoint.herb_bipar);
+      store.has_herb_bipar_ = true;
+    }
     return store;
   }
   store.symptom_embeddings_ = std::move(checkpoint.symptom_embeddings);
@@ -148,6 +162,10 @@ Result<EmbeddingStore> EmbeddingStore::Build(core::InferenceCheckpoint checkpoin
   if (store.has_si_mlp_) {
     store.si_weight_ = std::move(checkpoint.si_weight);
     store.si_bias_ = std::move(checkpoint.si_bias);
+  }
+  if (checkpoint.has_herb_bipar) {
+    store.herb_bipar_ = std::move(checkpoint.herb_bipar);
+    store.has_herb_bipar_ = true;
   }
   return store;
 }
@@ -189,23 +207,33 @@ Result<EmbeddingStore> EmbeddingStore::BuildFromArtifact(
     store.si_weight_f32_ = NarrowToF32(checkpoint.si_weight);
     store.si_bias_f32_ = NarrowToF32(checkpoint.si_bias);
   }
+  if (artifact.has_herb_bipar()) {
+    // The attribution component's integers are copied verbatim too — the
+    // row-major on-disk layout is already the layout Attribute reads.
+    const core::MappedArtifact::SectionView bipar = artifact.herb_bipar();
+    store.herb_bipar_s8_.assign(bipar.data_s8,
+                                bipar.data_s8 + bipar.rows * bipar.cols);
+    store.herb_bipar_scales_.assign(bipar.scales, bipar.scales + bipar.rows);
+    store.has_herb_bipar_ = true;
+  }
   return store;
 }
 
 std::size_t EmbeddingStore::payload_bytes() const {
   if (precision_ == tensor::Precision::kInt8) {
-    return symptom_s8_.size() + herbs_t_s8_.size() +
+    return symptom_s8_.size() + herbs_t_s8_.size() + herb_bipar_s8_.size() +
            (symptom_scales_.size() + herb_scales_.size() +
-            si_weight_f32_.size() + si_bias_f32_.size()) *
+            herb_bipar_scales_.size() + si_weight_f32_.size() +
+            si_bias_f32_.size()) *
                sizeof(float);
   }
   if (precision_ == tensor::Precision::kFloat32) {
     return (symptom_f32_.size() + herbs_t_f32_.size() + si_weight_f32_.size() +
-            si_bias_f32_.size()) *
+            si_bias_f32_.size() + herb_bipar_f32_.size()) *
            sizeof(float);
   }
   return (symptom_embeddings_.size() + herb_embeddings_t_.size() +
-          si_weight_.size() + si_bias_.size()) *
+          si_weight_.size() + si_bias_.size() + herb_bipar_.size()) *
          sizeof(double);
 }
 
@@ -297,6 +325,45 @@ tensor::Matrix EmbeddingStore::ScoreBatchF64(
   return BlockedScoresGemm(pooled, herb_embeddings_t_);
 }
 
+const float* EmbeddingStore::PoolAndActivateF32(
+    const std::vector<CanonicalQuery>& batch, std::vector<float>* pooled,
+    std::vector<float>* hidden) const {
+  const std::size_t d = dim();
+  pooled->assign(batch.size() * d, 0.0f);
+
+  // Mean-pool in f32 (same sum-then-scale order as the reference). The f32
+  // store pools its narrowed symptom table; the int8 store pools its
+  // build-time dequantized cache — the same member either way.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<int>& ids = batch[i].symptom_ids;
+    SMGCN_CHECK(!ids.empty()) << "canonical query must be non-empty";
+    float* out = pooled->data() + i * d;
+    for (int s : ids) {
+      SMGCN_CHECK_LT(static_cast<std::size_t>(s), num_symptoms());
+      const float* row = symptom_f32_.data() + static_cast<std::size_t>(s) * d;
+      for (std::size_t c = 0; c < d; ++c) out[c] += row[c];
+    }
+    const float inv = 1.0f / static_cast<float>(ids.size());
+    for (std::size_t c = 0; c < d; ++c) out[c] *= inv;
+  }
+  if (!has_si_mlp_) return pooled->data();
+
+  // ReLU(pooled W + b): the d x d weight is row-major, which is already
+  // the kernels' k-major "bt" layout for this product.
+  const tensor::kernels::Backend& kern = tensor::kernels::Active();
+  hidden->resize(batch.size() * d);
+  kern.gemm_f32(pooled->data(), si_weight_f32_.data(), batch.size(), d, d,
+                hidden->data());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    float* row = hidden->data() + i * d;
+    for (std::size_t c = 0; c < d; ++c) {
+      row[c] += si_bias_f32_[c];
+      if (row[c] < 0.0f) row[c] = 0.0f;
+    }
+  }
+  return hidden->data();
+}
+
 const float* EmbeddingStore::ScoreBatchF32Raw(
     const std::vector<CanonicalQuery>& batch) const {
   const std::size_t d = dim();
@@ -310,38 +377,7 @@ const float* EmbeddingStore::ScoreBatchF32Raw(
   static thread_local std::vector<float> pooled;
   static thread_local std::vector<float> hidden;
   static thread_local std::vector<float> scores;
-  pooled.assign(batch.size() * d, 0.0f);
-
-  // Mean-pool in f32 (same sum-then-scale order as the reference).
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const std::vector<int>& ids = batch[i].symptom_ids;
-    SMGCN_CHECK(!ids.empty()) << "canonical query must be non-empty";
-    float* out = pooled.data() + i * d;
-    for (int s : ids) {
-      SMGCN_CHECK_LT(static_cast<std::size_t>(s), num_symptoms());
-      const float* row = symptom_f32_.data() + static_cast<std::size_t>(s) * d;
-      for (std::size_t c = 0; c < d; ++c) out[c] += row[c];
-    }
-    const float inv = 1.0f / static_cast<float>(ids.size());
-    for (std::size_t c = 0; c < d; ++c) out[c] *= inv;
-  }
-
-  const float* activations = pooled.data();
-  if (has_si_mlp_) {
-    // ReLU(pooled W + b): the d x d weight is row-major, which is already
-    // the kernels' k-major "bt" layout for this product.
-    hidden.resize(batch.size() * d);
-    kern.gemm_f32(pooled.data(), si_weight_f32_.data(), batch.size(), d, d,
-                  hidden.data());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      float* row = hidden.data() + i * d;
-      for (std::size_t c = 0; c < d; ++c) {
-        row[c] += si_bias_f32_[c];
-        if (row[c] < 0.0f) row[c] = 0.0f;
-      }
-    }
-    activations = hidden.data();
-  }
+  const float* activations = PoolAndActivateF32(batch, &pooled, &hidden);
 
   // One B x d * d x H f32 GEMM (eq. 13).
   scores.resize(batch.size() * h);
@@ -373,46 +409,17 @@ const float* EmbeddingStore::ScoreBatchS8Raw(
   // Per-thread scratch persists across calls: at serving batch sizes the
   // scores buffer alone is hundreds of KB, which a per-call std::vector
   // would re-mmap (and page-fault through) every batch. Resizes are no-ops
-  // after warm-up; only `pooled` needs an explicit clear (it accumulates).
+  // after warm-up.
   static thread_local std::vector<float> pooled;
   static thread_local std::vector<float> hidden;
   static thread_local std::vector<std::int8_t> act;
   static thread_local std::vector<float> act_scales;
   static thread_local std::vector<float> scores;
-  pooled.assign(batch.size() * d, 0.0f);
 
-  // Mean-pool in f32 against the build-time dequantized symptom cache.
-  // Each cached element is exactly (float)q * scale, so this is the same
-  // sum as dequantizing on the fly — minus a per-element multiply in the
-  // hot loop.
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const std::vector<int>& ids = batch[i].symptom_ids;
-    SMGCN_CHECK(!ids.empty()) << "canonical query must be non-empty";
-    float* out = pooled.data() + i * d;
-    for (int s : ids) {
-      SMGCN_CHECK_LT(static_cast<std::size_t>(s), num_symptoms());
-      const float* row = symptom_f32_.data() + static_cast<std::size_t>(s) * d;
-      for (std::size_t c = 0; c < d; ++c) out[c] += row[c];
-    }
-    const float inv = 1.0f / static_cast<float>(ids.size());
-    for (std::size_t c = 0; c < d; ++c) out[c] *= inv;
-  }
-
-  const float* activations = pooled.data();
-  if (has_si_mlp_) {
-    // ReLU(pooled W + b) in f32 — the MLP is deliberately not quantized.
-    hidden.resize(batch.size() * d);
-    kern.gemm_f32(pooled.data(), si_weight_f32_.data(), batch.size(), d, d,
-                  hidden.data());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      float* row = hidden.data() + i * d;
-      for (std::size_t c = 0; c < d; ++c) {
-        row[c] += si_bias_f32_[c];
-        if (row[c] < 0.0f) row[c] = 0.0f;
-      }
-    }
-    activations = hidden.data();
-  }
+  // Mean-pool against the build-time dequantized symptom cache (each
+  // cached element is exactly (float)q * scale), then the f32 SI MLP —
+  // deliberately not quantized; only the herb GEMM below is.
+  const float* activations = PoolAndActivateF32(batch, &pooled, &hidden);
 
   // Quantize each activation row once, then one int8 B x d * d x H GEMM
   // (eq. 13). Row-wise quantization + exact i32 accumulation keep every
@@ -451,6 +458,199 @@ tensor::Matrix EmbeddingStore::ScoreBatchS8(
 std::vector<double> EmbeddingStore::ScoreOne(const CanonicalQuery& query) const {
   const tensor::Matrix scores = ScoreBatch({query});
   return std::vector<double>(scores.data(), scores.data() + scores.cols());
+}
+
+Result<audit::QueryAttribution> EmbeddingStore::Attribute(
+    const CanonicalQuery& query,
+    const std::vector<std::size_t>& herb_ids) const {
+  const std::size_t d = dim();
+  const std::size_t h = num_herbs();
+  const std::vector<int>& ids = query.symptom_ids;
+  if (ids.empty()) {
+    return Status::InvalidArgument("cannot attribute an empty symptom set");
+  }
+  for (int s : ids) {
+    if (s < 0 || static_cast<std::size_t>(s) >= num_symptoms()) {
+      return Status::InvalidArgument(
+          StrFormat("symptom id %d outside vocabulary", s));
+    }
+  }
+  for (std::size_t j : herb_ids) {
+    if (j >= h) {
+      return Status::InvalidArgument(
+          StrFormat("herb id %zu outside vocabulary", j));
+    }
+  }
+
+  // Recompute the served score row through this store's own batch-of-one
+  // path. Row independence makes this bit-identical to whatever batch the
+  // query was actually served in (and to a top-k cache hit, whose entry was
+  // produced by the same path), so attribution never needs the original
+  // batch context.
+  const std::vector<double> scores = ScoreOne(query);
+
+  // The activation row (post-pool, post-MLP) in the store's own arithmetic:
+  // plain double for f64, the shared f32 pipeline for f32 and int8. The
+  // widened copy drives the ReLU gates and the per-symptom dots below.
+  std::vector<double> act(d);
+  std::vector<float> act_f32;
+  if (precision_ == tensor::Precision::kFloat64) {
+    tensor::Matrix pooled = PoolSymptoms({query});
+    if (has_si_mlp_) {
+      tensor::Matrix hidden = pooled.MatMul(si_weight_);
+      const double* bias = si_bias_.row_data(0);
+      double* row = hidden.row_data(0);
+      for (std::size_t c = 0; c < d; ++c) {
+        row[c] += bias[c];
+        if (row[c] < 0.0) row[c] = 0.0;
+      }
+      pooled = std::move(hidden);
+    }
+    const double* row = pooled.row_data(0);
+    for (std::size_t c = 0; c < d; ++c) act[c] = row[c];
+  } else {
+    std::vector<float> pooled_scratch;
+    std::vector<float> hidden_scratch;
+    const float* a = PoolAndActivateF32({query}, &pooled_scratch,
+                                        &hidden_scratch);
+    act_f32.assign(a, a + d);
+    for (std::size_t c = 0; c < d; ++c) {
+      act[c] = static_cast<double>(act_f32[c]);
+    }
+  }
+
+  // int8: quantize the activation row exactly as the serving GEMM does, so
+  // the bipar dot below runs over the same integers the score used.
+  std::vector<std::int8_t> act_q;
+  float act_scale = 0.0f;
+  if (precision_ == tensor::Precision::kInt8) {
+    act_q.resize(d);
+    act_scale = tensor::quantize::QuantizeRowF32(act_f32.data(), d,
+                                                 act_q.data());
+  }
+
+  // Widened views of the store's own tables (narrowed f32 / dequantized
+  // int8 values — the values the served score actually saw, not the
+  // original f64 checkpoint).
+  const auto symptom_at = [&](int s, std::size_t c) -> double {
+    if (precision_ == tensor::Precision::kFloat64) {
+      return symptom_embeddings_.row_data(static_cast<std::size_t>(s))[c];
+    }
+    return static_cast<double>(
+        symptom_f32_[static_cast<std::size_t>(s) * d + c]);
+  };
+  const auto herb_at = [&](std::size_t j, std::size_t c) -> double {
+    switch (precision_) {
+      case tensor::Precision::kFloat32:
+        return static_cast<double>(herbs_t_f32_[c * h + j]);
+      case tensor::Precision::kInt8:
+        return static_cast<double>(herbs_t_s8_[c * h + j]) *
+               static_cast<double>(herb_scales_[j]);
+      case tensor::Precision::kFloat64:
+        break;
+    }
+    return herb_embeddings_t_.row_data(c)[j];
+  };
+  const auto weight_at = [&](std::size_t k, std::size_t c) -> double {
+    if (precision_ == tensor::Precision::kFloat64) {
+      return si_weight_.row_data(k)[c];
+    }
+    return static_cast<double>(si_weight_f32_[k * d + c]);
+  };
+  const auto bias_at = [&](std::size_t c) -> double {
+    if (precision_ == tensor::Precision::kFloat64) {
+      return si_bias_.row_data(0)[c];
+    }
+    return static_cast<double>(si_bias_f32_[c]);
+  };
+
+  audit::QueryAttribution out;
+  out.symptom_ids = ids;
+  out.herbs.reserve(herb_ids.size());
+  std::vector<double> gated(d);
+  std::vector<double> w_vec(d);
+  for (std::size_t j : herb_ids) {
+    audit::HerbAttribution herb;
+    herb.herb_id = j;
+    herb.score = scores[j];
+
+    // Fusion axis: bipar is the activation row dotted with the pre-fusion
+    // component at the store's own precision; the residual anchors
+    // bipar + synergy == score bit-exactly.
+    if (has_herb_bipar_) {
+      herb.has_components = true;
+      double bipar = 0.0;
+      switch (precision_) {
+        case tensor::Precision::kFloat64: {
+          const double* b_row = herb_bipar_.row_data(j);
+          for (std::size_t c = 0; c < d; ++c) bipar += act[c] * b_row[c];
+          break;
+        }
+        case tensor::Precision::kFloat32: {
+          const float* b_row = herb_bipar_f32_.data() + j * d;
+          for (std::size_t c = 0; c < d; ++c) {
+            bipar += static_cast<double>(act_f32[c]) *
+                     static_cast<double>(b_row[c]);
+          }
+          break;
+        }
+        case tensor::Precision::kInt8: {
+          // Same integer dot + f32 scale application shape as the serving
+          // kernels; exact i32 accumulation, one rounding per scale.
+          const std::int8_t* b_row = herb_bipar_s8_.data() + j * d;
+          std::int32_t acc = 0;
+          for (std::size_t c = 0; c < d; ++c) {
+            acc += static_cast<std::int32_t>(act_q[c]) *
+                   static_cast<std::int32_t>(b_row[c]);
+          }
+          bipar = static_cast<double>((static_cast<float>(acc) * act_scale) *
+                                      herb_bipar_scales_[j]);
+          break;
+        }
+      }
+      herb.bipar = bipar;
+      herb.synergy = audit::ExactResidual(herb.score, herb.bipar, &herb.exact);
+    } else {
+      herb.bipar = herb.score;
+      herb.synergy = 0.0;
+    }
+
+    // Pooling axis: linearize through the frozen ReLU gates (audit.h), so
+    // score == sum(per_symptom) + pool_bias up to the anchored residual.
+    if (has_si_mlp_) {
+      for (std::size_t c = 0; c < d; ++c) {
+        gated[c] = act[c] > 0.0 ? herb_at(j, c) : 0.0;
+      }
+      for (std::size_t k = 0; k < d; ++k) {
+        double w = 0.0;
+        for (std::size_t c = 0; c < d; ++c) w += weight_at(k, c) * gated[c];
+        w_vec[k] = w;
+      }
+      double pool_bias = 0.0;
+      for (std::size_t c = 0; c < d; ++c) pool_bias += bias_at(c) * gated[c];
+      herb.pool_bias = pool_bias;
+    } else {
+      for (std::size_t c = 0; c < d; ++c) w_vec[c] = herb_at(j, c);
+      herb.pool_bias = 0.0;
+    }
+    const double inv = 1.0 / static_cast<double>(ids.size());
+    herb.per_symptom.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      double dot = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        dot += symptom_at(ids[i], c) * w_vec[c];
+      }
+      herb.per_symptom[i] = inv * dot;
+    }
+    double fold = 0.0;
+    for (double v : herb.per_symptom) fold += v;
+    fold += herb.pool_bias;
+    bool pool_exact = true;
+    herb.pool_residual = audit::ExactResidual(herb.score, fold, &pool_exact);
+    herb.exact = herb.exact && pool_exact;
+    out.herbs.push_back(std::move(herb));
+  }
+  return out;
 }
 
 }  // namespace serve

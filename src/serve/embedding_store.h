@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/core/artifact.h"
 #include "src/core/checkpoint.h"
 #include "src/serve/query.h"
@@ -104,6 +105,26 @@ class EmbeddingStore {
   /// Herb scores for a single canonical query.
   std::vector<double> ScoreOne(const CanonicalQuery& query) const;
 
+  /// True when the store carries the pre-fusion Bipar-GCN herb component
+  /// and Attribute() can split scores into bipar + synergy.
+  bool has_herb_bipar() const { return has_herb_bipar_; }
+
+  /// Decomposes the served score of each herb in `herb_ids` for `query`
+  /// (see src/audit/audit.h for the math and the exact-residual contract).
+  /// The score itself is recomputed here through this store's own serving
+  /// path with batch size 1 — bit-identical to any served batch row by the
+  /// row-independence contract, so attribution needs no plumbing through
+  /// the batcher or the top-k cache. The fusion split requires
+  /// has_herb_bipar(); without it each herb reports bipar == score,
+  /// synergy == 0 and has_components == false. Per-symptom contributions
+  /// are computed in double over the store's own (narrowed / dequantized)
+  /// tables; both reconstructions are anchored bit-exactly by their
+  /// residual terms at every precision, and the residual magnitudes are
+  /// the store's attribution fidelity bound (exact zeros at f64).
+  Result<audit::QueryAttribution> Attribute(
+      const CanonicalQuery& query,
+      const std::vector<std::size_t>& herb_ids) const;
+
  private:
   EmbeddingStore() = default;
 
@@ -116,6 +137,13 @@ class EmbeddingStore {
   /// widens straight into caller rows.
   const float* ScoreBatchF32Raw(const std::vector<CanonicalQuery>& batch) const;
   const float* ScoreBatchS8Raw(const std::vector<CanonicalQuery>& batch) const;
+  /// Shared f32 mean-pool + SI MLP (both reduced-precision paths run the
+  /// identical f32 pipeline up to the herb GEMM). Writes into the caller's
+  /// scratch (the raw scorers pass their thread_locals; Attribute passes
+  /// locals) and returns the activation block, batch x d.
+  const float* PoolAndActivateF32(const std::vector<CanonicalQuery>& batch,
+                                  std::vector<float>* pooled,
+                                  std::vector<float>* hidden) const;
 
   std::string model_name_;
   tensor::Precision precision_ = tensor::Precision::kFloat64;
@@ -123,12 +151,16 @@ class EmbeddingStore {
   std::size_t num_herbs_ = 0;
   std::size_t dim_ = 0;
   bool has_si_mlp_ = false;
+  bool has_herb_bipar_ = false;
 
   // f64 (reference) payloads; empty when precision_ == kFloat32.
   tensor::Matrix symptom_embeddings_;  // S x d
   tensor::Matrix herb_embeddings_t_;   // d x H, GEMM-friendly serving layout
   tensor::Matrix si_weight_;           // d x d
   tensor::Matrix si_bias_;             // 1 x d
+  // Pre-fusion Bipar-GCN herb component for attribution (H x d, row-major:
+  // it is only ever read one herb row at a time, never GEMMed).
+  tensor::Matrix herb_bipar_;
 
   // f32 payloads (same layouts); empty when precision_ == kFloat64. The
   // int8 store reuses si_weight_f32_/si_bias_f32_ for its f32 SI MLP and
@@ -140,6 +172,7 @@ class EmbeddingStore {
   std::vector<float> herbs_t_f32_;   // d x H
   std::vector<float> si_weight_f32_; // d x d
   std::vector<float> si_bias_f32_;   // d
+  std::vector<float> herb_bipar_f32_;  // H x d (row-major, attribution only)
 
   // int8 payloads; empty unless precision_ == kInt8. Scales are per
   // original matrix row: symptom_scales_[s] for symptom s's row,
@@ -148,6 +181,10 @@ class EmbeddingStore {
   std::vector<std::int8_t> herbs_t_s8_;  // d x H (transposed serving layout)
   std::vector<float> symptom_scales_;    // S
   std::vector<float> herb_scales_;       // H
+  // Attribution component, quantized per herb row like the embeddings but
+  // kept row-major (H x d): Attribute reads whole herb rows.
+  std::vector<std::int8_t> herb_bipar_s8_;
+  std::vector<float> herb_bipar_scales_;  // H
 
   // Build-time pre-pack of herbs_t_s8_ in the active kernel backend's
   // gemm_s8_packed layout — another derived cache (herbs_t_s8_ stays the

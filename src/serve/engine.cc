@@ -36,6 +36,25 @@ std::uint64_t NextSnapshotSalt() {
   return CombineKey(0x5347434e53414c54ull /* "SGCNSALT" */,
                     next.fetch_add(1, std::memory_order_relaxed));
 }
+
+/// Process-unique request ids for the audit trail: a counter run through
+/// the same mixer (so consecutive ids share no visible structure), rendered
+/// as 16 lowercase hex chars.
+std::string MintRequestId() {
+  static std::atomic<std::uint64_t> next{1};
+  const std::uint64_t id = CombineKey(
+      0x534d47434e524944ull /* "SMGCNRID" */,
+      next.fetch_add(1, std::memory_order_relaxed));
+  return StrFormat("%016llx", static_cast<unsigned long long>(id));
+}
+
+/// Marks the request on the Chrome trace timeline so a slow-log or
+/// response id can be located among the serve.gemm/execute_batch spans.
+/// Interning per id is a lock + string build, so it only runs while a
+/// trace is being recorded.
+void TraceRequestInstant(const std::string& request_id) {
+  if (obs::trace::Enabled()) obs::trace::Instant("request/" + request_id);
+}
 }  // namespace
 
 Result<std::shared_ptr<const ModelSnapshot>> MakeModelSnapshot(
@@ -382,6 +401,12 @@ std::vector<Response> ServingEngine::HandleBatch(
     Response& resp = out[i];
     resp.model = snap->store.model_name();
     resp.version = snap->version;
+    // Every admitted request carries a correlation id from here on —
+    // client-supplied or minted — echoed even on per-request errors.
+    resp.request_id = requests[i].request_id.empty()
+                          ? MintRequestId()
+                          : requests[i].request_id;
+    TraceRequestInstant(resp.request_id);
     const Status pins = CheckPins(requests[i], snap);
     if (!pins.ok()) {
       resp.status = FromInternalStatus(pins);
@@ -439,6 +464,16 @@ std::vector<Response> ServingEngine::HandleBatch(
                                       slow_log_.enabled() ? &stages : nullptr);
     for (std::size_t j = 0; j < idx.size(); ++j) {
       out[idx[j]].herb_ids = std::move(results[j]);
+      if (requests[idx[j]].attribution && !out[idx[j]].herb_ids.empty()) {
+        // Opt-in score decomposition over the ranked ids. Ids were
+        // validated above, so Attribute can only succeed here; the ok()
+        // guard keeps an attribution failure from failing the request.
+        auto attribution =
+            snap->store.Attribute(canonical[idx[j]], out[idx[j]].herb_ids);
+        if (attribution.ok()) {
+          out[idx[j]].attribution = *std::move(attribution);
+        }
+      }
       if (slow_log_.enabled()) slow_candidates.emplace_back(idx[j], stages[j]);
     }
     answered += idx.size();
@@ -456,6 +491,9 @@ std::vector<Response> ServingEngine::HandleBatch(
       record.topk_seconds = candidate.second.topk_seconds;
       record.cache_hit = candidate.second.cache_hit;
       record.batch_size = candidate.second.batch_size;
+      record.request_id = out[candidate.first].request_id;
+      record.model = snap->store.model_name();
+      record.model_version = snap->version;
       slow_log_.Record(std::move(record));
     }
   }
@@ -472,6 +510,7 @@ std::vector<Response> ServingEngine::HandleBatch(
                     requests[i].deadline_ms, elapsed_ms);
       out[i].herb_ids.clear();
       out[i].scores.clear();
+      out[i].attribution.reset();
     }
   }
   return out;
@@ -512,6 +551,8 @@ Result<std::vector<std::vector<std::size_t>>> ServingEngine::RecommendBatch(
       record.topk_seconds = stages[i].topk_seconds;
       record.cache_hit = stages[i].cache_hit;
       record.batch_size = stages[i].batch_size;
+      record.model = snap->store.model_name();
+      record.model_version = snap->version;
       slow_log_.Record(std::move(record));
     }
   }
@@ -536,9 +577,7 @@ Result<std::vector<std::size_t>> ServingEngine::Recommend(
   return std::move(batch.front());
 }
 
-void ServingEngine::SubmitInternal(std::vector<int> symptoms, std::size_t k,
-                                   double deadline_ms, std::string model_pin,
-                                   std::string version_pin, DeliverFn deliver) {
+void ServingEngine::SubmitInternal(Request incoming, DeliverFn deliver) {
   submitted_->Increment();
   PendingRequest request;
   request.enqueue_time = std::chrono::steady_clock::now();
@@ -546,29 +585,36 @@ void ServingEngine::SubmitInternal(std::vector<int> symptoms, std::size_t k,
   // scores it on this snapshot even if a Publish lands first. Pins are
   // checked against this same snapshot — no gap for a swap to slip into.
   request.snapshot = Snapshot();
-  if (!model_pin.empty() || !version_pin.empty()) {
-    Request pins;
-    pins.model = std::move(model_pin);
-    pins.version = std::move(version_pin);
-    const Status pin_status = CheckPins(pins, request.snapshot);
+  // The correlation id exists from admission: every outcome below —
+  // rejection, shedding, deadline, success — is attributable to it.
+  request.request_id = incoming.request_id.empty()
+                           ? MintRequestId()
+                           : std::move(incoming.request_id);
+  request.attribution = incoming.attribution;
+  TraceRequestInstant(request.request_id);
+  if (!incoming.model.empty() || !incoming.version.empty()) {
+    const Status pin_status = CheckPins(incoming, request.snapshot);
     if (!pin_status.ok()) {
-      deliver(pin_status, {}, request.snapshot);
+      deliver(pin_status, {}, std::nullopt, request.request_id,
+              request.snapshot);
       return;
     }
   }
   // Clamp over-catalog ks at admission so they micro-batch into one
   // (snapshot, k) group; RecommendCanonical clamps again for the sync path.
-  request.k = std::min(k, request.snapshot->store.num_herbs());
-  auto query = Canonicalize(symptoms, request.snapshot->store.num_symptoms());
+  request.k = std::min(incoming.top_k, request.snapshot->store.num_herbs());
+  auto query = Canonicalize(incoming.symptoms,
+                            request.snapshot->store.num_symptoms());
   if (!query.ok()) {
-    deliver(query.status(), {}, request.snapshot);
+    deliver(query.status(), {}, std::nullopt, request.request_id,
+            request.snapshot);
     return;
   }
   request.query = *std::move(query);
-  if (deadline_ms > 0.0) {
+  if (incoming.deadline_ms > 0.0) {
     const auto budget =
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::milli>(deadline_ms));
+            std::chrono::duration<double, std::milli>(incoming.deadline_ms));
     request.deadline = request.enqueue_time + budget;
     // Flush at 80% of the budget: the batcher stops waiting for stragglers
     // early enough to leave the GEMM headroom to finish in time.
@@ -597,7 +643,7 @@ void ServingEngine::SubmitInternal(std::vector<int> symptoms, std::size_t k,
   if (shut_down) {
     request.deliver(Status::FailedPrecondition(
                         "ServingEngine is shut down; no new queries accepted"),
-                    {}, request.snapshot);
+                    {}, std::nullopt, request.request_id, request.snapshot);
     return;
   }
   if (shed) {
@@ -606,7 +652,7 @@ void ServingEngine::SubmitInternal(std::vector<int> symptoms, std::size_t k,
         Status::ResourceExhausted(StrFormat(
             "admission queue full (max_queue_depth=%zu); load-shedding",
             options_.max_queue_depth)),
-        {}, request.snapshot);
+        {}, std::nullopt, request.request_id, request.snapshot);
     return;
   }
   queue_cv_.notify_one();
@@ -620,18 +666,22 @@ std::future<Response> ServingEngine::SubmitRequest(Request request) {
     resp.status = StatusCode::kInvalidArgument;
     resp.message =
         "dense-score mode (top_k == 0) is synchronous-only; use Handle";
+    resp.request_id = request.request_id;
     promise->set_value(std::move(resp));
     return future;
   }
   SubmitInternal(
-      std::move(request.symptoms), request.top_k, request.deadline_ms,
-      std::move(request.model), std::move(request.version),
+      std::move(request),
       [promise](const Status& status, std::vector<std::size_t> ids,
+                std::optional<audit::QueryAttribution> attribution,
+                const std::string& request_id,
                 const std::shared_ptr<const ModelSnapshot>& snap) {
         Response resp;
         resp.status = FromInternalStatus(status);
         if (!status.ok()) resp.message = status.message();
         resp.herb_ids = std::move(ids);
+        resp.attribution = std::move(attribution);
+        resp.request_id = request_id;
         if (snap != nullptr) {
           resp.model = snap->store.model_name();
           resp.version = snap->version;
@@ -649,10 +699,13 @@ std::future<Result<std::vector<std::size_t>>> ServingEngine::Submit(
   auto promise =
       std::make_shared<std::promise<Result<std::vector<std::size_t>>>>();
   auto future = promise->get_future();
+  Request request;
+  request.symptoms = std::move(symptoms);
+  request.top_k = k;
   SubmitInternal(
-      std::move(symptoms), k, /*deadline_ms=*/0.0, /*model_pin=*/{},
-      /*version_pin=*/{},
+      std::move(request),
       [promise](const Status& status, std::vector<std::size_t> ids,
+                std::optional<audit::QueryAttribution>, const std::string&,
                 const std::shared_ptr<const ModelSnapshot>&) {
         // The internal Status flows through verbatim, so error codes and
         // messages match the pre-Request contract bit for bit.
@@ -758,7 +811,7 @@ void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch,
                 std::chrono::duration<double, std::milli>(
                     execute_start - request.enqueue_time)
                     .count())),
-            {}, request.snapshot);
+            {}, std::nullopt, request.request_id, request.snapshot);
         continue;
       }
       if (live != i) batch[live] = std::move(batch[i]);
@@ -817,7 +870,19 @@ void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch,
         record.topk_seconds = s.topk_seconds;
         record.cache_hit = s.cache_hit;
         record.batch_size = s.batch_size;
+        record.request_id = request.request_id;
+        record.model = snap.store.model_name();
+        record.model_version = snap.version;
         slow_log_.Record(std::move(record));
+      }
+      // Attribution recomputes the query through the store's own scoring
+      // path (bit-identical by row independence), so computing it here —
+      // after the batched GEMM — decomposes exactly the scores just served.
+      std::optional<audit::QueryAttribution> attribution;
+      if (request.attribution && !results[i - begin].empty()) {
+        auto attributed = snap.store.Attribute(request.query,
+                                               results[i - begin]);
+        if (attributed.ok()) attribution = *std::move(attributed);
       }
       // Deadline post-check at delivery: a request that was feasible at
       // sweep time may still have blown its budget inside the GEMM; it
@@ -829,9 +894,10 @@ void ServingEngine::ExecuteBatch(std::vector<PendingRequest> batch,
             Status::DeadlineExceeded(StrFormat(
                 "deadline exceeded (answered after %.3f ms)",
                 total_seconds * 1e3)),
-            {}, request.snapshot);
+            {}, std::nullopt, request.request_id, request.snapshot);
       } else {
         request.deliver(Status::OK(), std::move(results[i - begin]),
+                        std::move(attribution), request.request_id,
                         request.snapshot);
       }
     }

@@ -49,6 +49,8 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -289,15 +291,23 @@ class ServingEngine {
   /// promise<Result<ids>> and forwards the internal Status verbatim —
   /// which is why the callback carries smgcn::Status, not the wire enum:
   /// the shim stays bit-identical to the pre-Request contract. Called
-  /// exactly once, never under queue_mu_. `snap` is the snapshot the
-  /// request was bound to (for Response attribution).
-  using DeliverFn =
-      std::function<void(const Status&, std::vector<std::size_t>,
-                         const std::shared_ptr<const ModelSnapshot>&)>;
+  /// exactly once, never under queue_mu_. `request_id` is the request's
+  /// correlation id (client-supplied or engine-minted); `attribution` is
+  /// the opt-in score decomposition, present only on successful ranked
+  /// answers that asked for it. `snap` is the snapshot the request was
+  /// bound to (for Response attribution).
+  using DeliverFn = std::function<void(
+      const Status&, std::vector<std::size_t>,
+      std::optional<audit::QueryAttribution>, const std::string& request_id,
+      const std::shared_ptr<const ModelSnapshot>&)>;
 
   struct PendingRequest {
     CanonicalQuery query;
     std::size_t k = 0;
+    /// Correlation id: Request::request_id or engine-minted at admission.
+    std::string request_id;
+    /// Whether to attach the score attribution to the answer.
+    bool attribution = false;
     /// The version this request was admitted under; ExecuteBatch scores it
     /// there, so async responses are attributable to exactly one publish.
     std::shared_ptr<const ModelSnapshot> snapshot;
@@ -357,12 +367,10 @@ class ServingEngine {
 
   /// The one async admission path (SubmitRequest and the Submit shim).
   /// Canonicalizes, applies the queue bound (shed → ResourceExhausted),
-  /// stamps deadline/flush_by, and enqueues. `deliver` is called exactly
-  /// once, possibly before this returns (validation errors, shedding,
-  /// shutdown).
-  void SubmitInternal(std::vector<int> symptoms, std::size_t k,
-                      double deadline_ms, std::string model_pin,
-                      std::string version_pin, DeliverFn deliver);
+  /// stamps request id / deadline / flush_by, and enqueues. `deliver` is
+  /// called exactly once, possibly before this returns (validation errors,
+  /// shedding, shutdown).
+  void SubmitInternal(Request request, DeliverFn deliver);
 
   void BatcherLoop();
   /// Scores one coalesced batch and fulfils its promises. Requests are

@@ -18,9 +18,11 @@
 #define SMGCN_SERVE_REQUEST_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/serve/status.h"
 
 namespace smgcn {
@@ -54,6 +56,17 @@ struct Request {
   /// exact version is active (kUnavailable otherwise). The consistency
   /// guard for callers that must not silently cross a hot swap.
   std::string version;
+
+  /// Client-chosen correlation id (<= 64 ASCII chars on the wire). Empty
+  /// means the engine mints one at admission; either way the id is echoed
+  /// in Response.request_id and stamped on the slow-query log and trace so
+  /// one request can be followed across every audit surface.
+  std::string request_id;
+
+  /// Ranked mode only: also return a per-herb score attribution
+  /// (src/audit/audit.h) for the top-k herbs. Costs one extra single-query
+  /// scoring pass plus the decomposition dots, so it is opt-in per request.
+  bool attribution = false;
 };
 
 /// The answer to a Request. `status` is the closed serving vocabulary
@@ -73,6 +86,16 @@ struct Response {
   /// error responses are attributable to one publish).
   std::string model;
   std::string version;
+
+  /// The request's correlation id: Request.request_id when the client
+  /// supplied one, else the engine-minted id. Set on every response that
+  /// reached an engine, including errors.
+  std::string request_id;
+
+  /// Per-herb score attribution for Response.herb_ids (same order), present
+  /// only when Request.attribution was set and the request succeeded in
+  /// ranked mode.
+  std::optional<audit::QueryAttribution> attribution;
 
   bool ok() const { return status == StatusCode::kOk; }
 };

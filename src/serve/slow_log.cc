@@ -17,6 +17,12 @@ std::string Ms(double seconds) {
 
 std::string SlowQueryRecord::ToString() const {
   std::ostringstream out;
+  if (!request_id.empty()) out << "id=" << request_id << " ";
+  if (!model.empty()) {
+    out << "model=" << model;
+    if (!model_version.empty()) out << "/" << model_version;
+    out << " ";
+  }
   out << "total=" << Ms(total_seconds) << " queue=" << Ms(queue_seconds)
       << " coalesce=" << Ms(coalesce_seconds) << " gemm=" << Ms(gemm_seconds)
       << " topk=" << Ms(topk_seconds) << " k=" << k << " batch=" << batch_size
@@ -62,10 +68,18 @@ std::string SlowQueryLog::RenderMarkdown() const {
     out << "\n(no slow queries)\n";
     return out.str();
   }
-  out << "\n| total | queue | coalesce | gemm | topk | k | batch | cache | "
-         "symptoms |\n|---|---|---|---|---|---|---|---|---|\n";
+  out << "\n| id | model | total | queue | coalesce | gemm | topk | k | "
+         "batch | cache | symptoms |\n|---|---|---|---|---|---|---|---|---|"
+         "---|---|\n";
   for (const SlowQueryRecord& r : entries) {
-    out << "| " << Ms(r.total_seconds) << " | " << Ms(r.queue_seconds)
+    out << "| " << (r.request_id.empty() ? "-" : r.request_id) << " | ";
+    if (r.model.empty()) {
+      out << "-";
+    } else {
+      out << r.model;
+      if (!r.model_version.empty()) out << "/" << r.model_version;
+    }
+    out << " | " << Ms(r.total_seconds) << " | " << Ms(r.queue_seconds)
         << " | " << Ms(r.coalesce_seconds) << " | " << Ms(r.gemm_seconds)
         << " | " << Ms(r.topk_seconds) << " | " << r.k << " | "
         << r.batch_size << " | " << (r.cache_hit ? "hit" : "miss") << " | [";

@@ -36,10 +36,13 @@ struct SlowQueryRecord {
   double topk_seconds = 0.0;      // share of selection + cache insert
   bool cache_hit = false;         // answered from the top-k cache
   std::size_t batch_size = 0;     // queries scored alongside this one
+  std::string request_id;         // correlation id (audit trail)
+  std::string model;              // which model answered
+  std::string model_version;      // which publish answered
 
   /// One human-readable line, e.g.
-  /// "total=12.3ms queue=8.1ms coalesce=1.0ms gemm=2.8ms topk=0.4ms k=10
-  ///  batch=64 symptoms=[1,4,9]".
+  /// "id=a1b2 model=demo/v3 total=12.3ms queue=8.1ms coalesce=1.0ms
+  ///  gemm=2.8ms topk=0.4ms k=10 batch=64 symptoms=[1,4,9]".
   std::string ToString() const;
 };
 

@@ -268,6 +268,79 @@ TEST(ArtifactTest, Int8ConverterMatchesInMemoryQuantization) {
   EXPECT_EQ(artifact->precision(), tensor::Precision::kInt8);
 }
 
+TEST(ArtifactTest, HerbBiparSectionRoundTripsAtEveryPrecision) {
+  Rng rng(77);
+  InferenceCheckpoint original = MakeCheckpoint(true);
+  original.has_herb_bipar = true;
+  original.herb_bipar =
+      Matrix::RandomNormal(original.herb_embeddings.rows(),
+                           original.herb_embeddings.cols(), 0.0, 0.5, &rng);
+  ASSERT_TRUE(original.Validate().ok());
+
+  for (const tensor::Precision precision :
+       {tensor::Precision::kFloat64, tensor::Precision::kFloat32,
+        tensor::Precision::kInt8}) {
+    const std::string path = testing::TempDir() + "/smgcn_bipar.smga";
+    ASSERT_TRUE(SaveArtifact(original, "v4", path, precision).ok());
+    auto artifact = MappedArtifact::Open(path);
+    ASSERT_TRUE(artifact.ok()) << artifact.status();
+    EXPECT_EQ(artifact->format_version(), kArtifactFormatVersion);
+    EXPECT_TRUE(artifact->has_herb_bipar());
+    const MappedArtifact::SectionView bipar = artifact->herb_bipar();
+    EXPECT_EQ(bipar.rows, original.herb_bipar.rows());
+    EXPECT_EQ(bipar.cols, original.herb_bipar.cols());
+
+    auto restored = artifact->ToCheckpoint();
+    ASSERT_TRUE(restored.ok()) << restored.status();
+    EXPECT_TRUE(restored->has_herb_bipar);
+    ASSERT_EQ(restored->herb_bipar.rows(), original.herb_bipar.rows());
+    if (precision == tensor::Precision::kFloat64) {
+      // Bit-exact at f64.
+      EXPECT_EQ(restored->herb_bipar, original.herb_bipar);
+      EXPECT_TRUE(ViewEqualsMatrix(bipar, original.herb_bipar));
+    } else if (precision == tensor::Precision::kFloat32) {
+      for (std::size_t i = 0; i < original.herb_bipar.size(); ++i) {
+        EXPECT_EQ(restored->herb_bipar.data()[i],
+                  static_cast<double>(static_cast<float>(
+                      original.herb_bipar.data()[i])));
+      }
+    } else {
+      // int8: resaving the dequantized checkpoint reproduces the file.
+      const std::string again = testing::TempDir() + "/smgcn_bipar2.smga";
+      ASSERT_TRUE(SaveArtifact(*restored, "v4", again, precision).ok());
+      EXPECT_EQ(ReadFile(path), ReadFile(again));
+    }
+  }
+}
+
+TEST(ArtifactTest, WithoutHerbBiparSectionViewIsEmpty) {
+  const std::string path = testing::TempDir() + "/smgcn_nobipar.smga";
+  ASSERT_TRUE(SaveArtifact(MakeCheckpoint(true), "v1", path).ok());
+  auto artifact = MappedArtifact::Open(path);
+  ASSERT_TRUE(artifact.ok()) << artifact.status();
+  EXPECT_FALSE(artifact->has_herb_bipar());
+  EXPECT_EQ(artifact->herb_bipar().data, nullptr);
+  auto restored = artifact->ToCheckpoint();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->has_herb_bipar);
+}
+
+TEST(ArtifactTest, HerbBiparConverterMatchesDirectSave) {
+  Rng rng(78);
+  InferenceCheckpoint original = MakeCheckpoint(true);
+  original.has_herb_bipar = true;
+  original.herb_bipar =
+      Matrix::RandomNormal(original.herb_embeddings.rows(),
+                           original.herb_embeddings.cols(), 0.0, 0.5, &rng);
+  const std::string text_path = testing::TempDir() + "/smgcn_biparcvt.ckpt";
+  const std::string converted = testing::TempDir() + "/smgcn_biparcvt.smga";
+  const std::string direct = testing::TempDir() + "/smgcn_bipardirect.smga";
+  ASSERT_TRUE(SaveInferenceCheckpoint(original, text_path).ok());
+  ASSERT_TRUE(ConvertCheckpointToArtifact(text_path, "v4", converted).ok());
+  ASSERT_TRUE(SaveArtifact(original, "v4", direct).ok());
+  EXPECT_EQ(ReadFile(converted), ReadFile(direct));
+}
+
 TEST(ArtifactTest, SaveRejectsInvalidInput) {
   EXPECT_FALSE(SaveArtifact(InferenceCheckpoint{}, "v1",
                             testing::TempDir() + "/smgcn_bad.smga")

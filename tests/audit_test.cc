@@ -1,0 +1,226 @@
+// Tests for src/audit: the ExactResidual anchor and the f64 reference
+// attribution (AttributeFromCheckpoint). The serving-side parity across
+// precisions, paths and thread counts lives in serve_test.cc; the wire
+// round trip in net_test.cc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/audit/audit.h"
+#include "src/core/checkpoint.h"
+#include "src/tensor/matrix.h"
+#include "src/util/random.h"
+
+namespace smgcn {
+namespace audit {
+namespace {
+
+core::InferenceCheckpoint MakeCheckpoint(bool with_si_mlp,
+                                         bool with_herb_bipar) {
+  Rng rng(907);
+  core::InferenceCheckpoint ckpt;
+  ckpt.model_name = "audit-test";
+  ckpt.symptom_embeddings = tensor::Matrix::RandomNormal(24, 8, 0.0, 1.0, &rng);
+  ckpt.herb_embeddings = tensor::Matrix::RandomNormal(40, 8, 0.0, 1.0, &rng);
+  ckpt.has_si_mlp = with_si_mlp;
+  if (with_si_mlp) {
+    ckpt.si_weight = tensor::Matrix::RandomNormal(8, 8, 0.0, 0.5, &rng);
+    ckpt.si_bias = tensor::Matrix::RandomNormal(1, 8, 0.0, 0.5, &rng);
+  }
+  if (with_herb_bipar) {
+    ckpt.has_herb_bipar = true;
+    ckpt.herb_bipar = tensor::Matrix::RandomNormal(40, 8, 0.0, 0.5, &rng);
+  }
+  return ckpt;
+}
+
+// --------------------------------------------------------------------------
+// ExactResidual
+// --------------------------------------------------------------------------
+
+// No single residual double can reach every target: under cancellation the
+// residual's ulp grid steps over the target, and a sub-ulp residue of
+// exactly half an ulp makes round-ties-to-even land every candidate on the
+// even neighbor of an odd-mantissa target. The contract is therefore: when
+// `exact` is reported the sum reconstructs bit-exactly; when it is not, no
+// exact residual exists and the returned one lands within 1 ulp of the
+// larger operand. Component-style pairs (|partial| <= |target|, the shape
+// of a served top-k decomposition) are exact in the overwhelming majority.
+TEST(ExactResidualTest, ExactOrWithinOneUlp) {
+  Rng rng(11);
+  int component_exact = 0;
+  constexpr int kTrials = 1000;
+  for (int i = 0; i < kTrials; ++i) {
+    // Component-style: the partial is a same-sign fraction of the target.
+    double target = rng.Normal(0.0, 10.0);
+    double partial = target * rng.Uniform(0.0, 1.0);
+    bool exact = false;
+    double r = ExactResidual(target, partial, &exact);
+    if (exact) {
+      ++component_exact;
+      EXPECT_EQ(partial + r, target);
+    } else {
+      EXPECT_LE(std::abs((partial + r) - target), 3e-16 * std::abs(target))
+          << "target=" << target << " partial=" << partial;
+    }
+    // Fully independent pair: cancellation included.
+    target = rng.Normal(0.0, 10.0);
+    partial = rng.Normal(0.0, 10.0);
+    r = ExactResidual(target, partial, &exact);
+    const double scale = std::max(std::abs(target), std::abs(partial));
+    if (exact) {
+      EXPECT_EQ(partial + r, target);
+    } else {
+      EXPECT_LE(std::abs((partial + r) - target), 3e-16 * scale)
+          << "target=" << target << " partial=" << partial;
+    }
+  }
+  // Measured rate is ~98%; anything below 90% means the walk regressed.
+  EXPECT_GT(component_exact, kTrials * 9 / 10);
+}
+
+TEST(ExactResidualTest, ZeroPartialReturnsTarget) {
+  bool exact = false;
+  EXPECT_EQ(ExactResidual(1.25, 0.0, &exact), 1.25);
+  EXPECT_TRUE(exact);
+  EXPECT_EQ(ExactResidual(0.0, 0.0, &exact), 0.0);
+  EXPECT_TRUE(exact);
+}
+
+TEST(ExactResidualTest, NullExactPointerIsAllowed) {
+  const double r = ExactResidual(3.5, 1.25, nullptr);
+  EXPECT_EQ(1.25 + r, 3.5);
+}
+
+TEST(ExactResidualTest, PathologicalMagnitudeGapClearsExactFlag) {
+  // ulp(1e300) is astronomically larger than 1.0: no double r satisfies
+  // 1e300 + r == 1.0 going through fl(), so the flag must drop instead of
+  // looping forever.
+  bool exact = true;
+  const double r = ExactResidual(1.0, 1e300, &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_TRUE(std::isfinite(r));
+}
+
+// --------------------------------------------------------------------------
+// AttributeFromCheckpoint
+// --------------------------------------------------------------------------
+
+TEST(AttributeTest, ScoresMatchCheckpointRecommenderBitExactly) {
+  auto ckpt = MakeCheckpoint(/*with_si_mlp=*/true, /*with_herb_bipar=*/true);
+  auto reference = core::CheckpointRecommender::FromCheckpoint(ckpt);
+  ASSERT_TRUE(reference.ok());
+  const std::vector<int> symptoms = {2, 4, 6, 11};
+  auto scores = reference->Score(symptoms);
+  ASSERT_TRUE(scores.ok());
+
+  // Decompose the full catalog: the served-top-k contract (every herb
+  // exact) is covered by serve_test; the full catalog additionally contains
+  // near-zero scores where cancellation can legitimately clear `exact`.
+  std::vector<std::size_t> herb_ids;
+  for (std::size_t h = 0; h < 40; ++h) herb_ids.push_back(h);
+  auto attr = AttributeFromCheckpoint(ckpt, symptoms, herb_ids);
+  ASSERT_TRUE(attr.ok()) << attr.status();
+  EXPECT_EQ(attr->symptom_ids, symptoms);
+  ASSERT_EQ(attr->herbs.size(), herb_ids.size());
+  int exact_count = 0;
+  for (std::size_t i = 0; i < attr->herbs.size(); ++i) {
+    const HerbAttribution& herb = attr->herbs[i];
+    EXPECT_EQ(herb.herb_id, herb_ids[i]);
+    // The decomposed score IS the model's score, not an approximation.
+    EXPECT_EQ(herb.score, (*scores)[herb_ids[i]]);
+    EXPECT_TRUE(herb.has_components);
+    ASSERT_EQ(herb.per_symptom.size(), symptoms.size());
+    if (herb.exact) {
+      ++exact_count;
+      // Both axes reconstruct bit-exactly whenever exact is reported.
+      EXPECT_EQ(herb.bipar + herb.synergy, herb.score);
+      EXPECT_EQ(ReconstructPooled(herb), herb.score);
+    } else {
+      const double scale = std::abs(herb.bipar) + std::abs(herb.score) + 1.0;
+      EXPECT_LE(std::abs(herb.bipar + herb.synergy - herb.score),
+                1e-15 * scale);
+      EXPECT_LE(std::abs(ReconstructPooled(herb) - herb.score),
+                1e-15 * scale);
+    }
+  }
+  // The inexact cases (residual-grid step-over or ties-to-even, on either
+  // split) are a minority even over the full catalog.
+  EXPECT_GE(exact_count, 30) << "of " << attr->herbs.size();
+}
+
+TEST(AttributeTest, F64ResidualsAreGenuinelySmall) {
+  // At f64 the residuals absorb only rounding, not quantization: they must
+  // be tiny relative to the score, or the decomposition is vacuous.
+  auto ckpt = MakeCheckpoint(true, true);
+  auto attr = AttributeFromCheckpoint(ckpt, {2, 4, 6}, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(attr.ok());
+  for (const HerbAttribution& herb : attr->herbs) {
+    const double scale = std::abs(herb.score) + 1.0;
+    EXPECT_LT(std::abs(herb.pool_residual), 1e-9 * scale);
+    // synergy is a real algebraic term here (act . r_h), typically O(score);
+    // only the pool residual is a rounding correction.
+  }
+}
+
+TEST(AttributeTest, PerSymptomOrderFollowsInputOrder) {
+  auto ckpt = MakeCheckpoint(true, true);
+  auto forward = AttributeFromCheckpoint(ckpt, {2, 4, 6}, {7});
+  auto reversed = AttributeFromCheckpoint(ckpt, {6, 4, 2}, {7});
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(reversed.ok());
+  const auto& f = forward->herbs[0].per_symptom;
+  const auto& r = reversed->herbs[0].per_symptom;
+  ASSERT_EQ(f.size(), 3u);
+  ASSERT_EQ(r.size(), 3u);
+  // Same contributions, permuted with the member list.
+  EXPECT_EQ(f[0], r[2]);
+  EXPECT_EQ(f[1], r[1]);
+  EXPECT_EQ(f[2], r[0]);
+}
+
+TEST(AttributeTest, NoMlpModelUsesHerbRowDirectly) {
+  auto ckpt = MakeCheckpoint(/*with_si_mlp=*/false, /*with_herb_bipar=*/true);
+  auto reference = core::CheckpointRecommender::FromCheckpoint(ckpt);
+  ASSERT_TRUE(reference.ok());
+  auto scores = reference->Score({1, 3, 5});
+  ASSERT_TRUE(scores.ok());
+  auto attr = AttributeFromCheckpoint(ckpt, {1, 3, 5}, {0, 9, 21});
+  ASSERT_TRUE(attr.ok());
+  for (const HerbAttribution& herb : attr->herbs) {
+    EXPECT_EQ(herb.score, (*scores)[herb.herb_id]);
+    EXPECT_EQ(herb.bipar + herb.synergy, herb.score);
+    EXPECT_EQ(ReconstructPooled(herb), herb.score);
+    // No MLP means no bias path: the pooled split is symptoms + residual.
+    EXPECT_EQ(herb.pool_bias, 0.0);
+  }
+}
+
+TEST(AttributeTest, NoBiparTableReportsWholeScoreAsBipar) {
+  auto ckpt = MakeCheckpoint(true, /*with_herb_bipar=*/false);
+  auto attr = AttributeFromCheckpoint(ckpt, {2, 4}, {0, 1});
+  ASSERT_TRUE(attr.ok());
+  for (const HerbAttribution& herb : attr->herbs) {
+    EXPECT_FALSE(herb.has_components);
+    EXPECT_EQ(herb.bipar, herb.score);
+    EXPECT_EQ(herb.synergy, 0.0);
+    EXPECT_EQ(ReconstructPooled(herb), herb.score);
+  }
+}
+
+TEST(AttributeTest, RejectsInvalidInputs) {
+  auto ckpt = MakeCheckpoint(true, true);
+  // Out-of-range symptom.
+  EXPECT_FALSE(AttributeFromCheckpoint(ckpt, {999}, {0}).ok());
+  // Out-of-range herb.
+  EXPECT_FALSE(AttributeFromCheckpoint(ckpt, {1}, {999}).ok());
+  // Empty symptom set.
+  EXPECT_FALSE(AttributeFromCheckpoint(ckpt, {}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace audit
+}  // namespace smgcn

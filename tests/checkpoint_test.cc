@@ -151,6 +151,54 @@ TEST(InferenceCheckpointTest, FileRoundTrip) {
   }
 }
 
+TEST(InferenceCheckpointTest, HerbBiparRoundTripUsesV2Header) {
+  Rng rng(6);
+  InferenceCheckpoint original = TinyCheckpoint(true);
+  original.has_herb_bipar = true;
+  original.herb_bipar = nn::XavierUniform(9, 4, &rng);
+  ASSERT_TRUE(original.Validate().ok());
+
+  const std::string path = testing::TempDir() + "/smgcn_infer_v2.ckpt";
+  ASSERT_TRUE(SaveInferenceCheckpoint(original, path).ok());
+  {
+    std::ifstream in(path);
+    std::string magic;
+    std::getline(in, magic);
+    EXPECT_EQ(magic, "smgcn-inference-checkpoint v2");
+  }
+  auto restored = LoadInferenceCheckpoint(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->has_herb_bipar);
+  EXPECT_EQ(restored->herb_bipar, original.herb_bipar);
+  EXPECT_EQ(restored->symptom_embeddings, original.symptom_embeddings);
+  EXPECT_EQ(restored->herb_embeddings, original.herb_embeddings);
+}
+
+TEST(InferenceCheckpointTest, WithoutHerbBiparKeepsV1Header) {
+  // Back-compat: a component-free checkpoint must stay byte-readable by
+  // pre-v2 loaders, so the writer keeps the v1 magic.
+  const std::string path = testing::TempDir() + "/smgcn_infer_v1.ckpt";
+  ASSERT_TRUE(SaveInferenceCheckpoint(TinyCheckpoint(true), path).ok());
+  std::ifstream in(path);
+  std::string magic;
+  std::getline(in, magic);
+  EXPECT_EQ(magic, "smgcn-inference-checkpoint v1");
+}
+
+TEST(InferenceCheckpointTest, ValidateCatchesBadHerbBipar) {
+  Rng rng(7);
+  auto bad = TinyCheckpoint(true);
+  bad.has_herb_bipar = true;
+  bad.herb_bipar = nn::XavierUniform(8, 4, &rng);  // row count mismatch
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.herb_bipar = nn::XavierUniform(9, 3, &rng);  // width mismatch
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.herb_bipar = nn::XavierUniform(9, 4, &rng);
+  EXPECT_TRUE(bad.Validate().ok());
+  bad.herb_bipar(0, 0) = std::nan("");
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
 TEST(InferenceCheckpointTest, LoadRejectsGarbage) {
   const std::string path = testing::TempDir() + "/smgcn_garbage.ckpt";
   {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/core/checkpoint.h"
 #include "src/net/client.h"
 #include "src/net/http.h"
@@ -43,6 +44,10 @@ core::InferenceCheckpoint MakeCheckpoint(std::size_t num_symptoms = 24,
   ckpt.has_si_mlp = true;
   ckpt.si_weight = tensor::Matrix::RandomNormal(dim, dim, 0.0, 0.5, &rng);
   ckpt.si_bias = tensor::Matrix::RandomNormal(1, dim, 0.0, 0.5, &rng);
+  // Pre-fusion Bipar-GCN herb table so attribution has real components.
+  ckpt.has_herb_bipar = true;
+  ckpt.herb_bipar =
+      tensor::Matrix::RandomNormal(num_herbs, dim, 0.0, 0.5, &rng);
   return ckpt;
 }
 
@@ -67,19 +72,57 @@ TEST(WireTest, RequestRoundTrip) {
   request.version = "v1";
   auto frame = wire::EncodeRequest(request);
   ASSERT_TRUE(frame.ok());
+  // No v2 field used: the encoder must emit a v1 frame (old servers parse).
+  EXPECT_EQ((*frame)[1], 1);
   std::uint32_t payload_len = 0;
-  ASSERT_TRUE(
-      wire::DecodeHeader(frame->data(), wire::kRequestMagic, &payload_len)
-          .ok());
+  std::uint8_t version = 0;
+  ASSERT_TRUE(wire::DecodeHeader(frame->data(), wire::kRequestMagic,
+                                 &payload_len, &version)
+                  .ok());
   ASSERT_EQ(frame->size(), wire::kHeaderBytes + payload_len);
   auto decoded = wire::DecodeRequestPayload(frame->data() + wire::kHeaderBytes,
-                                            payload_len);
+                                            payload_len, version);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->symptoms, request.symptoms);
   EXPECT_EQ(decoded->top_k, request.top_k);
   EXPECT_DOUBLE_EQ(decoded->deadline_ms, 7.5);  // micros resolution: exact
   EXPECT_EQ(decoded->model, "test-ckpt");
   EXPECT_EQ(decoded->version, "v1");
+  EXPECT_TRUE(decoded->request_id.empty());
+  EXPECT_FALSE(decoded->attribution);
+}
+
+TEST(WireTest, V2RequestRoundTrip) {
+  serve::Request request;
+  request.symptoms = {3, 8};
+  request.top_k = 5;
+  request.request_id = "client-abc-001";
+  request.attribution = true;
+  auto frame = wire::EncodeRequest(request);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[1], 2);
+  std::uint32_t payload_len = 0;
+  std::uint8_t version = 0;
+  ASSERT_TRUE(wire::DecodeHeader(frame->data(), wire::kRequestMagic,
+                                 &payload_len, &version)
+                  .ok());
+  EXPECT_EQ(version, 2);
+  auto decoded = wire::DecodeRequestPayload(frame->data() + wire::kHeaderBytes,
+                                            payload_len, version);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->symptoms, request.symptoms);
+  EXPECT_EQ(decoded->request_id, "client-abc-001");
+  EXPECT_TRUE(decoded->attribution);
+}
+
+TEST(WireTest, RejectsBadRequestIds) {
+  serve::Request request;
+  request.symptoms = {1};
+  request.top_k = 5;
+  request.request_id.assign(wire::kMaxWireRequestId + 1, 'x');
+  EXPECT_FALSE(wire::EncodeRequest(request).ok());
+  request.request_id = "has space";
+  EXPECT_FALSE(wire::EncodeRequest(request).ok());
 }
 
 TEST(WireTest, ResponseRoundTrip) {
@@ -91,18 +134,101 @@ TEST(WireTest, ResponseRoundTrip) {
   response.version = "v2";
   auto frame = wire::EncodeResponse(response);
   ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[1], 1);  // no v2 field used
   std::uint32_t payload_len = 0;
-  ASSERT_TRUE(
-      wire::DecodeHeader(frame->data(), wire::kResponseMagic, &payload_len)
-          .ok());
+  std::uint8_t version = 0;
+  ASSERT_TRUE(wire::DecodeHeader(frame->data(), wire::kResponseMagic,
+                                 &payload_len, &version)
+                  .ok());
   auto decoded = wire::DecodeResponsePayload(
-      frame->data() + wire::kHeaderBytes, payload_len);
+      frame->data() + wire::kHeaderBytes, payload_len, version);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->status, serve::StatusCode::kShedding);
   EXPECT_EQ(decoded->message, "admission queue full");
   EXPECT_EQ(decoded->herb_ids, response.herb_ids);
   EXPECT_EQ(decoded->model, "test-ckpt");
   EXPECT_EQ(decoded->version, "v2");
+}
+
+TEST(WireTest, V2ResponseRoundTripWithAttribution) {
+  serve::Response response;
+  response.status = serve::StatusCode::kOk;
+  response.herb_ids = {7, 0};
+  response.model = "test-ckpt";
+  response.version = "v3";
+  response.request_id = "req-42";
+  audit::QueryAttribution attr;
+  attr.symptom_ids = {1, 4, 9};
+  attr.herbs.resize(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    audit::HerbAttribution& herb = attr.herbs[i];
+    herb.herb_id = response.herb_ids[i];
+    herb.score = 1.25 + static_cast<double>(i) * 0.1;
+    herb.bipar = 0.75;
+    herb.synergy = herb.score - herb.bipar;
+    herb.pool_bias = -0.0625;
+    herb.pool_residual = 1e-17;
+    herb.has_components = true;
+    herb.exact = i == 0;
+    herb.per_symptom = {0.5, -0.25, 0.125 + static_cast<double>(i)};
+  }
+  response.attribution = attr;
+  auto frame = wire::EncodeResponse(response);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ((*frame)[1], 2);
+  std::uint32_t payload_len = 0;
+  std::uint8_t version = 0;
+  ASSERT_TRUE(wire::DecodeHeader(frame->data(), wire::kResponseMagic,
+                                 &payload_len, &version)
+                  .ok());
+  auto decoded = wire::DecodeResponsePayload(
+      frame->data() + wire::kHeaderBytes, payload_len, version);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, "req-42");
+  ASSERT_TRUE(decoded->attribution.has_value());
+  EXPECT_EQ(decoded->attribution->symptom_ids, attr.symptom_ids);
+  ASSERT_EQ(decoded->attribution->herbs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const audit::HerbAttribution& in = attr.herbs[i];
+    const audit::HerbAttribution& out = decoded->attribution->herbs[i];
+    EXPECT_EQ(out.herb_id, in.herb_id);
+    // f64 bit patterns on the wire: every term round-trips exactly.
+    EXPECT_EQ(out.score, in.score);
+    EXPECT_EQ(out.bipar, in.bipar);
+    EXPECT_EQ(out.synergy, in.synergy);
+    EXPECT_EQ(out.pool_bias, in.pool_bias);
+    EXPECT_EQ(out.pool_residual, in.pool_residual);
+    EXPECT_EQ(out.has_components, in.has_components);
+    EXPECT_EQ(out.exact, in.exact);
+    EXPECT_EQ(out.per_symptom, in.per_symptom);
+  }
+}
+
+TEST(WireTest, OversizedAttributionIsDroppedNotFatal) {
+  // An attribution block that would blow the 64 KiB frame cap is dropped;
+  // the ranking and request id still travel.
+  serve::Response response;
+  response.herb_ids.assign(10, 3);
+  response.request_id = "big";
+  audit::QueryAttribution attr;
+  attr.symptom_ids.assign(1000, 1);
+  attr.herbs.resize(10);
+  for (auto& herb : attr.herbs) herb.per_symptom.assign(1000, 0.0);
+  response.attribution = std::move(attr);
+  auto frame = wire::EncodeResponse(response);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_LE(frame->size(), wire::kHeaderBytes + wire::kMaxPayloadBytes);
+  std::uint32_t payload_len = 0;
+  std::uint8_t version = 0;
+  ASSERT_TRUE(wire::DecodeHeader(frame->data(), wire::kResponseMagic,
+                                 &payload_len, &version)
+                  .ok());
+  auto decoded = wire::DecodeResponsePayload(
+      frame->data() + wire::kHeaderBytes, payload_len, version);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, "big");
+  EXPECT_EQ(decoded->herb_ids.size(), 10u);
+  EXPECT_FALSE(decoded->attribution.has_value());
 }
 
 TEST(WireTest, EncodeRejectsUnrepresentableRequests) {
@@ -131,18 +257,22 @@ TEST(WireTest, DecoderRejectsMalformedFrames) {
   ASSERT_TRUE(frame.ok());
 
   std::uint32_t len = 0;
+  std::uint8_t ver = 0;
   // Wrong magic.
   std::vector<std::uint8_t> bad = *frame;
   bad[0] = 0x00;
-  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+  EXPECT_FALSE(
+      wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len, &ver).ok());
   // Response magic where a request is expected.
   bad = *frame;
   bad[0] = wire::kResponseMagic;
-  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+  EXPECT_FALSE(
+      wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len, &ver).ok());
   // Unknown version.
   bad = *frame;
   bad[1] = 99;
-  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+  EXPECT_FALSE(
+      wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len, &ver).ok());
   // Oversized declared length.
   bad = *frame;
   const std::uint32_t oversized = wire::kMaxPayloadBytes + 1;
@@ -150,24 +280,40 @@ TEST(WireTest, DecoderRejectsMalformedFrames) {
   bad[3] = static_cast<std::uint8_t>((oversized >> 8) & 0xFF);
   bad[4] = static_cast<std::uint8_t>((oversized >> 16) & 0xFF);
   bad[5] = static_cast<std::uint8_t>((oversized >> 24) & 0xFF);
-  EXPECT_FALSE(wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len).ok());
+  EXPECT_FALSE(
+      wire::DecodeHeader(bad.data(), wire::kRequestMagic, &len, &ver).ok());
 
   // Truncated payload (every prefix must decode to an error, never UB).
   const std::uint8_t* payload = frame->data() + wire::kHeaderBytes;
   const std::size_t payload_len = frame->size() - wire::kHeaderBytes;
   for (std::size_t cut = 0; cut < payload_len; ++cut) {
-    EXPECT_FALSE(wire::DecodeRequestPayload(payload, cut).ok()) << cut;
+    EXPECT_FALSE(wire::DecodeRequestPayload(payload, cut, 1).ok()) << cut;
   }
   // Trailing garbage: exact-size match is required.
   std::vector<std::uint8_t> padded(payload, payload + payload_len);
   padded.push_back(0);
   EXPECT_FALSE(
-      wire::DecodeRequestPayload(padded.data(), padded.size()).ok());
+      wire::DecodeRequestPayload(padded.data(), padded.size(), 1).ok());
   // A count field pointing past the buffer.
   std::vector<std::uint8_t> lying(payload, payload + payload_len);
   lying[6] = 0xFF;  // num_symptoms low byte
   lying[7] = 0xFF;
-  EXPECT_FALSE(wire::DecodeRequestPayload(lying.data(), lying.size()).ok());
+  EXPECT_FALSE(
+      wire::DecodeRequestPayload(lying.data(), lying.size(), 1).ok());
+
+  // Truncated v2 frames must error too, never read past the buffer.
+  serve::Request v2_request;
+  v2_request.symptoms = {1, 2};
+  v2_request.top_k = 5;
+  v2_request.request_id = "abc";
+  v2_request.attribution = true;
+  auto v2_frame = wire::EncodeRequest(v2_request);
+  ASSERT_TRUE(v2_frame.ok());
+  const std::uint8_t* v2_payload = v2_frame->data() + wire::kHeaderBytes;
+  const std::size_t v2_len = v2_frame->size() - wire::kHeaderBytes;
+  for (std::size_t cut = 0; cut < v2_len; ++cut) {
+    EXPECT_FALSE(wire::DecodeRequestPayload(v2_payload, cut, 2).ok()) << cut;
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -235,6 +381,80 @@ TEST(ServerTest, BinaryRoundTripMatchesInProcessHandle) {
   EXPECT_EQ(remote->herb_ids, local.herb_ids);
   EXPECT_EQ(remote->model, "test-ckpt");
   EXPECT_EQ(remote->version, "v1");
+  // v1 client fields: the server still minted and echoed a correlation id.
+  EXPECT_FALSE(remote->request_id.empty());
+}
+
+TEST(ServerTest, BinaryAttributionAndRequestIdRoundTrip) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  ClientOptions copts;
+  copts.port = (*server)->port();
+  auto client = Client::Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  serve::Request request;
+  request.symptoms = {2, 4, 6};
+  request.top_k = 7;
+  request.request_id = "wire-audit-1";
+  request.attribution = true;
+  auto response = (*client)->Call(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok()) << response->message;
+  EXPECT_EQ(response->request_id, "wire-audit-1");
+  ASSERT_TRUE(response->attribution.has_value());
+  const audit::QueryAttribution& attr = *response->attribution;
+  EXPECT_EQ(attr.symptom_ids, (std::vector<int>{2, 4, 6}));
+  ASSERT_EQ(attr.herbs.size(), response->herb_ids.size());
+  for (std::size_t i = 0; i < attr.herbs.size(); ++i) {
+    const audit::HerbAttribution& herb = attr.herbs[i];
+    EXPECT_EQ(herb.herb_id, response->herb_ids[i]);
+    EXPECT_TRUE(herb.has_components);
+    EXPECT_TRUE(herb.exact);
+    // f64 engine + f64 wire bit patterns: both reconstructions survive the
+    // network hop bit-exactly.
+    EXPECT_EQ(herb.bipar + herb.synergy, herb.score);
+    EXPECT_EQ(audit::ReconstructPooled(herb), herb.score);
+  }
+
+  // The same query without the flag returns no attribution block.
+  serve::Request plain = request;
+  plain.request_id.clear();
+  plain.attribution = false;
+  auto bare = (*client)->Call(plain);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(bare->attribution.has_value());
+  EXPECT_FALSE(bare->request_id.empty());
+  EXPECT_EQ(bare->herb_ids, response->herb_ids);
+}
+
+TEST(ServerTest, HttpAttributionAndRequestIdEcho) {
+  auto manager = MakeManager();
+  auto server = Server::Start(manager.get());
+  ASSERT_TRUE(server.ok());
+  const std::uint16_t port = (*server)->port();
+
+  auto result = HttpGet(
+      "127.0.0.1", port,
+      "/v1/recommend?symptoms=2,4,6&k=7&attribution=1&request_id=http-9");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, 200);
+  EXPECT_NE(result->head.find("X-Request-Id: http-9"), std::string::npos)
+      << result->head;
+  EXPECT_NE(result->body.find("\"request_id\":\"http-9\""),
+            std::string::npos)
+      << result->body;
+  EXPECT_NE(result->body.find("\"attribution\":{"), std::string::npos);
+  EXPECT_NE(result->body.find("\"bipar\":"), std::string::npos);
+  EXPECT_NE(result->body.find("\"synergy\":"), std::string::npos);
+  EXPECT_NE(result->body.find("\"per_symptom\":["), std::string::npos);
+
+  // Without the opt-in the body carries a minted id but no attribution.
+  auto plain = HttpGet("127.0.0.1", port, "/v1/recommend?symptoms=2,4,6&k=7");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->body.find("\"attribution\""), std::string::npos);
+  EXPECT_NE(plain->head.find("X-Request-Id: "), std::string::npos);
 }
 
 TEST(ServerTest, PipelinedResponsesComeBackInOrder) {
@@ -310,12 +530,15 @@ TEST(ServerTest, MalformedHeaderGetsErrorFrameThenClose) {
   std::uint8_t header[wire::kHeaderBytes];
   ASSERT_TRUE(ReadExact(fd->get(), header, sizeof(header), 2000).ok());
   std::uint32_t payload_len = 0;
+  std::uint8_t version = 0;
   ASSERT_TRUE(
-      wire::DecodeHeader(header, wire::kResponseMagic, &payload_len).ok());
+      wire::DecodeHeader(header, wire::kResponseMagic, &payload_len, &version)
+          .ok());
   std::vector<std::uint8_t> payload(payload_len);
   ASSERT_TRUE(
       ReadExact(fd->get(), payload.data(), payload.size(), 2000).ok());
-  auto response = wire::DecodeResponsePayload(payload.data(), payload.size());
+  auto response =
+      wire::DecodeResponsePayload(payload.data(), payload.size(), version);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->status, serve::StatusCode::kInvalidArgument);
 

@@ -387,22 +387,33 @@ TEST(ExporterTest, TextGolden) {
 
 TEST(ExporterTest, PrometheusGolden) {
   EXPECT_EQ(GoldenRegistry()->ExportPrometheus(),
+            "# HELP smgcn_a_count Instrument 'a.count'.\n"
             "# TYPE smgcn_a_count counter\n"
             "smgcn_a_count 5\n"
+            "# HELP smgcn_serve_modelmanager_publishes Model versions "
+            "published.\n"
             "# TYPE smgcn_serve_modelmanager_publishes counter\n"
             "smgcn_serve_modelmanager_publishes 3\n"
+            "# HELP smgcn_serve_modelmanager_rollbacks Model version "
+            "rollbacks.\n"
             "# TYPE smgcn_serve_modelmanager_rollbacks counter\n"
             "smgcn_serve_modelmanager_rollbacks 1\n"
+            "# HELP smgcn_b_gauge Instrument 'b.gauge'.\n"
             "# TYPE smgcn_b_gauge gauge\n"
             "smgcn_b_gauge 2.5\n"
+            "# HELP smgcn_serve_modelmanager_active_versions Model versions "
+            "currently resident.\n"
             "# TYPE smgcn_serve_modelmanager_active_versions gauge\n"
             "smgcn_serve_modelmanager_active_versions 4\n"
+            "# HELP smgcn_c_hist Instrument 'c.hist'.\n"
             "# TYPE smgcn_c_hist summary\n"
             "smgcn_c_hist{quantile=\"0.5\"} 0.001\n"
             "smgcn_c_hist{quantile=\"0.9\"} 0.001\n"
             "smgcn_c_hist{quantile=\"0.99\"} 0.001\n"
             "smgcn_c_hist_sum 0.001\n"
             "smgcn_c_hist_count 1\n"
+            "# HELP smgcn_serve_modelmanager_artifact_open_seconds Instrument "
+            "'serve.modelmanager.artifact_open.seconds'.\n"
             "# TYPE smgcn_serve_modelmanager_artifact_open_seconds summary\n"
             "smgcn_serve_modelmanager_artifact_open_seconds{quantile=\"0.5\"} "
             "0.001\n"

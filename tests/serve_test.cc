@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/core/artifact.h"
 #include "src/core/checkpoint.h"
 #include "src/obs/registry.h"
@@ -35,7 +36,8 @@ namespace {
 core::InferenceCheckpoint MakeCheckpoint(std::size_t num_symptoms = 24,
                                          std::size_t num_herbs = 40,
                                          std::size_t dim = 8,
-                                         bool with_si_mlp = true) {
+                                         bool with_si_mlp = true,
+                                         bool with_herb_bipar = false) {
   Rng rng(907);
   core::InferenceCheckpoint ckpt;
   ckpt.model_name = "test-ckpt";
@@ -47,6 +49,11 @@ core::InferenceCheckpoint MakeCheckpoint(std::size_t num_symptoms = 24,
   if (with_si_mlp) {
     ckpt.si_weight = tensor::Matrix::RandomNormal(dim, dim, 0.0, 0.5, &rng);
     ckpt.si_bias = tensor::Matrix::RandomNormal(1, dim, 0.0, 0.5, &rng);
+  }
+  if (with_herb_bipar) {
+    ckpt.has_herb_bipar = true;
+    ckpt.herb_bipar =
+        tensor::Matrix::RandomNormal(num_herbs, dim, 0.0, 0.5, &rng);
   }
   return ckpt;
 }
@@ -1403,6 +1410,253 @@ TEST(RequestSurfaceTest, ShutdownDrainAnswersQueuedRequests) {
   late.top_k = 5;
   EXPECT_EQ(engine->SubmitRequest(std::move(late)).get().status,
             StatusCode::kUnavailable);
+}
+
+// --------------------------------------------------------------------------
+// Score attribution (audit trail)
+// --------------------------------------------------------------------------
+
+// Asserts the two attribution identities hold bit-exactly and that the
+// attribution describes exactly the served ranking.
+void CheckAttributionInvariants(const Response& response,
+                                const std::vector<int>& canonical_symptoms) {
+  ASSERT_TRUE(response.attribution.has_value());
+  const audit::QueryAttribution& attr = *response.attribution;
+  EXPECT_EQ(attr.symptom_ids, canonical_symptoms);
+  ASSERT_EQ(attr.herbs.size(), response.herb_ids.size());
+  for (std::size_t i = 0; i < attr.herbs.size(); ++i) {
+    const audit::HerbAttribution& herb = attr.herbs[i];
+    EXPECT_EQ(herb.herb_id, response.herb_ids[i]);
+    EXPECT_TRUE(herb.exact);
+    ASSERT_EQ(herb.per_symptom.size(), canonical_symptoms.size());
+    // Residual-anchored: both reconstructions land on the served double
+    // exactly, at every precision.
+    EXPECT_EQ(herb.bipar + herb.synergy, herb.score);
+    EXPECT_EQ(audit::ReconstructPooled(herb), herb.score);
+  }
+}
+
+// The acceptance-criteria parity test: one walk over all three precisions,
+// 1 and 4 threads, and every serving path (sync per-query, sync batched,
+// cache-hit repeat, async micro-batched). The attribution must satisfy the
+// reconstruction identities everywhere and be bit-identical across paths
+// and thread counts (row independence).
+TEST(AttributionTest, ParityAcrossPrecisionsPathsAndThreads) {
+  const std::vector<int> symptoms = {6, 2, 4, 2};     // canonical: {2,4,6}
+  const std::vector<int> canonical = {2, 4, 6};
+  constexpr std::size_t kTopK = 7;
+  for (const tensor::Precision precision :
+       {tensor::Precision::kFloat64, tensor::Precision::kFloat32,
+        tensor::Precision::kInt8}) {
+    // herbs[path][thread-config] collected for cross-path comparison.
+    std::vector<std::vector<audit::HerbAttribution>> collected;
+    for (const int threads : {1, 4}) {
+      parallel::SetNumThreads(threads);
+      ServingEngineOptions options;
+      options.precision = precision;
+      auto engine = ServingEngine::Create(
+          MakeCheckpoint(24, 40, 8, /*with_si_mlp=*/true,
+                         /*with_herb_bipar=*/true),
+          options);
+      ASSERT_TRUE(engine.ok()) << engine.status();
+
+      Request request;
+      request.symptoms = symptoms;
+      request.top_k = kTopK;
+      request.attribution = true;
+
+      // Path 1: sync per-query (cache miss).
+      const Response sync = (*engine)->Handle(request);
+      ASSERT_TRUE(sync.ok()) << sync.message;
+      CheckAttributionInvariants(sync, canonical);
+
+      // The served scores are the dense scores for the same query: the
+      // attribution decomposes exactly what the ranking saw.
+      auto dense = (*engine)->Score(symptoms);
+      ASSERT_TRUE(dense.ok());
+      for (const audit::HerbAttribution& herb : sync.attribution->herbs) {
+        EXPECT_EQ(herb.score, (*dense)[herb.herb_id]);
+        EXPECT_TRUE(herb.has_components);
+        // With components the split is informative: the bipar term is not
+        // just the whole score.
+        EXPECT_NE(herb.synergy, 0.0);
+      }
+
+      // Path 2: cache-hit repeat of the same query.
+      const Response cached = (*engine)->Handle(request);
+      ASSERT_TRUE(cached.ok());
+      CheckAttributionInvariants(cached, canonical);
+
+      // Path 3: batched alongside unrelated queries.
+      std::vector<Request> batch(3);
+      batch[0].symptoms = {1, 9};
+      batch[0].top_k = kTopK;
+      batch[1] = request;
+      batch[2].symptoms = {0, 23, 11};
+      batch[2].top_k = kTopK;
+      const std::vector<Response> batched = (*engine)->HandleBatch(batch);
+      ASSERT_TRUE(batched[1].ok());
+      CheckAttributionInvariants(batched[1], canonical);
+      EXPECT_FALSE(batched[0].attribution.has_value());  // not requested
+
+      // Path 4: async micro-batched.
+      Request async_request = request;
+      const Response async =
+          (*engine)->SubmitRequest(std::move(async_request)).get();
+      ASSERT_TRUE(async.ok()) << async.message;
+      CheckAttributionInvariants(async, canonical);
+
+      collected.push_back(sync.attribution->herbs);
+      collected.push_back(cached.attribution->herbs);
+      collected.push_back(batched[1].attribution->herbs);
+      collected.push_back(async.attribution->herbs);
+    }
+    // Every path at every thread count produced bit-identical terms.
+    for (std::size_t p = 1; p < collected.size(); ++p) {
+      ASSERT_EQ(collected[p].size(), collected[0].size());
+      for (std::size_t i = 0; i < collected[0].size(); ++i) {
+        const audit::HerbAttribution& a = collected[0][i];
+        const audit::HerbAttribution& b = collected[p][i];
+        EXPECT_EQ(a.herb_id, b.herb_id) << "path " << p;
+        EXPECT_EQ(a.score, b.score) << "path " << p;
+        EXPECT_EQ(a.bipar, b.bipar) << "path " << p;
+        EXPECT_EQ(a.synergy, b.synergy) << "path " << p;
+        EXPECT_EQ(a.pool_bias, b.pool_bias) << "path " << p;
+        EXPECT_EQ(a.pool_residual, b.pool_residual) << "path " << p;
+        EXPECT_EQ(a.per_symptom, b.per_symptom) << "path " << p;
+      }
+    }
+  }
+  parallel::SetNumThreads(1);
+}
+
+TEST(AttributionTest, F64MatchesCheckpointReference) {
+  // The store's f64 attribution is bit-identical to the checkpoint-level
+  // reference implementation (both accumulate ascending-k from zero).
+  auto ckpt = MakeCheckpoint(24, 40, 8, true, /*with_herb_bipar=*/true);
+  core::InferenceCheckpoint reference_copy = ckpt;
+  auto engine = ServingEngine::Create(std::move(ckpt));
+  ASSERT_TRUE(engine.ok());
+  Request request;
+  request.symptoms = {2, 4, 6};
+  request.top_k = 5;
+  request.attribution = true;
+  const Response response = (*engine)->Handle(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response.attribution.has_value());
+
+  auto reference = audit::AttributeFromCheckpoint(reference_copy, {2, 4, 6},
+                                                  response.herb_ids);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_EQ(reference->herbs.size(), response.attribution->herbs.size());
+  for (std::size_t i = 0; i < reference->herbs.size(); ++i) {
+    const audit::HerbAttribution& expected = reference->herbs[i];
+    const audit::HerbAttribution& got = response.attribution->herbs[i];
+    EXPECT_EQ(got.score, expected.score);
+    EXPECT_EQ(got.bipar, expected.bipar);
+    EXPECT_EQ(got.synergy, expected.synergy);
+    EXPECT_EQ(got.pool_bias, expected.pool_bias);
+    EXPECT_EQ(got.pool_residual, expected.pool_residual);
+    EXPECT_EQ(got.per_symptom, expected.per_symptom);
+  }
+}
+
+TEST(AttributionTest, WithoutBiparTableFallsBackToWholeScore) {
+  auto engine = ServingEngine::Create(
+      MakeCheckpoint(24, 40, 8, true, /*with_herb_bipar=*/false));
+  ASSERT_TRUE(engine.ok());
+  Request request;
+  request.symptoms = {1, 3};
+  request.top_k = 5;
+  request.attribution = true;
+  const Response response = (*engine)->Handle(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response.attribution.has_value());
+  for (const audit::HerbAttribution& herb : response.attribution->herbs) {
+    EXPECT_FALSE(herb.has_components);
+    EXPECT_EQ(herb.bipar, herb.score);
+    EXPECT_EQ(herb.synergy, 0.0);
+    EXPECT_EQ(audit::ReconstructPooled(herb), herb.score);
+  }
+}
+
+TEST(AttributionTest, RequestIdMintedEchoedAndSlowLogged) {
+  ServingEngineOptions options;
+  options.slow_query_threshold_ms = 1e-9;  // everything is "slow"
+  options.slow_query_log_capacity = 16;
+  auto engine = ServingEngine::Create(
+      MakeCheckpoint(24, 40, 8, true, true), options);
+  ASSERT_TRUE(engine.ok());
+
+  // Client-supplied id is echoed on the sync path...
+  Request request;
+  request.symptoms = {2, 4};
+  request.top_k = 5;
+  request.request_id = "client-id-7";
+  const Response echoed = (*engine)->Handle(request);
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(echoed.request_id, "client-id-7");
+
+  // ...and minted when absent, on both paths.
+  Request minted_req;
+  minted_req.symptoms = {2, 4};
+  minted_req.top_k = 5;
+  const Response minted = (*engine)->Handle(minted_req);
+  ASSERT_TRUE(minted.ok());
+  EXPECT_FALSE(minted.request_id.empty());
+  EXPECT_NE(minted.request_id, "client-id-7");
+  Request async_req;
+  async_req.symptoms = {1, 5};
+  async_req.top_k = 5;
+  async_req.request_id = "async-id-9";
+  const Response async = (*engine)->SubmitRequest(std::move(async_req)).get();
+  ASSERT_TRUE(async.ok());
+  EXPECT_EQ(async.request_id, "async-id-9");
+
+  // Minted ids are unique across requests.
+  Request another;
+  another.symptoms = {2, 4};
+  another.top_k = 5;
+  const Response minted2 = (*engine)->Handle(another);
+  EXPECT_NE(minted2.request_id, minted.request_id);
+
+  // The slow log carries the correlation id and the model/version.
+  bool found = false;
+  for (const SlowQueryRecord& record :
+       (*engine)->slow_query_log().Snapshot()) {
+    if (record.request_id == "client-id-7") {
+      found = true;
+      EXPECT_EQ(record.model, "test-ckpt");
+      EXPECT_EQ(record.model_version, "v1");
+      EXPECT_NE(record.ToString().find("id=client-id-7"), std::string::npos);
+      EXPECT_NE(record.ToString().find("model=test-ckpt/v1"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AttributionTest, ErrorsAndDenseModeCarryNoAttribution) {
+  auto engine = ServingEngine::Create(MakeCheckpoint(24, 40, 8, true, true));
+  ASSERT_TRUE(engine.ok());
+  // Invalid symptoms: error response still carries a request id.
+  Request bad;
+  bad.symptoms = {9999};
+  bad.top_k = 5;
+  bad.attribution = true;
+  bad.request_id = "bad-1";
+  const Response error = (*engine)->Handle(bad);
+  EXPECT_FALSE(error.ok());
+  EXPECT_FALSE(error.attribution.has_value());
+  EXPECT_EQ(error.request_id, "bad-1");
+  // Dense mode ignores the attribution flag (ranked-only contract).
+  Request dense;
+  dense.symptoms = {1, 2};
+  dense.top_k = 0;
+  dense.attribution = true;
+  const Response scores = (*engine)->Handle(dense);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_FALSE(scores.attribution.has_value());
 }
 
 }  // namespace
